@@ -1,0 +1,128 @@
+//! Global exchange load balancing (Algorithm 7).
+
+use cgselect_runtime::{Key, Proc};
+
+use crate::schedule::{execute_transfers, transfer_schedule};
+use crate::{target_for, BalanceReport};
+
+/// Global exchange: like [`modified_order_maintaining`] but both the
+/// sources (sorted by excess, largest first) and the sinks (sorted by
+/// deficit, largest first) are reordered before the prefix matching, so
+/// processors holding a lot of excess ship it directly to the processors
+/// missing a lot — which tends to reduce the total number of messages
+/// relative to rank-order matching.
+///
+/// Worst-case cost `O(μ·n_avg + τ·p + μ·(n_max − n_avg))`, the same as the
+/// modified OMLB; the gain is in the message constant.
+///
+/// [`modified_order_maintaining`]: crate::modified_order_maintaining
+pub fn global_exchange<T: Key>(proc: &mut Proc, data: &mut Vec<T>) -> BalanceReport {
+    let p = proc.nprocs();
+    let counts: Vec<u64> = proc.all_gather(data.len() as u64);
+    let n: u64 = counts.iter().sum();
+
+    let mut sources = Vec::new();
+    let mut sinks = Vec::new();
+    for (r, &c) in counts.iter().enumerate() {
+        let t = target_for(n, p, r);
+        if c > t {
+            sources.push((r, c - t));
+        } else if c < t {
+            sinks.push((r, t - c));
+        }
+    }
+    // Largest excess first / largest deficit first; ties by rank for
+    // determinism (the paper's Step 4 sorts both diff arrays).
+    sources.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    sinks.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    // Scan + two sorts of at most p entries.
+    proc.charge_ops(2 * p as u64 + 2 * (p.max(2) as u64) * (p.max(2).ilog2() as u64));
+
+    let schedule = transfer_schedule(&sources, &sinks);
+    let tag = proc.fresh_tag();
+    execute_transfers(proc, data, &schedule, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgselect_runtime::{Machine, MachineModel};
+
+    fn run(parts: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, Vec<BalanceReport>) {
+        let p = parts.len();
+        let both = Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mut mine = parts[proc.rank()].clone();
+                let rep = global_exchange(proc, &mut mine);
+                (mine, rep)
+            })
+            .unwrap();
+        both.into_iter().unzip()
+    }
+
+    #[test]
+    fn balances_exactly_and_preserves_multiset() {
+        let profiles: Vec<Vec<Vec<u64>>> = vec![
+            vec![(0..40).collect(), vec![], vec![], vec![]],
+            vec![(0..3).collect(), (0..9).collect(), (0..1).collect(), (0..27).collect()],
+            vec![vec![], vec![], vec![]],
+            vec![vec![1], vec![2], vec![3]],
+        ];
+        for parts in profiles {
+            let (out, _) = run(parts.clone());
+            let n: u64 = out.iter().map(|v| v.len() as u64).sum();
+            for (r, v) in out.iter().enumerate() {
+                assert_eq!(v.len() as u64, target_for(n, out.len(), r), "{out:?}");
+            }
+            let mut a: Vec<u64> = parts.into_iter().flatten().collect();
+            let mut b: Vec<u64> = out.into_iter().flatten().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn big_source_feeds_big_sink_first() {
+        // Source A (excess 12) and B (excess 2); sink C (deficit 12), D
+        // (deficit 2). Largest-to-largest matching means A->C and B->D:
+        // exactly 2 messages total.
+        // targets: 56/4 = 14 each.
+        let parts: Vec<Vec<u64>> = vec![
+            (0..26).collect(),  // excess 12
+            (0..16).collect(),  // excess 2
+            (0..2).collect(),   // deficit 12
+            (0..12).collect(),  // deficit 2
+        ];
+        let (_, reports) = run(parts);
+        let total_msgs: u64 = reports.iter().map(|r| r.messages_sent).sum();
+        assert_eq!(total_msgs, 2);
+    }
+
+    #[test]
+    fn rank_order_matching_would_use_more_messages_here() {
+        // Same scenario through modified OMLB: source 0's excess (12) is
+        // matched against sink slots in rank order: sink 2 needs 12 — also
+        // 2 messages... craft an asymmetric case instead:
+        // excesses [0]=3, [1]=11; deficits [2]=11, [3]=3; targets 14.
+        let parts: Vec<Vec<u64>> = vec![
+            (0..17).collect(),  // excess 3
+            (0..25).collect(),  // excess 11
+            (0..3).collect(),   // deficit 11
+            (0..11).collect(),  // deficit 3
+        ];
+        let (_, ge_reports) = run(parts.clone());
+        let ge_msgs: u64 = ge_reports.iter().map(|r| r.messages_sent).sum();
+        assert_eq!(ge_msgs, 2, "global exchange pairs 11->11 and 3->3");
+
+        let p = parts.len();
+        let mod_reports = Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mut mine = parts[proc.rank()].clone();
+                crate::modified_order_maintaining(proc, &mut mine)
+            })
+            .unwrap();
+        let mod_msgs: u64 = mod_reports.iter().map(|r| r.messages_sent).sum();
+        assert_eq!(mod_msgs, 3, "rank-order matching splits the big excess");
+    }
+}

@@ -1,0 +1,184 @@
+//! # cgselect-balance — dynamic data redistribution (paper §4)
+//!
+//! During parallel selection the surviving element counts drift apart
+//! between processors (on sorted input, half the processors lose *all*
+//! their data every iteration). This crate implements the paper's load
+//! balancing algorithms, each of which redistributes a `Vec<T>` per
+//! processor so that afterwards every processor holds `⌊n/p⌋` or `⌈n/p⌉`
+//! elements:
+//!
+//! * [`order_maintaining`] — §4.1, prefix-based; **preserves the global
+//!   order** of the data (processor-major concatenation order);
+//! * [`modified_order_maintaining`] — Algorithm 5; drops the order
+//!   guarantee, moves only the excess above each processor's target;
+//! * [`dimension_exchange`] — Algorithm 6 (Cybenko); `log p` rounds of
+//!   pairwise averaging across hypercube dimensions;
+//! * [`global_exchange`] — Algorithm 7; like modified OMLB but pairs the
+//!   largest sources with the largest sinks to reduce message count.
+//!
+//! As the paper notes, these are useful beyond selection for any problem
+//! that needs dynamic redistribution with no constraint on which processor
+//! gets which element (except `order_maintaining`, which keeps order).
+//!
+//! All strategies are wrapped in the runtime's `PHASE_LOAD_BALANCE` phase
+//! so the experiment harness can report load-balancing time separately
+//! (the paper's Figures 5 and 6).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dimension_exchange;
+mod global_exchange;
+mod omlb;
+mod schedule;
+
+pub use dimension_exchange::dimension_exchange;
+pub use global_exchange::global_exchange;
+pub use omlb::{modified_order_maintaining, order_maintaining};
+
+use cgselect_runtime::{Key, Proc, PHASE_LOAD_BALANCE};
+
+/// Which load balancing strategy a selection algorithm applies between
+/// iterations (paper §5 evaluates all of them against `None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Balancer {
+    /// No balancing (the paper's best choice for randomized selection).
+    #[default]
+    None,
+    /// Order-maintaining load balance (§4.1, unmodified).
+    Omlb,
+    /// Modified order-maintaining load balance (Algorithm 5) — the variant
+    /// implemented by Bader & JáJá.
+    ModOmlb,
+    /// Dimension exchange (Algorithm 6).
+    DimExchange,
+    /// Global exchange (Algorithm 7).
+    GlobalExchange,
+}
+
+impl Balancer {
+    /// All concrete strategies (excluding `None`), for sweeps.
+    pub const ALL_ACTIVE: [Balancer; 4] =
+        [Balancer::Omlb, Balancer::ModOmlb, Balancer::DimExchange, Balancer::GlobalExchange];
+
+    /// Short label used in experiment output (matches the paper's figure
+    /// legends: N / O / D / G).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Balancer::None => "N",
+            Balancer::Omlb => "O",
+            Balancer::ModOmlb => "O*",
+            Balancer::DimExchange => "D",
+            Balancer::GlobalExchange => "G",
+        }
+    }
+
+    /// Full name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Balancer::None => "none",
+            Balancer::Omlb => "order-maintaining",
+            Balancer::ModOmlb => "modified order-maintaining",
+            Balancer::DimExchange => "dimension exchange",
+            Balancer::GlobalExchange => "global exchange",
+        }
+    }
+}
+
+/// What a rebalancing operation did on *this* processor.
+#[derive(Default, Clone, Copy, Debug, PartialEq)]
+pub struct BalanceReport {
+    /// Elements shipped out of this processor.
+    pub elements_sent: u64,
+    /// Elements received by this processor.
+    pub elements_recv: u64,
+    /// Data messages sent (count exchanges excluded).
+    pub messages_sent: u64,
+    /// Virtual seconds this processor spent in the operation.
+    pub seconds: f64,
+}
+
+impl BalanceReport {
+    /// Merges another report into this one (for accumulating across
+    /// selection iterations).
+    pub fn absorb(&mut self, other: BalanceReport) {
+        self.elements_sent += other.elements_sent;
+        self.elements_recv += other.elements_recv;
+        self.messages_sent += other.messages_sent;
+        self.seconds += other.seconds;
+    }
+}
+
+/// Applies the chosen strategy to this processor's `data`, collectively
+/// with all other processors (SPMD: every processor must call this with
+/// the same `balancer`).
+///
+/// The call is recorded under the `PHASE_LOAD_BALANCE` phase on the
+/// processor's virtual clock.
+///
+/// ```
+/// use cgselect_balance::{rebalance, Balancer};
+/// use cgselect_runtime::Machine;
+///
+/// // All 60 elements start on processor 0; afterwards everyone holds 20.
+/// let sizes = Machine::new(3)
+///     .run(|proc| {
+///         let mut mine: Vec<u64> =
+///             if proc.rank() == 0 { (0..60).collect() } else { Vec::new() };
+///         rebalance(Balancer::GlobalExchange, proc, &mut mine);
+///         mine.len()
+///     })
+///     .unwrap();
+/// assert_eq!(sizes, vec![20, 20, 20]);
+/// ```
+pub fn rebalance<T: Key>(balancer: Balancer, proc: &mut Proc, data: &mut Vec<T>) -> BalanceReport {
+    proc.phase_begin(PHASE_LOAD_BALANCE);
+    let start = proc.now();
+    let mut report = match balancer {
+        Balancer::None => BalanceReport::default(),
+        Balancer::Omlb => order_maintaining(proc, data),
+        Balancer::ModOmlb => modified_order_maintaining(proc, data),
+        Balancer::DimExchange => dimension_exchange(proc, data),
+        Balancer::GlobalExchange => global_exchange(proc, data),
+    };
+    report.seconds = proc.now() - start;
+    proc.phase_end(PHASE_LOAD_BALANCE);
+    report
+}
+
+/// Per-processor target sizes: `⌊n/p⌋ + 1` for the first `n mod p`
+/// processors, `⌊n/p⌋` for the rest (they sum exactly to `n`).
+pub(crate) fn target_for(n: u64, p: usize, rank: usize) -> u64 {
+    n / p as u64 + u64::from((rank as u64) < n % p as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_sum_to_n() {
+        for p in 1..=9usize {
+            for n in [0u64, 1, 5, 17, 100] {
+                let sum: u64 = (0..p).map(|r| target_for(n, p, r)).sum();
+                assert_eq!(sum, n, "n={n} p={p}");
+                // Difference between any two targets is at most 1.
+                let ts: Vec<u64> = (0..p).map(|r| target_for(n, p, r)).collect();
+                let (mn, mx) = (ts.iter().min().unwrap(), ts.iter().max().unwrap());
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = [Balancer::None]
+            .iter()
+            .chain(Balancer::ALL_ACTIVE.iter())
+            .map(|b| b.label())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,270 @@
+//! Order-maintaining load balance (§4.1) and its modified variant
+//! (Algorithm 5).
+
+use cgselect_runtime::{Key, Proc};
+
+use crate::schedule::{execute_transfers, transfer_schedule};
+use crate::{target_for, BalanceReport};
+
+/// Order-maintaining load balance (paper §4.1, unmodified).
+///
+/// Views the data as globally ordered by (processor, local index) and
+/// redistributes so processor `i` ends up with the elements at global
+/// positions `[Tᵢ, Tᵢ₊₁)` of that order — i.e. the global concatenation
+/// order is **preserved**. One parallel-prefix (here: an all-gather of the
+/// counts, same `O(τ log p + μp)` cost) suffices for every processor to
+/// compute exactly which intervals it sends and receives.
+///
+/// Worst-case cost `O(μ·n_avg + τ·(n_max/n_avg) + μ·n_max)`. As the paper
+/// points out, this can move far more data than necessary (a one-element
+/// imbalance between the first and last processor makes *every* processor
+/// ship one element), which motivates the modified variant below.
+pub fn order_maintaining<T: Key>(proc: &mut Proc, data: &mut Vec<T>) -> BalanceReport {
+    let p = proc.nprocs();
+    let rank = proc.rank();
+    let counts: Vec<u64> = proc.all_gather(data.len() as u64);
+    let n: u64 = counts.iter().sum();
+    proc.charge_ops(2 * p as u64); // prefix computations over the counts
+
+    let mut starts = vec![0u64; p + 1];
+    let mut tstarts = vec![0u64; p + 1];
+    for i in 0..p {
+        starts[i + 1] = starts[i] + counts[i];
+        tstarts[i + 1] = tstarts[i] + target_for(n, p, i);
+    }
+
+    let tag = proc.fresh_tag();
+    let mut report = BalanceReport::default();
+    let my_lo = starts[rank];
+    let my_hi = starts[rank + 1];
+    let old = std::mem::take(data);
+
+    // Ship each overlap of my current interval with a target interval.
+    let mut kept: Vec<T> = Vec::new();
+    for j in 0..p {
+        let lo = my_lo.max(tstarts[j]);
+        let hi = my_hi.min(tstarts[j + 1]);
+        if lo >= hi {
+            continue;
+        }
+        let slice = &old[(lo - my_lo) as usize..(hi - my_lo) as usize];
+        proc.charge_ops(slice.len() as u64);
+        if j == rank {
+            kept = slice.to_vec();
+        } else {
+            proc.send_vec_tagged(j, tag, slice.to_vec());
+            report.elements_sent += slice.len() as u64;
+            report.messages_sent += 1;
+        }
+    }
+
+    // Assemble my target interval from the overlapping senders, in rank
+    // order — which is exactly global order.
+    let t_lo = tstarts[rank];
+    let t_hi = tstarts[rank + 1];
+    let mut assembled = Vec::with_capacity((t_hi - t_lo) as usize);
+    for i in 0..p {
+        let lo = t_lo.max(starts[i]);
+        let hi = t_hi.min(starts[i + 1]);
+        if lo >= hi {
+            continue;
+        }
+        if i == rank {
+            proc.charge_ops(kept.len() as u64);
+            assembled.append(&mut kept);
+        } else {
+            let part: Vec<T> = proc.recv_vec_tagged(i, tag);
+            proc.charge_ops(part.len() as u64);
+            report.elements_recv += part.len() as u64;
+            assembled.extend(part);
+        }
+    }
+    *data = assembled;
+    report
+}
+
+/// Modified order-maintaining load balance (Algorithm 5).
+///
+/// Every processor keeps `min(nᵢ, targetᵢ)` of its own elements; only the
+/// excesses move. Processors above their target are *sources*, those below
+/// are *sinks*; the excess units and deficit units are ranked by two prefix
+/// sums (computed here from the same gathered counts) and matched interval
+/// against interval, exactly as the paper's binary-search formulation.
+///
+/// Worst-case cost `O(μ·n_avg + τ·p + μ·(n_max − n_avg))`.
+pub fn modified_order_maintaining<T: Key>(proc: &mut Proc, data: &mut Vec<T>) -> BalanceReport {
+    let p = proc.nprocs();
+    let counts: Vec<u64> = proc.all_gather(data.len() as u64);
+    let n: u64 = counts.iter().sum();
+    proc.charge_ops(2 * p as u64); // diff/prefix computations
+
+    let mut sources = Vec::new();
+    let mut sinks = Vec::new();
+    for (r, &c) in counts.iter().enumerate() {
+        let t = target_for(n, p, r);
+        if c > t {
+            sources.push((r, c - t));
+        } else if c < t {
+            sinks.push((r, t - c));
+        }
+    }
+    let schedule = transfer_schedule(&sources, &sinks);
+    let tag = proc.fresh_tag();
+    execute_transfers(proc, data, &schedule, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgselect_runtime::{Machine, MachineModel};
+
+    /// Runs a balancer on explicit per-processor inputs and returns the
+    /// resulting per-processor outputs.
+    fn run<F>(parts: Vec<Vec<u64>>, f: F) -> Vec<Vec<u64>>
+    where
+        F: Fn(&mut Proc, &mut Vec<u64>) -> BalanceReport + Send + Sync,
+    {
+        let p = parts.len();
+        Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mut mine = parts[proc.rank()].clone();
+                f(proc, &mut mine);
+                mine
+            })
+            .unwrap()
+    }
+
+    fn balanced_exactly(out: &[Vec<u64>]) -> bool {
+        let n: u64 = out.iter().map(|v| v.len() as u64).sum();
+        out.iter()
+            .enumerate()
+            .all(|(r, v)| v.len() as u64 == target_for(n, out.len(), r))
+    }
+
+    fn same_multiset(parts: &[Vec<u64>], out: &[Vec<u64>]) -> bool {
+        let mut a: Vec<u64> = parts.iter().flatten().copied().collect();
+        let mut b: Vec<u64> = out.iter().flatten().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    fn profiles() -> Vec<Vec<Vec<u64>>> {
+        vec![
+            // All data on one processor.
+            vec![(0..40).collect(), vec![], vec![], vec![]],
+            // Staircase.
+            vec![
+                (0..1).collect(),
+                (10..14).collect(),
+                (20..29).collect(),
+                (30..46).collect(),
+            ],
+            // Already balanced.
+            vec![(0..5).collect(), (5..10).collect(), (10..15).collect(), (15..20).collect()],
+            // Everything empty.
+            vec![vec![], vec![], vec![], vec![]],
+            // n < p.
+            vec![vec![7], vec![], vec![9], vec![]],
+        ]
+    }
+
+    #[test]
+    fn omlb_balances_and_preserves_multiset() {
+        for parts in profiles() {
+            let out = run(parts.clone(), order_maintaining);
+            assert!(balanced_exactly(&out), "{out:?}");
+            assert!(same_multiset(&parts, &out));
+        }
+    }
+
+    #[test]
+    fn omlb_preserves_global_order() {
+        // Input is globally sorted across processors; output must be too.
+        let parts: Vec<Vec<u64>> =
+            vec![(0..33).collect(), (33..34).collect(), vec![], (34..64).collect()];
+        let out = run(parts, order_maintaining);
+        let flat: Vec<u64> = out.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..64).collect::<Vec<_>>());
+        assert!(balanced_exactly(&out));
+    }
+
+    #[test]
+    fn mod_omlb_balances_and_preserves_multiset() {
+        for parts in profiles() {
+            let out = run(parts.clone(), modified_order_maintaining);
+            assert!(balanced_exactly(&out), "{out:?}");
+            assert!(same_multiset(&parts, &out));
+        }
+    }
+
+    #[test]
+    fn mod_omlb_keeps_local_elements_when_possible() {
+        // A sink keeps everything it had; a balanced processor moves nothing.
+        let parts: Vec<Vec<u64>> = vec![(100..120).collect(), vec![1, 2], (200..205).collect()];
+        let out = run(parts, modified_order_maintaining);
+        // Processor 1 was a sink: its original elements must still be there.
+        assert!(out[1].contains(&1) && out[1].contains(&2));
+        // Processor 2 had 5 < target 9: keeps all five.
+        for v in 200..205 {
+            assert!(out[2].contains(&v));
+        }
+    }
+
+    #[test]
+    fn mod_omlb_single_processor_is_noop() {
+        let out = run(vec![(0..7).collect()], modified_order_maintaining);
+        assert_eq!(out[0], (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reports_are_consistent() {
+        let parts: Vec<Vec<u64>> = vec![(0..40).collect(), vec![], vec![], vec![]];
+        let p = parts.len();
+        let reports = Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mut mine = parts[proc.rank()].clone();
+                modified_order_maintaining(proc, &mut mine)
+            })
+            .unwrap();
+        let sent: u64 = reports.iter().map(|r| r.elements_sent).sum();
+        let recv: u64 = reports.iter().map(|r| r.elements_recv).sum();
+        assert_eq!(sent, recv);
+        assert_eq!(sent, 30); // 40 -> 10 each: 30 elements move
+        assert_eq!(reports[0].messages_sent, 3);
+    }
+
+    #[test]
+    fn omlb_moves_more_than_necessary_on_shifted_input() {
+        // The pathology the paper describes: OMLB ripples one element
+        // through every processor while modified OMLB sends one message.
+        let p = 6;
+        let mut parts: Vec<Vec<u64>> = (0..p as u64).map(|i| vec![i; 10]).collect();
+        parts[0].pop(); // first has 9
+        parts[p - 1].push(99); // last has 11
+
+        let omlb_msgs: u64 = {
+            let parts = parts.clone();
+            Machine::with_model(p, MachineModel::free())
+                .run(|proc| {
+                    let mut mine = parts[proc.rank()].clone();
+                    order_maintaining(proc, &mut mine).messages_sent
+                })
+                .unwrap()
+                .iter()
+                .sum()
+        };
+        let mod_msgs: u64 = {
+            Machine::with_model(p, MachineModel::free())
+                .run(|proc| {
+                    let mut mine = parts[proc.rank()].clone();
+                    modified_order_maintaining(proc, &mut mine).messages_sent
+                })
+                .unwrap()
+                .iter()
+                .sum()
+        };
+        assert_eq!(mod_msgs, 1, "modified OMLB: single direct transfer");
+        assert!(omlb_msgs >= (p - 1) as u64, "OMLB ripples: {omlb_msgs} msgs");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: on arbitrary imbalance profiles every balancer preserves
+//! the multiset, the prefix-based balancers balance exactly, and the global
+//! accounting (sent == received) holds.
+
+use cgselect_balance::{rebalance, BalanceReport, Balancer};
+use cgselect_runtime::{Machine, MachineModel, PHASE_LOAD_BALANCE};
+use proptest::prelude::*;
+
+/// Builds per-processor vectors with the given sizes; values are distinct
+/// so order checks are possible.
+fn make_parts(sizes: &[usize]) -> Vec<Vec<u64>> {
+    let mut next = 0u64;
+    sizes
+        .iter()
+        .map(|&s| {
+            let v: Vec<u64> = (next..next + s as u64).collect();
+            next += s as u64;
+            v
+        })
+        .collect()
+}
+
+fn run_balancer(
+    balancer: Balancer,
+    parts: &[Vec<u64>],
+) -> (Vec<Vec<u64>>, Vec<BalanceReport>, Vec<f64>) {
+    let p = parts.len();
+    let results = Machine::with_model(p, MachineModel::cm5())
+        .run(|proc| {
+            let mut mine = parts[proc.rank()].clone();
+            let rep = rebalance(balancer, proc, &mut mine);
+            let lb_time = proc.phase_time(PHASE_LOAD_BALANCE);
+            (mine, rep, lb_time)
+        })
+        .unwrap();
+    let mut out = Vec::new();
+    let mut reps = Vec::new();
+    let mut times = Vec::new();
+    for (a, b, c) in results {
+        out.push(a);
+        reps.push(b);
+        times.push(c);
+    }
+    (out, reps, times)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prefix_balancers_balance_exactly(
+        sizes in prop::collection::vec(0usize..60, 1..10),
+        which in prop::sample::select(vec![Balancer::Omlb, Balancer::ModOmlb, Balancer::GlobalExchange]),
+    ) {
+        let parts = make_parts(&sizes);
+        let n: usize = sizes.iter().sum();
+        let p = sizes.len();
+        let (out, reps, times) = run_balancer(which, &parts);
+
+        // Exact balance.
+        for (r, v) in out.iter().enumerate() {
+            let target = n / p + usize::from(r < n % p);
+            prop_assert_eq!(v.len(), target, "balancer {:?}", which);
+        }
+        // Multiset preserved.
+        let mut a: Vec<u64> = parts.into_iter().flatten().collect();
+        let mut b: Vec<u64> = out.into_iter().flatten().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Conservation.
+        let sent: u64 = reps.iter().map(|r| r.elements_sent).sum();
+        let recv: u64 = reps.iter().map(|r| r.elements_recv).sum();
+        prop_assert_eq!(sent, recv);
+        // Phase accounting recorded the same seconds the report saw.
+        for (rep, t) in reps.iter().zip(&times) {
+            prop_assert!((rep.seconds - t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dimension_exchange_preserves_multiset_any_p(
+        sizes in prop::collection::vec(0usize..60, 1..10),
+    ) {
+        let parts = make_parts(&sizes);
+        let (out, reps, _) = run_balancer(Balancer::DimExchange, &parts);
+        let mut a: Vec<u64> = parts.into_iter().flatten().collect();
+        let mut b: Vec<u64> = out.into_iter().flatten().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        let sent: u64 = reps.iter().map(|r| r.elements_sent).sum();
+        let recv: u64 = reps.iter().map(|r| r.elements_recv).sum();
+        prop_assert_eq!(sent, recv);
+    }
+
+    #[test]
+    fn dimension_exchange_power_of_two_spread(
+        sizes in prop::collection::vec(0usize..60, 1..4usize).prop_map(|v| {
+            // Blow the size vector up to the next power of two length.
+            let p = v.len().next_power_of_two() * 2;
+            let mut out = vec![0usize; p];
+            for (i, s) in v.into_iter().enumerate() { out[i % p] += s; }
+            out
+        }),
+    ) {
+        let p = sizes.len();
+        prop_assume!(p.is_power_of_two());
+        let parts = make_parts(&sizes);
+        let (out, _, _) = run_balancer(Balancer::DimExchange, &parts);
+        let lens: Vec<usize> = out.iter().map(Vec::len).collect();
+        let (mn, mx) = (*lens.iter().min().unwrap(), *lens.iter().max().unwrap());
+        let log_p = (p as f64).log2().ceil() as usize;
+        prop_assert!(mx - mn <= log_p.max(1), "spread {} on p={p}: {lens:?}", mx - mn);
+    }
+
+    #[test]
+    fn order_maintaining_preserves_global_order(
+        sizes in prop::collection::vec(0usize..40, 1..9),
+    ) {
+        let parts = make_parts(&sizes); // globally increasing by construction
+        let (out, _, _) = run_balancer(Balancer::Omlb, &parts);
+        let flat: Vec<u64> = out.into_iter().flatten().collect();
+        let n: usize = sizes.iter().sum();
+        prop_assert_eq!(flat, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn none_is_a_noop(sizes in prop::collection::vec(0usize..40, 1..9)) {
+        let parts = make_parts(&sizes);
+        let (out, reps, _) = run_balancer(Balancer::None, &parts);
+        prop_assert_eq!(out, parts);
+        prop_assert!(reps.iter().all(|r| r.elements_sent == 0 && r.messages_sent == 0));
+    }
+}

@@ -1,0 +1,42 @@
+//! Wall-clock comparison of the four load balancers on pathologically
+//! imbalanced layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgselect_balance::{rebalance, Balancer};
+use cgselect_runtime::{Machine, MachineModel};
+use cgselect_workloads::{generate_with_layout, Distribution, Layout};
+
+fn bench_balancers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balance");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    let p = 8;
+    let n = 1 << 16;
+    for layout in [Layout::Hoarded, Layout::Staircase] {
+        let parts = generate_with_layout(Distribution::Random, layout, n, p, 5);
+        for bal in Balancer::ALL_ACTIVE {
+            g.bench_with_input(
+                BenchmarkId::new(bal.name().replace(' ', "_"), format!("{layout:?}")),
+                &parts,
+                |b, parts| {
+                    let machine = Machine::with_model(p, MachineModel::free());
+                    b.iter(|| {
+                        machine
+                            .run(|proc| {
+                                let mut mine = parts[proc.rank()].clone();
+                                rebalance(bal, proc, &mut mine);
+                                mine.len()
+                            })
+                            .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_balancers);
+criterion_main!(benches);

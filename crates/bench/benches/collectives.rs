@@ -1,0 +1,70 @@
+//! Real wall-clock microbenchmarks of the runtime's collectives
+//! (the virtual-time figures use the cost model; these measure the actual
+//! threaded implementation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cgselect_runtime::{Machine, MachineModel};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for p in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("broadcast_u64", p), &p, |b, &p| {
+            let machine = Machine::with_model(p, MachineModel::free());
+            b.iter(|| {
+                machine
+                    .run(|proc| {
+                        let v = (proc.rank() == 0).then_some(42u64);
+                        proc.broadcast(0, v)
+                    })
+                    .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("combine_sum", p), &p, |b, &p| {
+            let machine = Machine::with_model(p, MachineModel::free());
+            b.iter(|| {
+                machine.run(|proc| proc.combine(proc.rank() as u64, |a, b| a + b)).unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("scan", p), &p, |b, &p| {
+            let machine = Machine::with_model(p, MachineModel::free());
+            b.iter(|| machine.run(|proc| proc.scan(1u64, |a, b| a + b)).unwrap());
+        });
+    }
+
+    // Payload-bearing collectives at fixed p.
+    let p = 4;
+    for len in [1024usize, 16 * 1024] {
+        g.throughput(Throughput::Bytes((len * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("gather_flat", len), &len, |b, &len| {
+            let machine = Machine::with_model(p, MachineModel::free());
+            b.iter(|| {
+                machine
+                    .run(|proc| {
+                        let data = vec![proc.rank() as u64; len];
+                        proc.gather_flat(0, data)
+                    })
+                    .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("all_to_allv", len), &len, |b, &len| {
+            let machine = Machine::with_model(p, MachineModel::free());
+            b.iter(|| {
+                machine
+                    .run(|proc| {
+                        let out: Vec<Vec<u64>> =
+                            (0..proc.nprocs()).map(|_| vec![7u64; len / p]).collect();
+                        proc.all_to_allv(out)
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! End-to-end wall-clock benchmark: the four parallel selection algorithms
+//! on real threads (p = 8), random and sorted inputs, plus the sample-sort
+//! ablation for fast randomized selection.
+//!
+//! Absolute numbers here reflect the host machine, not the CM-5; the
+//! *ordering* (randomized beating deterministic) carries over because it
+//! is driven by the kernels' real work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cgselect_core::{median_on_machine, Algorithm, Balancer, SampleSortAlgo, SelectionConfig};
+use cgselect_runtime::MachineModel;
+use cgselect_workloads::{generate, Distribution};
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selection");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    let p = 8;
+    let n = 1 << 18; // 256k
+    g.throughput(Throughput::Elements(n as u64));
+
+    for dist in [Distribution::Random, Distribution::Sorted] {
+        let parts = generate(dist, n, p, 11);
+        for algo in Algorithm::ALL {
+            let balancer = if algo == Algorithm::MedianOfMedians {
+                Balancer::GlobalExchange
+            } else {
+                Balancer::None
+            };
+            g.bench_with_input(
+                BenchmarkId::new(algo.name().replace(' ', "_"), dist.name()),
+                &parts,
+                |b, parts| {
+                    let cfg = SelectionConfig::with_seed(13).balancer(balancer);
+                    b.iter(|| {
+                        median_on_machine(p, MachineModel::free(), parts, algo, &cfg)
+                            .unwrap()
+                            .value
+                    });
+                },
+            );
+        }
+    }
+
+    // The sample-sort ablation for fast randomized selection.
+    let parts = generate(Distribution::Random, n, p, 17);
+    for ss in [SampleSortAlgo::Psrs, SampleSortAlgo::Bitonic, SampleSortAlgo::GatherSort] {
+        g.bench_with_input(
+            BenchmarkId::new("fast_randomized_samplesort", ss.name()),
+            &parts,
+            |b, parts| {
+                let cfg = SelectionConfig::with_seed(19).sample_sort(ss);
+                b.iter(|| {
+                    median_on_machine(p, MachineModel::free(), parts, Algorithm::FastRandomized, &cfg)
+                        .unwrap()
+                        .value
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Wall-clock comparison of the sequential kernels — the constant-factor
+//! story behind the paper's headline result, measured on real hardware
+//! rather than the op-count model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cgselect_seqsel::{
+    floyd_rivest_select, heap_select, introselect, median_of_medians_select, quickselect,
+    sort_select, KernelRng, OpCount,
+};
+
+fn inputs(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = KernelRng::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seqsel");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for n in [1 << 14, 1 << 17] {
+        let base = inputs(n, 3);
+        let k = n / 2;
+        g.throughput(Throughput::Elements(n as u64));
+
+        g.bench_with_input(BenchmarkId::new("quickselect", n), &base, |b, base| {
+            let mut rng = KernelRng::new(9);
+            b.iter(|| {
+                let mut v = base.clone();
+                let mut ops = OpCount::new();
+                quickselect(&mut v, k, &mut rng, &mut ops)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("floyd_rivest", n), &base, |b, base| {
+            b.iter(|| {
+                let mut v = base.clone();
+                let mut ops = OpCount::new();
+                floyd_rivest_select(&mut v, k, &mut ops)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("bfprt", n), &base, |b, base| {
+            b.iter(|| {
+                let mut v = base.clone();
+                let mut ops = OpCount::new();
+                median_of_medians_select(&mut v, k, &mut ops)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("introselect", n), &base, |b, base| {
+            b.iter(|| {
+                let mut v = base.clone();
+                let mut ops = OpCount::new();
+                introselect(&mut v, k, &mut ops)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("sort_baseline", n), &base, |b, base| {
+            b.iter(|| {
+                let mut v = base.clone();
+                let mut ops = OpCount::new();
+                sort_select(&mut v, k, &mut ops)
+            });
+        });
+        // Heap select at the median (worst case for it) and at tiny k
+        // (its sweet spot).
+        g.bench_with_input(BenchmarkId::new("heap_select_median", n), &base, |b, base| {
+            b.iter(|| {
+                let mut ops = OpCount::new();
+                heap_select(base, k, &mut ops)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("heap_select_k10", n), &base, |b, base| {
+            b.iter(|| {
+                let mut ops = OpCount::new();
+                heap_select(base, 10, &mut ops)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

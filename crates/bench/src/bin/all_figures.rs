@@ -1,0 +1,5 @@
+//! Regenerates the paper's all_figures (see `cgselect_bench::figs`).
+fn main() {
+    let quick = cgselect_bench::quick_mode();
+    cgselect_bench::figs::all(quick);
+}

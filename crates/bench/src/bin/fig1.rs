@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig1 (see `cgselect_bench::figs`).
+fn main() {
+    let quick = cgselect_bench::quick_mode();
+    cgselect_bench::figs::fig1(quick);
+}

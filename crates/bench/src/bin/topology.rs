@@ -1,0 +1,84 @@
+//! Testing the paper's crossbar assumption (§2.1).
+//!
+//! The paper models the CM-5's network as a virtual crossbar — message
+//! cost independent of distance — arguing that wormhole routing makes
+//! distance a minor factor. This experiment runs the selection algorithms
+//! under distance-aware variants of the same machine:
+//!
+//! * crossbar (the paper's model);
+//! * hypercube and 2D mesh with a **wormhole-scale** per-hop cost (τ/50);
+//! * the same with a **store-and-forward-scale** per-hop cost (τ).
+//!
+//! If the paper's assumption is sound, the wormhole rows should sit within
+//! a few percent of the crossbar row, while store-and-forward meshes
+//! should visibly penalize the communication-heavy algorithms.
+//!
+//! Run: `cargo run --release -p cgselect-bench --bin topology [-- --quick]`
+
+use cgselect_bench::chart::{markdown_table, write_text};
+use cgselect_bench::{quick_mode, results_dir};
+use cgselect_core::{median_on_machine, Algorithm, Balancer, SelectionConfig};
+use cgselect_runtime::{MachineModel, Topology};
+use cgselect_workloads::{generate, Distribution};
+
+fn main() {
+    let quick = quick_mode();
+    let n = if quick { 1 << 18 } else { 1 << 21 };
+    let p = 64; // square mesh, cube-friendly
+
+    let base = MachineModel::cm5();
+    let wormhole = base.tau / 50.0;
+    let safo = base.tau;
+    let nets: [(&str, MachineModel); 5] = [
+        ("crossbar (paper)", base),
+        ("hypercube, wormhole", base.with_topology(Topology::Hypercube, wormhole)),
+        ("mesh 8x8, wormhole", base.with_topology(Topology::Mesh2D, wormhole)),
+        ("hypercube, store&fwd", base.with_topology(Topology::Hypercube, safo)),
+        ("mesh 8x8, store&fwd", base.with_topology(Topology::Mesh2D, safo)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut baseline: Option<(f64, f64)> = None;
+    println!("Topology study: n = {n}, p = {p}, random data\n");
+    for (name, model) in nets {
+        let time = |algo: Algorithm, bal: Balancer| -> f64 {
+            let parts = generate(Distribution::Random, n, p, 17);
+            let cfg = SelectionConfig::with_seed(18).balancer(bal);
+            median_on_machine(p, model, &parts, algo, &cfg).unwrap().makespan()
+        };
+        let rnd = time(Algorithm::Randomized, Balancer::None);
+        let fast = time(Algorithm::FastRandomized, Balancer::None);
+        if baseline.is_none() {
+            baseline = Some((rnd, fast));
+        }
+        let (b_rnd, b_fast) = baseline.unwrap();
+        rows.push(vec![
+            name.to_string(),
+            format!("{rnd:.4}"),
+            format!("{:+.1}%", 100.0 * (rnd - b_rnd) / b_rnd),
+            format!("{fast:.4}"),
+            format!("{:+.1}%", 100.0 * (fast - b_fast) / b_fast),
+        ]);
+        println!(
+            "{name:>22}: randomized {rnd:.4}s ({:+.1}%) | fast {fast:.4}s ({:+.1}%)",
+            100.0 * (rnd - b_rnd) / b_rnd,
+            100.0 * (fast - b_fast) / b_fast
+        );
+    }
+
+    let out = format!(
+        "Crossbar-assumption study (n = {n}, p = {p}, random data)\n\n{}\n\
+         Expected: wormhole-scale per-hop costs leave the times within a few\n\
+         percent of the crossbar model (the paper's justification for the\n\
+         two-level model); store-and-forward-scale hops penalize the mesh,\n\
+         especially fast randomized selection, whose sample sort performs an\n\
+         all-to-all across the full diameter.\n",
+        markdown_table(
+            &["network", "randomized (s)", "vs crossbar", "fast rand (s)", "vs crossbar"],
+            &rows
+        )
+    );
+    let dir = results_dir();
+    write_text(&dir.join("topology.txt"), &out);
+    println!("\ntopology -> {}/topology.txt", dir.display());
+}

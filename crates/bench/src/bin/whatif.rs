@@ -1,0 +1,81 @@
+//! Machine-sensitivity study: which of the paper's conclusions are
+//! properties of the *algorithms*, and which are properties of the CM-5?
+//!
+//! The paper argues its algorithms are architecture-independent (§2.1);
+//! this experiment re-evaluates the headline comparisons under three cost
+//! models — the CM-5 preset, a modern cluster (µs-scale latency, GB/s
+//! links, ~1 ns ops), and a bandwidth-starved hypothetical — and reports
+//! which orderings persist.
+//!
+//! Run: `cargo run --release -p cgselect-bench --bin whatif [-- --quick]`
+
+use cgselect_bench::chart::{markdown_table, write_text};
+use cgselect_bench::{quick_mode, results_dir};
+use cgselect_core::{median_on_machine, Algorithm, Balancer, SelectionConfig};
+use cgselect_runtime::MachineModel;
+use cgselect_workloads::{generate, Distribution};
+
+fn main() {
+    let quick = quick_mode();
+    let n = if quick { 1 << 18 } else { 1 << 21 };
+    let p = 32;
+
+    let models: [(&str, MachineModel); 3] = [
+        ("CM-5 (1996)", MachineModel::cm5()),
+        ("modern cluster", MachineModel::modern()),
+        // High latency relative to bandwidth AND compute: a WAN-ish setup.
+        ("high-latency", MachineModel::new(1e-3, 1e-9, 1e-9)),
+    ];
+
+    let mut rows = Vec::new();
+    println!("What-if study: n = {n}, p = {p}, random + sorted inputs\n");
+    for (name, model) in models {
+        let time = |algo: Algorithm, bal: Balancer, dist: Distribution| -> f64 {
+            let parts = generate(dist, n, p, 13);
+            let cfg = SelectionConfig::with_seed(14).balancer(bal);
+            median_on_machine(p, model, &parts, algo, &cfg).unwrap().makespan()
+        };
+        let mom = time(Algorithm::MedianOfMedians, Balancer::GlobalExchange, Distribution::Random);
+        let rnd = time(Algorithm::Randomized, Balancer::None, Distribution::Random);
+        let fast = time(Algorithm::FastRandomized, Balancer::None, Distribution::Random);
+        let rnd_srt = time(Algorithm::Randomized, Balancer::None, Distribution::Sorted);
+        let fast_srt_lb =
+            time(Algorithm::FastRandomized, Balancer::ModOmlb, Distribution::Sorted);
+        let fast_srt = time(Algorithm::FastRandomized, Balancer::None, Distribution::Sorted);
+
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}x", mom / rnd),
+            format!("{:.2}x", fast / rnd),
+            if fast_srt_lb < fast_srt { "helps".into() } else { "hurts".into() },
+            format!("{:.2}x", rnd_srt / rnd),
+        ]);
+        println!(
+            "{name:>16}: MoM/rand {:.1}x | fast/rand {:.2}x | LB on fast+sorted: {} | rand sorted/random {:.2}x",
+            mom / rnd,
+            fast / rnd,
+            if fast_srt_lb < fast_srt { "helps" } else { "hurts" },
+            rnd_srt / rnd
+        );
+    }
+
+    let out = format!(
+        "Machine-sensitivity of the paper's conclusions (n = {n}, p = {p})\n\n{}\n\
+         Reading:\n\
+         * the deterministic-vs-randomized gap (column 2) is a *kernel* property\n\
+           and survives every machine;\n\
+         * the fast-vs-plain randomized ordering (column 3) and the value of load\n\
+           balancing on sorted data (column 4) depend on the τ/μ/t_op balance —\n\
+           they are 1996-machine conclusions that a modern deployment should\n\
+           re-measure (and now can, by swapping the MachineModel);\n\
+         * the sorted-data penalty of randomized selection (column 5) shrinks as\n\
+           compute gets cheap relative to latency.\n",
+        markdown_table(
+            &["machine", "MoM/rand", "fast/rand", "LB on fast+sorted", "rand sorted/random"],
+            &rows
+        )
+    );
+    let dir = results_dir();
+    write_text(&dir.join("whatif.txt"), &out);
+    println!("\nwhatif -> {}/whatif.txt", dir.display());
+}

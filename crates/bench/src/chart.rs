@@ -1,0 +1,144 @@
+//! Plain-text output: ASCII line charts (the paper's figures are
+//! time-vs-processors curves), markdown tables and CSV files.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One labeled series of (x, y) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, typically (p, seconds).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders labeled series into a fixed-size ASCII chart with the x axis
+/// positions taken from the union of the series' x values (equally spaced,
+/// which matches the paper's 2,4,8,…,128 processor axis) and a linear y
+/// axis from 0 to the maximum.
+pub fn ascii_chart(title: &str, xlabel: &str, ylabel: &str, series: &[Series]) -> String {
+    const W: usize = 64;
+    const H: usize = 20;
+    let markers = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    let ymax = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    let mut grid = vec![vec![' '; W]; H];
+    let x_pos = |x: f64| -> usize {
+        let idx = xs.iter().position(|&v| v == x).unwrap_or(0);
+        if xs.len() <= 1 {
+            0
+        } else {
+            idx * (W - 1) / (xs.len() - 1)
+        }
+    };
+    let y_pos = |y: f64| -> usize {
+        let fr = (y / ymax).clamp(0.0, 1.0);
+        H - 1 - ((fr * (H - 1) as f64).round() as usize)
+    };
+
+    for (si, s) in series.iter().enumerate() {
+        let m = markers[si % markers.len()];
+        // Connect consecutive points with linear interpolation across
+        // columns so the curve reads as a line.
+        let mut pts = s.points.clone();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in pts.windows(2) {
+            let (c0, c1) = (x_pos(w[0].0), x_pos(w[1].0));
+            let (v0, v1) = (w[0].1, w[1].1);
+            #[allow(clippy::needless_range_loop)] // columns index two arrays
+            for c in c0..=c1 {
+                let t = if c1 == c0 { 0.0 } else { (c - c0) as f64 / (c1 - c0) as f64 };
+                let y = v0 + t * (v1 - v0);
+                grid[y_pos(y)][c] = m;
+            }
+        }
+        if pts.len() == 1 {
+            grid[y_pos(pts[0].1)][x_pos(pts[0].0)] = m;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{ylabel} (0 .. {ymax:.4})");
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "  |{line}");
+    }
+    let _ = writeln!(out, "  +{}", "-".repeat(W));
+    let ticks: Vec<String> = xs.iter().map(|x| format!("{x:.0}")).collect();
+    let _ = writeln!(out, "   x = {xlabel}: {}", ticks.join(", "));
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "   {} {}", markers[si % markers.len()], s.label);
+    }
+    out
+}
+
+/// Writes rows as CSV with the given header.
+pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
+    let mut body = String::with_capacity(rows.len() * 64 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+}
+
+/// Appends a text artifact (chart or table) to a `.txt` report file.
+pub fn write_text(path: &Path, content: &str) {
+    std::fs::write(path, content).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_markers_and_legend() {
+        let s = vec![
+            Series { label: "a".into(), points: vec![(2.0, 0.1), (4.0, 0.2), (8.0, 0.4)] },
+            Series { label: "b".into(), points: vec![(2.0, 0.4), (4.0, 0.2), (8.0, 0.1)] },
+        ];
+        let chart = ascii_chart("test", "p", "seconds", &s);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("x = p: 2, 4, 8"));
+        assert!(chart.contains("* a"));
+        assert!(chart.contains("+ b"));
+    }
+
+    #[test]
+    fn chart_handles_single_point_series() {
+        let s = vec![Series { label: "solo".into(), points: vec![(4.0, 1.0)] }];
+        let chart = ascii_chart("t", "p", "s", &s);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("| 1 | 2 |"));
+    }
+}

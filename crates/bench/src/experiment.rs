@@ -1,0 +1,146 @@
+//! The shared experiment runner: one (algorithm, balancer, distribution,
+//! n, p) point, averaged over seeds like the paper (five random data sets
+//! per point).
+
+use cgselect_core::{median_on_machine, Algorithm, Balancer, SelectionConfig};
+use cgselect_runtime::MachineModel;
+use cgselect_workloads::{generate, Distribution, Stats};
+
+/// One data point of a sweep.
+#[derive(Clone, Debug)]
+pub struct Spec {
+    /// Which selection algorithm.
+    pub algo: Algorithm,
+    /// Which load balancer (the paper's N/O/D/G axis).
+    pub balancer: Balancer,
+    /// Input distribution (random / sorted / …).
+    pub dist: Distribution,
+    /// Total elements.
+    pub n: usize,
+    /// Processors.
+    pub p: usize,
+    /// Seeds to average over (the paper uses five for random inputs and a
+    /// single run for the deterministic sorted input).
+    pub seeds: Vec<u64>,
+    /// Machine cost model.
+    pub model: MachineModel,
+}
+
+impl Spec {
+    /// The paper's standard configuration for a sweep point: CM-5 model,
+    /// five seeds on random data, one on deterministic inputs.
+    pub fn paper(algo: Algorithm, balancer: Balancer, dist: Distribution, n: usize, p: usize) -> Spec {
+        let seeds = if dist == Distribution::Random { vec![11, 22, 33, 44, 55] } else { vec![11] };
+        Spec { algo, balancer, dist, n, p, seeds, model: MachineModel::cm5() }
+    }
+
+    /// Reduces the seed list for `--quick` runs.
+    pub fn quick(mut self) -> Spec {
+        self.seeds.truncate(1);
+        self
+    }
+}
+
+/// Aggregated measurements for one [`Spec`].
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Makespan (max total virtual seconds over processors), across seeds.
+    pub seconds: Stats,
+    /// Load-balancing makespan across seeds.
+    pub lb_seconds: Stats,
+    /// Sample-sort makespan across seeds (fast randomized only).
+    pub sort_seconds: Stats,
+    /// Mean parallel iterations.
+    pub iterations: f64,
+    /// Mean unsuccessful iterations (fast randomized).
+    pub unsuccessful: f64,
+    /// Mean total elementary operations over the whole machine.
+    pub total_ops: f64,
+    /// Mean total messages over the whole machine.
+    pub total_messages: f64,
+}
+
+/// Runs one sweep point: median selection over the generated input, once
+/// per seed, aggregating the paper's reporting quantities.
+pub fn run_point(spec: &Spec) -> Measurement {
+    let mut secs = Vec::new();
+    let mut lbs = Vec::new();
+    let mut sorts = Vec::new();
+    let mut iters = Vec::new();
+    let mut unsucc = Vec::new();
+    let mut ops = Vec::new();
+    let mut msgs = Vec::new();
+    for &seed in &spec.seeds {
+        let parts = generate(spec.dist, spec.n, spec.p, seed);
+        let cfg = SelectionConfig::with_seed(seed ^ 0xA5A5).balancer(spec.balancer);
+        let sel = median_on_machine(spec.p, spec.model, &parts, spec.algo, &cfg)
+            .expect("experiment run failed");
+        secs.push(sel.makespan());
+        lbs.push(sel.lb_makespan());
+        sorts.push(sel.per_proc.iter().map(|o| o.sort_seconds).fold(0.0, f64::max));
+        iters.push(sel.iterations() as f64);
+        unsucc.push(sel.per_proc[0].unsuccessful_iterations as f64);
+        ops.push(sel.total_ops() as f64);
+        msgs.push(sel.total_messages() as f64);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    Measurement {
+        seconds: Stats::from(&secs),
+        lb_seconds: Stats::from(&lbs),
+        sort_seconds: Stats::from(&sorts),
+        iterations: mean(&iters),
+        unsuccessful: mean(&unsucc),
+        total_ops: mean(&ops),
+        total_messages: mean(&msgs),
+    }
+}
+
+/// The processor counts of the paper's sweeps.
+pub fn paper_procs(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![4, 16, 64]
+    } else {
+        vec![2, 4, 8, 16, 32, 64, 128]
+    }
+}
+
+/// The `n` values of a figure, possibly reduced for `--quick`.
+pub fn paper_sizes(full: &[usize], quick: bool) -> Vec<usize> {
+    if quick {
+        vec![full[0]]
+    } else {
+        full.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_point_produces_sane_numbers() {
+        let spec = Spec {
+            algo: Algorithm::Randomized,
+            balancer: Balancer::None,
+            dist: Distribution::Random,
+            n: 1 << 14,
+            p: 4,
+            seeds: vec![1, 2],
+            model: MachineModel::cm5(),
+        };
+        let m = run_point(&spec);
+        assert!(m.seconds.mean > 0.0);
+        assert!(m.seconds.min <= m.seconds.mean && m.seconds.mean <= m.seconds.max);
+        assert!(m.iterations >= 1.0);
+        assert!(m.total_ops > 0.0);
+    }
+
+    #[test]
+    fn paper_spec_uses_five_seeds_on_random_only() {
+        let s = Spec::paper(Algorithm::Randomized, Balancer::None, Distribution::Random, 1024, 2);
+        assert_eq!(s.seeds.len(), 5);
+        let s = Spec::paper(Algorithm::Randomized, Balancer::None, Distribution::Sorted, 1024, 2);
+        assert_eq!(s.seeds.len(), 1);
+        assert_eq!(s.quick().seeds.len(), 1);
+    }
+}

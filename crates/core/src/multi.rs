@@ -1,0 +1,277 @@
+//! Multi-rank selection: several order statistics in one pass.
+//!
+//! An extension beyond the paper: applications often need a whole set of
+//! quantiles (p50/p90/p99/…) of the same distributed data. Running the
+//! single-rank algorithm per quantile rescans the data `R` times; this
+//! module partitions the data around shared random pivots and routes each
+//! requested rank into its segment, so the expected total work is
+//! `O((n/p)·(1 + log R))` plus the collective terms — the classic
+//! multi-select recursion, parallelized with the paper's machinery
+//! (shared-seed pivots, owner broadcast, Combine counts).
+
+use cgselect_runtime::{Key, Proc, PHASE_FINISH};
+use cgselect_seqsel::{partition3, KernelRng, OpCount};
+
+use crate::SelectionConfig;
+
+/// One pending segment of the multi-select recursion. Segments are pushed
+/// and popped in an order determined solely by global counts, so every
+/// processor processes the identical sequence (SPMD-safe).
+struct Segment<T> {
+    data: Vec<T>,
+    n: u64,
+    /// (rank within this segment, index into the output vector)
+    ranks: Vec<(u64, usize)>,
+}
+
+/// Selects the elements at several global ranks of the distributed
+/// multiset in one collective pass.
+///
+/// `ranks` may be in any order; the returned vector is aligned with it
+/// (`result[i]` is the element of rank `ranks[i]`). Duplicated ranks are
+/// allowed. Load balancing is not applied (segments shrink quickly and
+/// the recursion re-partitions them anyway).
+///
+/// ```
+/// use cgselect_core::{multi_select_on_machine, SelectionConfig};
+/// use cgselect_runtime::MachineModel;
+///
+/// let parts: Vec<Vec<u64>> = vec![vec![30, 10], vec![20, 40, 0]];
+/// let quartiles = multi_select_on_machine(
+///     2,
+///     MachineModel::free(),
+///     &parts,
+///     &[0, 2, 4],
+///     &SelectionConfig::default(),
+/// )
+/// .unwrap();
+/// assert_eq!(quartiles, vec![0, 20, 40]);
+/// ```
+///
+/// # Panics
+/// Panics if the distributed set is empty or any rank is out of range
+/// (collectively — every processor fails identically).
+pub fn parallel_multi_select<T: Key>(
+    proc: &mut Proc,
+    data: Vec<T>,
+    ranks: &[u64],
+    cfg: &SelectionConfig,
+) -> Vec<T> {
+    cfg.validate();
+    let p = proc.nprocs();
+    let n0 = proc.combine(data.len() as u64, |a, b| a + b);
+    assert!(n0 > 0, "multi-select on an empty distributed set");
+    for &r in ranks {
+        assert!(r < n0, "rank {r} out of range for {n0} elements");
+    }
+    if ranks.is_empty() {
+        return Vec::new();
+    }
+
+    let threshold = cfg.threshold(p);
+    let mut shared_rng = KernelRng::new(cfg.seed ^ 0x6D75_6C74); // "mult"
+    let mut out: Vec<Option<T>> = vec![None; ranks.len()];
+
+    let mut sorted_ranks: Vec<(u64, usize)> =
+        ranks.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+    sorted_ranks.sort_unstable();
+
+    let mut stack = vec![Segment { data, n: n0, ranks: sorted_ranks }];
+    let mut rounds = 0u32;
+    while let Some(seg) = stack.pop() {
+        rounds += 1;
+        assert!(
+            rounds <= cfg.max_iters,
+            "multi-select exceeded {} rounds (likely a bug)",
+            cfg.max_iters
+        );
+        if seg.ranks.is_empty() {
+            continue;
+        }
+        if seg.n <= threshold {
+            solve_segment_sequentially(proc, seg, &mut out);
+            continue;
+        }
+
+        // Shared pivot draw (identical stream on every processor), owner
+        // broadcast, three-way partition — as in the randomized algorithm,
+        // but both sides survive, each carrying its share of the ranks.
+        let idx = shared_rng.below(seg.n);
+        let len = seg.data.len() as u64;
+        let before = proc.exclusive_prefix_sum(len);
+        let mine =
+            (before <= idx && idx < before + len).then(|| seg.data[(idx - before) as usize]);
+        let pivot: T = proc.bcast_from_owner(mine);
+
+        let mut data = seg.data;
+        let mut ops = OpCount::new();
+        let (a, b) = partition3(&mut data, pivot, pivot, &mut ops);
+        proc.charge_ops(ops.total());
+        let local = (a as u64, (b - a) as u64);
+        let (c_lt, c_eq) = proc.combine(local, |x, y| (x.0 + y.0, x.1 + y.1));
+
+        let mut left_ranks = Vec::new();
+        let mut right_ranks = Vec::new();
+        for (r, i) in seg.ranks {
+            if r < c_lt {
+                left_ranks.push((r, i));
+            } else if r < c_lt + c_eq {
+                out[i] = Some(pivot);
+            } else {
+                right_ranks.push((r - c_lt - c_eq, i));
+            }
+        }
+
+        let right_data = data.split_off(b);
+        data.truncate(a);
+        proc.charge_ops((data.len() + right_data.len()) as u64);
+        // Deterministic processing order: left segment next (depth-first,
+        // ascending ranks).
+        stack.push(Segment { data: right_data, n: seg.n - c_lt - c_eq, ranks: right_ranks });
+        stack.push(Segment { data, n: c_lt, ranks: left_ranks });
+    }
+
+    out.into_iter()
+        .map(|v| v.expect("every requested rank must have been resolved"))
+        .collect()
+}
+
+/// Gathers a small segment on P0, sorts it once, reads off all of the
+/// segment's ranks, and broadcasts the answers.
+fn solve_segment_sequentially<T: Key>(
+    proc: &mut Proc,
+    seg: Segment<T>,
+    out: &mut [Option<T>],
+) {
+    proc.phase_begin(PHASE_FINISH);
+    let gathered = proc.gather_flat(0, seg.data);
+    let answers: Option<Vec<T>> = gathered.map(|mut all| {
+        debug_assert_eq!(all.len() as u64, seg.n);
+        let mut cmps = 0u64;
+        all.sort_unstable_by(|a, b| {
+            cmps += 1;
+            a.cmp(b)
+        });
+        proc.charge_ops(cmps + all.len() as u64);
+        seg.ranks.iter().map(|&(r, _)| all[r as usize]).collect()
+    });
+    let answers = proc.broadcast(0, answers);
+    proc.phase_end(PHASE_FINISH);
+    for ((_, i), v) in seg.ranks.iter().zip(answers) {
+        out[*i] = Some(v);
+    }
+}
+
+/// Whole-machine convenience for [`parallel_multi_select`].
+pub fn multi_select_on_machine<T: Key>(
+    p: usize,
+    model: cgselect_runtime::MachineModel,
+    parts: &[Vec<T>],
+    ranks: &[u64],
+    cfg: &SelectionConfig,
+) -> Result<Vec<T>, cgselect_runtime::RunError> {
+    assert_eq!(parts.len(), p, "need exactly one data vector per processor");
+    let outs = cgselect_runtime::Machine::with_model(p, model)
+        .run(|proc| parallel_multi_select(proc, parts[proc.rank()].clone(), ranks, cfg))?;
+    Ok(outs.into_iter().next().expect("p >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgselect_runtime::MachineModel;
+
+    fn oracle(parts: &[Vec<u64>], ranks: &[u64]) -> Vec<u64> {
+        let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        ranks.iter().map(|&r| all[r as usize]).collect()
+    }
+
+    fn cfg() -> SelectionConfig {
+        SelectionConfig { min_sequential: 32, ..SelectionConfig::with_seed(5) }
+    }
+
+    #[test]
+    fn selects_multiple_ranks() {
+        let p = 4;
+        let parts: Vec<Vec<u64>> =
+            (0..p).map(|r| (0..200).map(|i| (i * p + r) as u64 * 7 % 1000).collect()).collect();
+        let ranks = [0u64, 100, 400, 799];
+        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg())
+            .unwrap();
+        assert_eq!(got, oracle(&parts, &ranks));
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_rank_requests() {
+        let p = 3;
+        let parts: Vec<Vec<u64>> = (0..p).map(|r| (0..100).map(|i| (i + r) as u64).collect()).collect();
+        let ranks = [250u64, 0, 250, 42, 299];
+        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg())
+            .unwrap();
+        assert_eq!(got, oracle(&parts, &ranks));
+    }
+
+    #[test]
+    fn heavy_duplicates() {
+        let p = 4;
+        let parts: Vec<Vec<u64>> =
+            (0..p).map(|_| [1u64, 2, 2, 2, 3].repeat(40)).collect();
+        let n: usize = parts.iter().map(Vec::len).sum();
+        let ranks: Vec<u64> = (0..10).map(|i| (i * n / 10) as u64).collect();
+        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg())
+            .unwrap();
+        assert_eq!(got, oracle(&parts, &ranks));
+    }
+
+    #[test]
+    fn empty_rank_list() {
+        let parts: Vec<Vec<u64>> = vec![vec![1], vec![2]];
+        let got = multi_select_on_machine(2, MachineModel::free(), &parts, &[], &cfg()).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn matches_single_select() {
+        let p = 4;
+        let parts = (0..p)
+            .map(|r| (0..300).map(|i| ((i * 37 + r * 11) % 500) as u64).collect())
+            .collect::<Vec<_>>();
+        let k = 600;
+        let multi = multi_select_on_machine(p, MachineModel::free(), &parts, &[k], &cfg())
+            .unwrap();
+        let single = crate::select_on_machine(
+            p,
+            MachineModel::free(),
+            &parts,
+            k,
+            crate::Algorithm::Randomized,
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(multi[0], single.value);
+    }
+
+    #[test]
+    fn many_ranks_at_scale() {
+        let p = 8;
+        let n = 80_000usize;
+        let parts: Vec<Vec<u64>> = (0..p)
+            .map(|r| {
+                (0..n / p).map(|i| ((i * p + r) as u64).wrapping_mul(0x9E3779B9) % 1_000_000).collect()
+            })
+            .collect();
+        let ranks: Vec<u64> = (1..20).map(|i| (i * n / 20) as u64).collect();
+        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg())
+            .unwrap();
+        assert_eq!(got, oracle(&parts, &ranks));
+    }
+
+    #[test]
+    fn out_of_range_rank_fails() {
+        let parts: Vec<Vec<u64>> = vec![vec![1], vec![2]];
+        let err = multi_select_on_machine(2, MachineModel::free(), &parts, &[5], &cfg())
+            .unwrap_err();
+        assert!(format!("{err}").contains("out of range"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-processor result and instrumentation of one parallel selection.
+
+use cgselect_balance::BalanceReport;
+use cgselect_runtime::CommStats;
+
+/// What one processor observed while running a parallel selection.
+///
+/// `value` is identical on every processor (the algorithms end with a
+/// broadcast). The timing fields are *virtual* seconds under the machine's
+/// cost model, measured from the synchronizing barrier at call entry to the
+/// final broadcast; they are what the experiment harness plots against the
+/// paper's CM-5 measurements.
+#[derive(Clone, Debug)]
+pub struct SelectionOutcome<T> {
+    /// The element of the requested rank.
+    pub value: T,
+    /// Number of parallel iterations executed (excluding the sequential
+    /// finish).
+    pub iterations: u32,
+    /// Iterations of fast randomized selection in which the target fell
+    /// outside the sampled bracket `[k₁, k₂]` (always 0 for the other
+    /// algorithms). The paper's modification still discards the far side
+    /// in that case instead of retrying.
+    pub unsuccessful_iterations: u32,
+    /// Total virtual seconds for the call.
+    pub total_seconds: f64,
+    /// Virtual seconds inside load balancing (Figures 5–6 plot this).
+    pub lb_seconds: f64,
+    /// Virtual seconds inside the parallel sample sort (Algorithm 4 only).
+    pub sort_seconds: f64,
+    /// Virtual seconds in the final gather-and-solve-sequentially step.
+    pub finish_seconds: f64,
+    /// Messages/bytes this processor moved during the call.
+    pub comm: CommStats,
+    /// Elementary operations (measured comparisons + moves) this processor
+    /// charged during the call.
+    pub ops: u64,
+    /// Accumulated load-balancing transfer counts.
+    pub balance: BalanceReport,
+    /// Global surviving-set size at the start of each parallel iteration
+    /// (identical on every processor). Lets callers inspect convergence —
+    /// e.g. the geometric decay the paper proves for fast randomized
+    /// selection.
+    pub survivors: Vec<u64>,
+}
+
+/// Result of a whole-machine selection run (`select_on_machine`).
+#[derive(Clone, Debug)]
+pub struct MachineSelection<T> {
+    /// The selected element (verified identical across processors).
+    pub value: T,
+    /// Per-processor outcomes, indexed by rank.
+    pub per_proc: Vec<SelectionOutcome<T>>,
+}
+
+impl<T: Copy> MachineSelection<T> {
+    /// Maximum total virtual time across processors — the machine's
+    /// makespan, comparable to the paper's reported wall-clock times.
+    pub fn makespan(&self) -> f64 {
+        self.per_proc.iter().map(|o| o.total_seconds).fold(0.0, f64::max)
+    }
+
+    /// Maximum load-balancing time across processors.
+    pub fn lb_makespan(&self) -> f64 {
+        self.per_proc.iter().map(|o| o.lb_seconds).fold(0.0, f64::max)
+    }
+
+    /// Iteration count (identical on all processors by construction).
+    pub fn iterations(&self) -> u32 {
+        self.per_proc[0].iterations
+    }
+
+    /// Total elementary operations across the machine.
+    pub fn total_ops(&self) -> u64 {
+        self.per_proc.iter().map(|o| o.ops).sum()
+    }
+
+    /// Total messages sent across the machine.
+    pub fn total_messages(&self) -> u64 {
+        self.per_proc.iter().map(|o| o.comm.msgs_sent).sum()
+    }
+}

@@ -1,0 +1,243 @@
+//! Weighted selection: quantiles by cumulative weight.
+//!
+//! Generalizes the paper's weighted-median idea (§3.2) from "p local
+//! medians weighted by their counts" to full *data-level* weighted
+//! quantiles: given distributed `(key, weight)` pairs and a target
+//! cumulative weight `t`, find the smallest key `v` such that the total
+//! weight of pairs with key ≤ `v` reaches `t`. With unit weights this is
+//! exactly ordinary selection of rank `t−1`.
+//!
+//! The algorithm is the randomized selection loop with weight-aware
+//! narrowing: shared random pivot, three-way partition, Combine of the
+//! zone *weights*, discard the zone that cannot contain the crossing point.
+
+use cgselect_runtime::{Key, Proc, PHASE_FINISH};
+use cgselect_seqsel::KernelRng;
+
+use crate::SelectionConfig;
+
+/// A `(key, weight)` pair ordered by key — the element type of weighted
+/// selection.
+pub type Weighted<T> = (T, u64);
+
+/// Finds the smallest key whose cumulative weight (over keys ≤ it) reaches
+/// `target_weight`.
+///
+/// # Panics
+/// Panics if the total weight is zero or `target_weight` is zero or
+/// exceeds the total (collectively).
+pub fn parallel_weighted_select<T: Key>(
+    proc: &mut Proc,
+    mut data: Vec<Weighted<T>>,
+    target_weight: u64,
+    cfg: &SelectionConfig,
+) -> T {
+    cfg.validate();
+    let p = proc.nprocs();
+    let (mut n, total_w) = proc.combine(
+        (data.len() as u64, data.iter().map(|(_, w)| *w).sum::<u64>()),
+        |a, b| (a.0 + b.0, a.1 + b.1),
+    );
+    assert!(total_w > 0, "weighted selection needs positive total weight");
+    assert!(
+        (1..=total_w).contains(&target_weight),
+        "target weight {target_weight} outside [1, {total_w}]"
+    );
+
+    let threshold = cfg.threshold(p);
+    let mut shared_rng = KernelRng::new(cfg.seed ^ 0x7765_6967); // "weig"
+    let mut target = target_weight;
+    let mut iterations = 0u32;
+
+    while n > threshold {
+        iterations += 1;
+        assert!(
+            iterations <= cfg.max_iters,
+            "weighted selection exceeded {} iterations",
+            cfg.max_iters
+        );
+
+        // Shared pivot draw over element positions (weights bias only the
+        // narrowing decision, not the pivot choice).
+        let idx = shared_rng.below(n);
+        let len = data.len() as u64;
+        let before = proc.exclusive_prefix_sum(len);
+        let mine = (before <= idx && idx < before + len).then(|| data[(idx - before) as usize].0);
+        let pivot: T = proc.bcast_from_owner(mine);
+
+        // Three-way partition by key, tallying zone counts and weights.
+        let mut lt: Vec<Weighted<T>> = Vec::new();
+        let mut eq: Vec<Weighted<T>> = Vec::new();
+        let mut gt: Vec<Weighted<T>> = Vec::new();
+        let mut w_lt = 0u64;
+        let mut w_eq = 0u64;
+        for &(k, w) in &data {
+            if k < pivot {
+                w_lt += w;
+                lt.push((k, w));
+            } else if k == pivot {
+                w_eq += w;
+                eq.push((k, w));
+            } else {
+                gt.push((k, w));
+            }
+        }
+        proc.charge_ops(2 * data.len() as u64); // compare + move per pair
+
+        let sums = proc.combine(
+            (lt.len() as u64, w_lt, eq.len() as u64, w_eq),
+            |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+        );
+        let (c_lt, gw_lt, c_eq, gw_eq) = sums;
+
+        if target <= gw_lt {
+            data = lt;
+            n = c_lt;
+        } else if target <= gw_lt + gw_eq {
+            return pivot;
+        } else {
+            data = gt;
+            target -= gw_lt + gw_eq;
+            n -= c_lt + c_eq;
+        }
+    }
+
+    // Sequential finish: gather the surviving pairs, sort by key, scan the
+    // cumulative weight.
+    proc.phase_begin(PHASE_FINISH);
+    let gathered = proc.gather_flat(0, data);
+    let answer: Option<T> = gathered.map(|mut pairs| {
+        let mut cmps = 0u64;
+        pairs.sort_unstable_by(|a, b| {
+            cmps += 1;
+            a.0.cmp(&b.0)
+        });
+        proc.charge_ops(cmps + pairs.len() as u64);
+        let mut acc = 0u64;
+        for (k, w) in &pairs {
+            acc += w;
+            if acc >= target {
+                return *k;
+            }
+        }
+        unreachable!("target weight is within the surviving total")
+    });
+    let v = proc.broadcast(0, answer);
+    proc.phase_end(PHASE_FINISH);
+    v
+}
+
+/// The weighted median: smallest key covering half the total weight
+/// (⌈W/2⌉), matching `cgselect_seqsel::weighted_median`'s definition.
+pub fn parallel_weighted_median<T: Key>(
+    proc: &mut Proc,
+    data: Vec<Weighted<T>>,
+    cfg: &SelectionConfig,
+) -> T {
+    let total_w = proc.combine(data.iter().map(|(_, w)| *w).sum::<u64>(), |a, b| a + b);
+    assert!(total_w > 0, "weighted median needs positive total weight");
+    parallel_weighted_select(proc, data, total_w.div_ceil(2), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgselect_runtime::{Machine, MachineModel};
+
+    fn oracle(parts: &[Vec<Weighted<u64>>], target: u64) -> u64 {
+        let mut all: Vec<Weighted<u64>> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut acc = 0;
+        for (k, w) in all {
+            acc += w;
+            if acc >= target {
+                return k;
+            }
+        }
+        unreachable!()
+    }
+
+    fn run(parts: &[Vec<Weighted<u64>>], target: u64) -> u64 {
+        let p = parts.len();
+        let cfg = SelectionConfig { min_sequential: 16, ..SelectionConfig::with_seed(9) };
+        let out = Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                parallel_weighted_select(proc, parts[proc.rank()].clone(), target, &cfg)
+            })
+            .unwrap();
+        assert!(out.iter().all(|v| *v == out[0]));
+        out[0]
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_selection() {
+        let parts: Vec<Vec<Weighted<u64>>> = vec![
+            (0..50).map(|i| (i * 7 % 100, 1)).collect(),
+            (0..50).map(|i| (i * 13 % 100, 1)).collect(),
+        ];
+        for t in [1u64, 25, 50, 100] {
+            assert_eq!(run(&parts, t), oracle(&parts, t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn heavy_weights_pull_the_quantile() {
+        // One heavy key dominates half the weight.
+        let parts: Vec<Vec<Weighted<u64>>> =
+            vec![vec![(10, 1), (20, 100), (30, 1)], vec![(5, 1), (25, 1)]];
+        for t in [1u64, 2, 3, 50, 102, 104] {
+            assert_eq!(run(&parts, t), oracle(&parts, t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_pairs_are_skipped() {
+        let parts: Vec<Vec<Weighted<u64>>> =
+            vec![vec![(1, 0), (2, 5)], vec![(0, 0), (3, 5)]];
+        assert_eq!(run(&parts, 5), 2);
+        assert_eq!(run(&parts, 6), 3);
+    }
+
+    #[test]
+    fn larger_scale_matches_oracle() {
+        let p = 4;
+        let parts: Vec<Vec<Weighted<u64>>> = (0..p as u64)
+            .map(|r| {
+                (0..3000u64)
+                    .map(|i| ((i * p as u64 + r) * 2654435761 % 10_000, i % 7))
+                    .collect()
+            })
+            .collect();
+        let total: u64 = parts.iter().flatten().map(|(_, w)| w).sum();
+        for t in [1u64, total / 4, total / 2, total] {
+            assert_eq!(run(&parts, t), oracle(&parts, t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn weighted_median_definition() {
+        let parts: Vec<Vec<Weighted<u64>>> = vec![vec![(1, 1), (2, 1)], vec![(3, 1), (4, 1)]];
+        let cfg = SelectionConfig { min_sequential: 16, ..SelectionConfig::with_seed(9) };
+        let out = Machine::with_model(2, MachineModel::free())
+            .run(|proc| parallel_weighted_median(proc, parts[proc.rank()].clone(), &cfg))
+            .unwrap();
+        // W = 4, ceil(W/2) = 2 -> key 2 (the lower weighted median).
+        assert_eq!(out[0], 2);
+    }
+
+    #[test]
+    fn out_of_range_target_fails() {
+        let parts: Vec<Vec<Weighted<u64>>> = vec![vec![(1, 2)], vec![(2, 2)]];
+        let err = Machine::with_model(2, MachineModel::free())
+            .run(|proc| {
+                parallel_weighted_select(
+                    proc,
+                    parts[proc.rank()].clone(),
+                    5,
+                    &SelectionConfig::with_seed(1),
+                )
+            })
+            .unwrap_err();
+        assert!(format!("{err}").contains("outside"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: arbitrary distributed multisets, arbitrary ranks, all
+//! four algorithms — the selected element must equal the oracle's, and the
+//! bookkeeping must stay coherent.
+
+use cgselect_core::{select_on_machine, Algorithm, Balancer, SelectionConfig};
+use cgselect_runtime::MachineModel;
+use proptest::prelude::*;
+
+fn oracle(parts: &[Vec<u64>], k: u64) -> u64 {
+    let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all[k as usize]
+}
+
+/// Strategy: 1-6 processors, each holding 0..80 values from a small domain
+/// (to force duplicate-heavy cases often).
+fn parts_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(0u64..64, 0..80), 1..6)
+        .prop_filter("need at least one element", |ps| ps.iter().any(|v| !v.is_empty()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_algorithm_matches_oracle(
+        parts in parts_strategy(),
+        k_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+        algo in prop::sample::select(Algorithm::ALL.to_vec()),
+    ) {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let k = (((total as f64) * k_frac) as usize).min(total - 1) as u64;
+        let cfg = SelectionConfig { min_sequential: 16, ..SelectionConfig::with_seed(seed) };
+        let got = select_on_machine(parts.len(), MachineModel::free(), &parts, k, algo, &cfg)
+            .unwrap();
+        prop_assert_eq!(got.value, oracle(&parts, k));
+        // Every processor agrees.
+        for o in &got.per_proc {
+            prop_assert_eq!(o.value, got.value);
+        }
+    }
+
+    #[test]
+    fn balancers_never_change_the_answer(
+        parts in parts_strategy(),
+        k_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+        bal in prop::sample::select(vec![
+            Balancer::Omlb, Balancer::ModOmlb, Balancer::DimExchange, Balancer::GlobalExchange,
+        ]),
+        algo in prop::sample::select(vec![
+            Algorithm::MedianOfMedians, Algorithm::Randomized, Algorithm::FastRandomized,
+        ]),
+    ) {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let k = (((total as f64) * k_frac) as usize).min(total - 1) as u64;
+        let cfg = SelectionConfig {
+            min_sequential: 16,
+            balancer: bal,
+            ..SelectionConfig::with_seed(seed)
+        };
+        let got = select_on_machine(parts.len(), MachineModel::free(), &parts, k, algo, &cfg)
+            .unwrap();
+        prop_assert_eq!(got.value, oracle(&parts, k));
+    }
+
+    #[test]
+    fn virtual_times_are_positive_and_phases_bounded(
+        parts in parts_strategy(),
+        seed in any::<u64>(),
+        algo in prop::sample::select(Algorithm::ALL.to_vec()),
+    ) {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let k = (total / 2) as u64;
+        let cfg = SelectionConfig { min_sequential: 16, ..SelectionConfig::with_seed(seed) };
+        let got = select_on_machine(parts.len(), MachineModel::cm5(), &parts, k, algo, &cfg)
+            .unwrap();
+        for o in &got.per_proc {
+            prop_assert!(o.total_seconds >= 0.0);
+            prop_assert!(o.lb_seconds <= o.total_seconds + 1e-12);
+            prop_assert!(o.sort_seconds <= o.total_seconds + 1e-12);
+            prop_assert!(o.finish_seconds <= o.total_seconds + 1e-12);
+        }
+    }
+}

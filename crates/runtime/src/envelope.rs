@@ -1,0 +1,32 @@
+//! Message envelope carried between virtual processors.
+
+use std::any::Any;
+
+/// Tags below this bound are available to user code; tags at or above it are
+/// reserved for the runtime's collectives.
+pub(crate) const USER_TAG_LIMIT: u64 = 1 << 32;
+
+/// A message in flight between two virtual processors.
+///
+/// `sent_at` is the sender's virtual time at the moment the send started and
+/// `bytes` is the modeled payload size; together with the machine model they
+/// determine when the receive completes. The payload itself is type-erased so
+/// a single channel per processor can carry every message type.
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: u64,
+    pub sent_at: f64,
+    pub bytes: u64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("src", &self.src)
+            .field("tag", &format_args!("{:#x}", self.tag))
+            .field("sent_at", &self.sent_at)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,263 @@
+//! The two-level machine cost model of the paper (§2.1), with optional
+//! distance-aware topologies for testing the crossbar assumption.
+
+/// Interconnect topology for the distance term of the cost model.
+///
+/// The paper's model is [`Topology::Crossbar`]: a fixed cost per message
+/// independent of which processors communicate, justified by wormhole
+/// routing making distance "less of a determining factor" (§2.1). The
+/// other variants add a per-hop charge so that assumption can be tested
+/// quantitatively (see the `topology` experiment binary): with a small
+/// wormhole-style per-hop cost the curves barely move; with
+/// store-and-forward-scale hop costs the mesh visibly penalizes the
+/// all-to-all-heavy algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Distance-independent virtual crossbar (the paper's model).
+    #[default]
+    Crossbar,
+    /// Hypercube: distance = Hamming distance between ranks (e-cube
+    /// routing). Ranks beyond the largest power of two fall back to the
+    /// distance of their truncated coordinates plus one.
+    Hypercube,
+    /// Near-square 2D mesh, dimension-ordered (XY) routing:
+    /// distance = |Δrow| + |Δcol|.
+    Mesh2D,
+}
+
+impl Topology {
+    /// Number of network hops between two ranks on a `p`-processor machine.
+    /// A direct neighbour (and, for uniformity, a self-send) counts as one
+    /// hop; only hops beyond the first incur the model's `hop_cost`.
+    pub fn hops(&self, src: usize, dst: usize, p: usize) -> u32 {
+        if src == dst {
+            return 1;
+        }
+        match self {
+            Topology::Crossbar => 1,
+            Topology::Hypercube => ((src ^ dst) as u64).count_ones().max(1),
+            Topology::Mesh2D => {
+                let cols = (p as f64).sqrt().ceil() as usize;
+                let (sr, sc) = (src / cols, src % cols);
+                let (dr, dc) = (dst / cols, dst % cols);
+                (sr.abs_diff(dr) + sc.abs_diff(dc)).max(1) as u32
+            }
+        }
+    }
+}
+
+/// Parameters of the two-level model of parallel computation.
+///
+/// The paper assumes a fixed cost for an off-processor access independent of
+/// the distance between the communicating processors: a message of `m` bytes
+/// costs `τ + μ·m` seconds (start-up overhead `τ`, data transfer rate `1/μ`).
+/// Local computation is charged per elementary operation (`t_op` seconds per
+/// comparison or element move, as *counted* by the sequential kernels).
+///
+/// Three presets are provided:
+///
+/// * [`MachineModel::cm5`] — calibrated to the Thinking Machines CM-5 the
+///   paper evaluated on (33 MHz SPARC nodes, CMMD message passing);
+/// * [`MachineModel::modern`] — a contemporary commodity cluster;
+/// * [`MachineModel::free`] — all-zero costs, for correctness-only tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineModel {
+    /// Message start-up overhead in seconds (the paper's `τ`).
+    pub tau: f64,
+    /// Per-byte transfer time in seconds (the paper's `μ`; bandwidth is `1/μ`).
+    pub mu: f64,
+    /// Seconds per elementary local operation (one comparison or element move).
+    pub t_op: f64,
+    /// Interconnect topology (default: the paper's crossbar).
+    pub topology: Topology,
+    /// Extra seconds per network hop beyond the first (0 for the paper's
+    /// distance-independent model; small for wormhole routing; ~τ for
+    /// store-and-forward).
+    pub hop_cost: f64,
+}
+
+impl MachineModel {
+    /// Builds a model from explicit parameters (crossbar topology).
+    ///
+    /// # Panics
+    /// Panics if any parameter is negative or not finite.
+    pub fn new(tau: f64, mu: f64, t_op: f64) -> Self {
+        for (name, v) in [("tau", tau), ("mu", mu), ("t_op", t_op)] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "MachineModel parameter {name} must be finite and non-negative, got {v}"
+            );
+        }
+        Self { tau, mu, t_op, topology: Topology::Crossbar, hop_cost: 0.0 }
+    }
+
+    /// Replaces the topology and per-hop cost (builder style).
+    ///
+    /// # Panics
+    /// Panics if `hop_cost` is negative or not finite.
+    pub fn with_topology(mut self, topology: Topology, hop_cost: f64) -> Self {
+        assert!(
+            hop_cost.is_finite() && hop_cost >= 0.0,
+            "hop_cost must be finite and non-negative, got {hop_cost}"
+        );
+        self.topology = topology;
+        self.hop_cost = hop_cost;
+        self
+    }
+
+    /// A CM-5-like machine: ~86 µs message start-up (CMMD), ~10 MB/s
+    /// per-node bandwidth, and a per-operation cost representative of a
+    /// 33 MHz SPARC scanning an array (~16 cycles per compare-or-move
+    /// including memory stalls).
+    ///
+    /// These constants reproduce the *shape and rough magnitude* of the
+    /// paper's figures (e.g. randomized selection of n = 2M keys on p = 32
+    /// processors lands near 0.2 virtual seconds, as in Figure 1).
+    pub fn cm5() -> Self {
+        Self::new(86e-6, 1.0 / 10.0e6, 0.5e-6)
+    }
+
+    /// A contemporary commodity cluster: 2 µs start-up, 10 Gb/s links,
+    /// ~1 ns per elementary operation.
+    pub fn modern() -> Self {
+        Self::new(2e-6, 8.0 / 10.0e9, 1e-9)
+    }
+
+    /// A zero-cost machine. Virtual time stays at zero; useful when only
+    /// correctness (not the clock) is under test.
+    pub fn free() -> Self {
+        Self::new(0.0, 0.0, 0.0)
+    }
+
+    /// Time in seconds to push one message of `bytes` onto the network
+    /// (`τ + μ·bytes`) — the sender-side cost of a point-to-point message
+    /// under the crossbar assumption (distance charged separately via
+    /// [`MachineModel::route_cost`]).
+    #[inline]
+    pub fn send_cost(&self, bytes: u64) -> f64 {
+        self.tau + self.mu * bytes as f64
+    }
+
+    /// Distance-dependent extra latency for a message from `src` to `dst`
+    /// on a `p`-processor machine: `hop_cost × (hops − 1)`. Zero under the
+    /// paper's crossbar model.
+    #[inline]
+    pub fn route_cost(&self, src: usize, dst: usize, p: usize) -> f64 {
+        if self.hop_cost == 0.0 {
+            return 0.0;
+        }
+        let hops = self.topology.hops(src, dst, p);
+        self.hop_cost * (hops.saturating_sub(1)) as f64
+    }
+
+    /// Receiver-side copy cost for a message of `bytes` (`μ·bytes`).
+    #[inline]
+    pub fn recv_cost(&self, bytes: u64) -> f64 {
+        self.mu * bytes as f64
+    }
+
+    /// Time to execute `ops` elementary local operations.
+    #[inline]
+    pub fn compute_cost(&self, ops: u64) -> f64 {
+        self.t_op * ops as f64
+    }
+}
+
+impl Default for MachineModel {
+    /// Defaults to the CM-5 preset, matching the paper's testbed.
+    fn default() -> Self {
+        Self::cm5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for m in [MachineModel::cm5(), MachineModel::modern()] {
+            assert!(m.tau > 0.0);
+            assert!(m.mu > 0.0);
+            assert!(m.t_op > 0.0);
+            // Start-up should dominate the per-byte cost for small messages
+            // on both machines (coarse-grained assumption).
+            assert!(m.tau > m.mu * 8.0);
+        }
+        let f = MachineModel::free();
+        assert_eq!(f.send_cost(1 << 20), 0.0);
+        assert_eq!(f.compute_cost(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn cm5_magnitudes() {
+        let m = MachineModel::cm5();
+        // one 8-byte message ~ startup-dominated
+        let c = m.send_cost(8);
+        assert!(c > 80e-6 && c < 100e-6, "send cost {c}");
+        // scanning 64k elements at 2 ops each ~ tens of milliseconds
+        let scan = m.compute_cost(2 * 64 * 1024);
+        assert!(scan > 1e-3 && scan < 1.0, "scan cost {scan}");
+    }
+
+    #[test]
+    fn cost_accessors_compose() {
+        let m = MachineModel::new(10.0, 2.0, 3.0);
+        assert_eq!(m.send_cost(4), 10.0 + 8.0);
+        assert_eq!(m.recv_cost(4), 8.0);
+        assert_eq!(m.compute_cost(5), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_negative_tau() {
+        let _ = MachineModel::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn default_is_cm5() {
+        assert_eq!(MachineModel::default(), MachineModel::cm5());
+    }
+
+    #[test]
+    fn crossbar_distance_is_flat() {
+        let t = Topology::Crossbar;
+        for (s, d) in [(0, 1), (0, 63), (31, 32)] {
+            assert_eq!(t.hops(s, d, 64), 1);
+        }
+    }
+
+    #[test]
+    fn hypercube_distance_is_hamming() {
+        let t = Topology::Hypercube;
+        assert_eq!(t.hops(0b000, 0b001, 8), 1);
+        assert_eq!(t.hops(0b000, 0b111, 8), 3);
+        assert_eq!(t.hops(0b101, 0b010, 8), 3);
+        assert_eq!(t.hops(5, 5, 8), 1); // self-send floor
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let t = Topology::Mesh2D;
+        // 16 procs -> 4x4 mesh, row-major.
+        assert_eq!(t.hops(0, 3, 16), 3); // same row
+        assert_eq!(t.hops(0, 12, 16), 3); // same column
+        assert_eq!(t.hops(0, 15, 16), 6); // opposite corners
+        assert_eq!(t.hops(5, 6, 16), 1);
+    }
+
+    #[test]
+    fn route_cost_only_beyond_first_hop() {
+        let m = MachineModel::new(1.0, 0.0, 0.0).with_topology(Topology::Mesh2D, 0.5);
+        assert_eq!(m.route_cost(0, 1, 16), 0.0); // neighbour: 1 hop
+        assert_eq!(m.route_cost(0, 15, 16), 2.5); // 6 hops: 5 extra
+        let flat = MachineModel::new(1.0, 0.0, 0.0);
+        assert_eq!(flat.route_cost(0, 15, 16), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop_cost")]
+    fn rejects_negative_hop_cost() {
+        let _ = MachineModel::new(1.0, 0.0, 0.0).with_topology(Topology::Hypercube, -1.0);
+    }
+}

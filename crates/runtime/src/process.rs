@@ -1,0 +1,339 @@
+//! The per-processor handle: point-to-point messaging and the virtual clock.
+
+use std::any::Any;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::envelope::{Envelope, USER_TAG_LIMIT};
+use crate::model::MachineModel;
+use crate::stats::{CommStats, PhaseTimer};
+use crate::trace::{Trace, TraceEvent, TraceEventKind};
+
+/// Handle to one virtual processor inside a [`crate::Machine::run`] region.
+///
+/// A `Proc` provides:
+/// * identity ([`rank`](Proc::rank), [`nprocs`](Proc::nprocs));
+/// * typed point-to-point messaging ([`send`](Proc::send),
+///   [`recv`](Proc::recv) and the `_vec` variants) matched by
+///   `(source, tag)` with out-of-order stashing;
+/// * the deterministic virtual clock ([`now`](Proc::now),
+///   [`charge_ops`](Proc::charge_ops));
+/// * the paper's collectives (see the methods defined in the
+///   `collectives` module);
+/// * counters and phase timers for the experiment harness.
+pub struct Proc {
+    rank: usize,
+    p: usize,
+    model: MachineModel,
+    now: f64,
+    peers: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    stash: Vec<Envelope>,
+    pub(crate) epoch: u64,
+    timeout: Duration,
+    stats: CommStats,
+    ops: u64,
+    phases: PhaseTimer,
+    tracing: bool,
+    trace: Trace,
+}
+
+impl Proc {
+    pub(crate) fn new(
+        rank: usize,
+        p: usize,
+        model: MachineModel,
+        peers: Vec<Sender<Envelope>>,
+        rx: Receiver<Envelope>,
+        timeout: Duration,
+    ) -> Self {
+        Proc {
+            rank,
+            p,
+            model,
+            now: 0.0,
+            peers,
+            rx,
+            stash: Vec::new(),
+            epoch: 0,
+            timeout,
+            stats: CommStats::default(),
+            ops: 0,
+            phases: PhaseTimer::new(),
+            tracing: false,
+            trace: Trace { rank, events: Vec::new() },
+        }
+    }
+
+    /// Turns on event tracing for this processor (see [`crate::trace`]).
+    pub fn trace_enable(&mut self) {
+        self.tracing = true;
+    }
+
+    /// Takes the accumulated trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::replace(&mut self.trace, Trace { rank: self.rank, events: Vec::new() })
+    }
+
+    #[inline]
+    fn trace_event(&mut self, kind: TraceEventKind) {
+        if self.tracing {
+            self.trace.events.push(TraceEvent { at: self.now, kind });
+        }
+    }
+
+    /// This processor's id in `0..nprocs()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of virtual processors `p`.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.p
+    }
+
+    /// The machine cost model this run executes under.
+    #[inline]
+    pub fn model(&self) -> MachineModel {
+        self.model
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Elementary operations charged so far via [`charge_ops`](Proc::charge_ops).
+    #[inline]
+    pub fn ops_charged(&self) -> u64 {
+        self.ops
+    }
+
+    /// Communication counters so far.
+    #[inline]
+    pub fn comm_stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Advances the virtual clock by `n` elementary operations
+    /// (`n × t_op` seconds) and bumps the operation counter.
+    ///
+    /// The sequential kernels report *measured* comparison + move counts
+    /// here, so deterministic-vs-randomized constant factors in the
+    /// reproduced figures are real, not assumed.
+    #[inline]
+    pub fn charge_ops(&mut self, n: u64) {
+        self.ops += n;
+        self.now += self.model.compute_cost(n);
+        self.trace_event(TraceEventKind::Compute { ops: n });
+    }
+
+    /// Advances the virtual clock by `seconds` directly (rarely needed;
+    /// prefer [`charge_ops`](Proc::charge_ops)).
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "charge_seconds requires a finite non-negative duration, got {seconds}"
+        );
+        self.now += seconds;
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point messaging
+    // ------------------------------------------------------------------
+
+    /// Sends a single value to `dst` under `tag`.
+    ///
+    /// The modeled message size is `size_of::<T>()`. User tags must be below
+    /// `2^32`; higher tags are reserved for the runtime's collectives.
+    pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u64, value: T) {
+        assert!(tag < USER_TAG_LIMIT, "user tags must be < 2^32, got {tag:#x}");
+        self.send_raw(dst, tag, std::mem::size_of::<T>() as u64, Box::new(value));
+    }
+
+    /// Sends a vector of values to `dst` under `tag`; the modeled size is
+    /// `len × size_of::<T>()`.
+    pub fn send_vec<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(tag < USER_TAG_LIMIT, "user tags must be < 2^32, got {tag:#x}");
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.send_raw(dst, tag, bytes, Box::new(data));
+    }
+
+    /// Receives the value sent by `src` under `tag`, blocking until it
+    /// arrives (subject to the machine's receive timeout).
+    ///
+    /// # Panics
+    /// Panics if the payload type differs from `T`, or on timeout (which
+    /// almost always indicates mismatched SPMD communication).
+    pub fn recv<T: 'static>(&mut self, src: usize, tag: u64) -> T {
+        assert!(tag < USER_TAG_LIMIT, "user tags must be < 2^32, got {tag:#x}");
+        self.recv_raw(src, tag)
+    }
+
+    /// Receives a vector sent with [`send_vec`](Proc::send_vec).
+    pub fn recv_vec<T: 'static>(&mut self, src: usize, tag: u64) -> Vec<T> {
+        self.recv::<Vec<T>>(src, tag)
+    }
+
+    // Internal (collective) variants: no user-tag validation.
+
+    pub(crate) fn isend<T: Send + 'static>(&mut self, dst: usize, tag: u64, value: T) {
+        self.send_raw(dst, tag, std::mem::size_of::<T>() as u64, Box::new(value));
+    }
+
+    pub(crate) fn isend_sized<T: Send + 'static>(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        bytes: u64,
+        value: T,
+    ) {
+        self.send_raw(dst, tag, bytes, Box::new(value));
+    }
+
+    pub(crate) fn irecv<T: 'static>(&mut self, src: usize, tag: u64) -> T {
+        self.recv_raw(src, tag)
+    }
+
+    fn send_raw(&mut self, dst: usize, tag: u64, bytes: u64, payload: Box<dyn Any + Send>) {
+        assert!(
+            dst < self.p,
+            "proc {} attempted to send to {} but p = {}",
+            self.rank,
+            dst,
+            self.p
+        );
+        let sent_at = self.now;
+        self.now += self.model.send_cost(bytes);
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes;
+        self.trace_event(TraceEventKind::Send { to: dst, tag, bytes });
+        let env = Envelope { src: self.rank, tag, sent_at, bytes, payload };
+        self.peers[dst]
+            .send(env)
+            .unwrap_or_else(|_| panic!("proc {} -> {}: receiver hung up", self.rank, dst));
+    }
+
+    fn recv_raw<T: 'static>(&mut self, src: usize, tag: u64) -> T {
+        let env = self.recv_envelope(src, tag);
+        let arrival = env.sent_at
+            + self.model.send_cost(env.bytes)
+            + self.model.route_cost(env.src, self.rank, self.p);
+        self.now = self.now.max(arrival) + self.model.recv_cost(env.bytes);
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += env.bytes;
+        self.trace_event(TraceEventKind::Recv { from: src, tag, bytes: env.bytes });
+        match env.payload.downcast::<T>() {
+            Ok(v) => *v,
+            Err(_) => panic!(
+                "proc {} received (src={src}, tag={tag:#x}) with unexpected payload type; \
+                 expected {}",
+                self.rank,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    fn recv_envelope(&mut self, src: usize, tag: u64) -> Envelope {
+        if let Some(pos) = self.stash.iter().position(|e| e.src == src && e.tag == tag) {
+            return self.stash.swap_remove(pos);
+        }
+        loop {
+            match self.rx.recv_timeout(self.timeout) {
+                Ok(e) if e.src == src && e.tag == tag => return e,
+                Ok(e) => self.stash.push(e),
+                Err(RecvTimeoutError::Timeout) => {
+                    let stashed: Vec<String> = self
+                        .stash
+                        .iter()
+                        .map(|e| format!("(src={}, tag={:#x})", e.src, e.tag))
+                        .collect();
+                    panic!(
+                        "proc {} timed out after {:?} waiting for (src={src}, tag={tag:#x}); \
+                         virtual time {:.6}s; stashed messages: [{}] — this usually means \
+                         mismatched SPMD communication (a peer never sent, or sent under a \
+                         different tag)",
+                        self.rank,
+                        self.timeout,
+                        self.now,
+                        stashed.join(", ")
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "proc {} waiting for (src={src}, tag={tag:#x}) but all senders \
+                         disconnected (a peer likely panicked)",
+                        self.rank
+                    );
+                }
+            }
+        }
+    }
+
+    /// True if no unconsumed messages remain (stash and channel empty).
+    /// Used by the machine's end-of-run protocol check.
+    pub(crate) fn no_pending_messages(&self) -> bool {
+        self.stash.is_empty() && self.rx.is_empty()
+    }
+
+    pub(crate) fn pending_summary(&self) -> String {
+        let mut parts: Vec<String> = self
+            .stash
+            .iter()
+            .map(|e| format!("stashed (src={}, tag={:#x})", e.src, e.tag))
+            .collect();
+        while let Ok(e) = self.rx.try_recv() {
+            parts.push(format!("queued (src={}, tag={:#x})", e.src, e.tag));
+        }
+        parts.join(", ")
+    }
+
+    // ------------------------------------------------------------------
+    // Phase timing
+    // ------------------------------------------------------------------
+
+    /// Opens a named phase at the current virtual time. Phases may nest;
+    /// accumulated times are inclusive.
+    pub fn phase_begin(&mut self, label: &'static str) {
+        let now = self.now;
+        self.phases.begin(label, now);
+        self.trace_event(TraceEventKind::PhaseBegin(label));
+    }
+
+    /// Closes the innermost phase, which must be `label`.
+    pub fn phase_end(&mut self, label: &'static str) {
+        let now = self.now;
+        self.phases.end(label, now);
+        self.trace_event(TraceEventKind::PhaseEnd(label));
+    }
+
+    /// Accumulated virtual seconds spent in `label` so far.
+    pub fn phase_time(&self, label: &str) -> f64 {
+        self.phases.get(label)
+    }
+
+    /// All phase totals recorded so far.
+    pub fn phase_times(&self) -> &[(&'static str, f64)] {
+        self.phases.all()
+    }
+
+    pub(crate) fn phases_balanced(&self) -> bool {
+        self.phases.balanced()
+    }
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proc")
+            .field("rank", &self.rank)
+            .field("p", &self.p)
+            .field("now", &self.now)
+            .field("ops", &self.ops)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}

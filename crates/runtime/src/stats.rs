@@ -1,0 +1,158 @@
+//! Per-processor communication counters and phase timers.
+
+/// Counters for messages and modeled bytes moved by one virtual processor.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of point-to-point messages sent (collectives included).
+    pub msgs_sent: u64,
+    /// Modeled payload bytes sent.
+    pub bytes_sent: u64,
+    /// Number of messages received.
+    pub msgs_recv: u64,
+    /// Modeled payload bytes received.
+    pub bytes_recv: u64,
+}
+
+impl CommStats {
+    /// Component-wise difference `self - earlier`; useful for measuring a
+    /// single algorithm phase: snapshot before, subtract after.
+    pub fn since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            msgs_recv: self.msgs_recv - earlier.msgs_recv,
+            bytes_recv: self.bytes_recv - earlier.bytes_recv,
+        }
+    }
+
+    /// Component-wise sum, for aggregating across processors.
+    pub fn merged(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            bytes_recv: self.bytes_recv + other.bytes_recv,
+        }
+    }
+}
+
+/// Accumulates virtual time per named phase.
+///
+/// Phases may nest (e.g. `"sort"` inside the selection loop); the accumulated
+/// time is *inclusive*. Begin/end pairs must be properly bracketed — the
+/// timer panics on mismatched labels, which turns phase-accounting bugs in
+/// the algorithms into immediate test failures.
+#[derive(Default, Debug, Clone)]
+pub struct PhaseTimer {
+    stack: Vec<(&'static str, f64)>,
+    acc: Vec<(&'static str, f64)>,
+}
+
+impl PhaseTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of `label` at virtual time `now`.
+    pub fn begin(&mut self, label: &'static str, now: f64) {
+        self.stack.push((label, now));
+    }
+
+    /// Marks the end of `label` at virtual time `now`, accumulating the
+    /// elapsed virtual time.
+    ///
+    /// # Panics
+    /// Panics if `label` does not match the innermost open phase.
+    pub fn end(&mut self, label: &'static str, now: f64) {
+        let (open, start) = self
+            .stack
+            .pop()
+            .unwrap_or_else(|| panic!("PhaseTimer::end({label:?}) with no open phase"));
+        assert_eq!(
+            open, label,
+            "PhaseTimer::end({label:?}) does not match open phase {open:?}"
+        );
+        let elapsed = now - start;
+        debug_assert!(elapsed >= 0.0, "virtual clock ran backwards in phase {label}");
+        match self.acc.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, t)) => *t += elapsed,
+            None => self.acc.push((label, elapsed)),
+        }
+    }
+
+    /// Total accumulated virtual time for `label` (0.0 if never recorded).
+    pub fn get(&self, label: &str) -> f64 {
+        self.acc
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
+    }
+
+    /// All recorded `(label, seconds)` pairs in first-seen order.
+    pub fn all(&self) -> &[(&'static str, f64)] {
+        &self.acc
+    }
+
+    /// True if every `begin` has been matched by an `end`.
+    pub fn balanced(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_since_and_merged() {
+        let a = CommStats { msgs_sent: 5, bytes_sent: 100, msgs_recv: 3, bytes_recv: 60 };
+        let b = CommStats { msgs_sent: 2, bytes_sent: 40, msgs_recv: 1, bytes_recv: 20 };
+        let d = a.since(&b);
+        assert_eq!(d.msgs_sent, 3);
+        assert_eq!(d.bytes_sent, 60);
+        assert_eq!(d.msgs_recv, 2);
+        assert_eq!(d.bytes_recv, 40);
+        let m = d.merged(&b);
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let mut t = PhaseTimer::new();
+        t.begin("lb", 1.0);
+        t.end("lb", 3.0);
+        t.begin("lb", 10.0);
+        t.end("lb", 14.0);
+        assert_eq!(t.get("lb"), 6.0);
+        assert_eq!(t.get("other"), 0.0);
+        assert!(t.balanced());
+    }
+
+    #[test]
+    fn phases_nest_inclusively() {
+        let mut t = PhaseTimer::new();
+        t.begin("outer", 0.0);
+        t.begin("inner", 1.0);
+        t.end("inner", 2.0);
+        t.end("outer", 5.0);
+        assert_eq!(t.get("outer"), 5.0);
+        assert_eq!(t.get("inner"), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match open phase")]
+    fn mismatched_end_panics() {
+        let mut t = PhaseTimer::new();
+        t.begin("a", 0.0);
+        t.end("b", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open phase")]
+    fn end_without_begin_panics() {
+        let mut t = PhaseTimer::new();
+        t.end("a", 1.0);
+    }
+}

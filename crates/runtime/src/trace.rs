@@ -1,0 +1,186 @@
+//! Event tracing: a per-processor log of communication and phase events
+//! with virtual timestamps, for debugging SPMD programs and inspecting
+//! where a parallel algorithm's time goes.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); enable it
+//! per processor with [`crate::Proc::trace_enable`]. Collect each
+//! processor's [`Trace`] as part of the SPMD closure's return value and
+//! render a combined timeline with [`render_timeline`].
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event completed (seconds).
+    pub at: f64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The kinds of events the runtime records.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEventKind {
+    /// A point-to-point send finished (local completion).
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: u64,
+        /// Modeled payload bytes.
+        bytes: u64,
+    },
+    /// A receive completed.
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+        /// Modeled payload bytes.
+        bytes: u64,
+    },
+    /// A named phase opened.
+    PhaseBegin(&'static str),
+    /// A named phase closed.
+    PhaseEnd(&'static str),
+    /// A local computation charge.
+    Compute {
+        /// Elementary operations charged.
+        ops: u64,
+    },
+}
+
+/// A processor's event log.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Rank that produced the log.
+    pub rank: usize,
+    /// Events in the order they occurred.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of events of a given coarse class, for assertions in tests.
+    pub fn count_sends(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, TraceEventKind::Send { .. })).count()
+    }
+
+    /// Number of receive events.
+    pub fn count_recvs(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, TraceEventKind::Recv { .. })).count()
+    }
+
+    /// Total bytes sent according to the log.
+    pub fn bytes_sent(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Send { bytes, .. } => Some(bytes),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Renders the traces of all processors as a merged, time-ordered textual
+/// timeline (one line per event), suitable for eyeballing communication
+/// structure:
+///
+/// ```text
+///     12.3µs  P0 -> P2  tag=0x8000…  16B
+///     14.1µs  P2 <- P0  tag=0x8000…  16B
+/// ```
+pub fn render_timeline(traces: &[Trace]) -> String {
+    let mut lines: Vec<(f64, String)> = Vec::new();
+    for t in traces {
+        for e in &t.events {
+            let desc = match &e.kind {
+                TraceEventKind::Send { to, tag, bytes } => {
+                    format!("P{} -> P{to}  tag={tag:#x}  {bytes}B", t.rank)
+                }
+                TraceEventKind::Recv { from, tag, bytes } => {
+                    format!("P{} <- P{from}  tag={tag:#x}  {bytes}B", t.rank)
+                }
+                TraceEventKind::PhaseBegin(l) => format!("P{} phase {l} {{", t.rank),
+                TraceEventKind::PhaseEnd(l) => format!("P{} }} phase {l}", t.rank),
+                TraceEventKind::Compute { ops } => format!("P{} compute {ops} ops", t.rank),
+            };
+            lines.push((e.at, desc));
+        }
+    }
+    lines.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out = String::new();
+    for (at, desc) in lines {
+        out.push_str(&format!("{:>12.3}µs  {desc}\n", at * 1e6));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, MachineModel};
+
+    #[test]
+    fn traces_record_communication() {
+        let traces = Machine::with_model(2, MachineModel::cm5())
+            .run(|proc| {
+                proc.trace_enable();
+                if proc.rank() == 0 {
+                    proc.send_vec(1, 3, vec![1u8, 2, 3]);
+                } else {
+                    let _: Vec<u8> = proc.recv_vec(0, 3);
+                }
+                proc.phase_begin("work");
+                proc.charge_ops(10);
+                proc.phase_end("work");
+                proc.take_trace()
+            })
+            .unwrap();
+        assert_eq!(traces[0].count_sends(), 1);
+        assert_eq!(traces[0].bytes_sent(), 3);
+        assert_eq!(traces[1].count_recvs(), 1);
+        // Phases and compute recorded on both.
+        for t in &traces {
+            assert!(t.events.iter().any(|e| e.kind == TraceEventKind::PhaseBegin("work")));
+            assert!(t
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, TraceEventKind::Compute { ops: 10 })));
+        }
+    }
+
+    #[test]
+    fn timeline_renders_in_time_order() {
+        let traces = Machine::with_model(3, MachineModel::cm5())
+            .run(|proc| {
+                proc.trace_enable();
+                let v = (proc.rank() == 0).then_some(7u64);
+                proc.broadcast(0, v);
+                proc.take_trace()
+            })
+            .unwrap();
+        let timeline = render_timeline(&traces);
+        assert!(timeline.contains("->"));
+        assert!(timeline.contains("<-"));
+        // Times are non-decreasing down the page.
+        let times: Vec<f64> = timeline
+            .lines()
+            .map(|l| l.trim().split("µs").next().unwrap().trim().parse::<f64>().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{timeline}");
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let traces = Machine::new(2)
+            .run(|proc| {
+                if proc.rank() == 0 {
+                    proc.send(1, 1, 5u8);
+                } else {
+                    let _: u8 = proc.recv(0, 1);
+                }
+                proc.take_trace()
+            })
+            .unwrap();
+        assert!(traces.iter().all(|t| t.events.is_empty()));
+    }
+}

@@ -1,0 +1,209 @@
+//! Runtime stress and semantics tests beyond the per-module unit tests:
+//! larger machines, message storms, tag-space isolation, and virtual-time
+//! causality.
+
+use std::time::Duration;
+
+use cgselect_runtime::{Machine, MachineModel};
+
+#[test]
+fn collectives_compose_on_a_large_machine() {
+    // p = 64 exercises deep binomial trees and the dissemination barrier.
+    let p = 64;
+    let out = Machine::with_model(p, MachineModel::free())
+        .run(|proc| {
+            let sum = proc.combine(1u64, |a, b| a + b);
+            let prefix = proc.exclusive_prefix_sum(proc.rank() as u64);
+            let all = proc.all_gather(proc.rank() as u32);
+            proc.barrier();
+            (sum, prefix, all.len())
+        })
+        .unwrap();
+    for (rank, (sum, prefix, len)) in out.into_iter().enumerate() {
+        assert_eq!(sum, 64);
+        assert_eq!(prefix, (rank * rank.saturating_sub(1) / 2) as u64, "rank={rank}");
+        assert_eq!(len, 64);
+    }
+}
+
+#[test]
+fn point_to_point_message_storm() {
+    // Every processor sends 100 tagged messages to every other processor;
+    // receivers drain them in a scrambled order. Exercises the stash.
+    let p = 6;
+    Machine::new(p)
+        .run(|proc| {
+            let me = proc.rank();
+            let n = proc.nprocs();
+            for dst in 0..n {
+                if dst == me {
+                    continue;
+                }
+                for m in 0..100u64 {
+                    proc.send(dst, m, (me as u64) << 32 | m);
+                }
+            }
+            for src in 0..n {
+                if src == me {
+                    continue;
+                }
+                // Drain highest tag first to force stashing.
+                for m in (0..100u64).rev() {
+                    let v: u64 = proc.recv(src, m);
+                    assert_eq!(v, (src as u64) << 32 | m);
+                }
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn user_tags_do_not_collide_with_collectives() {
+    // Interleave user messaging with collectives; epoch-scoped internal
+    // tags must keep them apart.
+    Machine::new(4)
+        .run(|proc| {
+            let me = proc.rank();
+            let next = (me + 1) % 4;
+            let prev = (me + 3) % 4;
+            proc.send(next, 5, me as u64);
+            let s1 = proc.combine(1u64, |a, b| a + b);
+            let from_prev: u64 = proc.recv(prev, 5);
+            assert_eq!(from_prev, prev as u64);
+            let s2 = proc.combine(10u64, |a, b| a + b);
+            assert_eq!((s1, s2), (4, 40));
+        })
+        .unwrap();
+}
+
+#[test]
+fn fresh_tags_are_spmd_consistent() {
+    Machine::new(3)
+        .run(|proc| {
+            let t1 = proc.fresh_tag();
+            let t2 = proc.fresh_tag();
+            assert_ne!(t1, t2);
+            // Everyone drew the same tags in the same order.
+            let all1 = proc.all_gather(t1);
+            let all2 = proc.all_gather(t2);
+            assert!(all1.iter().all(|&t| t == t1));
+            assert!(all2.iter().all(|&t| t == t2));
+            // Tagged messaging round-trip on a fresh tag.
+            let next = (proc.rank() + 1) % proc.nprocs();
+            let prev = (proc.rank() + proc.nprocs() - 1) % proc.nprocs();
+            proc.send_vec_tagged(next, t1, vec![proc.rank() as u8]);
+            let got: Vec<u8> = proc.recv_vec_tagged(prev, t1);
+            assert_eq!(got, vec![prev as u8]);
+        })
+        .unwrap();
+}
+
+#[test]
+fn virtual_time_respects_causality_chains() {
+    // A token passes around the ring; each hop must strictly advance the
+    // virtual clock by at least tau.
+    let p = 5;
+    let model = MachineModel::cm5();
+    let out = Machine::with_model(p, model)
+        .run(|proc| {
+            let me = proc.rank();
+            let mut stamps = Vec::new();
+            if me == 0 {
+                proc.send(1, 1, 0u8);
+                let _: u8 = proc.recv(p - 1, 1);
+                stamps.push(proc.now());
+            } else {
+                let _: u8 = proc.recv(me - 1, 1);
+                stamps.push(proc.now());
+                proc.send((me + 1) % p, 1, 0u8);
+            }
+            stamps[0]
+        })
+        .unwrap();
+    // Arrival times strictly increase along the ring.
+    for w in out[1..].windows(2) {
+        assert!(w[1] > w[0] + model.tau / 2.0, "ring times must increase: {out:?}");
+    }
+    // Rank 0's completion is the latest.
+    assert!(out[0] > out[p - 1]);
+}
+
+#[test]
+fn zero_byte_messages_cost_only_tau() {
+    let model = MachineModel::new(7.0, 100.0, 0.0);
+    let out = Machine::with_model(2, model)
+        .run(|proc| {
+            if proc.rank() == 0 {
+                proc.send_vec(1, 1, Vec::<u64>::new());
+            } else {
+                let v: Vec<u64> = proc.recv_vec(0, 1);
+                assert!(v.is_empty());
+            }
+            proc.now()
+        })
+        .unwrap();
+    assert_eq!(out[0], 7.0); // tau only, no per-byte term
+    assert_eq!(out[1], 7.0);
+}
+
+#[test]
+fn many_small_machines_in_sequence() {
+    // Machines are cheap to create and tear down; loop a few dozen.
+    for i in 0..40 {
+        let p = 1 + i % 5;
+        let out = Machine::with_model(p, MachineModel::free())
+            .run(|proc| proc.combine(proc.rank(), |a, b| a.max(b)))
+            .unwrap();
+        assert_eq!(out, vec![p - 1; p]);
+    }
+}
+
+#[test]
+fn recv_timeout_is_configurable() {
+    let start = std::time::Instant::now();
+    let err = Machine::new(2)
+        .recv_timeout(Duration::from_millis(50))
+        .run(|proc| {
+            if proc.rank() == 0 {
+                let _: u8 = proc.recv(1, 9);
+            }
+        })
+        .unwrap_err();
+    assert!(format!("{err}").contains("timed out"));
+    assert!(start.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn reduce_to_every_root_works() {
+    let p = 5;
+    for root in 0..p {
+        let out = Machine::with_model(p, MachineModel::free())
+            .run(|proc| proc.reduce(root, proc.rank() as u64 + 1, |a, b| a + b))
+            .unwrap();
+        for (rank, r) in out.into_iter().enumerate() {
+            if rank == root {
+                assert_eq!(r, Some(15));
+            } else {
+                assert_eq!(r, None);
+            }
+        }
+    }
+}
+
+#[test]
+fn phase_times_survive_heavy_nesting() {
+    let out = Machine::with_model(1, MachineModel::new(0.0, 0.0, 1.0))
+        .run(|proc| {
+            for _ in 0..100 {
+                proc.phase_begin("outer");
+                proc.charge_ops(1);
+                proc.phase_begin("inner");
+                proc.charge_ops(2);
+                proc.phase_end("inner");
+                proc.phase_end("outer");
+            }
+            (proc.phase_time("outer"), proc.phase_time("inner"))
+        })
+        .unwrap();
+    assert_eq!(out[0], (300.0, 200.0));
+}

@@ -1,0 +1,59 @@
+//! Operation counting shared by all kernels.
+
+/// Comparisons and element moves performed by a kernel.
+///
+/// These are *measured* counts, not estimates: every comparison and every
+/// element copy/swap in the kernels increments them. The parallel layer maps
+/// them onto virtual time via `MachineModel::t_op`.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCount {
+    /// Number of key comparisons.
+    pub cmps: u64,
+    /// Number of element moves (a swap counts as 3 moves).
+    pub moves: u64,
+}
+
+impl OpCount {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total elementary operations (comparisons + moves).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.cmps + self.moves
+    }
+
+    /// Adds another counter into this one.
+    #[inline]
+    pub fn add(&mut self, other: OpCount) {
+        self.cmps += other.cmps;
+        self.moves += other.moves;
+    }
+
+    /// Difference `self - earlier`, for measuring a region.
+    pub fn since(&self, earlier: &OpCount) -> OpCount {
+        OpCount { cmps: self.cmps - earlier.cmps, moves: self.moves - earlier.moves }
+    }
+}
+
+impl std::ops::AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: Self) {
+        self.add(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let mut a = OpCount { cmps: 3, moves: 4 };
+        a += OpCount { cmps: 1, moves: 2 };
+        assert_eq!(a, OpCount { cmps: 4, moves: 6 });
+        assert_eq!(a.total(), 10);
+        assert_eq!(a.since(&OpCount { cmps: 1, moves: 1 }), OpCount { cmps: 3, moves: 5 });
+    }
+}

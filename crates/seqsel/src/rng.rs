@@ -1,0 +1,120 @@
+//! A tiny, deterministic, platform-independent PRNG for the kernels.
+
+/// xorshift64* generator.
+///
+/// The randomized *parallel* algorithms require every processor to draw an
+/// **identical** random stream from a shared seed (paper §3.3: "All
+/// processors use the same random number generator with the same seed").
+/// Depending on an external crate's generator would tie reproducibility to
+/// its version; this 10-line generator is deterministic forever.
+#[derive(Clone, Debug)]
+pub struct KernelRng {
+    state: u64,
+}
+
+impl KernelRng {
+    /// Creates a generator from a seed (any value; zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        // xorshift must not start at 0; splitmix the seed once to decorrelate
+        // small consecutive seeds as well.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self { state: if z == 0 { 0x1234_5678_9ABC_DEF1 } else { z } }
+    }
+
+    /// Derives an independent stream for `stream_id` (e.g. one per
+    /// processor rank) from the same master seed.
+    pub fn derive(seed: u64, stream_id: u64) -> Self {
+        Self::new(seed ^ stream_id.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)` (Lemire's multiply-shift; the bias for
+    /// `n ≪ 2^64` is far below anything observable here).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "KernelRng::below(0)");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = KernelRng::new(42);
+        let mut b = KernelRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = KernelRng::new(1);
+        let mut b = KernelRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_streams_differ() {
+        let mut a = KernelRng::derive(7, 0);
+        let mut b = KernelRng::derive(7, 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = KernelRng::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut rng = KernelRng::new(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = KernelRng::new(0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+}

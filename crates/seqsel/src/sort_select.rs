@@ -1,0 +1,68 @@
+//! Sort-based selection: the baseline and the "solve directly" epilogue.
+
+use crate::ops::OpCount;
+
+/// Sorts `data` and returns the element of 0-based rank `k`.
+///
+/// `O(n log n)` — used as the correctness oracle in tests, as the baseline
+/// in benchmarks, and for the final "gather and solve sequentially" step of
+/// the parallel algorithms when the surviving set is small. Comparisons are
+/// measured through the sort comparator; moves inside the standard library's
+/// pattern-defeating quicksort are not observable and are approximated as
+/// one move per element (documented under-count, irrelevant at the sizes
+/// this is used for).
+///
+/// # Panics
+/// Panics if `k >= data.len()`.
+pub fn sort_select<T: Copy + Ord>(data: &mut [T], k: usize, ops: &mut OpCount) -> T {
+    assert!(
+        k < data.len(),
+        "rank {k} out of range for {} elements",
+        data.len()
+    );
+    let mut cmps = 0u64;
+    data.sort_unstable_by(|a, b| {
+        cmps += 1;
+        a.cmp(b)
+    });
+    ops.cmps += cmps;
+    ops.moves += data.len() as u64;
+    data[k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_correctly() {
+        let mut v = vec![5, 2, 9, 2, 7];
+        let mut ops = OpCount::new();
+        assert_eq!(sort_select(&mut v, 0, &mut ops), 2);
+        assert_eq!(v, vec![2, 2, 5, 7, 9]); // side effect: sorted
+        assert_eq!(sort_select(&mut v, 4, &mut ops), 9);
+        assert!(ops.cmps > 0);
+    }
+
+    #[test]
+    fn comparison_count_is_n_log_n_ish() {
+        // Shuffled data (descending runs would be pattern-detected by
+        // pdqsort and sorted in ~n comparisons).
+        let n = 4096u64;
+        let mut rng = crate::KernelRng::new(2);
+        let mut v: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let mut ops = OpCount::new();
+        let _ = sort_select(&mut v, 0, &mut ops);
+        // Comfortably below 4 * n * log2(n) and above n.
+        assert!(ops.cmps > n);
+        assert!(ops.cmps < 4 * n * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_out_of_range_panics() {
+        let mut v: Vec<u8> = vec![];
+        let mut ops = OpCount::new();
+        let _ = sort_select(&mut v, 0, &mut ops);
+    }
+}

@@ -1,0 +1,107 @@
+//! Weighted median — the pivot rule of the paper's bucket-based algorithm.
+
+use crate::ops::OpCount;
+
+/// Returns the **lower weighted median** of `(key, weight)` items: the
+/// smallest key `m` such that the total weight of items with key ≤ `m`
+/// reaches ⌈W/2⌉, where `W` is the total weight.
+///
+/// In the bucket-based selection algorithm (paper §3.2) the keys are the
+/// processors' local medians and the weights are their remaining element
+/// counts; weighting restores the "a fixed fraction of all elements is
+/// discarded every iteration" guarantee *without* requiring the processors
+/// to hold equally many elements — that is precisely why the bucket-based
+/// algorithm needs no load balancing.
+///
+/// Zero-weight items (processors whose active window is empty) are
+/// effectively ignored.
+///
+/// # Panics
+/// Panics if `items` is empty or the total weight is zero.
+pub fn weighted_median<T: Copy + Ord>(items: &[(T, u64)], ops: &mut OpCount) -> T {
+    assert!(!items.is_empty(), "weighted_median of no items");
+    let total: u64 = items.iter().map(|(_, w)| *w).sum();
+    assert!(total > 0, "weighted_median requires positive total weight");
+
+    let mut sorted: Vec<(T, u64)> = items.to_vec();
+    ops.moves += sorted.len() as u64;
+    let mut cmps = 0u64;
+    sorted.sort_unstable_by(|a, b| {
+        cmps += 1;
+        a.0.cmp(&b.0)
+    });
+    ops.cmps += cmps;
+
+    let half = total.div_ceil(2);
+    let mut acc = 0u64;
+    for (v, w) in &sorted {
+        acc += w;
+        if acc >= half {
+            return *v;
+        }
+    }
+    unreachable!("cumulative weight must reach ceil(total/2)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_reduce_to_plain_median() {
+        let items: Vec<(i64, u64)> = [5, 1, 9, 3, 7].iter().map(|&v| (v, 1)).collect();
+        let mut ops = OpCount::new();
+        assert_eq!(weighted_median(&items, &mut ops), 5);
+    }
+
+    #[test]
+    fn heavy_item_dominates() {
+        let items = vec![(1i64, 1u64), (2, 1), (100, 10)];
+        let mut ops = OpCount::new();
+        assert_eq!(weighted_median(&items, &mut ops), 100);
+    }
+
+    #[test]
+    fn zero_weight_items_are_ignored() {
+        let items = vec![(0i64, 0u64), (1, 0), (7, 3), (9, 0)];
+        let mut ops = OpCount::new();
+        assert_eq!(weighted_median(&items, &mut ops), 7);
+    }
+
+    #[test]
+    fn lower_median_on_even_split() {
+        // weights 2 and 2: ceil(4/2)=2 is reached by the smaller key.
+        let items = vec![(10i64, 2u64), (20, 2)];
+        let mut ops = OpCount::new();
+        assert_eq!(weighted_median(&items, &mut ops), 10);
+    }
+
+    #[test]
+    fn half_weight_property_holds() {
+        // Definition check on a bigger instance: weight below the WM must be
+        // < ceil(W/2) and weight up to and including it must be >= ceil(W/2).
+        let items: Vec<(u64, u64)> =
+            (0..100).map(|i| (i * 37 % 101, (i % 7) + 1)).collect();
+        let mut ops = OpCount::new();
+        let m = weighted_median(&items, &mut ops);
+        let total: u64 = items.iter().map(|(_, w)| w).sum();
+        let below: u64 = items.iter().filter(|(v, _)| *v < m).map(|(_, w)| w).sum();
+        let up_to: u64 = items.iter().filter(|(v, _)| *v <= m).map(|(_, w)| w).sum();
+        assert!(below < total.div_ceil(2), "below={below} total={total}");
+        assert!(up_to >= total.div_ceil(2), "up_to={up_to} total={total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no items")]
+    fn empty_input_panics() {
+        let mut ops = OpCount::new();
+        let _ = weighted_median::<u64>(&[], &mut ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn all_zero_weights_panic() {
+        let mut ops = OpCount::new();
+        let _ = weighted_median(&[(1u64, 0u64), (2, 0)], &mut ops);
+    }
+}

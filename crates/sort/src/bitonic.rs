@@ -1,0 +1,170 @@
+//! Hypercube bitonic sort with compare-split blocks.
+
+use cgselect_runtime::{Key, Proc};
+use cgselect_seqsel::OpCount;
+
+use crate::local_sort_counted;
+
+/// Sorts the distributed data on a power-of-two machine with the classic
+/// `log²p`-round hypercube bitonic sort; each "comparator" is a
+/// compare-split: partners exchange whole blocks, merge, and keep the low /
+/// high half.
+///
+/// Local sizes may differ (the fast-randomized sample does); blocks are
+/// padded to the global maximum with an explicit pad flag — never with a
+/// sentinel *value*, so inputs containing `T::MAX` sort correctly — and the
+/// pads are stripped at the end. Consequently the output sizes may differ
+/// from the input sizes; concatenating the returned runs in rank order
+/// yields the sorted sequence, which is all the selection algorithm needs.
+///
+/// # Panics
+/// Panics if `p` is not a power of two.
+pub fn bitonic_sort<T: Key>(proc: &mut Proc, data: Vec<T>) -> Vec<T> {
+    let p = proc.nprocs();
+    assert!(p.is_power_of_two(), "bitonic sort requires power-of-two p, got {p}");
+    let rank = proc.rank();
+
+    // Pad every block to the same length with (true, _) pads, which order
+    // after every real (false, v) element.
+    let nmax = proc.combine(data.len() as u64, |a, b| a.max(b)) as usize;
+    let mut block: Vec<(bool, T)> = data.into_iter().map(|v| (false, v)).collect();
+    proc.charge_ops(block.len() as u64);
+    block.resize(nmax, (true, T::MAX_SENTINEL));
+
+    let mut ops = OpCount::new();
+    local_sort_counted(&mut block, &mut ops);
+    proc.charge_ops(ops.total());
+
+    if p > 1 {
+        let d = p.trailing_zeros();
+        let tag = proc.fresh_tag();
+        let mut round = 0u64;
+        for stage in 0..d {
+            for step in (0..=stage).rev() {
+                let partner = rank ^ (1usize << step);
+                let ascending = rank & (1usize << (stage + 1)) == 0;
+                let i_am_low = rank & (1usize << step) == 0;
+                let keep_low = ascending == i_am_low;
+
+                proc.send_vec_tagged(partner, tag | round, block.clone());
+                let other: Vec<(bool, T)> = proc.recv_vec_tagged(partner, tag | round);
+                round += 1;
+
+                // Charge each merge as it happens so the virtual clock
+                // interleaves compute and communication faithfully.
+                let mut ops = OpCount::new();
+                block = compare_split(&block, &other, keep_low, nmax, &mut ops);
+                proc.charge_ops(ops.total());
+            }
+        }
+    }
+
+    block.into_iter().filter(|(pad, _)| !pad).map(|(_, v)| v).collect()
+}
+
+/// Merges two sorted blocks of length `nmax` and keeps the low or high half.
+fn compare_split<T: Copy + Ord>(
+    mine: &[(bool, T)],
+    other: &[(bool, T)],
+    keep_low: bool,
+    nmax: usize,
+    ops: &mut OpCount,
+) -> Vec<(bool, T)> {
+    debug_assert_eq!(mine.len(), nmax);
+    debug_assert_eq!(other.len(), nmax);
+    let mut out = Vec::with_capacity(nmax);
+    if keep_low {
+        let (mut i, mut j) = (0usize, 0usize);
+        while out.len() < nmax {
+            ops.cmps += 1;
+            ops.moves += 1;
+            if j >= nmax || (i < nmax && mine[i] <= other[j]) {
+                out.push(mine[i]);
+                i += 1;
+            } else {
+                out.push(other[j]);
+                j += 1;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (nmax, nmax);
+        while out.len() < nmax {
+            ops.cmps += 1;
+            ops.moves += 1;
+            if j == 0 || (i > 0 && mine[i - 1] > other[j - 1]) {
+                out.push(mine[i - 1]);
+                i -= 1;
+            } else {
+                out.push(other[j - 1]);
+                j -= 1;
+            }
+        }
+        out.reverse();
+        ops.moves += nmax as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgselect_runtime::{Machine, MachineModel};
+    use cgselect_seqsel::KernelRng;
+
+    fn check(parts: Vec<Vec<u64>>) {
+        let p = parts.len();
+        let out = Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mine = parts[proc.rank()].clone();
+                bitonic_sort(proc, mine)
+            })
+            .unwrap();
+        let flat: Vec<u64> = out.iter().flatten().copied().collect();
+        let mut want: Vec<u64> = parts.into_iter().flatten().collect();
+        want.sort_unstable();
+        assert_eq!(flat, want);
+    }
+
+    #[test]
+    fn sorts_equal_blocks() {
+        let mut rng = KernelRng::new(2);
+        for p in [1usize, 2, 4, 8, 16] {
+            let parts: Vec<Vec<u64>> = (0..p)
+                .map(|_| (0..64).map(|_| rng.next_u64() % 1000).collect())
+                .collect();
+            check(parts);
+        }
+    }
+
+    #[test]
+    fn sorts_unequal_blocks_via_padding() {
+        let mut rng = KernelRng::new(3);
+        let sizes = [13usize, 0, 40, 7];
+        let parts: Vec<Vec<u64>> = sizes
+            .iter()
+            .map(|&s| (0..s).map(|_| rng.next_u64() % 100).collect())
+            .collect();
+        check(parts);
+    }
+
+    #[test]
+    fn max_value_is_not_confused_with_padding() {
+        let parts: Vec<Vec<u64>> = vec![vec![u64::MAX, 5], vec![u64::MAX, 1]];
+        check(parts);
+    }
+
+    #[test]
+    fn sorts_duplicates_and_sorted_runs() {
+        check(vec![vec![7; 32], vec![7; 10], vec![3; 20], vec![9; 1]]);
+        let parts: Vec<Vec<u64>> = (0..8).map(|i| (i * 10..(i + 1) * 10).collect()).collect();
+        check(parts);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let err = Machine::new(3)
+            .run(|proc| bitonic_sort(proc, vec![proc.rank() as u64]))
+            .unwrap_err();
+        assert!(format!("{err}").contains("power-of-two"), "{err}");
+    }
+}

@@ -1,0 +1,167 @@
+//! # cgselect-sort — parallel sorting substrate
+//!
+//! The paper's fast randomized selection (Algorithm 4, after Rajasekaran et
+//! al.) parallel-sorts a small random sample every iteration (Step 2:
+//! `S = ParallelSort(Sᵢ, p)`) and then reads the sample elements at two
+//! global ranks to bracket the target. This crate provides that substrate:
+//!
+//! * [`sample_sort`] — parallel sorting by regular sampling (PSRS): works
+//!   for any `p`, any (including empty) local sizes;
+//! * [`bitonic_sort`] — the classic hypercube compare-split bitonic sort
+//!   for power-of-two `p` (the machine sizes the paper ran on);
+//! * [`select_global_ranks`] — given distributed, globally sorted data,
+//!   fetch the elements at a set of global ranks onto every processor;
+//! * [`sorted_ranks_of`] — the one-call combination used by Algorithm 4,
+//!   with a [`SampleSortAlgo`] knob (including a gather-and-sort fallback
+//!   that is cheapest for the tiny samples the algorithm draws — the
+//!   trade-off is ablated in the benchmark suite).
+//!
+//! Local comparison/move counts are charged to the virtual clock just as in
+//! the selection kernels.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitonic;
+mod merge;
+mod ranks;
+mod samplesort;
+
+pub use bitonic::bitonic_sort;
+pub use merge::kway_merge;
+pub use ranks::select_global_ranks;
+pub use samplesort::sample_sort;
+
+use cgselect_runtime::{Key, Proc};
+use cgselect_seqsel::OpCount;
+
+/// Which parallel sort backs Algorithm 4's sample-sorting step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SampleSortAlgo {
+    /// Parallel sorting by regular sampling — any `p`, robust default.
+    #[default]
+    Psrs,
+    /// Hypercube bitonic sort — requires power-of-two `p`.
+    Bitonic,
+    /// Gather everything to processor 0 and sort sequentially — lowest
+    /// latency for the very small samples Algorithm 4 draws.
+    GatherSort,
+}
+
+impl SampleSortAlgo {
+    /// Name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SampleSortAlgo::Psrs => "psrs",
+            SampleSortAlgo::Bitonic => "bitonic",
+            SampleSortAlgo::GatherSort => "gather",
+        }
+    }
+}
+
+/// Sorts `data` in place with the standard library's unstable sort,
+/// charging the measured comparisons (plus one move per element, the
+/// observable lower bound) to `ops`.
+pub(crate) fn local_sort_counted<T: Copy + Ord>(data: &mut [T], ops: &mut OpCount) {
+    let mut cmps = 0u64;
+    data.sort_unstable_by(|a, b| {
+        cmps += 1;
+        a.cmp(b)
+    });
+    ops.cmps += cmps;
+    ops.moves += data.len() as u64;
+}
+
+/// Sorts the distributed `sample` with the chosen algorithm and returns, on
+/// **every** processor, the sample elements at the requested global `ranks`
+/// (0-based, into the sorted order of the whole distributed sample).
+///
+/// This is exactly Steps 2–4 of the paper's Algorithm 4: parallel-sort the
+/// sample, pick `k₁` and `k₂` at two ranks, broadcast them.
+///
+/// # Panics
+/// Panics if any rank is out of range of the total sample size, or if
+/// `Bitonic` is requested on a non-power-of-two machine.
+pub fn sorted_ranks_of<T: Key>(
+    proc: &mut Proc,
+    algo: SampleSortAlgo,
+    sample: Vec<T>,
+    ranks: &[u64],
+) -> Vec<T> {
+    match algo {
+        SampleSortAlgo::Psrs => {
+            let sorted = sample_sort(proc, sample);
+            select_global_ranks(proc, &sorted, ranks)
+        }
+        SampleSortAlgo::Bitonic => {
+            let sorted = bitonic_sort(proc, sample);
+            select_global_ranks(proc, &sorted, ranks)
+        }
+        SampleSortAlgo::GatherSort => {
+            let gathered = proc.gather_flat(0, sample);
+            let picked: Option<Vec<T>> = gathered.map(|mut all| {
+                let mut ops = OpCount::new();
+                local_sort_counted(&mut all, &mut ops);
+                proc.charge_ops(ops.total());
+                ranks
+                    .iter()
+                    .map(|&r| {
+                        assert!(
+                            (r as usize) < all.len(),
+                            "rank {r} out of range for sample of {}",
+                            all.len()
+                        );
+                        all[r as usize]
+                    })
+                    .collect()
+            });
+            proc.broadcast(0, picked)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgselect_runtime::{Machine, MachineModel};
+    use cgselect_seqsel::KernelRng;
+
+    #[test]
+    fn sorted_ranks_of_agrees_across_algorithms() {
+        let p = 4;
+        let mut rng = KernelRng::new(5);
+        let parts: Vec<Vec<u64>> = (0..p)
+            .map(|_| (0..37).map(|_| rng.next_u64() % 1000).collect())
+            .collect();
+        let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let ranks = [0u64, 5, 73, (all.len() - 1) as u64];
+        let want: Vec<u64> = ranks.iter().map(|&r| all[r as usize]).collect();
+
+        for algo in [SampleSortAlgo::Psrs, SampleSortAlgo::Bitonic, SampleSortAlgo::GatherSort] {
+            let out = Machine::with_model(p, MachineModel::free())
+                .run(|proc| {
+                    let mine = parts[proc.rank()].clone();
+                    sorted_ranks_of(proc, algo, mine, &ranks)
+                })
+                .unwrap();
+            for got in out {
+                assert_eq!(got, want, "algo {algo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_sort_rejects_out_of_range_rank() {
+        // Only P0 panics (it owns the gathered sample); give P1 a short
+        // timeout so the test fails fast instead of waiting the default 30s.
+        let err = Machine::new(2)
+            .recv_timeout(std::time::Duration::from_millis(200))
+            .run(|proc| {
+                let mine = vec![proc.rank() as u64];
+                sorted_ranks_of(proc, SampleSortAlgo::GatherSort, mine, &[2])
+            })
+            .unwrap_err();
+        assert!(format!("{err}").contains("out of range"), "{err}");
+    }
+}

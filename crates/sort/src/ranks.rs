@@ -1,0 +1,95 @@
+//! Rank lookups on distributed, globally sorted data.
+
+use cgselect_runtime::{Key, Proc};
+
+/// Given globally sorted distributed data (each processor holds a sorted
+/// run; rank-order concatenation is sorted — the output shape of
+/// [`crate::sample_sort`] and [`crate::bitonic_sort`]), returns the
+/// elements at the requested global `ranks` on **every** processor.
+///
+/// One all-gather of the counts lets every processor locate each rank's
+/// owner; the owner publishes the element via an owner-broadcast. Cost
+/// `O(τ log p + μp + |ranks| (τ + μ) log p)`.
+///
+/// # Panics
+/// Panics if a rank is out of range of the total element count.
+pub fn select_global_ranks<T: Key>(proc: &mut Proc, sorted_local: &[T], ranks: &[u64]) -> Vec<T> {
+    let counts: Vec<u64> = proc.all_gather(sorted_local.len() as u64);
+    let total: u64 = counts.iter().sum();
+    let mut starts = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u64;
+    starts.push(0u64);
+    for &c in &counts {
+        acc += c;
+        starts.push(acc);
+    }
+    proc.charge_ops(counts.len() as u64);
+
+    let rank_id = proc.rank();
+    let mut out = Vec::with_capacity(ranks.len());
+    for &r in ranks {
+        assert!(r < total, "global rank {r} out of range for {total} elements");
+        let mine = (starts[rank_id] <= r && r < starts[rank_id + 1])
+            .then(|| sorted_local[(r - starts[rank_id]) as usize]);
+        out.push(proc.bcast_from_owner(mine));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgselect_runtime::{Machine, MachineModel};
+
+    #[test]
+    fn fetches_ranks_across_processors() {
+        // Sorted distribution: proc i holds [10i, 10i+10).
+        let p = 4;
+        let out = Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let lo = proc.rank() as u64 * 10;
+                let mine: Vec<u64> = (lo..lo + 10).collect();
+                select_global_ranks(proc, &mine, &[0, 9, 10, 25, 39])
+            })
+            .unwrap();
+        for got in out {
+            assert_eq!(got, vec![0, 9, 10, 25, 39]);
+        }
+    }
+
+    #[test]
+    fn handles_empty_runs() {
+        let parts: Vec<Vec<u64>> = vec![vec![], (0..5).collect(), vec![], (5..8).collect()];
+        let out = Machine::with_model(4, MachineModel::free())
+            .run(|proc| {
+                let mine = parts[proc.rank()].clone();
+                select_global_ranks(proc, &mine, &[0, 4, 5, 7])
+            })
+            .unwrap();
+        for got in out {
+            assert_eq!(got, vec![0, 4, 5, 7]);
+        }
+    }
+
+    #[test]
+    fn no_ranks_requested() {
+        let out = Machine::with_model(2, MachineModel::free())
+            .run(|proc| {
+                let mine = vec![proc.rank() as u64];
+                select_global_ranks(proc, &mine, &[])
+            })
+            .unwrap();
+        assert!(out.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn out_of_range_rank_panics() {
+        let err = Machine::new(2)
+            .run(|proc| {
+                let mine = vec![proc.rank() as u64];
+                select_global_ranks(proc, &mine, &[2])
+            })
+            .unwrap_err();
+        assert!(format!("{err}").contains("out of range"), "{err}");
+    }
+}

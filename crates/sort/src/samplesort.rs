@@ -1,0 +1,196 @@
+//! Parallel sorting by regular sampling (PSRS).
+
+use cgselect_runtime::{Key, Proc};
+use cgselect_seqsel::OpCount;
+
+use crate::local_sort_counted;
+use crate::merge::kway_merge;
+
+/// Sorts the distributed data: each processor contributes `data`, each
+/// returns a sorted local run such that concatenating the runs in rank
+/// order yields the globally sorted sequence.
+///
+/// Classic PSRS:
+/// 1. sort locally;
+/// 2. take `p−1` regular samples per processor;
+/// 3. gather the samples on P0, sort them, pick `p−1` splitters at regular
+///    positions, broadcast;
+/// 4. partition the sorted local run by the splitters (binary searches);
+/// 5. exchange partitions with the transportation primitive;
+/// 6. k-way merge the received runs.
+///
+/// Works for any `p` and any local sizes (including empty); with regular
+/// sampling no processor receives more than ~`2n/p` elements for balanced
+/// inputs. For the tiny samples of fast randomized selection the paper's
+/// cost is dominated by the `O(τ·p)` of the exchange, which is exactly why
+/// `SampleSortAlgo::GatherSort` exists as an alternative.
+///
+/// ```
+/// use cgselect_runtime::Machine;
+/// use cgselect_sort::sample_sort;
+///
+/// let runs = Machine::new(3)
+///     .run(|proc| {
+///         let mine: Vec<u64> = vec![7, 1, 9]
+///             .into_iter()
+///             .map(|v| v + proc.rank() as u64 * 10)
+///             .collect();
+///         sample_sort(proc, mine)
+///     })
+///     .unwrap();
+/// let flat: Vec<u64> = runs.into_iter().flatten().collect();
+/// assert_eq!(flat, vec![1, 7, 9, 11, 17, 19, 21, 27, 29]);
+/// ```
+pub fn sample_sort<T: Key>(proc: &mut Proc, mut data: Vec<T>) -> Vec<T> {
+    let p = proc.nprocs();
+    let mut ops = OpCount::new();
+    local_sort_counted(&mut data, &mut ops);
+    proc.charge_ops(ops.total());
+    if p == 1 {
+        return data;
+    }
+
+    // Regular samples of the sorted local run — at most p-1, but never
+    // more than the local size (tiny runs would otherwise inflate the
+    // splitter gather to O(p²) duplicated values).
+    let count = (p - 1).min(data.len());
+    let mut samples: Vec<T> = Vec::with_capacity(count);
+    for i in 1..=count {
+        let pos = (i * data.len()) / (count + 1);
+        samples.push(data[pos.min(data.len() - 1)]);
+    }
+    proc.charge_ops(samples.len() as u64);
+
+    // Root gathers all samples, sorts them, picks p-1 regular splitters.
+    let gathered = proc.gather_flat(0, samples);
+    let splitters: Vec<T> = {
+        let picked = gathered.map(|mut all| {
+            let mut ops = OpCount::new();
+            local_sort_counted(&mut all, &mut ops);
+            proc.charge_ops(ops.total());
+            if all.is_empty() {
+                Vec::new()
+            } else {
+                (1..p).map(|i| all[(i * all.len()) / p]).collect()
+            }
+        });
+        proc.broadcast(0, picked)
+    };
+
+    // Partition the sorted local run by the splitters (binary searches on
+    // a sorted array: log(n) comparisons per splitter).
+    let mut cuts = Vec::with_capacity(splitters.len() + 2);
+    cuts.push(0usize);
+    let mut cmps = 0u64;
+    for s in &splitters {
+        let base = *cuts.last().unwrap();
+        let off = data[base..].partition_point(|x| {
+            cmps += 1;
+            x <= s
+        });
+        cuts.push(base + off);
+    }
+    cuts.push(data.len());
+    proc.charge_ops(cmps);
+
+    // If there were fewer splitters than p-1 (everything empty), pad cuts.
+    while cuts.len() < p + 1 {
+        cuts.push(data.len());
+    }
+
+    let mut outgoing: Vec<Vec<T>> = Vec::with_capacity(p);
+    for w in cuts.windows(2) {
+        outgoing.push(data[w[0]..w[1]].to_vec());
+    }
+    proc.charge_ops(data.len() as u64); // copy into the send buffers
+
+    let incoming = proc.all_to_allv(outgoing);
+
+    let mut ops = OpCount::new();
+    let merged = kway_merge(incoming, &mut ops);
+    proc.charge_ops(ops.total());
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgselect_runtime::{Machine, MachineModel, OrdF64};
+    use cgselect_seqsel::KernelRng;
+
+    fn check_global_sort(parts: Vec<Vec<u64>>) {
+        let p = parts.len();
+        let out = Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mine = parts[proc.rank()].clone();
+                sample_sort(proc, mine)
+            })
+            .unwrap();
+        // Each run sorted; concatenation sorted; multiset preserved.
+        let flat: Vec<u64> = out.iter().flatten().copied().collect();
+        let mut want: Vec<u64> = parts.into_iter().flatten().collect();
+        want.sort_unstable();
+        assert_eq!(flat, want);
+    }
+
+    #[test]
+    fn sorts_random_data() {
+        let mut rng = KernelRng::new(1);
+        for p in [1usize, 2, 3, 5, 8] {
+            let parts: Vec<Vec<u64>> = (0..p)
+                .map(|_| (0..200).map(|_| rng.next_u64() % 500).collect())
+                .collect();
+            check_global_sort(parts);
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_layouts() {
+        // Already sorted blocks (the paper's worst case for selection).
+        let parts: Vec<Vec<u64>> = (0..4).map(|i| (i * 100..(i + 1) * 100).collect()).collect();
+        check_global_sort(parts);
+        // Reverse-sorted blocks.
+        let parts: Vec<Vec<u64>> =
+            (0..4).rev().map(|i| (i * 100..(i + 1) * 100).collect()).collect();
+        check_global_sort(parts);
+    }
+
+    #[test]
+    fn handles_empty_processors() {
+        check_global_sort(vec![vec![], (0..50).collect(), vec![], vec![7, 3, 7]]);
+        check_global_sort(vec![vec![], vec![], vec![]]);
+    }
+
+    #[test]
+    fn handles_heavy_duplicates() {
+        let parts: Vec<Vec<u64>> = (0..6).map(|_| vec![42; 100]).collect();
+        check_global_sort(parts);
+    }
+
+    #[test]
+    fn handles_wildly_unequal_sizes() {
+        let mut rng = KernelRng::new(9);
+        let sizes = [0usize, 1, 1000, 3, 0, 250];
+        let parts: Vec<Vec<u64>> = sizes
+            .iter()
+            .map(|&s| (0..s).map(|_| rng.next_u64() % 97).collect())
+            .collect();
+        check_global_sort(parts);
+    }
+
+    #[test]
+    fn works_with_float_keys() {
+        let parts: Vec<Vec<OrdF64>> = vec![
+            vec![OrdF64(3.5), OrdF64(-1.0)],
+            vec![OrdF64(0.25), OrdF64(100.0), OrdF64(-7.5)],
+        ];
+        let out = Machine::with_model(2, MachineModel::free())
+            .run(|proc| {
+                let mine = parts[proc.rank()].clone();
+                sample_sort(proc, mine)
+            })
+            .unwrap();
+        let flat: Vec<f64> = out.iter().flatten().map(|v| v.get()).collect();
+        assert_eq!(flat, vec![-7.5, -1.0, 0.25, 3.5, 100.0]);
+    }
+}

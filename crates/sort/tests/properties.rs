@@ -1,0 +1,103 @@
+//! Property tests: the parallel sorts must produce a globally sorted
+//! permutation of their input for arbitrary shard shapes, and rank lookup
+//! must agree with the flattened oracle.
+
+use cgselect_runtime::{Machine, MachineModel};
+use cgselect_sort::{bitonic_sort, sample_sort, select_global_ranks, sorted_ranks_of, SampleSortAlgo};
+use proptest::prelude::*;
+
+fn run_sort<F>(parts: &[Vec<u64>], f: F) -> Vec<Vec<u64>>
+where
+    F: Fn(&mut cgselect_runtime::Proc, Vec<u64>) -> Vec<u64> + Send + Sync,
+{
+    let p = parts.len();
+    Machine::with_model(p, MachineModel::free())
+        .run(|proc| {
+            let mine = parts[proc.rank()].clone();
+            f(proc, mine)
+        })
+        .unwrap()
+}
+
+fn assert_globally_sorted(parts: &[Vec<u64>], out: &[Vec<u64>]) {
+    let flat: Vec<u64> = out.iter().flatten().copied().collect();
+    let mut want: Vec<u64> = parts.iter().flatten().copied().collect();
+    want.sort_unstable();
+    assert_eq!(flat, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sample_sort_sorts_arbitrary_shards(
+        parts in prop::collection::vec(prop::collection::vec(0u64..1000, 0..120), 1..7),
+    ) {
+        let out = run_sort(&parts, sample_sort);
+        assert_globally_sorted(&parts, &out);
+    }
+
+    #[test]
+    fn bitonic_sorts_power_of_two_machines(
+        parts in prop::collection::vec(prop::collection::vec(0u64..1000, 0..80), 1..4)
+            .prop_map(|mut v| {
+                while !v.len().is_power_of_two() { v.push(Vec::new()); }
+                v
+            }),
+    ) {
+        let out = run_sort(&parts, bitonic_sort);
+        assert_globally_sorted(&parts, &out);
+    }
+
+    #[test]
+    fn global_rank_lookup_matches_oracle(
+        parts in prop::collection::vec(prop::collection::vec(0u64..500, 0..60), 1..6)
+            .prop_filter("non-empty", |ps| ps.iter().any(|v| !v.is_empty())),
+        rank_fracs in prop::collection::vec(0.0f64..1.0, 1..5),
+    ) {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let ranks: Vec<u64> =
+            rank_fracs.iter().map(|f| ((total as f64 * f) as u64).min(total as u64 - 1)).collect();
+        let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let want: Vec<u64> = ranks.iter().map(|&r| all[r as usize]).collect();
+
+        // Through each backend of sorted_ranks_of (bitonic only when p is a
+        // power of two).
+        let p = parts.len();
+        let mut algos = vec![SampleSortAlgo::Psrs, SampleSortAlgo::GatherSort];
+        if p.is_power_of_two() {
+            algos.push(SampleSortAlgo::Bitonic);
+        }
+        for algo in algos {
+            let out = Machine::with_model(p, MachineModel::free())
+                .run(|proc| {
+                    let mine = parts[proc.rank()].clone();
+                    sorted_ranks_of(proc, algo, mine, &ranks)
+                })
+                .unwrap();
+            for got in out {
+                prop_assert_eq!(&got, &want, "algo {:?}", algo);
+            }
+        }
+
+        // And directly via select_global_ranks over pre-sorted shards in
+        // global order (rank-major blocks).
+        let mut blocks: Vec<Vec<u64>> = Vec::new();
+        let per = total / p;
+        let mut it = all.clone().into_iter();
+        for i in 0..p {
+            let take = if i == p - 1 { total - per * (p - 1) } else { per };
+            blocks.push(it.by_ref().take(take).collect());
+        }
+        let out = Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mine = blocks[proc.rank()].clone();
+                select_global_ranks(proc, &mine, &ranks)
+            })
+            .unwrap();
+        for got in out {
+            prop_assert_eq!(&got, &want);
+        }
+    }
+}

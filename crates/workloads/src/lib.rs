@@ -1,0 +1,285 @@
+//! # cgselect-workloads — reproducible experiment inputs
+//!
+//! Generators for the input distributions of the paper's evaluation (§5)
+//! plus the extended zoo the test-suite and ablation benches use:
+//!
+//! * [`Distribution::Random`] — `n/p` uniformly random values per processor
+//!   (the paper's near-best case; the paper averages five seeds);
+//! * [`Distribution::Sorted`] — the numbers `0..n−1` with processor `i`
+//!   holding `i·n/p … (i+1)·n/p − 1` (the paper's near-worst case: after
+//!   one iteration about half the processors lose *all* their data);
+//! * plus reverse-sorted, few-distinct, Gaussian-ish, Zipf-like, organ-pipe
+//!   and all-equal variants, and imbalanced initial layouts for exercising
+//!   the load balancers.
+//!
+//! All generation is deterministic in `(distribution, n, p, seed)`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Input value distributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniformly random 63-bit values (the paper's "random" input).
+    Random,
+    /// Globally sorted, blocked across processors (the paper's "sorted"
+    /// input — close to the worst case for the selection algorithms).
+    Sorted,
+    /// Reverse-sorted, blocked.
+    ReverseSorted,
+    /// Uniform over `d` distinct values — duplicate-heavy selection.
+    FewDistinct(u64),
+    /// Sum of eight uniforms (approximately normal), centered.
+    Gaussian,
+    /// Power-law-ish: `u^4` scaled — most mass near 0, long tail.
+    Zipf,
+    /// Organ pipe: ascending then descending (adversarial for pivoting).
+    OrganPipe,
+    /// Every element identical.
+    AllEqual,
+}
+
+impl Distribution {
+    /// The two distributions the paper evaluates.
+    pub const PAPER: [Distribution; 2] = [Distribution::Random, Distribution::Sorted];
+
+    /// Name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Random => "random",
+            Distribution::Sorted => "sorted",
+            Distribution::ReverseSorted => "reverse-sorted",
+            Distribution::FewDistinct(_) => "few-distinct",
+            Distribution::Gaussian => "gaussian",
+            Distribution::Zipf => "zipf",
+            Distribution::OrganPipe => "organ-pipe",
+            Distribution::AllEqual => "all-equal",
+        }
+    }
+}
+
+/// How the `n` elements are initially laid out over the `p` processors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// `⌈n/p⌉` or `⌊n/p⌋` per processor (the paper's setup).
+    #[default]
+    Balanced,
+    /// Everything on the last processor (worst case for load balancers).
+    Hoarded,
+    /// Linearly growing: processor `i` gets ~`2·n·(i+1)/(p(p+1))`.
+    Staircase,
+}
+
+impl Layout {
+    /// Per-processor element counts summing to exactly `n`.
+    pub fn sizes(&self, n: usize, p: usize) -> Vec<usize> {
+        assert!(p >= 1);
+        match self {
+            Layout::Balanced => {
+                (0..p).map(|i| n / p + usize::from(i < n % p)).collect()
+            }
+            Layout::Hoarded => {
+                let mut v = vec![0; p];
+                v[p - 1] = n;
+                v
+            }
+            Layout::Staircase => {
+                let total_weight = p * (p + 1) / 2;
+                let mut sizes: Vec<usize> =
+                    (0..p).map(|i| n * (i + 1) / total_weight).collect();
+                let assigned: usize = sizes.iter().sum();
+                sizes[p - 1] += n - assigned; // exact remainder
+                sizes
+            }
+        }
+    }
+}
+
+/// Generates the distributed input: one vector per processor, sizes set by
+/// `layout`, values drawn from `dist`, deterministic in `seed`.
+pub fn generate_with_layout(
+    dist: Distribution,
+    layout: Layout,
+    n: usize,
+    p: usize,
+    seed: u64,
+) -> Vec<Vec<u64>> {
+    let sizes = layout.sizes(n, p);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC65E_1EC7_0000_0000);
+    let mut next_sorted = 0u64;
+    sizes
+        .iter()
+        .map(|&s| {
+            (0..s)
+                .map(|_| match dist {
+                    Distribution::Random => rng.random::<u64>() >> 1,
+                    Distribution::Sorted => {
+                        let v = next_sorted;
+                        next_sorted += 1;
+                        v
+                    }
+                    Distribution::ReverseSorted => {
+                        let v = (n as u64) - 1 - next_sorted;
+                        next_sorted += 1;
+                        v
+                    }
+                    Distribution::FewDistinct(d) => rng.random_range(0..d.max(1)),
+                    Distribution::Gaussian => {
+                        (0..8).map(|_| rng.random_range(0..1u64 << 20)).sum()
+                    }
+                    Distribution::Zipf => {
+                        let u = rng.random::<f64>();
+                        (u.powi(4) * 1e12) as u64
+                    }
+                    Distribution::OrganPipe => {
+                        let i = next_sorted;
+                        next_sorted += 1;
+                        let half = (n as u64) / 2;
+                        if i < half {
+                            i
+                        } else {
+                            (n as u64) - i
+                        }
+                    }
+                    Distribution::AllEqual => 42,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Generates the paper's balanced layout for the given distribution.
+///
+/// ```
+/// use cgselect_workloads::{generate, Distribution};
+///
+/// let parts = generate(Distribution::Sorted, 8, 2, 0);
+/// assert_eq!(parts, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+///
+/// let random = generate(Distribution::Random, 1000, 4, 7);
+/// assert_eq!(random.iter().map(Vec::len).sum::<usize>(), 1000);
+/// assert_eq!(random, generate(Distribution::Random, 1000, 4, 7)); // seeded
+/// ```
+pub fn generate(dist: Distribution, n: usize, p: usize, seed: u64) -> Vec<Vec<u64>> {
+    generate_with_layout(dist, Layout::Balanced, n, p, seed)
+}
+
+/// Summary statistics over repeated measurements (the paper averages five
+/// random-seed runs per data point).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl Stats {
+    /// Computes the summary; panics on an empty slice.
+    pub fn from(xs: &[f64]) -> Stats {
+        assert!(!xs.is_empty(), "Stats::from on empty slice");
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Stats {
+            mean,
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            std: var.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_layout_matches_paper() {
+        let sizes = Layout::Balanced.sizes(10, 4);
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(Layout::Balanced.sizes(8, 4), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn layouts_sum_to_n() {
+        for layout in [Layout::Balanced, Layout::Hoarded, Layout::Staircase] {
+            for (n, p) in [(100, 4), (7, 3), (0, 5), (1000, 7)] {
+                let sizes = layout.sizes(n, p);
+                assert_eq!(sizes.len(), p);
+                assert_eq!(sizes.iter().sum::<usize>(), n, "{layout:?} n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_is_the_papers_blocked_identity() {
+        let parts = generate(Distribution::Sorted, 12, 3, 0);
+        assert_eq!(parts[0], vec![0, 1, 2, 3]);
+        assert_eq!(parts[1], vec![4, 5, 6, 7]);
+        assert_eq!(parts[2], vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn reverse_sorted_is_descending_globally() {
+        let parts = generate(Distribution::ReverseSorted, 6, 2, 0);
+        let flat: Vec<u64> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_varies_across_seeds() {
+        let a = generate(Distribution::Random, 100, 4, 7);
+        let b = generate(Distribution::Random, 100, 4, 7);
+        let c = generate(Distribution::Random, 100, 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn few_distinct_stays_in_domain() {
+        let parts = generate(Distribution::FewDistinct(3), 300, 3, 1);
+        assert!(parts.iter().flatten().all(|&v| v < 3));
+    }
+
+    #[test]
+    fn organ_pipe_shape() {
+        let parts = generate(Distribution::OrganPipe, 8, 1, 0);
+        assert_eq!(parts[0], vec![0, 1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn all_equal_is_constant() {
+        let parts = generate(Distribution::AllEqual, 50, 5, 3);
+        assert!(parts.iter().flatten().all(|&v| v == 42));
+    }
+
+    #[test]
+    fn hoarded_layout_hoards() {
+        let parts = generate_with_layout(Distribution::Random, Layout::Hoarded, 64, 4, 0);
+        assert_eq!(parts[0].len(), 0);
+        assert_eq!(parts[3].len(), 64);
+    }
+
+    #[test]
+    fn stats_summary() {
+        let s = Stats::from(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn stats_rejects_empty() {
+        let _ = Stats::from(&[]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Mini Figure-1: all four algorithms on random vs sorted input.
+//!
+//! A quick on-screen version of the paper's central comparison (the full
+//! parameter sweeps live in `crates/bench`).
+//!
+//! Run with: `cargo run --release --example shootout`
+
+use cgselect::{
+    median_on_machine, Algorithm, Balancer, Distribution, MachineModel, SelectionConfig,
+};
+
+fn main() {
+    let p = 16;
+    let n = 1 << 18; // 256k keys
+    let model = MachineModel::cm5();
+
+    println!(
+        "Median of n = {n} keys on p = {p} processors (virtual CM-5 seconds)\n"
+    );
+    println!(
+        "{:>20} | {:>12} | {:>12} | ratio vs fastest",
+        "algorithm", "random", "sorted"
+    );
+    println!("{}", "-".repeat(68));
+
+    let mut fastest_random = f64::INFINITY;
+    let mut rows = Vec::new();
+    for algo in Algorithm::ALL {
+        // The paper runs MoM with global-exchange balancing and the other
+        // three without balancing (Figure 1's setup).
+        let balancer = if algo == Algorithm::MedianOfMedians {
+            Balancer::GlobalExchange
+        } else {
+            Balancer::None
+        };
+        let mut times = Vec::new();
+        for dist in [Distribution::Random, Distribution::Sorted] {
+            let parts = cgselect::generate(dist, n, p, 9);
+            let cfg = SelectionConfig::with_seed(11).balancer(balancer);
+            let sel = median_on_machine(p, model, &parts, algo, &cfg)
+                .expect("selection failed");
+            times.push(sel.makespan());
+        }
+        fastest_random = fastest_random.min(times[0]);
+        rows.push((algo.name(), times[0], times[1]));
+    }
+
+    for (name, rnd, sorted) in rows {
+        println!(
+            "{name:>20} | {rnd:>11.4}s | {sorted:>11.4}s | {:>6.1}x",
+            rnd / fastest_random
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper §5): both randomized algorithms beat both\n\
+         deterministic ones by roughly an order of magnitude; bucket-based\n\
+         beats median-of-medians by about 2x."
+    );
+}

@@ -1,0 +1,83 @@
+//! The extension toolbox: top-k extraction, weighted quantiles, and the
+//! runtime's event tracing — the features this library adds beyond the
+//! paper's four algorithms.
+//!
+//! Run with: `cargo run --release --example toolbox`
+
+use cgselect::{
+    parallel_top_k, parallel_weighted_select, Algorithm, Machine, MachineModel,
+    SelectionConfig,
+};
+use cgselect::runtime::render_timeline;
+use cgselect_seqsel::KernelRng;
+
+fn main() {
+    let p = 4;
+    let machine = Machine::with_model(p, MachineModel::cm5());
+    let cfg = SelectionConfig::with_seed(31);
+
+    // ------------------------------------------------------------------
+    // 1. Distributed top-k: keep the 10 smallest response times in place.
+    // ------------------------------------------------------------------
+    println!("== top-k: the 10 smallest of 4000 distributed values ==");
+    let shares = machine
+        .run(|proc| {
+            let mut rng = KernelRng::derive(77, proc.rank() as u64);
+            let mine: Vec<u64> = (0..1000).map(|_| rng.below(1_000_000)).collect();
+            parallel_top_k(proc, mine, 10, Algorithm::FastRandomized, &cfg).0
+        })
+        .expect("top-k failed");
+    for (rank, share) in shares.iter().enumerate() {
+        println!("  P{rank} keeps {:?}", share);
+    }
+    let total: usize = shares.iter().map(Vec::len).sum();
+    println!("  total kept: {total} (exactly k, ties broken by rank)\n");
+
+    // ------------------------------------------------------------------
+    // 2. Weighted quantile: request sizes weighted by byte count — find
+    //    the size below which half of all *bytes* (not requests) fall.
+    // ------------------------------------------------------------------
+    println!("== weighted quantile: half-of-bytes request size ==");
+    let results = machine
+        .run(|proc| {
+            let mut rng = KernelRng::derive(88, proc.rank() as u64);
+            // (request size, bytes transferred)
+            let mine: Vec<(u64, u64)> = (0..5000)
+                .map(|_| {
+                    let size = 1 + rng.below(4096);
+                    (size, size) // weight = size itself
+                })
+                .collect();
+            let total_bytes: u64 = proc.combine(
+                mine.iter().map(|(_, w)| *w).sum::<u64>(),
+                |a, b| a + b,
+            );
+            let half = total_bytes.div_ceil(2);
+            (parallel_weighted_select(proc, mine, half, &cfg), total_bytes)
+        })
+        .expect("weighted select failed");
+    let (median_size, total_bytes) = results[0];
+    println!(
+        "  half of the {total_bytes} total bytes come from requests <= {median_size} bytes\n"
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Tracing: watch the messages of one randomized selection round.
+    // ------------------------------------------------------------------
+    println!("== trace: first events of a p=4 selection (virtual time) ==");
+    let traces = machine
+        .run(|proc| {
+            proc.trace_enable();
+            let mut rng = KernelRng::derive(99, proc.rank() as u64);
+            let mine: Vec<u64> = (0..2000).map(|_| rng.next_u64()).collect();
+            let _ = cgselect::parallel_select(proc, mine, 4000, Algorithm::Randomized, &cfg);
+            proc.take_trace()
+        })
+        .expect("traced run failed");
+    let timeline = render_timeline(&traces);
+    for line in timeline.lines().take(18) {
+        println!("  {line}");
+    }
+    let events: usize = traces.iter().map(|t| t.events.len()).sum();
+    println!("  … {events} events total across {p} processors");
+}

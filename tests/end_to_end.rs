@@ -1,0 +1,184 @@
+//! Repository-level integration tests: the full stack (workload generator →
+//! machine → selection algorithm → oracle check) across the experiment grid.
+
+use cgselect::{
+    select_on_machine, Algorithm, Balancer, Distribution, MachineModel, SelectionConfig,
+};
+
+fn oracle(parts: &[Vec<u64>], k: u64) -> u64 {
+    let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all[k as usize]
+}
+
+#[test]
+fn paper_grid_slice_matches_oracle() {
+    // A miniature of the paper's full grid: every algorithm, both paper
+    // distributions, several machine sizes.
+    for p in [2usize, 8, 16] {
+        for dist in Distribution::PAPER {
+            let n = 4096 * p;
+            let parts = cgselect::generate(dist, n, p, 31);
+            for algo in Algorithm::ALL {
+                for k in [0u64, (n / 2) as u64, (n - 1) as u64] {
+                    let bal = if algo == Algorithm::MedianOfMedians {
+                        Balancer::GlobalExchange
+                    } else {
+                        Balancer::None
+                    };
+                    let cfg = SelectionConfig::with_seed(7).balancer(bal);
+                    let sel = select_on_machine(p, MachineModel::cm5(), &parts, k, algo, &cfg)
+                        .unwrap();
+                    assert_eq!(
+                        sel.value,
+                        oracle(&parts, k),
+                        "p={p} dist={} algo={algo:?} k={k}",
+                        dist.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn extended_distributions_match_oracle() {
+    let p = 6;
+    let n = 3000;
+    for dist in [
+        Distribution::ReverseSorted,
+        Distribution::FewDistinct(5),
+        Distribution::Gaussian,
+        Distribution::Zipf,
+        Distribution::OrganPipe,
+        Distribution::AllEqual,
+    ] {
+        let parts = cgselect::generate(dist, n, p, 17);
+        for algo in Algorithm::ALL {
+            let k = (n / 3) as u64;
+            let cfg = SelectionConfig { min_sequential: 64, ..SelectionConfig::with_seed(23) };
+            let sel =
+                select_on_machine(p, MachineModel::free(), &parts, k, algo, &cfg).unwrap();
+            assert_eq!(sel.value, oracle(&parts, k), "dist={} algo={algo:?}", dist.name());
+        }
+    }
+}
+
+#[test]
+fn imbalanced_initial_layouts_match_oracle() {
+    use cgselect::Layout;
+    let p = 5;
+    let n = 2500;
+    for layout in [Layout::Hoarded, Layout::Staircase] {
+        let parts = cgselect::generate_with_layout(Distribution::Random, layout, n, p, 3);
+        for algo in Algorithm::ALL {
+            for bal in [Balancer::None, Balancer::ModOmlb] {
+                let cfg = SelectionConfig {
+                    min_sequential: 64,
+                    balancer: bal,
+                    ..SelectionConfig::with_seed(5)
+                };
+                let sel = select_on_machine(p, MachineModel::free(), &parts, 1250, algo, &cfg)
+                    .unwrap();
+                assert_eq!(
+                    sel.value,
+                    oracle(&parts, 1250),
+                    "layout={layout:?} algo={algo:?} bal={bal:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn float_keys_work_end_to_end() {
+    use cgselect::OrdF64;
+    let p = 4;
+    let parts: Vec<Vec<OrdF64>> = (0..p)
+        .map(|r| (0..500).map(|i| OrdF64((i * p + r) as f64 * 0.5 - 300.0)).collect())
+        .collect();
+    let n = 500 * p;
+    let k = (n / 2) as u64;
+    let cfg = SelectionConfig { min_sequential: 64, ..SelectionConfig::with_seed(2) };
+    let sel = select_on_machine(
+        p,
+        MachineModel::free(),
+        &parts,
+        k,
+        Algorithm::FastRandomized,
+        &cfg,
+    )
+    .unwrap();
+    let mut all: Vec<OrdF64> = parts.iter().flatten().copied().collect();
+    all.sort_unstable();
+    assert_eq!(sel.value, all[k as usize]);
+}
+
+#[test]
+fn virtual_time_reproducible_across_full_stack() {
+    let p = 8;
+    let parts = cgselect::generate(Distribution::Sorted, 32 * 1024, p, 0);
+    let cfg = SelectionConfig::with_seed(99).balancer(Balancer::DimExchange);
+    let run = || {
+        select_on_machine(p, MachineModel::cm5(), &parts, 9999, Algorithm::FastRandomized, &cfg)
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.value, b.value);
+    for (x, y) in a.per_proc.iter().zip(&b.per_proc) {
+        assert_eq!(x.total_seconds.to_bits(), y.total_seconds.to_bits());
+        assert_eq!(x.lb_seconds.to_bits(), y.lb_seconds.to_bits());
+        assert_eq!(x.ops, y.ops);
+    }
+}
+
+#[test]
+fn makespan_scales_down_with_processors() {
+    // Strong scaling sanity on the virtual CM-5: for large n, doubling p
+    // from 2 to 16 must shrink the randomized algorithm's makespan.
+    let n = 1 << 20;
+    let mut times = Vec::new();
+    for p in [2usize, 16] {
+        let parts = cgselect::generate(Distribution::Random, n, p, 8);
+        let cfg = SelectionConfig::with_seed(6);
+        let sel = select_on_machine(
+            p,
+            MachineModel::cm5(),
+            &parts,
+            (n / 2) as u64,
+            Algorithm::Randomized,
+            &cfg,
+        )
+        .unwrap();
+        times.push(sel.makespan());
+    }
+    assert!(
+        times[1] < times[0] / 2.0,
+        "expected near-linear speedup: p=2 {:.4}s vs p=16 {:.4}s",
+        times[0],
+        times[1]
+    );
+}
+
+#[test]
+fn deterministic_algorithms_are_seed_invariant() {
+    // The value AND the virtual time of the deterministic algorithms must
+    // not depend on the config seed (their kernels ignore randomness).
+    let p = 4;
+    let parts = cgselect::generate(Distribution::Random, 1 << 14, p, 12);
+    let run = |seed: u64| {
+        select_on_machine(
+            p,
+            MachineModel::cm5(),
+            &parts,
+            4321,
+            Algorithm::MedianOfMedians,
+            &SelectionConfig::with_seed(seed).balancer(Balancer::ModOmlb),
+        )
+        .unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_eq!(a.value, b.value);
+    assert_eq!(a.makespan(), b.makespan(), "deterministic time must be seed-independent");
+}

@@ -1,0 +1,168 @@
+//! The paper's qualitative claims, asserted as tests on the virtual CM-5.
+//!
+//! These are the repository's regression guard for the *shape* of the
+//! reproduced evaluation: if a change to a kernel or to the cost model
+//! flips one of the paper's conclusions, a test here fails.
+
+use cgselect::{
+    median_on_machine, Algorithm, Balancer, Distribution, MachineModel, SelectionConfig,
+};
+
+fn time(algo: Algorithm, bal: Balancer, dist: Distribution, n: usize, p: usize) -> f64 {
+    let parts = cgselect::generate(dist, n, p, 41);
+    let cfg = SelectionConfig::with_seed(43).balancer(bal);
+    median_on_machine(p, MachineModel::cm5(), &parts, algo, &cfg)
+        .unwrap()
+        .makespan()
+}
+
+const N: usize = 1 << 20; // 1M keys: large enough for stable shapes, fast enough for CI
+const P: usize = 32;
+
+#[test]
+fn randomized_beats_deterministic_by_a_wide_margin() {
+    // Paper: "randomized algorithms are superior to their deterministic
+    // counterparts" by an order of magnitude (>=16x / >=9x at n=2M, p=32
+    // on the CM-5; the margin here is conservative).
+    let mom = time(Algorithm::MedianOfMedians, Balancer::GlobalExchange, Distribution::Random, N, P);
+    let bkt = time(Algorithm::BucketBased, Balancer::None, Distribution::Random, N, P);
+    let rnd = time(Algorithm::Randomized, Balancer::None, Distribution::Random, N, P);
+    let fast = time(Algorithm::FastRandomized, Balancer::None, Distribution::Random, N, P);
+    assert!(mom / rnd > 4.0, "MoM/randomized = {:.2}", mom / rnd);
+    assert!(mom / fast > 4.0, "MoM/fast = {:.2}", mom / fast);
+    assert!(bkt / rnd > 2.5, "bucket/randomized = {:.2}", bkt / rnd);
+    assert!(bkt / fast > 2.5, "bucket/fast = {:.2}", bkt / fast);
+}
+
+#[test]
+fn bucket_based_beats_median_of_medians_on_random_data() {
+    // Paper: "the bucket-based approach consistently performed better than
+    // the median of medians approach by about a factor of two".
+    let mom = time(Algorithm::MedianOfMedians, Balancer::GlobalExchange, Distribution::Random, N, P);
+    let bkt = time(Algorithm::BucketBased, Balancer::None, Distribution::Random, N, P);
+    assert!(bkt < mom, "bucket {bkt:.4}s should beat MoM {mom:.4}s");
+}
+
+#[test]
+fn bucket_based_close_to_mom_on_sorted_data() {
+    // Paper: "For sorted data, the bucket-based approach which does not use
+    // any load balancing ran only about 25% slower than median of medians
+    // with load balancing."
+    let mom = time(Algorithm::MedianOfMedians, Balancer::GlobalExchange, Distribution::Sorted, N, P);
+    let bkt = time(Algorithm::BucketBased, Balancer::None, Distribution::Sorted, N, P);
+    let excess = (bkt - mom) / mom;
+    assert!(
+        excess < 0.8,
+        "bucket on sorted should be within ~tens of percent of MoM, got {:+.0}%",
+        excess * 100.0
+    );
+}
+
+#[test]
+fn load_balancing_hurts_randomized_selection() {
+    // Paper: "The execution times are consistently better without using any
+    // load balancing ... Load balancing never improved the running time of
+    // randomized selection."
+    for dist in Distribution::PAPER {
+        let none = time(Algorithm::Randomized, Balancer::None, dist, N, P);
+        for bal in [Balancer::ModOmlb, Balancer::DimExchange, Balancer::GlobalExchange] {
+            let with = time(Algorithm::Randomized, bal, dist, N, P);
+            assert!(
+                with > none * 0.98,
+                "{} with {:?}: {with:.4}s vs none {none:.4}s",
+                dist.name(),
+                bal
+            );
+        }
+    }
+}
+
+#[test]
+fn load_balancing_helps_fast_randomized_on_sorted_data() {
+    // Paper: "load balancing significantly improved the performance of fast
+    // randomized selection [on sorted data]".
+    let none = time(Algorithm::FastRandomized, Balancer::None, Distribution::Sorted, N, P);
+    let with = time(Algorithm::FastRandomized, Balancer::ModOmlb, Distribution::Sorted, N, P);
+    assert!(with < none, "fast+modOMLB {with:.4}s should beat fast+none {none:.4}s on sorted");
+}
+
+#[test]
+fn randomized_suffers_on_sorted_data() {
+    // Paper: "The randomized selection algorithm ran 2 to 2.5 times faster
+    // for random data than for sorted data."
+    let random = time(Algorithm::Randomized, Balancer::None, Distribution::Random, N, P);
+    let sorted = time(Algorithm::Randomized, Balancer::None, Distribution::Sorted, N, P);
+    let ratio = sorted / random;
+    assert!(
+        (1.3..4.0).contains(&ratio),
+        "sorted/random ratio {ratio:.2} outside the expected band"
+    );
+}
+
+#[test]
+fn fast_randomized_with_lb_is_input_insensitive() {
+    // Paper: "Using any of the load balancing strategies, there is very
+    // little variance in the running time of fast randomized selection.
+    // The algorithm performs equally well on both best and worst-case data."
+    let random = time(Algorithm::FastRandomized, Balancer::ModOmlb, Distribution::Random, N, P);
+    let sorted = time(Algorithm::FastRandomized, Balancer::ModOmlb, Distribution::Sorted, N, P);
+    let ratio = sorted / random;
+    assert!(
+        ratio < 2.0,
+        "fast randomized + LB should be nearly input-insensitive, got {ratio:.2}x"
+    );
+    // And it must dominate plain randomized on sorted inputs (Figure 4's
+    // point at this scale).
+    let rnd_sorted = time(Algorithm::Randomized, Balancer::None, Distribution::Sorted, N, P);
+    assert!(
+        sorted < rnd_sorted * 1.4,
+        "fast+LB on sorted ({sorted:.4}s) should be competitive with randomized ({rnd_sorted:.4}s)"
+    );
+}
+
+#[test]
+fn survivor_counts_decay_geometrically() {
+    // Paper (citing Rajasekaran et al.): "the expected number of points
+    // decreases geometrically after each iteration" for fast randomized
+    // selection; randomized selection halves in expectation.
+    let parts = cgselect::generate(Distribution::Random, N, P, 53);
+    let cfg = SelectionConfig::with_seed(54);
+    for algo in [Algorithm::FastRandomized, Algorithm::Randomized] {
+        let sel = median_on_machine(P, MachineModel::cm5(), &parts, algo, &cfg).unwrap();
+        let s = &sel.per_proc[0].survivors;
+        assert!(s.len() >= 2, "{algo:?}: need at least two iterations, got {s:?}");
+        assert_eq!(s[0], N as u64);
+        // Strict decrease everywhere…
+        for w in s.windows(2) {
+            assert!(w[1] < w[0], "{algo:?}: survivors must shrink: {s:?}");
+        }
+        // …and overall super-linear collapse: the geometric mean of the
+        // per-iteration ratios is well below 1.
+        let overall = (s[s.len() - 1] as f64 / s[0] as f64).powf(1.0 / (s.len() - 1) as f64);
+        assert!(
+            overall < 0.75,
+            "{algo:?}: expected geometric decay, got mean ratio {overall:.3} in {s:?}"
+        );
+        // History is identical on every processor.
+        for o in &sel.per_proc {
+            assert_eq!(&o.survivors, s);
+        }
+    }
+}
+
+#[test]
+fn fast_randomized_uses_far_fewer_iterations() {
+    // Paper: O(log log n) vs O(log n) iterations.
+    let parts = cgselect::generate(Distribution::Random, N, P, 47);
+    let cfg = SelectionConfig::with_seed(48);
+    let fast =
+        median_on_machine(P, MachineModel::cm5(), &parts, Algorithm::FastRandomized, &cfg).unwrap();
+    let rnd =
+        median_on_machine(P, MachineModel::cm5(), &parts, Algorithm::Randomized, &cfg).unwrap();
+    assert!(
+        fast.iterations() * 2 < rnd.iterations(),
+        "fast {} vs randomized {} iterations",
+        fast.iterations(),
+        rnd.iterations()
+    );
+}

@@ -1,0 +1,68 @@
+//! Distance-aware cost models: correctness is topology-independent, and
+//! wormhole-scale hop costs stay close to the paper's crossbar model
+//! (the quantitative version of the paper's §2.1 argument).
+
+use cgselect::{Algorithm, Distribution, MachineModel, SelectionConfig};
+use cgselect::runtime::Topology;
+
+fn run(model: MachineModel) -> (u64, f64) {
+    let p = 16;
+    let n = 1 << 16;
+    let parts = cgselect::generate(Distribution::Random, n, p, 51);
+    let sel = cgselect::select_on_machine(
+        p,
+        model,
+        &parts,
+        (n / 2) as u64,
+        Algorithm::FastRandomized,
+        &SelectionConfig::with_seed(52),
+    )
+    .unwrap();
+    (sel.value, sel.makespan())
+}
+
+#[test]
+fn value_is_identical_under_every_topology() {
+    let base = MachineModel::cm5();
+    let (v0, _) = run(base);
+    for topo in [Topology::Hypercube, Topology::Mesh2D] {
+        for hop in [base.tau / 50.0, base.tau] {
+            let (v, _) = run(base.with_topology(topo, hop));
+            assert_eq!(v, v0, "{topo:?} hop={hop}");
+        }
+    }
+}
+
+#[test]
+fn wormhole_hops_barely_move_the_clock() {
+    let base = MachineModel::cm5();
+    let (_, t_crossbar) = run(base);
+    for topo in [Topology::Hypercube, Topology::Mesh2D] {
+        let (_, t) = run(base.with_topology(topo, base.tau / 50.0));
+        let excess = (t - t_crossbar) / t_crossbar;
+        assert!(
+            excess < 0.10,
+            "{topo:?} with wormhole hops should stay within 10% of crossbar, got {:+.1}%",
+            excess * 100.0
+        );
+    }
+}
+
+#[test]
+fn store_and_forward_mesh_costs_visibly_more() {
+    let base = MachineModel::cm5();
+    let (_, t_crossbar) = run(base);
+    let (_, t_mesh) = run(base.with_topology(Topology::Mesh2D, base.tau));
+    assert!(
+        t_mesh > t_crossbar * 1.05,
+        "store-and-forward mesh should be visibly slower: {t_mesh:.4} vs {t_crossbar:.4}"
+    );
+}
+
+#[test]
+fn virtual_time_still_deterministic_with_topology() {
+    let model = MachineModel::cm5().with_topology(Topology::Hypercube, 2e-6);
+    let (_, a) = run(model);
+    let (_, b) = run(model);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
