@@ -101,7 +101,11 @@ mod tests {
         let mut parts = vec![Vec::new(); 8];
         parts[0] = (0..64u64).collect();
         let out = run(parts);
-        assert!(out.iter().all(|v| v.len() == 8), "{:?}", out.iter().map(Vec::len).collect::<Vec<_>>());
+        assert!(
+            out.iter().all(|v| v.len() == 8),
+            "{:?}",
+            out.iter().map(Vec::len).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -126,11 +130,7 @@ mod tests {
             assert!(same_multiset(&parts, &out), "p={p}");
             // Balance is weaker off powers of two, but the lone hoarder
             // must have shed a majority of its load.
-            assert!(
-                out[p - 1].len() < 400,
-                "p={p}: processor still holds {}",
-                out[p - 1].len()
-            );
+            assert!(out[p - 1].len() < 400, "p={p}: processor still holds {}", out[p - 1].len());
         }
     }
 

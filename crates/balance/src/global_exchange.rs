@@ -89,10 +89,10 @@ mod tests {
         // exactly 2 messages total.
         // targets: 56/4 = 14 each.
         let parts: Vec<Vec<u64>> = vec![
-            (0..26).collect(),  // excess 12
-            (0..16).collect(),  // excess 2
-            (0..2).collect(),   // deficit 12
-            (0..12).collect(),  // deficit 2
+            (0..26).collect(), // excess 12
+            (0..16).collect(), // excess 2
+            (0..2).collect(),  // deficit 12
+            (0..12).collect(), // deficit 2
         ];
         let (_, reports) = run(parts);
         let total_msgs: u64 = reports.iter().map(|r| r.messages_sent).sum();
@@ -106,10 +106,10 @@ mod tests {
         // 2 messages... craft an asymmetric case instead:
         // excesses [0]=3, [1]=11; deficits [2]=11, [3]=3; targets 14.
         let parts: Vec<Vec<u64>> = vec![
-            (0..17).collect(),  // excess 3
-            (0..25).collect(),  // excess 11
-            (0..3).collect(),   // deficit 11
-            (0..11).collect(),  // deficit 3
+            (0..17).collect(), // excess 3
+            (0..25).collect(), // excess 11
+            (0..3).collect(),  // deficit 11
+            (0..11).collect(), // deficit 3
         ];
         let (_, ge_reports) = run(parts.clone());
         let ge_msgs: u64 = ge_reports.iter().map(|r| r.messages_sent).sum();

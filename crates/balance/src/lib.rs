@@ -172,11 +172,8 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let mut labels: Vec<&str> = [Balancer::None]
-            .iter()
-            .chain(Balancer::ALL_ACTIVE.iter())
-            .map(|b| b.label())
-            .collect();
+        let mut labels: Vec<&str> =
+            [Balancer::None].iter().chain(Balancer::ALL_ACTIVE.iter()).map(|b| b.label()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 5);

@@ -136,9 +136,7 @@ mod tests {
 
     fn balanced_exactly(out: &[Vec<u64>]) -> bool {
         let n: u64 = out.iter().map(|v| v.len() as u64).sum();
-        out.iter()
-            .enumerate()
-            .all(|(r, v)| v.len() as u64 == target_for(n, out.len(), r))
+        out.iter().enumerate().all(|(r, v)| v.len() as u64 == target_for(n, out.len(), r))
     }
 
     fn same_multiset(parts: &[Vec<u64>], out: &[Vec<u64>]) -> bool {
@@ -154,12 +152,7 @@ mod tests {
             // All data on one processor.
             vec![(0..40).collect(), vec![], vec![], vec![]],
             // Staircase.
-            vec![
-                (0..1).collect(),
-                (10..14).collect(),
-                (20..29).collect(),
-                (30..46).collect(),
-            ],
+            vec![(0..1).collect(), (10..14).collect(), (20..29).collect(), (30..46).collect()],
             // Already balanced.
             vec![(0..5).collect(), (5..10).collect(), (10..15).collect(), (15..20).collect()],
             // Everything empty.

@@ -23,10 +23,7 @@ pub(crate) struct Transfer {
 ///
 /// `sources` and `sinks` are `(rank, amount)` lists with positive amounts;
 /// their total amounts must match.
-pub(crate) fn transfer_schedule(
-    sources: &[(usize, u64)],
-    sinks: &[(usize, u64)],
-) -> Vec<Transfer> {
+pub(crate) fn transfer_schedule(sources: &[(usize, u64)], sinks: &[(usize, u64)]) -> Vec<Transfer> {
     debug_assert_eq!(
         sources.iter().map(|(_, a)| a).sum::<u64>(),
         sinks.iter().map(|(_, a)| a).sum::<u64>(),
@@ -104,10 +101,7 @@ mod tests {
         let s = transfer_schedule(&[(1, 10)], &[(2, 4), (5, 6)]);
         assert_eq!(
             s,
-            vec![
-                Transfer { src: 1, snk: 2, amount: 4 },
-                Transfer { src: 1, snk: 5, amount: 6 },
-            ]
+            vec![Transfer { src: 1, snk: 2, amount: 4 }, Transfer { src: 1, snk: 5, amount: 6 },]
         );
     }
 
@@ -116,10 +110,7 @@ mod tests {
         let s = transfer_schedule(&[(0, 3), (4, 7)], &[(9, 10)]);
         assert_eq!(
             s,
-            vec![
-                Transfer { src: 0, snk: 9, amount: 3 },
-                Transfer { src: 4, snk: 9, amount: 7 },
-            ]
+            vec![Transfer { src: 0, snk: 9, amount: 3 }, Transfer { src: 4, snk: 9, amount: 7 },]
         );
     }
 

@@ -25,9 +25,7 @@ fn bench_collectives(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("combine_sum", p), &p, |b, &p| {
             let machine = Machine::with_model(p, MachineModel::free());
-            b.iter(|| {
-                machine.run(|proc| proc.combine(proc.rank() as u64, |a, b| a + b)).unwrap()
-            });
+            b.iter(|| machine.run(|proc| proc.combine(proc.rank() as u64, |a, b| a + b)).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("scan", p), &p, |b, &p| {
             let machine = Machine::with_model(p, MachineModel::free());

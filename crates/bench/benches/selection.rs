@@ -35,9 +35,7 @@ fn bench_selection(c: &mut Criterion) {
                 |b, parts| {
                     let cfg = SelectionConfig::with_seed(13).balancer(balancer);
                     b.iter(|| {
-                        median_on_machine(p, MachineModel::free(), parts, algo, &cfg)
-                            .unwrap()
-                            .value
+                        median_on_machine(p, MachineModel::free(), parts, algo, &cfg).unwrap().value
                     });
                 },
             );
@@ -53,9 +51,15 @@ fn bench_selection(c: &mut Criterion) {
             |b, parts| {
                 let cfg = SelectionConfig::with_seed(19).sample_sort(ss);
                 b.iter(|| {
-                    median_on_machine(p, MachineModel::free(), parts, Algorithm::FastRandomized, &cfg)
-                        .unwrap()
-                        .value
+                    median_on_machine(
+                        p,
+                        MachineModel::free(),
+                        parts,
+                        Algorithm::FastRandomized,
+                        &cfg,
+                    )
+                    .unwrap()
+                    .value
                 });
             },
         );

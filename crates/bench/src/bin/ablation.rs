@@ -58,10 +58,9 @@ fn main() {
         let t = measure(&cfg, Algorithm::FastRandomized);
         let unsucc = {
             let parts = generate(Distribution::Random, n, p, 1);
-            median_on_machine(p, model, &parts, Algorithm::FastRandomized, &cfg)
-                .unwrap()
-                .per_proc[0]
-                .unsuccessful_iterations
+            median_on_machine(p, model, &parts, Algorithm::FastRandomized, &cfg).unwrap().per_proc
+                [0]
+            .unsuccessful_iterations
         };
         rows.push(vec![format!("{dc:.2}"), format!("{t:.4}"), unsucc.to_string()]);
         println!("ablation delta_coeff={dc:.2} -> {t:.4}s ({unsucc} unsuccessful)");
@@ -95,11 +94,7 @@ fn main() {
         let cfg = SelectionConfig { threshold_coeff: coeff, ..SelectionConfig::with_seed(7) };
         let t_fast = measure(&cfg, Algorithm::FastRandomized);
         let t_rand = measure(&cfg, Algorithm::Randomized);
-        rows.push(vec![
-            format!("{coeff}"),
-            format!("{t_rand:.4}"),
-            format!("{t_fast:.4}"),
-        ]);
+        rows.push(vec![format!("{coeff}"), format!("{t_rand:.4}"), format!("{t_fast:.4}")]);
         println!("ablation threshold_coeff={coeff} -> rand {t_rand:.4}s fast {t_fast:.4}s");
     }
     out.push_str("### Sequential-finish threshold (iterate while n > C·p²)\n\n");

@@ -1,0 +1,112 @@
+//! Batched vs per-query execution on the persistent engine: the
+//! amortization experiment motivating `cgselect-engine`.
+//!
+//! For batches of R rank/quantile queries over the same resident data, the
+//! engine coalesces the whole batch into one `parallel_multi_select` pass;
+//! this binary measures what that saves against issuing the R queries
+//! one at a time — in collective rounds, virtual seconds (CM-5 model), and
+//! host wall-clock — and writes `results/engine.{csv,txt}`.
+//!
+//! Pass `--quick` for a reduced grid.
+
+use std::time::Instant;
+
+use cgselect_bench::chart::{markdown_table, write_csv, write_text};
+use cgselect_bench::{quick_mode, results_dir};
+use cgselect_engine::{Engine, EngineConfig, Query};
+use cgselect_workloads::{generate, Distribution};
+
+fn main() {
+    let quick = quick_mode();
+    let dir = results_dir();
+    let p = 8;
+    let n: usize = if quick { 1 << 17 } else { 1 << 20 };
+    let batch_sizes: &[usize] = if quick { &[4, 16] } else { &[4, 16, 64, 256] };
+
+    let data: Vec<u64> = generate(Distribution::Random, n, p, 7).into_iter().flatten().collect();
+    let mut engine: Engine<u64> = Engine::new(EngineConfig::new(p)).expect("engine start");
+    engine.ingest(data).expect("ingest");
+    let total = engine.len();
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &r in batch_sizes {
+        let queries: Vec<Query> = (0..r)
+            .map(|i| Query::Rank((i as u64 * (total - 1)) / r.max(2) as u64 + i as u64 % 3))
+            .collect();
+
+        let wall0 = Instant::now();
+        let batched = engine.execute(&queries).expect("batched execute");
+        let batched_wall = wall0.elapsed().as_secs_f64();
+
+        let wall0 = Instant::now();
+        let mut single_ops = 0u64;
+        let mut single_makespan = 0.0f64;
+        let mut single_msgs = 0u64;
+        for q in &queries {
+            let rep = engine.execute(std::slice::from_ref(q)).expect("single execute");
+            single_ops += rep.collective_ops;
+            single_makespan += rep.makespan;
+            single_msgs += rep.comm.msgs_sent;
+        }
+        let single_wall = wall0.elapsed().as_secs_f64();
+
+        rows.push(format!(
+            "{n},{p},{r},{},{single_ops},{:.6},{:.6},{},{single_msgs},{:.6},{:.6}",
+            batched.collective_ops,
+            batched.makespan,
+            single_makespan,
+            batched.comm.msgs_sent,
+            batched_wall,
+            single_wall
+        ));
+        table.push(vec![
+            r.to_string(),
+            batched.collective_ops.to_string(),
+            single_ops.to_string(),
+            format!("{:.1}x", single_ops as f64 / batched.collective_ops as f64),
+            format!("{:.4}", batched.makespan),
+            format!("{:.4}", single_makespan),
+            format!("{:.1}x", single_makespan / batched.makespan.max(1e-12)),
+        ]);
+        println!(
+            "R={r:>4}: collective ops {:>6} batched vs {:>7} single ({:.1}x); \
+             virtual {:.4}s vs {:.4}s; wall {:.3}s vs {:.3}s",
+            batched.collective_ops,
+            single_ops,
+            single_ops as f64 / batched.collective_ops as f64,
+            batched.makespan,
+            single_makespan,
+            batched_wall,
+            single_wall
+        );
+    }
+
+    let out = format!(
+        "Batched vs per-query execution on the persistent engine\n\
+         (n = {n}, p = {p}, random resident data; virtual times under the CM-5 model)\n\n{}\n\
+         One multi-select pass resolves a whole batch in O(log n + R) pivot\n\
+         rounds; R single-rank calls pay O(R log n). The ratio grows with R.\n",
+        markdown_table(
+            &[
+                "R",
+                "coll. ops (batch)",
+                "coll. ops (single)",
+                "ops ratio",
+                "virtual s (batch)",
+                "virtual s (single)",
+                "time ratio"
+            ],
+            &table
+        )
+    );
+    write_csv(
+        &dir.join("engine.csv"),
+        "n,p,batch,collective_ops_batched,collective_ops_single,makespan_batched,\
+         makespan_single,msgs_batched,msgs_single,wall_batched,wall_single",
+        &rows,
+    );
+    write_text(&dir.join("engine.txt"), &out);
+    print!("{out}");
+    println!("engine -> {}/engine.{{csv,txt}}", dir.display());
+}

@@ -39,8 +39,7 @@ fn main() {
         let rnd = time(Algorithm::Randomized, Balancer::None, Distribution::Random);
         let fast = time(Algorithm::FastRandomized, Balancer::None, Distribution::Random);
         let rnd_srt = time(Algorithm::Randomized, Balancer::None, Distribution::Sorted);
-        let fast_srt_lb =
-            time(Algorithm::FastRandomized, Balancer::ModOmlb, Distribution::Sorted);
+        let fast_srt_lb = time(Algorithm::FastRandomized, Balancer::ModOmlb, Distribution::Sorted);
         let fast_srt = time(Algorithm::FastRandomized, Balancer::None, Distribution::Sorted);
 
         rows.push(vec![

@@ -25,11 +25,8 @@ pub fn ascii_chart(title: &str, xlabel: &str, ylabel: &str, series: &[Series]) -
     let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
     xs.sort_by(f64::total_cmp);
     xs.dedup();
-    let ymax = series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|p| p.1))
-        .fold(0.0f64, f64::max)
-        .max(1e-12);
+    let ymax =
+        series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).fold(0.0f64, f64::max).max(1e-12);
 
     let mut grid = vec![vec![' '; W]; H];
     let x_pos = |x: f64| -> usize {

@@ -29,7 +29,13 @@ pub struct Spec {
 impl Spec {
     /// The paper's standard configuration for a sweep point: CM-5 model,
     /// five seeds on random data, one on deterministic inputs.
-    pub fn paper(algo: Algorithm, balancer: Balancer, dist: Distribution, n: usize, p: usize) -> Spec {
+    pub fn paper(
+        algo: Algorithm,
+        balancer: Balancer,
+        dist: Distribution,
+        n: usize,
+        p: usize,
+    ) -> Spec {
         let seeds = if dist == Distribution::Random { vec![11, 22, 33, 44, 55] } else { vec![11] };
         Spec { algo, balancer, dist, n, p, seeds, model: MachineModel::cm5() }
     }

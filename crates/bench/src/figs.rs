@@ -1,7 +1,7 @@
 //! One function per table/figure of the paper's evaluation (§5).
 
-use cgselect_core::{Algorithm, Balancer, LocalKernel, SelectionConfig};
 use cgselect_core::median_on_machine;
+use cgselect_core::{Algorithm, Balancer, LocalKernel, SelectionConfig};
 use cgselect_runtime::MachineModel;
 use cgselect_workloads::{generate, Distribution};
 
@@ -43,8 +43,7 @@ pub fn fig1(quick: bool) {
         for algo in Algorithm::ALL {
             let mut pts = Vec::new();
             for &p in &procs {
-                let mut spec =
-                    Spec::paper(algo, fig1_balancer(algo), Distribution::Random, n, p);
+                let mut spec = Spec::paper(algo, fig1_balancer(algo), Distribution::Random, n, p);
                 if quick {
                     spec = spec.quick();
                 }
@@ -220,8 +219,7 @@ pub fn fig4(quick: bool) {
 fn lb_breakdown(algo: Algorithm, figname: &str, quick: bool) {
     let dir = results_dir();
     let n = if quick { K128 } else { M2 };
-    let procs: Vec<usize> =
-        if quick { vec![4, 16, 64] } else { vec![4, 8, 16, 32, 64, 128] };
+    let procs: Vec<usize> = if quick { vec![4, 16, 64] } else { vec![4, 8, 16, 32, 64, 128] };
     let strategies =
         [Balancer::None, Balancer::ModOmlb, Balancer::DimExchange, Balancer::GlobalExchange];
     let mut rows = Vec::new();
@@ -421,11 +419,8 @@ pub fn hybrid(quick: bool) {
     };
 
     let mom_det = time(Algorithm::MedianOfMedians, None, Balancer::GlobalExchange);
-    let mom_hyb = time(
-        Algorithm::MedianOfMedians,
-        Some(LocalKernel::Randomized),
-        Balancer::GlobalExchange,
-    );
+    let mom_hyb =
+        time(Algorithm::MedianOfMedians, Some(LocalKernel::Randomized), Balancer::GlobalExchange);
     let bkt_det = time(Algorithm::BucketBased, None, Balancer::None);
     let bkt_hyb = time(Algorithm::BucketBased, Some(LocalKernel::Randomized), Balancer::None);
     let rnd = time(Algorithm::Randomized, None, Balancer::None);
@@ -485,7 +480,8 @@ pub fn headline(quick: bool) {
     let fast_srt = measure(Algorithm::FastRandomized, Balancer::None, Distribution::Sorted);
     let fast_srt_lb = measure(Algorithm::FastRandomized, Balancer::ModOmlb, Distribution::Sorted);
     let bkt_srt = measure(Algorithm::BucketBased, Balancer::None, Distribution::Sorted);
-    let mom_srt = measure(Algorithm::MedianOfMedians, Balancer::GlobalExchange, Distribution::Sorted);
+    let mom_srt =
+        measure(Algorithm::MedianOfMedians, Balancer::GlobalExchange, Distribution::Sorted);
 
     // The implicit baseline of the whole paper: selection without sorting
     // must beat a full parallel sort followed by a rank lookup.
@@ -497,8 +493,12 @@ pub fn headline(quick: bool) {
                 proc.barrier();
                 let t0 = proc.now();
                 let mine = parts[proc.rank()].clone();
-                let vs =
-                    cgselect_sort::sorted_ranks_of(proc, cgselect_sort::SampleSortAlgo::Psrs, mine, &[k]);
+                let vs = cgselect_sort::sorted_ranks_of(
+                    proc,
+                    cgselect_sort::SampleSortAlgo::Psrs,
+                    mine,
+                    &[k],
+                );
                 let _ = vs[0];
                 proc.now() - t0
             })

@@ -41,9 +41,7 @@ pub fn quick_mode() -> bool {
 /// workspace root), created on demand.
 pub fn results_dir() -> std::path::PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("results");
     std::fs::create_dir_all(&dir).expect("cannot create results directory");
     dir.canonicalize().expect("results directory must resolve")
 }

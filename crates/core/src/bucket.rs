@@ -5,7 +5,7 @@ use cgselect_runtime::{Key, Proc};
 use cgselect_seqsel::{median_rank, weighted_median, Buckets, KernelRng, LocalKernel, OpCount};
 
 use crate::common::{finish, Narrow, Step};
-use crate::{Algorithm, AlgoResult, SelectionConfig};
+use crate::{AlgoResult, Algorithm, SelectionConfig};
 
 /// Runs bucket-based parallel selection (paper Algorithm 2, after
 /// Rajasekaran et al.).

@@ -170,7 +170,12 @@ pub(crate) fn finish<T: Key>(
 /// Combines local `(a, b, rest)` zone sizes into global zone counts with a
 /// single Combine of a 3-tuple (one collective, as in the paper's Step 5/6
 /// pair — we fuse the two Combines into one message of three counters).
-pub(crate) fn combine_zone_counts(proc: &mut Proc, a: usize, b: usize, len: usize) -> (u64, u64, u64) {
+pub(crate) fn combine_zone_counts(
+    proc: &mut Proc,
+    a: usize,
+    b: usize,
+    len: usize,
+) -> (u64, u64, u64) {
     let local = (a as u64, (b - a) as u64, (len - b) as u64);
     proc.combine(local, |x, y| (x.0 + y.0, x.1 + y.1, x.2 + y.2))
 }

@@ -7,7 +7,7 @@ use cgselect_sort::sorted_ranks_of;
 
 use crate::common::{apply_step, combine_zone_counts, finish, Narrow};
 use crate::randomized::random_pivot_step;
-use crate::{Algorithm, AlgoResult, SelectionConfig};
+use crate::{AlgoResult, Algorithm, SelectionConfig};
 
 /// Runs fast randomized selection (paper Algorithm 4, after Rajasekaran et
 /// al.): `O(log log n)` iterations w.h.p.

@@ -5,7 +5,7 @@ use cgselect_runtime::{Key, Proc};
 use cgselect_seqsel::{median_rank, select_with, KernelRng, OpCount};
 
 use crate::common::{finish, two_way_narrow, Narrow};
-use crate::{Algorithm, AlgoResult, SelectionConfig};
+use crate::{AlgoResult, Algorithm, SelectionConfig};
 
 /// Runs the median-of-medians selection algorithm (paper Algorithm 1): per
 /// iteration, every processor finds its local median, processor 0 finds the

@@ -99,8 +99,7 @@ pub fn parallel_multi_select<T: Key>(
         let idx = shared_rng.below(seg.n);
         let len = seg.data.len() as u64;
         let before = proc.exclusive_prefix_sum(len);
-        let mine =
-            (before <= idx && idx < before + len).then(|| seg.data[(idx - before) as usize]);
+        let mine = (before <= idx && idx < before + len).then(|| seg.data[(idx - before) as usize]);
         let pivot: T = proc.bcast_from_owner(mine);
 
         let mut data = seg.data;
@@ -131,18 +130,12 @@ pub fn parallel_multi_select<T: Key>(
         stack.push(Segment { data, n: c_lt, ranks: left_ranks });
     }
 
-    out.into_iter()
-        .map(|v| v.expect("every requested rank must have been resolved"))
-        .collect()
+    out.into_iter().map(|v| v.expect("every requested rank must have been resolved")).collect()
 }
 
 /// Gathers a small segment on P0, sorts it once, reads off all of the
 /// segment's ranks, and broadcasts the answers.
-fn solve_segment_sequentially<T: Key>(
-    proc: &mut Proc,
-    seg: Segment<T>,
-    out: &mut [Option<T>],
-) {
+fn solve_segment_sequentially<T: Key>(proc: &mut Proc, seg: Segment<T>, out: &mut [Option<T>]) {
     proc.phase_begin(PHASE_FINISH);
     let gathered = proc.gather_flat(0, seg.data);
     let answers: Option<Vec<T>> = gathered.map(|mut all| {
@@ -197,30 +190,27 @@ mod tests {
         let parts: Vec<Vec<u64>> =
             (0..p).map(|r| (0..200).map(|i| (i * p + r) as u64 * 7 % 1000).collect()).collect();
         let ranks = [0u64, 100, 400, 799];
-        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg())
-            .unwrap();
+        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg()).unwrap();
         assert_eq!(got, oracle(&parts, &ranks));
     }
 
     #[test]
     fn unsorted_and_duplicate_rank_requests() {
         let p = 3;
-        let parts: Vec<Vec<u64>> = (0..p).map(|r| (0..100).map(|i| (i + r) as u64).collect()).collect();
+        let parts: Vec<Vec<u64>> =
+            (0..p).map(|r| (0..100).map(|i| (i + r) as u64).collect()).collect();
         let ranks = [250u64, 0, 250, 42, 299];
-        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg())
-            .unwrap();
+        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg()).unwrap();
         assert_eq!(got, oracle(&parts, &ranks));
     }
 
     #[test]
     fn heavy_duplicates() {
         let p = 4;
-        let parts: Vec<Vec<u64>> =
-            (0..p).map(|_| [1u64, 2, 2, 2, 3].repeat(40)).collect();
+        let parts: Vec<Vec<u64>> = (0..p).map(|_| [1u64, 2, 2, 2, 3].repeat(40)).collect();
         let n: usize = parts.iter().map(Vec::len).sum();
         let ranks: Vec<u64> = (0..10).map(|i| (i * n / 10) as u64).collect();
-        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg())
-            .unwrap();
+        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg()).unwrap();
         assert_eq!(got, oracle(&parts, &ranks));
     }
 
@@ -238,8 +228,7 @@ mod tests {
             .map(|r| (0..300).map(|i| ((i * 37 + r * 11) % 500) as u64).collect())
             .collect::<Vec<_>>();
         let k = 600;
-        let multi = multi_select_on_machine(p, MachineModel::free(), &parts, &[k], &cfg())
-            .unwrap();
+        let multi = multi_select_on_machine(p, MachineModel::free(), &parts, &[k], &cfg()).unwrap();
         let single = crate::select_on_machine(
             p,
             MachineModel::free(),
@@ -258,20 +247,21 @@ mod tests {
         let n = 80_000usize;
         let parts: Vec<Vec<u64>> = (0..p)
             .map(|r| {
-                (0..n / p).map(|i| ((i * p + r) as u64).wrapping_mul(0x9E3779B9) % 1_000_000).collect()
+                (0..n / p)
+                    .map(|i| ((i * p + r) as u64).wrapping_mul(0x9E3779B9) % 1_000_000)
+                    .collect()
             })
             .collect();
         let ranks: Vec<u64> = (1..20).map(|i| (i * n / 20) as u64).collect();
-        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg())
-            .unwrap();
+        let got = multi_select_on_machine(p, MachineModel::free(), &parts, &ranks, &cfg()).unwrap();
         assert_eq!(got, oracle(&parts, &ranks));
     }
 
     #[test]
     fn out_of_range_rank_fails() {
         let parts: Vec<Vec<u64>> = vec![vec![1], vec![2]];
-        let err = multi_select_on_machine(2, MachineModel::free(), &parts, &[5], &cfg())
-            .unwrap_err();
+        let err =
+            multi_select_on_machine(2, MachineModel::free(), &parts, &[5], &cfg()).unwrap_err();
         assert!(format!("{err}").contains("out of range"));
     }
 }

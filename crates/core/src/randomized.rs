@@ -5,7 +5,7 @@ use cgselect_runtime::{Key, Proc};
 use cgselect_seqsel::KernelRng;
 
 use crate::common::{finish, two_way_narrow, Narrow};
-use crate::{Algorithm, AlgoResult, SelectionConfig};
+use crate::{AlgoResult, Algorithm, SelectionConfig};
 
 /// One pivot-discard round of randomized selection, shared with the
 /// fast-randomized algorithm's degeneracy fallback.

@@ -126,11 +126,8 @@ mod tests {
 
     #[test]
     fn extracts_k_smallest() {
-        let parts: Vec<Vec<u64>> = vec![
-            vec![50, 10, 90, 30],
-            vec![20, 80, 60],
-            vec![70, 40, 0, 100],
-        ];
+        let parts: Vec<Vec<u64>> =
+            vec![vec![50, 10, 90, 30], vec![20, 80, 60], vec![70, 40, 0, 100]];
         for k in [0u64, 1, 3, 5, 7, 11] {
             check(parts.clone(), k);
         }
@@ -155,7 +152,9 @@ mod tests {
     fn large_scale_with_all_algorithms() {
         let p = 4;
         let parts: Vec<Vec<u64>> = (0..p)
-            .map(|r| (0..2000).map(|i| ((i * p + r) as u64).wrapping_mul(2654435761) % 100_000).collect())
+            .map(|r| {
+                (0..2000).map(|i| ((i * p + r) as u64).wrapping_mul(2654435761) % 100_000).collect()
+            })
             .collect();
         for algo in Algorithm::ALL {
             let shares =

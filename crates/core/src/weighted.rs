@@ -34,10 +34,10 @@ pub fn parallel_weighted_select<T: Key>(
 ) -> T {
     cfg.validate();
     let p = proc.nprocs();
-    let (mut n, total_w) = proc.combine(
-        (data.len() as u64, data.iter().map(|(_, w)| *w).sum::<u64>()),
-        |a, b| (a.0 + b.0, a.1 + b.1),
-    );
+    let (mut n, total_w) = proc
+        .combine((data.len() as u64, data.iter().map(|(_, w)| *w).sum::<u64>()), |a, b| {
+            (a.0 + b.0, a.1 + b.1)
+        });
     assert!(total_w > 0, "weighted selection needs positive total weight");
     assert!(
         (1..=total_w).contains(&target_weight),
@@ -84,10 +84,9 @@ pub fn parallel_weighted_select<T: Key>(
         }
         proc.charge_ops(2 * data.len() as u64); // compare + move per pair
 
-        let sums = proc.combine(
-            (lt.len() as u64, w_lt, eq.len() as u64, w_eq),
-            |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
-        );
+        let sums = proc.combine((lt.len() as u64, w_lt, eq.len() as u64, w_eq), |a, b| {
+            (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3)
+        });
         let (c_lt, gw_lt, c_eq, gw_eq) = sums;
 
         if target <= gw_lt {
@@ -161,9 +160,7 @@ mod tests {
         let p = parts.len();
         let cfg = SelectionConfig { min_sequential: 16, ..SelectionConfig::with_seed(9) };
         let out = Machine::with_model(p, MachineModel::free())
-            .run(|proc| {
-                parallel_weighted_select(proc, parts[proc.rank()].clone(), target, &cfg)
-            })
+            .run(|proc| parallel_weighted_select(proc, parts[proc.rank()].clone(), target, &cfg))
             .unwrap();
         assert!(out.iter().all(|v| *v == out[0]));
         out[0]
@@ -192,8 +189,7 @@ mod tests {
 
     #[test]
     fn zero_weight_pairs_are_skipped() {
-        let parts: Vec<Vec<Weighted<u64>>> =
-            vec![vec![(1, 0), (2, 5)], vec![(0, 0), (3, 5)]];
+        let parts: Vec<Vec<Weighted<u64>>> = vec![vec![(1, 0), (2, 5)], vec![(0, 0), (3, 5)]];
         assert_eq!(run(&parts, 5), 2);
         assert_eq!(run(&parts, 6), 3);
     }
@@ -203,9 +199,7 @@ mod tests {
         let p = 4;
         let parts: Vec<Vec<Weighted<u64>>> = (0..p as u64)
             .map(|r| {
-                (0..3000u64)
-                    .map(|i| ((i * p as u64 + r) * 2654435761 % 10_000, i % 7))
-                    .collect()
+                (0..3000u64).map(|i| ((i * p as u64 + r) * 2654435761 % 10_000, i % 7)).collect()
             })
             .collect();
         let total: u64 = parts.iter().flatten().map(|(_, w)| w).sum();

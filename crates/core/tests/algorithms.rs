@@ -37,9 +37,8 @@ fn layouts(p: usize, n: usize, seed: u64) -> Vec<(&'static str, Vec<Vec<u64>>)> 
     out.push(("sorted", sorted));
 
     // Reverse-sorted blocks.
-    let rev: Vec<Vec<u64>> = (0..p)
-        .map(|i| ((i * chunk) as u64..((i + 1) * chunk) as u64).rev().collect())
-        .collect();
+    let rev: Vec<Vec<u64>> =
+        (0..p).map(|i| ((i * chunk) as u64..((i + 1) * chunk) as u64).rev().collect()).collect();
     out.push(("reverse", rev));
 
     // Heavy duplicates: only 4 distinct values.
@@ -66,20 +65,10 @@ fn all_algorithms_match_oracle_on_all_layouts() {
         let total: usize = parts.iter().map(Vec::len).sum();
         for algo in Algorithm::ALL {
             for k in [0u64, (total / 3) as u64, (total / 2) as u64, (total - 1) as u64] {
-                let got = select_on_machine(
-                    p,
-                    MachineModel::free(),
-                    &parts,
-                    k,
-                    algo,
-                    &test_cfg(42),
-                )
-                .unwrap();
-                assert_eq!(
-                    got.value,
-                    oracle(&parts, k),
-                    "layout={name} algo={algo:?} k={k}"
-                );
+                let got =
+                    select_on_machine(p, MachineModel::free(), &parts, k, algo, &test_cfg(42))
+                        .unwrap();
+                assert_eq!(got.value, oracle(&parts, k), "layout={name} algo={algo:?} k={k}");
             }
         }
     }
@@ -92,9 +81,14 @@ fn all_balancers_with_randomized_algorithms() {
     for (name, parts) in parts {
         let total: usize = parts.iter().map(Vec::len).sum();
         let k = (total / 2) as u64;
-        for algo in [Algorithm::Randomized, Algorithm::FastRandomized, Algorithm::MedianOfMedians]
-        {
-            for bal in [Balancer::None, Balancer::Omlb, Balancer::ModOmlb, Balancer::DimExchange, Balancer::GlobalExchange] {
+        for algo in [Algorithm::Randomized, Algorithm::FastRandomized, Algorithm::MedianOfMedians] {
+            for bal in [
+                Balancer::None,
+                Balancer::Omlb,
+                Balancer::ModOmlb,
+                Balancer::DimExchange,
+                Balancer::GlobalExchange,
+            ] {
                 let cfg = test_cfg(3).balancer(bal);
                 let got =
                     select_on_machine(p, MachineModel::free(), &parts, k, algo, &cfg).unwrap();
@@ -118,15 +112,8 @@ fn non_power_of_two_machines() {
             // Bitonic sample sort requires power-of-two p; PSRS (default)
             // must work everywhere.
             for algo in Algorithm::ALL {
-                let got = select_on_machine(
-                    p,
-                    MachineModel::free(),
-                    &parts,
-                    k,
-                    algo,
-                    &test_cfg(5),
-                )
-                .unwrap();
+                let got = select_on_machine(p, MachineModel::free(), &parts, k, algo, &test_cfg(5))
+                    .unwrap();
                 assert_eq!(got.value, oracle(&parts, k), "p={p} layout={name} algo={algo:?}");
             }
         }
@@ -165,14 +152,16 @@ fn median_convenience_matches_paper_definition() {
     let p = 3;
     let parts: Vec<Vec<u64>> = vec![vec![5, 1], vec![9, 3], vec![7]];
     // Sorted: 1 3 5 7 9; N=5, 1-based rank ceil(5/2)=3 -> value 5.
-    let got = median_on_machine(p, MachineModel::free(), &parts, Algorithm::Randomized, &test_cfg(1))
-        .unwrap();
+    let got =
+        median_on_machine(p, MachineModel::free(), &parts, Algorithm::Randomized, &test_cfg(1))
+            .unwrap();
     assert_eq!(got.value, 5);
 
     let parts: Vec<Vec<u64>> = vec![vec![4, 2], vec![8, 6], vec![]];
     // Sorted: 2 4 6 8; N=4, 1-based rank 2 -> value 4.
-    let got = median_on_machine(p, MachineModel::free(), &parts, Algorithm::Randomized, &test_cfg(1))
-        .unwrap();
+    let got =
+        median_on_machine(p, MachineModel::free(), &parts, Algorithm::Randomized, &test_cfg(1))
+            .unwrap();
     assert_eq!(got.value, 4);
 }
 
@@ -192,9 +181,15 @@ fn extreme_ranks_and_tiny_inputs() {
 fn value_identical_on_every_processor() {
     let p = 5;
     let (_, parts) = layouts(p, 500, 12).remove(0);
-    let got =
-        select_on_machine(p, MachineModel::free(), &parts, 77, Algorithm::FastRandomized, &test_cfg(13))
-            .unwrap();
+    let got = select_on_machine(
+        p,
+        MachineModel::free(),
+        &parts,
+        77,
+        Algorithm::FastRandomized,
+        &test_cfg(13),
+    )
+    .unwrap();
     for o in &got.per_proc {
         assert_eq!(o.value, got.value);
     }
@@ -203,30 +198,18 @@ fn value_identical_on_every_processor() {
 #[test]
 fn rank_out_of_range_fails_collectively() {
     let parts: Vec<Vec<u64>> = vec![vec![1], vec![2]];
-    let err = select_on_machine(
-        2,
-        MachineModel::free(),
-        &parts,
-        2,
-        Algorithm::Randomized,
-        &test_cfg(1),
-    )
-    .unwrap_err();
+    let err =
+        select_on_machine(2, MachineModel::free(), &parts, 2, Algorithm::Randomized, &test_cfg(1))
+            .unwrap_err();
     assert!(format!("{err}").contains("out of range"), "{err}");
 }
 
 #[test]
 fn empty_distributed_set_fails() {
     let parts: Vec<Vec<u64>> = vec![vec![], vec![]];
-    let err = select_on_machine(
-        2,
-        MachineModel::free(),
-        &parts,
-        0,
-        Algorithm::Randomized,
-        &test_cfg(1),
-    )
-    .unwrap_err();
+    let err =
+        select_on_machine(2, MachineModel::free(), &parts, 0, Algorithm::Randomized, &test_cfg(1))
+            .unwrap_err();
     assert!(format!("{err}").contains("empty"), "{err}");
 }
 
@@ -239,15 +222,9 @@ fn instrumentation_is_coherent() {
         balancer: Balancer::GlobalExchange,
         ..SelectionConfig::with_seed(15)
     };
-    let got = select_on_machine(
-        p,
-        MachineModel::cm5(),
-        &parts,
-        1000,
-        Algorithm::FastRandomized,
-        &cfg,
-    )
-    .unwrap();
+    let got =
+        select_on_machine(p, MachineModel::cm5(), &parts, 1000, Algorithm::FastRandomized, &cfg)
+            .unwrap();
     assert!(got.iterations() >= 1);
     for o in &got.per_proc {
         assert!(o.total_seconds > 0.0);

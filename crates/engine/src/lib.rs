@@ -1,0 +1,691 @@
+//! # cgselect-engine — a persistent sharded selection/quantile query engine
+//!
+//! The paper's algorithms are one-shot: build a machine, select one rank,
+//! tear everything down. This crate turns them into a long-lived service:
+//! data is ingested once, stays **resident in shards on the `p` virtual
+//! processors** (a [`cgselect_runtime::Session`], whose worker threads
+//! survive between calls), and an unbounded stream of query batches is
+//! served against it.
+//!
+//! What the engine adds over raw `parallel_select`:
+//!
+//! * **Batched execution** — a batch's [`Query::Rank`] / [`Query::Quantile`]
+//!   / [`Query::Median`] / [`Query::TopK`] queries are coalesced into *one*
+//!   sorted, deduplicated rank list and resolved by a single
+//!   [`cgselect_core::parallel_multi_select`] collective pass: `R` rank
+//!   queries cost `O(log n + R)` pivot rounds instead of `O(R·log n)`.
+//!   Per-batch [`BatchReport`] carries the measured
+//!   [`cgselect_runtime::CommStats`], the collective-operation count and the
+//!   virtual-time makespan.
+//! * **Incremental ingest/delete** with an **imbalance watermark**: shard
+//!   sizes are tracked, and when `max/mean` exceeds
+//!   [`EngineConfig::imbalance_watermark`] the engine re-balances with the
+//!   configured [`cgselect_balance::Balancer`] — amortized, not per
+//!   operation.
+//! * **An approximate fast path** — every shard maintains a mergeable
+//!   reservoir sketch of its data on ingest; quantile queries carrying a
+//!   rank-error tolerance the sketches can honor are answered from the
+//!   sketches alone, never touching the full data, and fall back to the
+//!   exact paper algorithms otherwise.
+//!
+//! ```
+//! use cgselect_engine::{Engine, EngineConfig, Query, Answer};
+//!
+//! let mut engine: Engine<u64> = Engine::new(EngineConfig::new(4)).unwrap();
+//! engine.ingest((0..1000u64).rev().collect()).unwrap();
+//!
+//! let report = engine
+//!     .execute(&[Query::Median, Query::Rank(10), Query::TopK(3)])
+//!     .unwrap();
+//! assert_eq!(report.answers[0], Answer::Value(499));
+//! assert_eq!(report.answers[1], Answer::Value(10));
+//! assert_eq!(report.answers[2], Answer::Top(vec![0, 1, 2]));
+//! assert!(report.comm.collective_ops > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod query;
+pub mod sketch;
+
+pub use query::{quantile_rank, Answer, Query};
+pub use sketch::ReservoirSketch;
+
+use std::sync::Arc;
+
+use cgselect_balance::{rebalance, Balancer};
+use cgselect_core::{parallel_multi_select, SelectionConfig};
+use cgselect_runtime::{CommStats, Key, MachineModel, RunError, Session, ShardStore};
+
+/// Configuration of a persistent engine.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of virtual processors (shards).
+    pub nprocs: usize,
+    /// Machine cost model for the virtual-time accounting.
+    pub model: MachineModel,
+    /// Tuning of the underlying selection algorithms (the multi-select
+    /// pivot seed is re-derived per batch from `selection.seed`).
+    pub selection: SelectionConfig,
+    /// Strategy used when the imbalance watermark triggers a re-balance.
+    pub balancer: Balancer,
+    /// Re-balance when `max(shard)/mean(shard)` exceeds this (≥ 1.0).
+    pub imbalance_watermark: f64,
+    /// Per-shard reservoir capacity for the approximate path (0 disables
+    /// the sketches, forcing every quantile to the exact path).
+    pub sketch_capacity: usize,
+}
+
+impl EngineConfig {
+    /// Defaults for a `p`-shard engine: CM-5 cost model, global-exchange
+    /// re-balancing at watermark 1.5, 2048-sample sketches.
+    pub fn new(nprocs: usize) -> Self {
+        EngineConfig {
+            nprocs,
+            model: MachineModel::cm5(),
+            selection: SelectionConfig::default(),
+            balancer: Balancer::GlobalExchange,
+            imbalance_watermark: 1.5,
+            sketch_capacity: 2048,
+        }
+    }
+
+    /// Builder-style cost model choice.
+    pub fn model(mut self, model: MachineModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Builder-style balancer choice.
+    pub fn balancer(mut self, balancer: Balancer) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// Builder-style watermark choice.
+    pub fn imbalance_watermark(mut self, ratio: f64) -> Self {
+        self.imbalance_watermark = ratio;
+        self
+    }
+
+    /// Builder-style sketch capacity choice.
+    pub fn sketch_capacity(mut self, capacity: usize) -> Self {
+        self.sketch_capacity = capacity;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.nprocs >= 1, "an engine needs at least one shard");
+        assert!(
+            self.imbalance_watermark >= 1.0,
+            "imbalance watermark must be >= 1.0 (max/mean ratio), got {}",
+            self.imbalance_watermark
+        );
+        self.selection.validate();
+    }
+}
+
+/// Errors surfaced to engine callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A query was submitted while no data is resident.
+    Empty,
+    /// `Query::Rank` beyond the resident population.
+    RankOutOfRange {
+        /// The requested 0-based rank.
+        rank: u64,
+        /// The resident population.
+        n: u64,
+    },
+    /// `Query::Quantile` outside `[0, 1]`.
+    InvalidQuantile(f64),
+    /// A rank-error tolerance that is negative, NaN, or infinite.
+    InvalidTolerance(f64),
+    /// `Query::TopK` larger than the resident population.
+    TopKTooLarge {
+        /// The requested k.
+        k: u64,
+        /// The resident population.
+        n: u64,
+    },
+    /// The underlying SPMD session failed (and is now poisoned).
+    Runtime(RunError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Empty => write!(f, "query on an empty engine"),
+            EngineError::RankOutOfRange { rank, n } => {
+                write!(f, "rank {rank} out of range for {n} resident elements")
+            }
+            EngineError::InvalidQuantile(q) => {
+                write!(f, "quantile {q} outside [0, 1]")
+            }
+            EngineError::InvalidTolerance(t) => {
+                write!(f, "invalid rank-error tolerance {t} (must be finite and >= 0)")
+            }
+            EngineError::TopKTooLarge { k, n } => {
+                write!(f, "top-k of {k} exceeds the {n} resident elements")
+            }
+            EngineError::Runtime(e) => write!(f, "runtime failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RunError> for EngineError {
+    fn from(e: RunError) -> Self {
+        EngineError::Runtime(e)
+    }
+}
+
+/// What one batch execution did and cost.
+#[derive(Clone, Debug)]
+pub struct BatchReport<T> {
+    /// Per-query answers, aligned with the submitted batch.
+    pub answers: Vec<Answer<T>>,
+    /// Communication this batch moved, summed over all processors
+    /// (`collective_ops` is summed too; divide by `nprocs` for the
+    /// per-processor SPMD count).
+    pub comm: CommStats,
+    /// Collective operations the batch started, per processor (identical
+    /// on every rank by SPMD discipline) — the "collective rounds" to
+    /// compare batched against per-query execution.
+    pub collective_ops: u64,
+    /// Virtual-time makespan of the batch under the engine's cost model.
+    pub makespan: f64,
+    /// How many distinct ranks the coalesced multi-select pass resolved.
+    pub exact_ranks: usize,
+    /// How many queries were served from the sketches.
+    pub sketch_answers: usize,
+}
+
+/// What one ingest/delete did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationReport {
+    /// Elements added (ingest) or removed (delete).
+    pub elements: u64,
+    /// Whether the imbalance watermark triggered a re-balance afterwards.
+    pub rebalanced: bool,
+}
+
+/// Per-shard resident data plus its sketch; lives in each worker's
+/// [`ShardStore`] between calls.
+struct Shard<T> {
+    data: Vec<T>,
+    sketch: ReservoirSketch<T>,
+}
+
+/// A persistent sharded selection/quantile engine over element type `T`.
+///
+/// See the crate docs for the architecture; construction spawns the `p`
+/// worker threads, which stay alive until the engine is dropped.
+pub struct Engine<T: Key> {
+    session: Session,
+    cfg: EngineConfig,
+    shard_sizes: Vec<u64>,
+    total: u64,
+    rebalances: u64,
+    batches: u64,
+    ingest_cursor: usize,
+    _elem: std::marker::PhantomData<T>,
+}
+
+impl<T: Key> Engine<T> {
+    /// Starts an engine: spawns the session and installs empty shards.
+    pub fn new(cfg: EngineConfig) -> Result<Self, EngineError> {
+        cfg.validate();
+        let mut session = Session::with_model(cfg.nprocs, cfg.model);
+        let capacity = cfg.sketch_capacity;
+        let seed = cfg.selection.seed;
+        session.run(move |proc, store| {
+            let shard_seed = seed ^ (proc.rank() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            store.insert(Shard::<T> {
+                data: Vec::new(),
+                sketch: ReservoirSketch::new(capacity, shard_seed),
+            });
+        })?;
+        Ok(Engine {
+            shard_sizes: vec![0; cfg.nprocs],
+            total: 0,
+            rebalances: 0,
+            batches: 0,
+            ingest_cursor: 0,
+            session,
+            cfg,
+            _elem: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of shards (= virtual processors).
+    pub fn nprocs(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    /// Resident population.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True if no data is resident.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Current per-shard element counts.
+    pub fn shard_sizes(&self) -> &[u64] {
+        &self.shard_sizes
+    }
+
+    /// How many watermark-triggered re-balances have run.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// How many query batches have executed.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Current `max/mean` shard-size ratio (1.0 when empty or perfectly
+    /// balanced).
+    pub fn imbalance_ratio(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let max = *self.shard_sizes.iter().max().expect("nprocs >= 1") as f64;
+        let mean = self.total as f64 / self.cfg.nprocs as f64;
+        max / mean
+    }
+
+    /// Ingests `items`, spread round-robin across the shards (the cursor
+    /// persists, so successive small ingests stay balanced). Sketches are
+    /// maintained incrementally; the watermark is checked afterwards.
+    pub fn ingest(&mut self, items: Vec<T>) -> Result<MutationReport, EngineError> {
+        let p = self.cfg.nprocs;
+        let count = items.len();
+        let mut chunks: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for (i, x) in items.into_iter().enumerate() {
+            chunks[(self.ingest_cursor + i) % p].push(x);
+        }
+        self.ingest_cursor = (self.ingest_cursor + count) % p;
+        self.ingest_chunks(chunks)
+    }
+
+    /// Ingests `items` entirely into shard `rank` — the "hot receiver"
+    /// pattern (data arriving on one node). This is what drives the
+    /// imbalance watermark in practice.
+    ///
+    /// # Panics
+    /// Panics if `rank >= nprocs()`.
+    pub fn ingest_pinned(
+        &mut self,
+        rank: usize,
+        items: Vec<T>,
+    ) -> Result<MutationReport, EngineError> {
+        assert!(rank < self.cfg.nprocs, "shard {rank} out of range");
+        let mut chunks: Vec<Vec<T>> = (0..self.cfg.nprocs).map(|_| Vec::new()).collect();
+        chunks[rank] = items;
+        self.ingest_chunks(chunks)
+    }
+
+    fn ingest_chunks(&mut self, chunks: Vec<Vec<T>>) -> Result<MutationReport, EngineError> {
+        let added: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        // Each worker takes (moves) its own chunk out of the shared slots —
+        // ingest is the engine's primary data path and must not copy the
+        // batch a second time.
+        let chunks: Arc<Vec<std::sync::Mutex<Option<Vec<T>>>>> =
+            Arc::new(chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect());
+        let sizes = self.session.run(move |proc, store| {
+            let mine: Vec<T> = chunks[proc.rank()]
+                .lock()
+                .expect("ingest chunk lock")
+                .take()
+                .expect("each rank takes its chunk exactly once");
+            proc.charge_ops(mine.len() as u64);
+            let shard = shard_mut::<T>(store);
+            shard.data.reserve(mine.len());
+            for x in mine {
+                shard.sketch.offer(x);
+                shard.data.push(x);
+            }
+            shard.data.len() as u64
+        })?;
+        self.set_sizes(sizes);
+        let rebalanced = self.maybe_rebalance()?;
+        Ok(MutationReport { elements: added, rebalanced })
+    }
+
+    /// Deletes **all** resident occurrences of the given values, returning
+    /// how many elements were removed. Shard sketches are rebuilt and the
+    /// watermark is checked afterwards.
+    pub fn delete(&mut self, values: &[T]) -> Result<MutationReport, EngineError> {
+        if values.is_empty() || self.total == 0 {
+            return Ok(MutationReport { elements: 0, rebalanced: false });
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let sorted = Arc::new(sorted);
+        let sizes = self.session.run(move |proc, store| {
+            let shard = shard_mut::<T>(store);
+            let before = shard.data.len();
+            // One pass over the shard, with a log-factor for the binary
+            // search each element performs against the delete list.
+            proc.charge_ops((before as u64) * (1 + sorted.len().ilog2() as u64));
+            shard.data.retain(|x| sorted.binary_search(x).is_err());
+            if shard.data.len() != before {
+                shard.sketch.rebuild(&shard.data);
+                proc.charge_ops(shard.data.len() as u64);
+            }
+            shard.data.len() as u64
+        })?;
+        let before = self.total;
+        self.set_sizes(sizes);
+        let removed = before - self.total;
+        let rebalanced = self.maybe_rebalance()?;
+        Ok(MutationReport { elements: removed, rebalanced })
+    }
+
+    /// Executes one batch of queries against the resident data.
+    ///
+    /// All rank-type queries (ranks, exact quantiles, medians, top-k) are
+    /// coalesced into a single `parallel_multi_select` pass; quantiles with
+    /// a tolerance the sketches can honor are answered without touching
+    /// the full data. Answers are aligned with `queries`.
+    pub fn execute(&mut self, queries: &[Query]) -> Result<BatchReport<T>, EngineError> {
+        let sketch_bound = if self.cfg.sketch_capacity == 0 {
+            f64::INFINITY
+        } else {
+            let shards: Vec<(usize, u64)> = self
+                .shard_sizes
+                .iter()
+                .map(|&n| (self.cfg.sketch_capacity.min(n as usize), n))
+                .collect();
+            sketch::support_bound(&shards)
+        };
+        let plan = query::plan(queries, self.total, sketch_bound)?;
+
+        // Per-batch pivot seed: deterministic, but decorrelated across
+        // batches so one unlucky stream cannot haunt every batch.
+        let mut sel_cfg = self.cfg.selection.clone();
+        sel_cfg.seed ^= (self.batches + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        self.batches += 1;
+
+        let exact_ranks = Arc::new(plan.exact_ranks.clone());
+        let sketch_targets = Arc::new(plan.sketch_targets.clone());
+        let results = self.session.run(move |proc, store| {
+            // Synchronize clocks so the elapsed virtual time is a makespan.
+            proc.barrier();
+            let comm0 = proc.comm_stats();
+            let t0 = proc.now();
+
+            let shard = shard_mut::<T>(store);
+            let exact_values: Vec<T> = if exact_ranks.is_empty() {
+                Vec::new()
+            } else {
+                // multi-select consumes its input; queries must not, so a
+                // working copy is made (and its cost charged).
+                proc.charge_ops(shard.data.len() as u64);
+                parallel_multi_select(proc, shard.data.clone(), &exact_ranks, &sel_cfg)
+            };
+
+            let sketch_values: Vec<T> = if sketch_targets.is_empty() {
+                Vec::new()
+            } else {
+                // The approximate path moves only the sketches: every rank
+                // learns all reservoirs + populations and computes the
+                // same deterministic estimates.
+                let samples = proc.all_gatherv(shard.sketch.samples().to_vec());
+                let pops = proc.all_gather(shard.sketch.population());
+                let merged: Vec<(Vec<T>, u64)> = samples.into_iter().zip(pops).collect();
+                let sample_count: u64 = merged.iter().map(|(s, _)| s.len() as u64).sum();
+                proc.charge_ops(sample_count * (1 + sample_count.max(2).ilog2() as u64));
+                sketch_targets
+                    .iter()
+                    .map(|&target| sketch::estimate_rank(&merged, target))
+                    .collect()
+            };
+
+            (exact_values, sketch_values, proc.comm_stats().since(&comm0), proc.now() - t0)
+        })?;
+
+        let mut comm = CommStats::default();
+        let mut makespan = 0.0f64;
+        for (_, _, delta, elapsed) in &results {
+            comm = comm.merged(delta);
+            makespan = makespan.max(*elapsed);
+        }
+        let (exact_values, sketch_values, rank0_delta, _) = &results[0];
+        let answers = plan.assemble(exact_values, sketch_values);
+        Ok(BatchReport {
+            answers,
+            comm,
+            collective_ops: rank0_delta.collective_ops,
+            makespan,
+            exact_ranks: plan.exact_ranks.len(),
+            sketch_answers: plan.sketch_targets.len(),
+        })
+    }
+
+    fn set_sizes(&mut self, sizes: Vec<u64>) {
+        self.total = sizes.iter().sum();
+        self.shard_sizes = sizes;
+    }
+
+    /// Runs the configured balancer if the watermark is exceeded.
+    fn maybe_rebalance(&mut self) -> Result<bool, EngineError> {
+        if self.cfg.nprocs == 1 || self.total < self.cfg.nprocs as u64 {
+            return Ok(false);
+        }
+        if self.imbalance_ratio() <= self.cfg.imbalance_watermark {
+            return Ok(false);
+        }
+        let balancer = self.cfg.balancer;
+        let sizes = self.session.run(move |proc, store| {
+            let shard = shard_mut::<T>(store);
+            rebalance(balancer, proc, &mut shard.data);
+            shard.sketch.rebuild(&shard.data);
+            proc.charge_ops(shard.data.len() as u64);
+            shard.data.len() as u64
+        })?;
+        self.set_sizes(sizes);
+        self.rebalances += 1;
+        Ok(true)
+    }
+}
+
+/// The shard installed at engine construction; its absence means the store
+/// was tampered with, which is a bug.
+fn shard_mut<T: Key>(store: &mut ShardStore) -> &mut Shard<T> {
+    store.get_mut::<Shard<T>>().expect("engine shard must be installed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free_cfg(p: usize) -> EngineConfig {
+        EngineConfig::new(p).model(MachineModel::free())
+    }
+
+    fn oracle_sorted(data: &[u64]) -> Vec<u64> {
+        let mut v = data.to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn exact_queries_match_oracle_across_batches() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(4)).unwrap();
+        let data: Vec<u64> = (0..5000u64).map(|i| i.wrapping_mul(0x9E3779B9) % 100_000).collect();
+        engine.ingest(data.clone()).unwrap();
+        let sorted = oracle_sorted(&data);
+        let n = sorted.len() as u64;
+
+        // Several batches against the same session: state persistence.
+        for batch in 0..3u64 {
+            let queries = vec![
+                Query::Rank(batch * 100),
+                Query::Median,
+                Query::quantile(0.25),
+                Query::quantile(0.99),
+                Query::TopK(5),
+            ];
+            let report = engine.execute(&queries).unwrap();
+            assert_eq!(report.answers[0], Answer::Value(sorted[(batch * 100) as usize]));
+            assert_eq!(report.answers[1], Answer::Value(sorted[((n - 1) / 2) as usize]));
+            assert_eq!(report.answers[2], Answer::Value(sorted[quantile_rank(0.25, n) as usize]));
+            assert_eq!(report.answers[3], Answer::Value(sorted[quantile_rank(0.99, n) as usize]));
+            assert_eq!(report.answers[4], Answer::Top(sorted[..5].to_vec()));
+            assert!(report.collective_ops > 0);
+            assert!(report.comm.msgs_sent > 0);
+        }
+        assert_eq!(engine.batches(), 3);
+    }
+
+    #[test]
+    fn ingest_round_robin_stays_balanced() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(4)).unwrap();
+        for _ in 0..10 {
+            engine.ingest((0..25u64).collect()).unwrap();
+        }
+        assert_eq!(engine.len(), 250);
+        let (mn, mx) = (
+            *engine.shard_sizes().iter().min().unwrap(),
+            *engine.shard_sizes().iter().max().unwrap(),
+        );
+        assert!(mx - mn <= 1, "round-robin drifted: {:?}", engine.shard_sizes());
+        assert_eq!(engine.rebalances(), 0);
+    }
+
+    #[test]
+    fn pinned_ingest_trips_the_watermark_exactly_once() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(4).imbalance_watermark(1.5)).unwrap();
+        engine.ingest((0..4000u64).collect()).unwrap();
+        assert_eq!(engine.rebalances(), 0);
+        // A hot shard: +4000 elements on shard 0 -> ratio (1000+4000)/2000 = 2.5.
+        let rep = engine.ingest_pinned(0, (10_000..14_000u64).collect()).unwrap();
+        assert!(rep.rebalanced);
+        assert_eq!(engine.rebalances(), 1);
+        assert!(engine.imbalance_ratio() <= 1.05, "ratio {}", engine.imbalance_ratio());
+        // Queries still correct after the move.
+        let report = engine.execute(&[Query::Rank(0), Query::quantile(1.0)]).unwrap();
+        assert_eq!(report.answers[0], Answer::Value(0));
+        assert_eq!(report.answers[1], Answer::Value(13_999));
+    }
+
+    #[test]
+    fn delete_removes_all_occurrences_and_updates_queries() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(3)).unwrap();
+        engine.ingest(vec![5, 1, 5, 3, 5, 2, 4, 5]).unwrap();
+        let rep = engine.delete(&[5, 99]).unwrap();
+        assert_eq!(rep.elements, 4);
+        assert_eq!(engine.len(), 4);
+        let report = engine.execute(&[Query::TopK(4)]).unwrap();
+        assert_eq!(report.answers[0], Answer::Top(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn approximate_quantile_stays_within_tolerance() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(4).sketch_capacity(2048)).unwrap();
+        // 0..80000 shuffled deterministically: value == rank.
+        let n = 80_000u64;
+        let data: Vec<u64> = {
+            let mut v: Vec<u64> = (0..n).collect();
+            let mut rng = cgselect_seqsel::KernelRng::new(9);
+            for i in (1..v.len()).rev() {
+                v.swap(i, rng.below(i as u64 + 1) as usize);
+            }
+            v
+        };
+        engine.ingest(data).unwrap();
+        let tol = 0.05;
+        let report = engine
+            .execute(&[Query::quantile_within(0.5, tol), Query::quantile_within(0.9, tol)])
+            .unwrap();
+        assert_eq!(report.sketch_answers, 2);
+        assert_eq!(report.exact_ranks, 0);
+        for (answer, q) in report.answers.iter().zip([0.5, 0.9]) {
+            match *answer {
+                Answer::Approximate { value, target_rank, max_rank_error } => {
+                    assert_eq!(target_rank, quantile_rank(q, n));
+                    assert_eq!(max_rank_error, (tol * n as f64).ceil() as u64);
+                    let err = value.abs_diff(target_rank);
+                    assert!(
+                        err <= max_rank_error,
+                        "q={q}: estimate {value} vs target {target_rank} (err {err})"
+                    );
+                }
+                ref other => panic!("expected an approximate answer, got {other:?}"),
+            }
+        }
+        // A tolerance tighter than the sketch bound must fall back to exact.
+        let report = engine.execute(&[Query::quantile_within(0.5, 1e-9)]).unwrap();
+        assert_eq!(report.sketch_answers, 0);
+        assert_eq!(report.answers[0], Answer::Value(quantile_rank(0.5, n)));
+    }
+
+    #[test]
+    fn batching_uses_fewer_collective_ops_than_single_queries() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(4)).unwrap();
+        let data: Vec<u64> =
+            (0..40_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
+        engine.ingest(data).unwrap();
+        let ranks: Vec<u64> = (1..=16).map(|i| i * 2000).collect();
+
+        let batch: Vec<Query> = ranks.iter().map(|&r| Query::Rank(r)).collect();
+        let batched = engine.execute(&batch).unwrap();
+
+        let mut single_total = 0u64;
+        for &r in &ranks {
+            single_total += engine.execute(&[Query::Rank(r)]).unwrap().collective_ops;
+        }
+        assert!(
+            batched.collective_ops < single_total,
+            "batched {} vs {} summed single-query collective ops",
+            batched.collective_ops,
+            single_total
+        );
+    }
+
+    #[test]
+    fn errors_reject_bad_batches_without_poisoning() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(2)).unwrap();
+        assert_eq!(engine.execute(&[Query::Median]).unwrap_err(), EngineError::Empty);
+        engine.ingest(vec![1, 2, 3]).unwrap();
+        assert_eq!(
+            engine.execute(&[Query::Rank(3)]).unwrap_err(),
+            EngineError::RankOutOfRange { rank: 3, n: 3 }
+        );
+        assert_eq!(
+            engine.execute(&[Query::quantile(-0.1)]).unwrap_err(),
+            EngineError::InvalidQuantile(-0.1)
+        );
+        // The session is still healthy.
+        let report = engine.execute(&[Query::Median]).unwrap();
+        assert_eq!(report.answers[0], Answer::Value(2));
+    }
+
+    #[test]
+    fn single_shard_engine_works() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(1)).unwrap();
+        engine.ingest((0..100u64).rev().collect()).unwrap();
+        let report = engine.execute(&[Query::Median, Query::TopK(2)]).unwrap();
+        assert_eq!(report.answers[0], Answer::Value(49));
+        assert_eq!(report.answers[1], Answer::Top(vec![0, 1]));
+    }
+
+    #[test]
+    fn virtual_time_advances_across_batches() {
+        let mut engine: Engine<u64> = Engine::new(EngineConfig::new(4)).unwrap();
+        engine.ingest((0..10_000u64).collect()).unwrap();
+        let a = engine.execute(&[Query::Median]).unwrap();
+        let b = engine.execute(&[Query::Median]).unwrap();
+        assert!(a.makespan > 0.0);
+        assert!(b.makespan > 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The engine's query language and the batch planner.
+//!
+//! Queries arrive in batches. The planner reduces every exact query to a set
+//! of 0-based global ranks and **coalesces the whole batch into one sorted,
+//! deduplicated rank list**, which the engine resolves with a single
+//! [`cgselect_core::parallel_multi_select`] collective pass — this is where
+//! batching wins: R rank queries cost one multi-select recursion
+//! (`O(log n + R)` pivot rounds) instead of R independent selections
+//! (`O(R·log n)` rounds). Quantile queries carrying a rank-error tolerance
+//! the resident sketches can honor are routed to the approximate path
+//! instead and never touch the full data.
+
+use std::collections::HashMap;
+
+/// One query against the resident distributed multiset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Query {
+    /// The element of this 0-based global rank.
+    Rank(u64),
+    /// The element nearest to quantile `q ∈ [0, 1]`.
+    Quantile {
+        /// The quantile, `0.0 ..= 1.0`.
+        q: f64,
+        /// `Some(t)`: the engine may answer from the sample sketches as
+        /// long as the result's rank error is at most `t·n` (fraction of
+        /// the resident population). `None` demands the exact element.
+        tolerance: Option<f64>,
+    },
+    /// The median (0-based rank `(n−1)/2`, the paper's ⌈n/2⌉-th smallest).
+    Median,
+    /// The `k` smallest resident elements, in ascending order.
+    TopK(u64),
+}
+
+impl Query {
+    /// An exact quantile query.
+    pub fn quantile(q: f64) -> Query {
+        Query::Quantile { q, tolerance: None }
+    }
+
+    /// A quantile query the engine may answer approximately, with rank
+    /// error at most `tolerance · n`.
+    pub fn quantile_within(q: f64, tolerance: f64) -> Query {
+        Query::Quantile { q, tolerance: Some(tolerance) }
+    }
+}
+
+/// One answer, aligned with the submitted query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Answer<T> {
+    /// Exact element (for `Rank`, `Median`, and exact `Quantile`).
+    Value(T),
+    /// The k smallest elements in ascending order (for `TopK`).
+    Top(Vec<T>),
+    /// Sketch-served quantile: `value`'s true rank is within
+    /// `max_rank_error` of `target_rank` (with the sketch's confidence;
+    /// see `cgselect_engine::sketch`).
+    Approximate {
+        /// The estimated element.
+        value: T,
+        /// The exact query's 0-based target rank.
+        target_rank: u64,
+        /// The promised absolute rank-error bound (`⌈tolerance·n⌉`).
+        max_rank_error: u64,
+    },
+}
+
+impl<T: Copy> Answer<T> {
+    /// The scalar answer, if this is a `Value` or `Approximate` answer.
+    pub fn value(&self) -> Option<T> {
+        match self {
+            Answer::Value(v) | Answer::Approximate { value: v, .. } => Some(*v),
+            Answer::Top(_) => None,
+        }
+    }
+
+    /// The top-k list, if this is a `Top` answer.
+    pub fn top(&self) -> Option<&[T]> {
+        match self {
+            Answer::Top(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The 0-based rank the engine resolves quantile `q` to over `n` elements
+/// (nearest-rank definition: `round(q·(n−1))`).
+pub fn quantile_rank(q: f64, n: u64) -> u64 {
+    assert!(n > 0, "quantile of an empty set");
+    ((q * (n - 1) as f64).round() as u64).min(n - 1)
+}
+
+/// How the planner resolved one query.
+#[derive(Clone, Debug)]
+pub(crate) enum Resolution {
+    /// Answer is the element at this exact rank.
+    Exact(u64),
+    /// Answer is the elements at ranks `0..k`, ascending.
+    TopRange(u64),
+    /// Answer from the sketches.
+    Sketch { target_rank: u64, max_rank_error: u64 },
+}
+
+/// A planned batch: per-query resolutions plus the coalesced rank list.
+#[derive(Clone, Debug)]
+pub(crate) struct Plan {
+    pub resolutions: Vec<Resolution>,
+    /// Sorted, deduplicated ranks feeding the single multi-select pass.
+    pub exact_ranks: Vec<u64>,
+    /// Target ranks of the sketch-served queries, in resolution order.
+    pub sketch_targets: Vec<u64>,
+}
+
+/// Plans a batch over `n` resident elements. `sketch_bound` is the smallest
+/// fractional tolerance the resident sketches can honor
+/// ([`crate::sketch::support_bound`]); pass `f64::INFINITY` to disable the
+/// approximate path.
+///
+/// Fails (via `Err`) on out-of-domain queries so the caller can reject the
+/// batch before any collective work happens.
+pub(crate) fn plan(
+    queries: &[Query],
+    n: u64,
+    sketch_bound: f64,
+) -> Result<Plan, crate::EngineError> {
+    use crate::EngineError;
+    if n == 0 {
+        return Err(EngineError::Empty);
+    }
+    let mut resolutions = Vec::with_capacity(queries.len());
+    let mut exact_ranks = Vec::new();
+    let mut sketch_targets = Vec::new();
+    for &query in queries {
+        let res = match query {
+            Query::Rank(k) => {
+                if k >= n {
+                    return Err(EngineError::RankOutOfRange { rank: k, n });
+                }
+                Resolution::Exact(k)
+            }
+            Query::Median => Resolution::Exact((n - 1) / 2),
+            Query::Quantile { q, tolerance } => {
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(EngineError::InvalidQuantile(q));
+                }
+                let target = quantile_rank(q, n);
+                match tolerance {
+                    // NaN and ±∞ are rejected up front: an infinite
+                    // tolerance would otherwise satisfy `t >= sketch_bound`
+                    // even when the bound is ∞ (sketches disabled) and send
+                    // the query into an empty-sketch estimate.
+                    Some(t) if !t.is_finite() || t < 0.0 => {
+                        return Err(EngineError::InvalidTolerance(t))
+                    }
+                    Some(t) if t >= sketch_bound => {
+                        sketch_targets.push(target);
+                        Resolution::Sketch {
+                            target_rank: target,
+                            max_rank_error: (t * n as f64).ceil() as u64,
+                        }
+                    }
+                    // Tolerance too tight for the sketches: exact fallback.
+                    Some(_) | None => Resolution::Exact(target),
+                }
+            }
+            Query::TopK(k) => {
+                if k > n {
+                    return Err(EngineError::TopKTooLarge { k, n });
+                }
+                for r in 0..k {
+                    exact_ranks.push(r);
+                }
+                Resolution::TopRange(k)
+            }
+        };
+        if let Resolution::Exact(r) = res {
+            exact_ranks.push(r);
+        }
+        resolutions.push(res);
+    }
+    exact_ranks.sort_unstable();
+    exact_ranks.dedup();
+    Ok(Plan { resolutions, exact_ranks, sketch_targets })
+}
+
+impl Plan {
+    /// Assembles per-query answers from the multi-select results (aligned
+    /// with `exact_ranks`) and the sketch estimates (aligned with
+    /// `sketch_targets`).
+    pub(crate) fn assemble<T: Copy + std::fmt::Debug>(
+        &self,
+        exact_values: &[T],
+        sketch_values: &[T],
+    ) -> Vec<Answer<T>> {
+        debug_assert_eq!(exact_values.len(), self.exact_ranks.len());
+        debug_assert_eq!(sketch_values.len(), self.sketch_targets.len());
+        let by_rank: HashMap<u64, T> =
+            self.exact_ranks.iter().copied().zip(exact_values.iter().copied()).collect();
+        let mut next_sketch = 0usize;
+        self.resolutions
+            .iter()
+            .map(|res| match *res {
+                Resolution::Exact(r) => Answer::Value(by_rank[&r]),
+                Resolution::TopRange(k) => Answer::Top((0..k).map(|r| by_rank[&r]).collect()),
+                Resolution::Sketch { target_rank, max_rank_error } => {
+                    let value = sketch_values[next_sketch];
+                    next_sketch += 1;
+                    Answer::Approximate { value, target_rank, max_rank_error }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_rank_nearest() {
+        assert_eq!(quantile_rank(0.0, 100), 0);
+        assert_eq!(quantile_rank(1.0, 100), 99);
+        assert_eq!(quantile_rank(0.5, 101), 50);
+        assert_eq!(quantile_rank(0.5, 1), 0);
+    }
+
+    #[test]
+    fn planner_coalesces_and_dedups() {
+        let queries = [
+            Query::Rank(5),
+            Query::Median, // n=11 -> rank 5, duplicate
+            Query::TopK(3),
+            Query::quantile(1.0), // rank 10
+        ];
+        let plan = plan(&queries, 11, f64::INFINITY).unwrap();
+        assert_eq!(plan.exact_ranks, vec![0, 1, 2, 5, 10]);
+        assert!(plan.sketch_targets.is_empty());
+        let answers = plan.assemble(&[10, 11, 12, 15, 20], &[]);
+        assert_eq!(answers[0], Answer::Value(15));
+        assert_eq!(answers[1], Answer::Value(15));
+        assert_eq!(answers[2], Answer::Top(vec![10, 11, 12]));
+        assert_eq!(answers[3], Answer::Value(20));
+    }
+
+    #[test]
+    fn tolerant_quantiles_route_to_sketch_only_when_supported() {
+        let queries = [Query::quantile_within(0.5, 0.05), Query::quantile_within(0.5, 0.001)];
+        let plan = plan(&queries, 1000, 0.01).unwrap();
+        // 0.05 >= bound 0.01 -> sketch; 0.001 < bound -> exact fallback.
+        assert_eq!(plan.sketch_targets, vec![500]);
+        assert_eq!(plan.exact_ranks, vec![500]);
+        match plan.resolutions[0] {
+            Resolution::Sketch { target_rank: 500, max_rank_error: 50 } => {}
+            ref other => panic!("unexpected resolution {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_tolerances_are_rejected_not_sketch_routed() {
+        // An infinite tolerance must not satisfy `t >= bound` when the
+        // bound is itself infinite (sketches disabled / empty).
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let queries = [Query::quantile_within(0.5, bad)];
+            assert!(
+                matches!(
+                    plan(&queries, 100, f64::INFINITY),
+                    Err(crate::EngineError::InvalidTolerance(_))
+                ),
+                "tolerance {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_errors_reject_the_batch() {
+        assert!(matches!(
+            plan(&[Query::Rank(10)], 10, f64::INFINITY),
+            Err(crate::EngineError::RankOutOfRange { rank: 10, n: 10 })
+        ));
+        assert!(matches!(
+            plan(&[Query::quantile(1.5)], 10, f64::INFINITY),
+            Err(crate::EngineError::InvalidQuantile(_))
+        ));
+        assert!(matches!(
+            plan(&[Query::TopK(11)], 10, f64::INFINITY),
+            Err(crate::EngineError::TopKTooLarge { k: 11, n: 10 })
+        ));
+        assert!(matches!(plan(&[Query::Median], 0, f64::INFINITY), Err(crate::EngineError::Empty)));
+    }
+}

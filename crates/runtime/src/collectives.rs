@@ -23,6 +23,7 @@ impl Proc {
     fn collective_tag(&mut self) -> u64 {
         let tag = COLLECTIVE_BASE | (self.epoch << 16);
         self.epoch += 1;
+        self.note_collective_op();
         tag
     }
 
@@ -255,8 +256,7 @@ impl Proc {
                 }
             } else {
                 let dst = (rel - mask + root) % p;
-                let bytes: u64 =
-                    items.iter().map(|(_, v)| v.len() as u64 * elem_bytes).sum();
+                let bytes: u64 = items.iter().map(|(_, v)| v.len() as u64 * elem_bytes).sum();
                 self.isend_sized(dst, tag, bytes, items);
                 return None;
             }
@@ -374,8 +374,7 @@ impl Proc {
             if rel + mask < p {
                 let dst = (rel + mask + root) % p;
                 // Chunks for relative ranks >= rel + mask go to that child.
-                let split = bundle
-                    .partition_point(|(d, _)| (*d + p - root) % p < rel + mask);
+                let split = bundle.partition_point(|(d, _)| (*d + p - root) % p < rel + mask);
                 let sub: Vec<(usize, Vec<T>)> = bundle.split_off(split);
                 let bytes: u64 = sub.iter().map(|(_, c)| c.len() as u64 * elem_bytes).sum();
                 self.isend_sized(dst, tag, bytes, sub);
@@ -416,12 +415,7 @@ impl Proc {
             let dst = (rank + r) % p;
             let src = (rank + p - r) % p;
             let payload = std::mem::take(&mut outgoing[dst]);
-            self.isend_sized(
-                dst,
-                tag,
-                (payload.len() * std::mem::size_of::<T>()) as u64,
-                payload,
-            );
+            self.isend_sized(dst, tag, (payload.len() * std::mem::size_of::<T>()) as u64, payload);
             incoming[src] = self.irecv(src, tag);
         }
         incoming
@@ -438,12 +432,8 @@ impl Proc {
     /// value.
     pub fn bcast_from_owner<T: Clone + Send + 'static>(&mut self, value: Option<T>) -> T {
         let mine = u64::from(value.is_some());
-        let (v, owners) =
-            self.combine((value, mine), |(a, ca), (b, cb)| (a.or(b), ca + cb));
-        assert_eq!(
-            owners, 1,
-            "bcast_from_owner requires exactly one owner, found {owners}"
-        );
+        let (v, owners) = self.combine((value, mine), |(a, ca), (b, cb)| (a.or(b), ca + cb));
+        assert_eq!(owners, 1, "bcast_from_owner requires exactly one owner, found {owners}");
         v.expect("owner count is 1, value must exist")
     }
 }
@@ -491,9 +481,8 @@ mod tests {
             let expect = (p as u64) * (p as u64 + 1) / 2;
             assert_eq!(sums, vec![expect; p], "p={p}");
 
-            let maxes = Machine::new(p)
-                .run(|proc| proc.combine(proc.rank(), |a, b| a.max(b)))
-                .unwrap();
+            let maxes =
+                Machine::new(p).run(|proc| proc.combine(proc.rank(), |a, b| a.max(b))).unwrap();
             assert_eq!(maxes, vec![p - 1; p], "p={p}");
         }
     }
@@ -527,9 +516,8 @@ mod tests {
     fn gather_orders_by_rank() {
         for &p in &PS {
             for root in [0, p / 2, p - 1] {
-                let out = Machine::new(p)
-                    .run(|proc| proc.gather(root, proc.rank() as u32 * 2))
-                    .unwrap();
+                let out =
+                    Machine::new(p).run(|proc| proc.gather(root, proc.rank() as u32 * 2)).unwrap();
                 for (rank, res) in out.into_iter().enumerate() {
                     if rank == root {
                         let v = res.expect("root receives the gather");
@@ -569,18 +557,13 @@ mod tests {
                 proc.gather_flat(0, vec![base, base + 1])
             })
             .unwrap();
-        assert_eq!(
-            out[0].clone().unwrap(),
-            vec![0, 1, 10, 11, 20, 21, 30, 31]
-        );
+        assert_eq!(out[0].clone().unwrap(), vec![0, 1, 10, 11, 20, 21, 30, 31]);
     }
 
     #[test]
     fn all_gather_everyone_sees_everything() {
         for &p in &PS {
-            let out = Machine::new(p)
-                .run(|proc| proc.all_gather(proc.rank() as i64 - 1))
-                .unwrap();
+            let out = Machine::new(p).run(|proc| proc.all_gather(proc.rank() as i64 - 1)).unwrap();
             let expect: Vec<i64> = (0..p as i64).map(|i| i - 1).collect();
             for v in out {
                 assert_eq!(v, expect, "p={p}");
@@ -625,9 +608,8 @@ mod tests {
         for &p in &PS {
             let out = Machine::new(p)
                 .run(|proc| {
-                    let chunks = (proc.rank() == 0).then(|| {
-                        (0..proc.nprocs()).map(|i| vec![i as u32; i + 1]).collect()
-                    });
+                    let chunks = (proc.rank() == 0)
+                        .then(|| (0..proc.nprocs()).map(|i| vec![i as u32; i + 1]).collect());
                     proc.scatterv(0, chunks)
                 })
                 .unwrap();

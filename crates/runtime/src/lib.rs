@@ -62,6 +62,7 @@ mod key;
 mod machine;
 mod model;
 mod process;
+mod session;
 mod stats;
 pub mod trace;
 
@@ -69,6 +70,7 @@ pub use key::{Key, OrdF64};
 pub use machine::{Machine, RunError};
 pub use model::{MachineModel, Topology};
 pub use process::Proc;
+pub use session::{Session, ShardStore};
 pub use stats::{CommStats, PhaseTimer};
 pub use trace::{render_timeline, Trace, TraceEvent, TraceEventKind};
 

@@ -50,6 +50,9 @@ pub enum RunError {
         /// Rank with the open phase.
         rank: usize,
     },
+    /// The persistent [`crate::Session`] refused to run because an earlier
+    /// program in it failed, leaving worker state untrustworthy.
+    SessionPoisoned,
 }
 
 impl std::fmt::Display for RunError {
@@ -63,6 +66,9 @@ impl std::fmt::Display for RunError {
             }
             RunError::UnbalancedPhases { rank } => {
                 write!(f, "processor {rank} finished with an unclosed phase timer")
+            }
+            RunError::SessionPoisoned => {
+                write!(f, "session poisoned by an earlier failed program")
             }
         }
     }
@@ -94,6 +100,12 @@ impl Machine {
     /// Number of processors.
     pub fn nprocs(&self) -> usize {
         self.p
+    }
+
+    /// The configured receive timeout (shared with sessions started from
+    /// this machine).
+    pub(crate) fn timeout(&self) -> Duration {
+        self.recv_timeout
     }
 
     /// The machine's cost model.
@@ -154,10 +166,9 @@ impl Machine {
                 .enumerate()
                 .map(|(rank, h)| match h.join() {
                     Ok(r) => r,
-                    Err(payload) => Err(RunError::ProcPanicked {
-                        rank,
-                        message: panic_message(payload),
-                    }),
+                    Err(payload) => {
+                        Err(RunError::ProcPanicked { rank, message: panic_message(payload) })
+                    }
                 })
                 .collect()
         });
@@ -174,7 +185,7 @@ impl Machine {
                     // When one processor panics, its peers typically fail
                     // afterwards with timeouts or disconnects while waiting
                     // for it. Report the root cause, not the fallout.
-                    if is_secondary_failure(&e) {
+                    if e.is_secondary() {
                         if secondary_err.is_none() {
                             secondary_err = Some(e);
                         }
@@ -191,16 +202,19 @@ impl Machine {
     }
 }
 
-/// True for failures that are usually *consequences* of another processor's
-/// failure (timeouts and disconnects raised by the runtime itself).
-fn is_secondary_failure(e: &RunError) -> bool {
-    match e {
-        RunError::ProcPanicked { message, .. } => {
-            message.contains("timed out after")
-                || message.contains("all senders disconnected")
-                || message.contains("receiver hung up")
+impl RunError {
+    /// True for failures that are usually *consequences* of another
+    /// processor's failure (timeouts and disconnects raised by the runtime
+    /// itself); used to report root causes instead of fallout.
+    pub(crate) fn is_secondary(&self) -> bool {
+        match self {
+            RunError::ProcPanicked { message, .. } => {
+                message.contains("timed out after")
+                    || message.contains("all senders disconnected")
+                    || message.contains("receiver hung up")
+            }
+            _ => false,
         }
-        _ => false,
     }
 }
 
@@ -217,16 +231,12 @@ impl Machine {
         F: Fn(&mut Proc, Vec<T>) -> R + Send + Sync,
         R: Send,
     {
-        assert_eq!(
-            parts.len(),
-            self.p,
-            "need exactly one input vector per processor"
-        );
+        assert_eq!(parts.len(), self.p, "need exactly one input vector per processor");
         self.run(|proc| f(proc, parts[proc.rank()].clone()))
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

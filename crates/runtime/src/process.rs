@@ -119,6 +119,13 @@ impl Proc {
         self.stats
     }
 
+    /// Bumps the collective-operation counter (called by the collectives
+    /// module once per epoch-tag allocation).
+    #[inline]
+    pub(crate) fn note_collective_op(&mut self) {
+        self.stats.collective_ops += 1;
+    }
+
     /// Advances the virtual clock by `n` elementary operations
     /// (`n × t_op` seconds) and bumps the operation counter.
     ///
@@ -200,13 +207,7 @@ impl Proc {
     }
 
     fn send_raw(&mut self, dst: usize, tag: u64, bytes: u64, payload: Box<dyn Any + Send>) {
-        assert!(
-            dst < self.p,
-            "proc {} attempted to send to {} but p = {}",
-            self.rank,
-            dst,
-            self.p
-        );
+        assert!(dst < self.p, "proc {} attempted to send to {} but p = {}", self.rank, dst, self.p);
         let sent_at = self.now;
         self.now += self.model.send_cost(bytes);
         self.stats.msgs_sent += 1;

@@ -11,6 +11,13 @@ pub struct CommStats {
     pub msgs_recv: u64,
     /// Modeled payload bytes received.
     pub bytes_recv: u64,
+    /// Number of collective operations this processor has started (every
+    /// barrier, broadcast, reduce/combine, scan, gather/scatter variant,
+    /// all-to-all, and every `fresh_tag` draw counts once). Identical on
+    /// every processor by SPMD discipline, which makes it the natural unit
+    /// for "collective rounds" when comparing batched against per-query
+    /// execution.
+    pub collective_ops: u64,
 }
 
 impl CommStats {
@@ -22,6 +29,7 @@ impl CommStats {
             bytes_sent: self.bytes_sent - earlier.bytes_sent,
             msgs_recv: self.msgs_recv - earlier.msgs_recv,
             bytes_recv: self.bytes_recv - earlier.bytes_recv,
+            collective_ops: self.collective_ops - earlier.collective_ops,
         }
     }
 
@@ -32,6 +40,7 @@ impl CommStats {
             bytes_sent: self.bytes_sent + other.bytes_sent,
             msgs_recv: self.msgs_recv + other.msgs_recv,
             bytes_recv: self.bytes_recv + other.bytes_recv,
+            collective_ops: self.collective_ops + other.collective_ops,
         }
     }
 }
@@ -69,10 +78,7 @@ impl PhaseTimer {
             .stack
             .pop()
             .unwrap_or_else(|| panic!("PhaseTimer::end({label:?}) with no open phase"));
-        assert_eq!(
-            open, label,
-            "PhaseTimer::end({label:?}) does not match open phase {open:?}"
-        );
+        assert_eq!(open, label, "PhaseTimer::end({label:?}) does not match open phase {open:?}");
         let elapsed = now - start;
         debug_assert!(elapsed >= 0.0, "virtual clock ran backwards in phase {label}");
         match self.acc.iter_mut().find(|(l, _)| *l == label) {
@@ -83,11 +89,7 @@ impl PhaseTimer {
 
     /// Total accumulated virtual time for `label` (0.0 if never recorded).
     pub fn get(&self, label: &str) -> f64 {
-        self.acc
-            .iter()
-            .find(|(l, _)| *l == label)
-            .map(|(_, t)| *t)
-            .unwrap_or(0.0)
+        self.acc.iter().find(|(l, _)| *l == label).map(|(_, t)| *t).unwrap_or(0.0)
     }
 
     /// All recorded `(label, seconds)` pairs in first-seen order.
@@ -107,13 +109,26 @@ mod tests {
 
     #[test]
     fn stats_since_and_merged() {
-        let a = CommStats { msgs_sent: 5, bytes_sent: 100, msgs_recv: 3, bytes_recv: 60 };
-        let b = CommStats { msgs_sent: 2, bytes_sent: 40, msgs_recv: 1, bytes_recv: 20 };
+        let a = CommStats {
+            msgs_sent: 5,
+            bytes_sent: 100,
+            msgs_recv: 3,
+            bytes_recv: 60,
+            collective_ops: 4,
+        };
+        let b = CommStats {
+            msgs_sent: 2,
+            bytes_sent: 40,
+            msgs_recv: 1,
+            bytes_recv: 20,
+            collective_ops: 1,
+        };
         let d = a.since(&b);
         assert_eq!(d.msgs_sent, 3);
         assert_eq!(d.bytes_sent, 60);
         assert_eq!(d.msgs_recv, 2);
         assert_eq!(d.bytes_recv, 40);
+        assert_eq!(d.collective_ops, 3);
         let m = d.merged(&b);
         assert_eq!(m, a);
     }

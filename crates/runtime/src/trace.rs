@@ -141,10 +141,7 @@ mod tests {
         // Phases and compute recorded on both.
         for t in &traces {
             assert!(t.events.iter().any(|e| e.kind == TraceEventKind::PhaseBegin("work")));
-            assert!(t
-                .events
-                .iter()
-                .any(|e| matches!(e.kind, TraceEventKind::Compute { ops: 10 })));
+            assert!(t.events.iter().any(|e| matches!(e.kind, TraceEventKind::Compute { ops: 10 })));
         }
     }
 

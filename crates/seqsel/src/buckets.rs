@@ -21,9 +21,9 @@
 use std::ops::Range;
 
 use crate::ops::OpCount;
+use crate::partition::{partition3, partition_le};
 use crate::rng::KernelRng;
 use crate::{select_with, LocalKernel};
-use crate::partition::{partition3, partition_le};
 
 /// Local data reorganized into value-ordered buckets.
 ///
@@ -149,11 +149,7 @@ impl<T: Copy + Ord> Buckets<T> {
         rng: &mut KernelRng,
         ops: &mut OpCount,
     ) -> T {
-        assert!(
-            rank < window.len(),
-            "rank {rank} out of range for window of {}",
-            window.len()
-        );
+        assert!(rank < window.len(), "rank {rank} out of range for window of {}", window.len());
         let pos = window.start + rank;
         // Binary search over bucket boundaries: O(log #buckets) comparisons.
         let b = match self.bounds.binary_search(&pos) {
@@ -212,7 +208,12 @@ impl<T: Copy + Ord> Buckets<T> {
     /// that the target sits inside `v`'s equality class (`lt ≤ rank < le`),
     /// which is what makes the bucket-based algorithm immune to the
     /// duplicate-key livelock of a plain `≤`/`>` split.
-    pub fn split_bracket(&mut self, window: Range<usize>, v: T, ops: &mut OpCount) -> (usize, usize) {
+    pub fn split_bracket(
+        &mut self,
+        window: Range<usize>,
+        v: T,
+        ops: &mut OpCount,
+    ) -> (usize, usize) {
         if window.is_empty() {
             return (0, 0);
         }
@@ -367,8 +368,13 @@ mod tests {
             if window.len() <= 4 {
                 break;
             }
-            let guess =
-                b.select_rank(window.clone(), rank / 2, LocalKernel::Randomized, &mut rng, &mut ops);
+            let guess = b.select_rank(
+                window.clone(),
+                rank / 2,
+                LocalKernel::Randomized,
+                &mut rng,
+                &mut ops,
+            );
             let cnt = b.split_le(window.clone(), guess, &mut ops);
             b.debug_validate();
             if rank < cnt {

@@ -19,11 +19,7 @@ const SAMPLING_CUTOFF: isize = 600;
 /// # Panics
 /// Panics if `k >= data.len()`.
 pub fn floyd_rivest_select<T: Copy + Ord>(data: &mut [T], k: usize, ops: &mut OpCount) -> T {
-    assert!(
-        k < data.len(),
-        "rank {k} out of range for {} elements",
-        data.len()
-    );
+    assert!(k < data.len(), "rank {k} out of range for {} elements", data.len());
     fr(data, 0, data.len() as isize - 1, k as isize, ops);
     data[k]
 }
@@ -38,8 +34,7 @@ fn fr<T: Copy + Ord>(a: &mut [T], mut left: isize, mut right: isize, k: isize, o
             let i = (k - left + 1) as f64;
             let z = n.ln();
             let s = 0.5 * (2.0 * z / 3.0).exp();
-            let sd = 0.5 * (z * s * (n - s) / n).sqrt()
-                * if i < n / 2.0 { -1.0 } else { 1.0 };
+            let sd = 0.5 * (z * s * (n - s) / n).sqrt() * if i < n / 2.0 { -1.0 } else { 1.0 };
             let new_left = left.max((k as f64 - i * s / n + sd).floor() as isize);
             let new_right = right.min((k as f64 + (n - i) * s / n + sd).floor() as isize);
             fr(a, new_left, new_right, k, ops);
@@ -113,11 +108,7 @@ mod tests {
         for k in 0..base.len() {
             let mut v = base.clone();
             let mut ops = OpCount::new();
-            assert_eq!(
-                floyd_rivest_select(&mut v, k, &mut ops),
-                oracle(base.clone(), k),
-                "k={k}"
-            );
+            assert_eq!(floyd_rivest_select(&mut v, k, &mut ops), oracle(base.clone(), k), "k={k}");
         }
     }
 
@@ -129,11 +120,7 @@ mod tests {
         for k in [0, 17, 50_000, 99_999] {
             let mut v = base.clone();
             let mut ops = OpCount::new();
-            assert_eq!(
-                floyd_rivest_select(&mut v, k, &mut ops),
-                oracle(base.clone(), k),
-                "k={k}"
-            );
+            assert_eq!(floyd_rivest_select(&mut v, k, &mut ops), oracle(base.clone(), k), "k={k}");
         }
     }
 
@@ -144,11 +131,7 @@ mod tests {
         for k in [0, 10_000, 19_999] {
             let mut v = base.clone();
             let mut ops = OpCount::new();
-            assert_eq!(
-                floyd_rivest_select(&mut v, k, &mut ops),
-                oracle(base.clone(), k),
-                "k={k}"
-            );
+            assert_eq!(floyd_rivest_select(&mut v, k, &mut ops), oracle(base.clone(), k), "k={k}");
         }
     }
 
@@ -169,11 +152,7 @@ mod tests {
         let mut v: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let mut ops = OpCount::new();
         let _ = floyd_rivest_select(&mut v, (n / 2) as usize, &mut ops);
-        assert!(
-            ops.cmps < 4 * n,
-            "Floyd–Rivest did {} cmps on n={n}",
-            ops.cmps
-        );
+        assert!(ops.cmps < 4 * n, "Floyd–Rivest did {} cmps on n={n}", ops.cmps);
     }
 
     #[test]

@@ -19,11 +19,7 @@ use crate::ops::OpCount;
 /// # Panics
 /// Panics if `k >= data.len()`.
 pub fn heap_select<T: Copy + Ord>(data: &[T], k: usize, ops: &mut OpCount) -> T {
-    assert!(
-        k < data.len(),
-        "rank {k} out of range for {} elements",
-        data.len()
-    );
+    assert!(k < data.len(), "rank {k} out of range for {} elements", data.len());
     let cap = k + 1;
     let heap_cost = (cap.max(2)).ilog2() as u64 + 1;
     let mut heap: BinaryHeap<T> = BinaryHeap::with_capacity(cap);

@@ -17,11 +17,7 @@ use crate::ops::OpCount;
 /// # Panics
 /// Panics if `k >= data.len()`.
 pub fn introselect<T: Copy + Ord>(data: &mut [T], k: usize, ops: &mut OpCount) -> T {
-    assert!(
-        k < data.len(),
-        "rank {k} out of range for {} elements",
-        data.len()
-    );
+    assert!(k < data.len(), "rank {k} out of range for {} elements", data.len());
     let mut cmps = 0u64;
     let (_, &mut v, _) = data.select_nth_unstable_by(k, |a, b| {
         cmps += 1;

@@ -21,11 +21,7 @@ const SMALL: usize = 40;
 /// # Panics
 /// Panics if `k >= data.len()`.
 pub fn median_of_medians_select<T: Copy + Ord>(data: &mut [T], k: usize, ops: &mut OpCount) -> T {
-    assert!(
-        k < data.len(),
-        "rank {k} out of range for {} elements",
-        data.len()
-    );
+    assert!(k < data.len(), "rank {k} out of range for {} elements", data.len());
     let mut lo = 0usize;
     let mut hi = data.len();
     loop {
@@ -114,11 +110,7 @@ mod tests {
         let mut v = base.clone();
         let mut ops = OpCount::new();
         let _ = median_of_medians_select(&mut v, (n / 2) as usize, &mut ops);
-        assert!(
-            ops.total() < 80 * n as u64,
-            "BFPRT did {} ops on n={n}",
-            ops.total()
-        );
+        assert!(ops.total() < 80 * n as u64, "BFPRT did {} ops on n={n}", ops.total());
     }
 
     #[test]
@@ -139,10 +131,7 @@ mod tests {
 
         assert_eq!(det, rnd);
         let ratio = det_ops.total() as f64 / rnd_ops.total() as f64;
-        assert!(
-            ratio > 2.0,
-            "expected BFPRT to cost well over 2x quickselect, got {ratio:.2}x"
-        );
+        assert!(ratio > 2.0, "expected BFPRT to cost well over 2x quickselect, got {ratio:.2}x");
     }
 
     #[test]

@@ -49,7 +49,12 @@ pub fn partition_le<T: Copy + Ord>(data: &mut [T], pivot: T, ops: &mut OpCount) 
 ///
 /// # Panics
 /// Panics if `lo > hi`.
-pub fn partition3<T: Copy + Ord>(data: &mut [T], lo: T, hi: T, ops: &mut OpCount) -> (usize, usize) {
+pub fn partition3<T: Copy + Ord>(
+    data: &mut [T],
+    lo: T,
+    hi: T,
+    ops: &mut OpCount,
+) -> (usize, usize) {
     assert!(lo <= hi, "partition3 requires lo <= hi");
     let mut lt = 0usize;
     let mut i = 0usize;

@@ -31,11 +31,7 @@ pub fn quickselect<T: Copy + Ord>(
     rng: &mut KernelRng,
     ops: &mut OpCount,
 ) -> T {
-    assert!(
-        k < data.len(),
-        "rank {k} out of range for {} elements",
-        data.len()
-    );
+    assert!(k < data.len(), "rank {k} out of range for {} elements", data.len());
     let mut lo = 0usize;
     let mut hi = data.len();
     loop {
@@ -123,11 +119,7 @@ mod tests {
         let mut v: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let mut ops = OpCount::new();
         let _ = quickselect(&mut v, (n / 2) as usize, &mut rng, &mut ops);
-        assert!(
-            ops.cmps < 12 * n,
-            "quickselect did {} cmps on n={n}",
-            ops.cmps
-        );
+        assert!(ops.cmps < 12 * n, "quickselect did {} cmps on n={n}", ops.cmps);
     }
 
     #[test]

@@ -15,11 +15,7 @@ use crate::ops::OpCount;
 /// # Panics
 /// Panics if `k >= data.len()`.
 pub fn sort_select<T: Copy + Ord>(data: &mut [T], k: usize, ops: &mut OpCount) -> T {
-    assert!(
-        k < data.len(),
-        "rank {k} out of range for {} elements",
-        data.len()
-    );
+    assert!(k < data.len(), "rank {k} out of range for {} elements", data.len());
     let mut cmps = 0u64;
     data.sort_unstable_by(|a, b| {
         cmps += 1;

@@ -80,8 +80,7 @@ mod tests {
     fn half_weight_property_holds() {
         // Definition check on a bigger instance: weight below the WM must be
         // < ceil(W/2) and weight up to and including it must be >= ceil(W/2).
-        let items: Vec<(u64, u64)> =
-            (0..100).map(|i| (i * 37 % 101, (i % 7) + 1)).collect();
+        let items: Vec<(u64, u64)> = (0..100).map(|i| (i * 37 % 101, (i % 7) + 1)).collect();
         let mut ops = OpCount::new();
         let m = weighted_median(&items, &mut ops);
         let total: u64 = items.iter().map(|(_, w)| w).sum();

@@ -1,0 +1,182 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace ships the
+//! slice of criterion's API its benches use (`benchmark_group`,
+//! `bench_with_input`, `Throughput`, the `criterion_group!`/`criterion_main!`
+//! macros). Instead of criterion's statistical engine it runs each bench a
+//! bounded number of iterations and prints the mean wall-clock time — enough
+//! to compare configurations on one machine, with none of the confidence
+//! analysis.
+//!
+//! Iteration count: `CRITERION_SHIM_ITERS` env var if set; otherwise 1 when
+//! invoked with `--test` (what `cargo test` passes to `harness = false`
+//! targets), else 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Modeled work per iteration; printed as a rate next to the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u32,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured number of iterations, recording the
+    /// mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.last = Some(start.elapsed() / self.iters.max(1));
+    }
+}
+
+fn configured_iters() -> u32 {
+    if let Ok(v) = std::env::var("CRITERION_SHIM_ITERS") {
+        if let Ok(n) = v.parse::<u32>() {
+            return n.max(1);
+        }
+    }
+    if std::env::args().any(|a| a == "--test") {
+        1
+    } else {
+        10
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count comes from
+    /// the environment (see the crate docs).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (no statistical engine to budget).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in the printed rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `routine` against `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { iters: configured_iters(), last: None };
+        routine(&mut b, input);
+        self.report(&id.name, b);
+        self
+    }
+
+    /// Benchmarks `routine` with no input parameter.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: configured_iters(), last: None };
+        routine(&mut b);
+        self.report(&id.name, b);
+        self
+    }
+
+    fn report(&self, id: &str, b: Bencher) {
+        let Some(mean) = b.last else {
+            println!("{}/{id:<40} (no measurement: routine never called iter)", self.name);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.1} MiB/s", n as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!("{}/{id:<40} {:>12.3?} / iter ({} iters){rate}", self.name, mean, b.iters);
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+}
+
+/// Bundles bench functions under one name, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

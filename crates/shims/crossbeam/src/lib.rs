@@ -1,0 +1,230 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so this workspace ships the
+//! small slice of crossbeam's API that `cgselect-runtime` actually uses: an
+//! unbounded MPSC channel with cloneable senders, timeout-aware receives and
+//! disconnect detection. It is implemented on `std::sync` primitives
+//! (`Mutex` + `Condvar`); semantics match `crossbeam-channel` for this
+//! surface, throughput is merely adequate (the runtime's virtual processors
+//! block on `recv_timeout`, so the channel is never the bottleneck in the
+//! modeled-time experiments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer unbounded channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half of an unbounded channel. Cloneable; the channel
+    /// disconnects when every `Sender` has been dropped.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver has been dropped;
+    /// carries the unsent message back to the caller.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receiver_alive: true }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake a receiver blocked in recv_timeout so it can observe
+                // the disconnect instead of sleeping out its full timeout.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().expect("channel poisoned").receiver_alive = false;
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives, the channel disconnects, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) =
+                    self.shared.ready.wait_timeout(st, deadline - now).expect("channel poisoned");
+                st = guard;
+            }
+        }
+
+        /// Blocks until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.ready.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Dequeues a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// True if no message is currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.shared.state.lock().expect("channel poisoned").queue.is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            assert!(rx.is_empty());
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (_tx, rx) = unbounded::<u8>();
+            let err = rx.recv_timeout(Duration::from_millis(20)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+        }
+
+        #[test]
+        fn disconnect_detected() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_fails() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn cross_thread_wakeup() {
+            let (tx, rx) = unbounded::<u64>();
+            let h = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                tx.send(42).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! small randomized-property-testing harness with the API surface its test
+//! suites use: the [`proptest!`] macro (with `#![proptest_config]`),
+//! integer/float range strategies, tuples, [`collection::vec`],
+//! [`sample::select`], [`any`], and the `prop_map` / `prop_filter`
+//! combinators, plus the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **no shrinking** — a failing case reports the generated inputs via the
+//!   assertion message only;
+//! * **deterministic seeding** — each test's RNG is seeded from its name, so
+//!   failures reproduce exactly across runs and machines;
+//! * rejection sampling (`prop_filter` / `prop_assume!`) retries the whole
+//!   case, with a global cap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Why a generated test case did not produce a pass/fail verdict.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected (filter/assume); it is retried, not failed.
+    Reject(String),
+    /// A property assertion failed.
+    Fail(String),
+}
+
+/// Runner configuration; construct with [`ProptestConfig::with_cases`].
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+    /// Cap on rejected cases per property before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Self::default() }
+    }
+}
+
+/// The harness RNG (SplitMix64), seeded deterministically per test.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values. `Err` carries a rejection reason
+/// (from `prop_filter`), which makes the runner retry the case.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, String>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values for which `pred` is false; the runner
+    /// retries with fresh draws.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason: reason.into(), pred }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> Result<U, String> {
+        Ok((self.f)(self.inner.new_value(rng)?))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, String> {
+        let v = self.inner.new_value(rng)?;
+        if (self.pred)(&v) {
+            Ok(v)
+        } else {
+            Err(self.reason.clone())
+        }
+    }
+}
+
+macro_rules! impl_strategy_for_uint_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, String> {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                Ok(self.start + rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, String> {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Ok((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, String> {
+        assert!(self.start < self.end, "empty strategy range");
+        Ok(self.start + rng.next_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, String> {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        // Map [0, 1) onto [lo, hi] with the endpoint reachable by rounding.
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        Ok(lo + u * (hi - lo))
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, String> {
+        Ok((self.0.new_value(rng)?, self.1.new_value(rng)?))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, String> {
+        Ok((self.0.new_value(rng)?, self.1.new_value(rng)?, self.2.new_value(rng)?))
+    }
+}
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws a value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, String> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+/// The full-domain strategy for `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bounds for [`vec`]; build from a `Range<usize>` or an exact
+    /// `usize`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, String> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy that picks one of the given options uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> Result<T, String> {
+            let i = rng.below(self.options.len() as u64) as usize;
+            Ok(self.options[i].clone())
+        }
+    }
+}
+
+/// The glob import every test file starts with.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` module path (`prop::collection::vec`, `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body for `config.cases` accepted
+/// random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(::std::concat!(
+                ::std::module_path!(), "::", ::std::stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(
+                        let $arg = match $crate::Strategy::new_value(&($strat), &mut rng) {
+                            ::std::result::Result::Ok(v) => v,
+                            ::std::result::Result::Err(why) => {
+                                return ::std::result::Result::Err(
+                                    $crate::TestCaseError::Reject(why),
+                                );
+                            }
+                        };
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        ::std::assert!(
+                            rejected <= config.max_global_rejects,
+                            "proptest: too many rejected cases ({rejected}); last: {why}"
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        ::std::panic!(
+                            "proptest property {} failed on case {}: {}",
+                            ::std::stringify!($name), accepted, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; failure reports the case
+/// instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}", left, right, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, "assertion failed: `{:?}` != `{:?}`", left, right);
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; the runner retries with
+/// fresh draws (does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(::std::format!(
+                "assumption failed: {}",
+                ::std::stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::TestRng::from_name("self-test");
+        for _ in 0..500 {
+            let v = Strategy::new_value(&(10u64..20), &mut rng).unwrap();
+            assert!((10..20).contains(&v));
+            let w = Strategy::new_value(&(-5i64..5), &mut rng).unwrap();
+            assert!((-5..5).contains(&w));
+            let f = Strategy::new_value(&(0.0f64..1.0), &mut rng).unwrap();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_select_and_combinators() {
+        let mut rng = crate::TestRng::from_name("combinators");
+        let strat = prop::collection::vec(0u64..10, 2..5)
+            .prop_map(|v| v.len())
+            .prop_filter("never empty", |&n| n >= 2);
+        for _ in 0..100 {
+            let n = Strategy::new_value(&strat, &mut rng).unwrap();
+            assert!((2..5).contains(&n));
+        }
+        let sel = prop::sample::select(vec!['a', 'b']);
+        let c = Strategy::new_value(&sel, &mut rng).unwrap();
+        assert!(c == 'a' || c == 'b');
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn harness_runs_properties(
+            v in prop::collection::vec(0u64..100, 1..20),
+            x in any::<u64>(),
+        ) {
+            prop_assume!(!v.is_empty());
+            let max = *v.iter().max().unwrap();
+            prop_assert!(max < 100, "max {} out of domain", max);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x ^ 1, x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tuples_and_filters(
+            pair in (0i64..50, 50i64..100),
+            n in (0usize..40).prop_filter("even only", |n| n % 2 == 0),
+        ) {
+            prop_assert!(pair.0 < pair.1);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+}

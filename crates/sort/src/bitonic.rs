@@ -129,9 +129,8 @@ mod tests {
     fn sorts_equal_blocks() {
         let mut rng = KernelRng::new(2);
         for p in [1usize, 2, 4, 8, 16] {
-            let parts: Vec<Vec<u64>> = (0..p)
-                .map(|_| (0..64).map(|_| rng.next_u64() % 1000).collect())
-                .collect();
+            let parts: Vec<Vec<u64>> =
+                (0..p).map(|_| (0..64).map(|_| rng.next_u64() % 1000).collect()).collect();
             check(parts);
         }
     }
@@ -140,10 +139,8 @@ mod tests {
     fn sorts_unequal_blocks_via_padding() {
         let mut rng = KernelRng::new(3);
         let sizes = [13usize, 0, 40, 7];
-        let parts: Vec<Vec<u64>> = sizes
-            .iter()
-            .map(|&s| (0..s).map(|_| rng.next_u64() % 100).collect())
-            .collect();
+        let parts: Vec<Vec<u64>> =
+            sizes.iter().map(|&s| (0..s).map(|_| rng.next_u64() % 100).collect()).collect();
         check(parts);
     }
 
@@ -162,9 +159,8 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        let err = Machine::new(3)
-            .run(|proc| bitonic_sort(proc, vec![proc.rank() as u64]))
-            .unwrap_err();
+        let err =
+            Machine::new(3).run(|proc| bitonic_sort(proc, vec![proc.rank() as u64])).unwrap_err();
         assert!(format!("{err}").contains("power-of-two"), "{err}");
     }
 }

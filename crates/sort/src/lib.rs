@@ -130,9 +130,8 @@ mod tests {
     fn sorted_ranks_of_agrees_across_algorithms() {
         let p = 4;
         let mut rng = KernelRng::new(5);
-        let parts: Vec<Vec<u64>> = (0..p)
-            .map(|_| (0..37).map(|_| rng.next_u64() % 1000).collect())
-            .collect();
+        let parts: Vec<Vec<u64>> =
+            (0..p).map(|_| (0..37).map(|_| rng.next_u64() % 1000).collect()).collect();
         let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
         all.sort_unstable();
         let ranks = [0u64, 5, 73, (all.len() - 1) as u64];

@@ -137,9 +137,8 @@ mod tests {
     fn sorts_random_data() {
         let mut rng = KernelRng::new(1);
         for p in [1usize, 2, 3, 5, 8] {
-            let parts: Vec<Vec<u64>> = (0..p)
-                .map(|_| (0..200).map(|_| rng.next_u64() % 500).collect())
-                .collect();
+            let parts: Vec<Vec<u64>> =
+                (0..p).map(|_| (0..200).map(|_| rng.next_u64() % 500).collect()).collect();
             check_global_sort(parts);
         }
     }
@@ -171,19 +170,15 @@ mod tests {
     fn handles_wildly_unequal_sizes() {
         let mut rng = KernelRng::new(9);
         let sizes = [0usize, 1, 1000, 3, 0, 250];
-        let parts: Vec<Vec<u64>> = sizes
-            .iter()
-            .map(|&s| (0..s).map(|_| rng.next_u64() % 97).collect())
-            .collect();
+        let parts: Vec<Vec<u64>> =
+            sizes.iter().map(|&s| (0..s).map(|_| rng.next_u64() % 97).collect()).collect();
         check_global_sort(parts);
     }
 
     #[test]
     fn works_with_float_keys() {
-        let parts: Vec<Vec<OrdF64>> = vec![
-            vec![OrdF64(3.5), OrdF64(-1.0)],
-            vec![OrdF64(0.25), OrdF64(100.0), OrdF64(-7.5)],
-        ];
+        let parts: Vec<Vec<OrdF64>> =
+            vec![vec![OrdF64(3.5), OrdF64(-1.0)], vec![OrdF64(0.25), OrdF64(100.0), OrdF64(-7.5)]];
         let out = Machine::with_model(2, MachineModel::free())
             .run(|proc| {
                 let mine = parts[proc.rank()].clone();

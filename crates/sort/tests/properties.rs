@@ -3,7 +3,9 @@
 //! must agree with the flattened oracle.
 
 use cgselect_runtime::{Machine, MachineModel};
-use cgselect_sort::{bitonic_sort, sample_sort, select_global_ranks, sorted_ranks_of, SampleSortAlgo};
+use cgselect_sort::{
+    bitonic_sort, sample_sort, select_global_ranks, sorted_ranks_of, SampleSortAlgo,
+};
 use proptest::prelude::*;
 
 fn run_sort<F>(parts: &[Vec<u64>], f: F) -> Vec<Vec<u64>>

@@ -78,9 +78,7 @@ impl Layout {
     pub fn sizes(&self, n: usize, p: usize) -> Vec<usize> {
         assert!(p >= 1);
         match self {
-            Layout::Balanced => {
-                (0..p).map(|i| n / p + usize::from(i < n % p)).collect()
-            }
+            Layout::Balanced => (0..p).map(|i| n / p + usize::from(i < n % p)).collect(),
             Layout::Hoarded => {
                 let mut v = vec![0; p];
                 v[p - 1] = n;
@@ -88,8 +86,7 @@ impl Layout {
             }
             Layout::Staircase => {
                 let total_weight = p * (p + 1) / 2;
-                let mut sizes: Vec<usize> =
-                    (0..p).map(|i| n * (i + 1) / total_weight).collect();
+                let mut sizes: Vec<usize> = (0..p).map(|i| n * (i + 1) / total_weight).collect();
                 let assigned: usize = sizes.iter().sum();
                 sizes[p - 1] += n - assigned; // exact remainder
                 sizes
@@ -127,9 +124,7 @@ pub fn generate_with_layout(
                         v
                     }
                     Distribution::FewDistinct(d) => rng.random_range(0..d.max(1)),
-                    Distribution::Gaussian => {
-                        (0..8).map(|_| rng.random_range(0..1u64 << 20)).sum()
-                    }
+                    Distribution::Gaussian => (0..8).map(|_| rng.random_range(0..1u64 << 20)).sum(),
                     Distribution::Zipf => {
                         let u = rng.random::<f64>();
                         (u.powi(4) * 1e12) as u64

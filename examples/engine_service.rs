@@ -1,0 +1,173 @@
+//! The persistent query engine as a service: one long-lived sharded session
+//! absorbs ingest bursts, re-balances itself when a hot shard trips the
+//! imbalance watermark, and answers large mixed query batches — exact
+//! queries through one coalesced multi-select pass, toleranced quantiles
+//! from the resident sketches.
+//!
+//! Everything is asserted against a sorted-vector oracle, so this example
+//! doubles as an end-to-end check:
+//!
+//! ```text
+//! cargo run --release --example engine_service
+//! ```
+
+use cgselect::{Answer, Engine, EngineConfig, Query};
+
+fn main() {
+    let p = 8;
+    let mut engine: Engine<u64> =
+        Engine::new(EngineConfig::new(p).imbalance_watermark(1.5).sketch_capacity(2048)).unwrap();
+
+    // ---- Ingest: a steady stream, tracked by a client-side oracle ------
+    let mut oracle: Vec<u64> = Vec::new();
+    let next = |i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20;
+    for burst in 0..4 {
+        let items: Vec<u64> = (0..50_000u64).map(|i| next(burst * 50_000 + i)).collect();
+        oracle.extend(&items);
+        let rep = engine.ingest(items).unwrap();
+        assert!(!rep.rebalanced, "round-robin ingest must stay balanced");
+    }
+    oracle.sort_unstable();
+    let n = oracle.len() as u64;
+    println!(
+        "ingested {n} keys over {p} shards (sizes {:?}, max/mean {:.3})",
+        engine.shard_sizes(),
+        engine.imbalance_ratio()
+    );
+
+    // ---- One mixed batch of 120 queries, answered in one session ------
+    let mut queries = Vec::new();
+    for i in 0..60 {
+        queries.push(Query::Rank(i * (n / 60) + i % 7)); // 60 rank queries
+    }
+    for i in 1..=40 {
+        queries.push(Query::quantile(i as f64 / 41.0)); // 40 exact quantiles
+    }
+    for _ in 0..10 {
+        queries.push(Query::Median); // 10 medians
+    }
+    for k in [1u64, 5, 25, 100, 500, 1000, 2500, 5000, 7500, 10_000] {
+        queries.push(Query::TopK(k)); // 10 top-k queries
+    }
+    assert!(queries.len() >= 100, "the service demo batches at least 100 queries");
+
+    let report = engine.execute(&queries).unwrap();
+    let mut checked = 0;
+    for (query, answer) in queries.iter().zip(&report.answers) {
+        match (*query, answer) {
+            (Query::Rank(k), Answer::Value(v)) => {
+                assert_eq!(*v, oracle[k as usize], "rank {k}");
+                checked += 1;
+            }
+            (Query::Quantile { q, .. }, Answer::Value(v)) => {
+                let k = cgselect::quantile_rank(q, n);
+                assert_eq!(*v, oracle[k as usize], "quantile {q}");
+                checked += 1;
+            }
+            (Query::Median, Answer::Value(v)) => {
+                assert_eq!(*v, oracle[(n as usize - 1) / 2], "median");
+                checked += 1;
+            }
+            (Query::TopK(k), Answer::Top(vs)) => {
+                assert_eq!(vs.as_slice(), &oracle[..k as usize], "top-{k}");
+                checked += 1;
+            }
+            (q, a) => panic!("unexpected answer shape for {q:?}: {a:?}"),
+        }
+    }
+    println!(
+        "batch of {} queries ({checked} exact answers match the oracle): \
+         {} coalesced ranks in ONE multi-select pass, {} collective ops/proc, \
+         {:.4}s virtual makespan, {} messages",
+        queries.len(),
+        report.exact_ranks,
+        report.collective_ops,
+        report.makespan,
+        report.comm.msgs_sent
+    );
+
+    // Batched vs one-at-a-time, on the same engine: the whole point.
+    let solo_ranks: Vec<Query> = (0..16).map(|i| Query::Rank(i * (n / 16))).collect();
+    let batched = engine.execute(&solo_ranks).unwrap();
+    let mut single_ops = 0;
+    for q in &solo_ranks {
+        single_ops += engine.execute(std::slice::from_ref(q)).unwrap().collective_ops;
+    }
+    assert!(batched.collective_ops < single_ops);
+    println!(
+        "16 rank queries: {} collective ops batched vs {single_ops} executed one-by-one \
+         ({:.1}x fewer)",
+        batched.collective_ops,
+        single_ops as f64 / batched.collective_ops as f64
+    );
+
+    // ---- Approximate quantiles from the resident sketches --------------
+    let tol = 0.02; // promise: rank error <= 2% of n
+    let approx = engine
+        .execute(&[Query::quantile_within(0.5, tol), Query::quantile_within(0.95, tol)])
+        .unwrap();
+    assert_eq!(approx.sketch_answers, 2, "the sketches must serve these");
+    for answer in &approx.answers {
+        let Answer::Approximate { value, target_rank, max_rank_error } = *answer else {
+            panic!("expected an approximate answer, got {answer:?}");
+        };
+        // The value's TRUE rank, from the oracle.
+        let true_rank = oracle.partition_point(|&x| x < value) as u64;
+        let err = true_rank.abs_diff(target_rank);
+        assert!(
+            err <= max_rank_error,
+            "sketch broke its promise: true rank {true_rank} vs target {target_rank} \
+             (err {err} > bound {max_rank_error})"
+        );
+        println!(
+            "approx quantile: value {value} at true rank {true_rank}, target {target_rank} \
+             (err {err} <= promised {max_rank_error}) — answered from sketches, \
+             {} msgs",
+            approx.comm.msgs_sent
+        );
+    }
+
+    // ---- A hot shard trips the watermark exactly once -------------------
+    let before = engine.rebalances();
+    assert_eq!(before, 0);
+    let hot: Vec<u64> = (0..150_000u64).map(|i| next(1_000_000 + i)).collect();
+    oracle.extend(&hot);
+    oracle.sort_unstable();
+    let rep = engine.ingest_pinned(0, hot).unwrap(); // everything lands on shard 0
+    assert!(rep.rebalanced, "the pinned burst must trip the watermark");
+    assert_eq!(engine.rebalances(), 1, "exactly one re-balance");
+    println!(
+        "hot-shard burst absorbed: exactly one re-balance, shard sizes now {:?} \
+         (max/mean {:.3})",
+        engine.shard_sizes(),
+        engine.imbalance_ratio()
+    );
+
+    // And the engine still answers correctly over the merged population.
+    let n = oracle.len() as u64;
+    let after = engine
+        .execute(&[Query::Median, Query::Rank(0), Query::Rank(n - 1), Query::TopK(3)])
+        .unwrap();
+    assert_eq!(after.answers[0], Answer::Value(oracle[(n as usize - 1) / 2]));
+    assert_eq!(after.answers[1], Answer::Value(oracle[0]));
+    assert_eq!(after.answers[2], Answer::Value(oracle[n as usize - 1]));
+    assert_eq!(after.answers[3], Answer::Top(oracle[..3].to_vec()));
+
+    // ---- Deletes keep everything coherent -------------------------------
+    let victims: Vec<u64> = oracle.iter().copied().step_by(1000).take(50).collect();
+    let removed = engine.delete(&victims).unwrap().elements;
+    oracle.retain(|x| !victims.contains(x));
+    assert_eq!(removed as usize + oracle.len(), n as usize);
+    let n = oracle.len() as u64;
+    let post = engine.execute(&[Query::Median]).unwrap();
+    assert_eq!(post.answers[0], Answer::Value(oracle[(n as usize - 1) / 2]));
+    println!("deleted {removed} elements; median still matches the oracle");
+
+    println!(
+        "service summary: {} batches executed against one persistent session, \
+         {} resident keys, {} re-balance(s)",
+        engine.batches(),
+        engine.len(),
+        engine.rebalances()
+    );
+}

@@ -20,10 +20,7 @@ fn main() {
         let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
         println!("before: {sizes:?}");
 
-        for bal in [Balancer::None]
-            .into_iter()
-            .chain(Balancer::ALL_ACTIVE)
-        {
+        for bal in [Balancer::None].into_iter().chain(Balancer::ALL_ACTIVE) {
             let results = Machine::with_model(p, MachineModel::cm5())
                 .run(|proc| {
                     let mut mine = parts[proc.rank()].clone();
@@ -35,10 +32,7 @@ fn main() {
             let after: Vec<usize> = results.iter().map(|(len, _)| *len).collect();
             let msgs: u64 = results.iter().map(|(_, r)| r.messages_sent).sum();
             let moved: u64 = results.iter().map(|(_, r)| r.elements_sent).sum();
-            let time = results
-                .iter()
-                .map(|(_, r)| r.seconds)
-                .fold(0.0, f64::max);
+            let time = results.iter().map(|(_, r)| r.seconds).fold(0.0, f64::max);
             println!(
                 "{:>28} ({}): after={:?}  msgs={:>3}  moved={:>6}  time={:>9.5}s",
                 bal.name(),

@@ -38,8 +38,10 @@ fn main() {
     println!("Latency percentiles over {n} samples on {p} ingest nodes\n");
 
     let percentiles = [(50.0, "p50"), (90.0, "p90"), (99.0, "p99"), (99.9, "p99.9")];
-    let ranks: Vec<u64> =
-        percentiles.iter().map(|(pct, _)| (((n - 1) as f64) * pct / 100.0).round() as u64).collect();
+    let ranks: Vec<u64> = percentiles
+        .iter()
+        .map(|(pct, _)| (((n - 1) as f64) * pct / 100.0).round() as u64)
+        .collect();
     let machine = Machine::with_model(p, MachineModel::modern());
     let cfg = SelectionConfig::with_seed(7);
 

@@ -2,9 +2,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cgselect::{
-    median_on_machine, Algorithm, Distribution, MachineModel, SelectionConfig,
-};
+use cgselect::{median_on_machine, Algorithm, Distribution, MachineModel, SelectionConfig};
 
 fn main() {
     let p = 8;

@@ -12,15 +12,10 @@ use cgselect::{
 
 fn time(algo: Algorithm, n: usize, p: usize) -> f64 {
     let parts = cgselect::generate(Distribution::Random, n, p, 21);
-    let bal = if algo == Algorithm::MedianOfMedians {
-        Balancer::GlobalExchange
-    } else {
-        Balancer::None
-    };
+    let bal =
+        if algo == Algorithm::MedianOfMedians { Balancer::GlobalExchange } else { Balancer::None };
     let cfg = SelectionConfig::with_seed(22).balancer(bal);
-    median_on_machine(p, MachineModel::cm5(), &parts, algo, &cfg)
-        .expect("run failed")
-        .makespan()
+    median_on_machine(p, MachineModel::cm5(), &parts, algo, &cfg).expect("run failed").makespan()
 }
 
 fn main() {
@@ -33,8 +28,7 @@ fn main() {
     );
     let mut base: Option<[f64; 4]> = None;
     for &p in &procs {
-        let row: Vec<f64> =
-            Algorithm::ALL.iter().map(|&a| time(a, 1 << 21, p)).collect();
+        let row: Vec<f64> = Algorithm::ALL.iter().map(|&a| time(a, 1 << 21, p)).collect();
         println!(
             "{p:>5} | {:>11.4}s | {:>11.4}s | {:>11.4}s | {:>11.4}s",
             row[0], row[1], row[2], row[3]

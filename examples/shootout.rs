@@ -14,13 +14,8 @@ fn main() {
     let n = 1 << 18; // 256k keys
     let model = MachineModel::cm5();
 
-    println!(
-        "Median of n = {n} keys on p = {p} processors (virtual CM-5 seconds)\n"
-    );
-    println!(
-        "{:>20} | {:>12} | {:>12} | ratio vs fastest",
-        "algorithm", "random", "sorted"
-    );
+    println!("Median of n = {n} keys on p = {p} processors (virtual CM-5 seconds)\n");
+    println!("{:>20} | {:>12} | {:>12} | ratio vs fastest", "algorithm", "random", "sorted");
     println!("{}", "-".repeat(68));
 
     let mut fastest_random = f64::INFINITY;
@@ -37,8 +32,7 @@ fn main() {
         for dist in [Distribution::Random, Distribution::Sorted] {
             let parts = cgselect::generate(dist, n, p, 9);
             let cfg = SelectionConfig::with_seed(11).balancer(balancer);
-            let sel = median_on_machine(p, model, &parts, algo, &cfg)
-                .expect("selection failed");
+            let sel = median_on_machine(p, model, &parts, algo, &cfg).expect("selection failed");
             times.push(sel.makespan());
         }
         fastest_random = fastest_random.min(times[0]);
@@ -46,10 +40,7 @@ fn main() {
     }
 
     for (name, rnd, sorted) in rows {
-        println!(
-            "{name:>20} | {rnd:>11.4}s | {sorted:>11.4}s | {:>6.1}x",
-            rnd / fastest_random
-        );
+        println!("{name:>20} | {rnd:>11.4}s | {sorted:>11.4}s | {:>6.1}x", rnd / fastest_random);
     }
 
     println!(

@@ -4,11 +4,10 @@
 //!
 //! Run with: `cargo run --release --example toolbox`
 
-use cgselect::{
-    parallel_top_k, parallel_weighted_select, Algorithm, Machine, MachineModel,
-    SelectionConfig,
-};
 use cgselect::runtime::render_timeline;
+use cgselect::{
+    parallel_top_k, parallel_weighted_select, Algorithm, Machine, MachineModel, SelectionConfig,
+};
 use cgselect_seqsel::KernelRng;
 
 fn main() {
@@ -48,18 +47,14 @@ fn main() {
                     (size, size) // weight = size itself
                 })
                 .collect();
-            let total_bytes: u64 = proc.combine(
-                mine.iter().map(|(_, w)| *w).sum::<u64>(),
-                |a, b| a + b,
-            );
+            let total_bytes: u64 =
+                proc.combine(mine.iter().map(|(_, w)| *w).sum::<u64>(), |a, b| a + b);
             let half = total_bytes.div_ceil(2);
             (parallel_weighted_select(proc, mine, half, &cfg), total_bytes)
         })
         .expect("weighted select failed");
     let (median_size, total_bytes) = results[0];
-    println!(
-        "  half of the {total_bytes} total bytes come from requests <= {median_size} bytes\n"
-    );
+    println!("  half of the {total_bytes} total bytes come from requests <= {median_size} bytes\n");
 
     // ------------------------------------------------------------------
     // 3. Tracing: watch the messages of one randomized selection round.

@@ -20,14 +20,32 @@
 //!
 //! | Re-exported module | Crate | Contents |
 //! |---|---|---|
-//! | [`runtime`] | `cgselect-runtime` | SPMD machine, collectives, cost model |
+//! | [`runtime`] | `cgselect-runtime` | SPMD machine, collectives, cost model, persistent sessions |
 //! | [`seqsel`] | `cgselect-seqsel` | sequential kernels (BFPRT, quickselect, Floyd–Rivest, buckets) |
 //! | [`sort`] | `cgselect-sort` | sample sort / bitonic sort substrate |
 //! | [`balance`] | `cgselect-balance` | the four load balancers |
 //! | [`core`] | `cgselect-core` | the four parallel selection algorithms |
+//! | [`engine`] | `cgselect-engine` | persistent sharded query engine (batched ranks/quantiles) |
 //! | [`workloads`] | `cgselect-workloads` | reproducible experiment inputs |
 //!
 //! The most common entry points are re-exported at the top level.
+//!
+//! ## Serving queries instead of running one selection
+//!
+//! For the one-shot paper experiments use [`select_on_machine`]; to keep
+//! data resident across many queries use the [`Engine`]:
+//!
+//! ```
+//! use cgselect::{Answer, Engine, EngineConfig, Query};
+//!
+//! let mut engine: Engine<u64> = Engine::new(EngineConfig::new(4)).unwrap();
+//! engine.ingest((0..10_000u64).rev().collect()).unwrap();
+//! let report = engine
+//!     .execute(&[Query::Median, Query::quantile(0.99), Query::TopK(3)])
+//!     .unwrap();
+//! assert_eq!(report.answers[0], Answer::Value(4_999));
+//! assert_eq!(report.answers[2], Answer::Top(vec![0, 1, 2]));
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -68,6 +86,9 @@ pub use cgselect_balance as balance;
 /// The parallel selection algorithms (paper §3).
 pub use cgselect_core as core;
 
+/// The persistent sharded selection/quantile query engine.
+pub use cgselect_engine as engine;
+
 /// Experiment input generators.
 pub use cgselect_workloads as workloads;
 
@@ -75,10 +96,15 @@ pub use cgselect_balance::{BalanceReport, Balancer};
 pub use cgselect_core::{
     median_on_machine, multi_select_on_machine, parallel_median, parallel_multi_select,
     parallel_select, parallel_top_k, parallel_weighted_median, parallel_weighted_select,
-    select_on_machine, top_k_on_machine, Algorithm, LocalKernel, MachineSelection,
-    SampleSortAlgo, SelectionConfig, SelectionOutcome, Weighted,
+    select_on_machine, top_k_on_machine, Algorithm, LocalKernel, MachineSelection, SampleSortAlgo,
+    SelectionConfig, SelectionOutcome, Weighted,
 };
-pub use cgselect_runtime::{CommStats, Key, Machine, MachineModel, OrdF64, Proc, RunError};
+pub use cgselect_engine::{
+    quantile_rank, Answer, BatchReport, Engine, EngineConfig, EngineError, MutationReport, Query,
+};
+pub use cgselect_runtime::{
+    CommStats, Key, Machine, MachineModel, OrdF64, Proc, RunError, Session, ShardStore,
+};
 pub use cgselect_seqsel::{median_rank, rank_from_one_based};
 pub use cgselect_workloads::{generate, generate_with_layout, Distribution, Layout, Stats};
 

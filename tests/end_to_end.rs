@@ -27,8 +27,8 @@ fn paper_grid_slice_matches_oracle() {
                         Balancer::None
                     };
                     let cfg = SelectionConfig::with_seed(7).balancer(bal);
-                    let sel = select_on_machine(p, MachineModel::cm5(), &parts, k, algo, &cfg)
-                        .unwrap();
+                    let sel =
+                        select_on_machine(p, MachineModel::cm5(), &parts, k, algo, &cfg).unwrap();
                     assert_eq!(
                         sel.value,
                         oracle(&parts, k),
@@ -57,8 +57,7 @@ fn extended_distributions_match_oracle() {
         for algo in Algorithm::ALL {
             let k = (n / 3) as u64;
             let cfg = SelectionConfig { min_sequential: 64, ..SelectionConfig::with_seed(23) };
-            let sel =
-                select_on_machine(p, MachineModel::free(), &parts, k, algo, &cfg).unwrap();
+            let sel = select_on_machine(p, MachineModel::free(), &parts, k, algo, &cfg).unwrap();
             assert_eq!(sel.value, oracle(&parts, k), "dist={} algo={algo:?}", dist.name());
         }
     }
@@ -78,8 +77,8 @@ fn imbalanced_initial_layouts_match_oracle() {
                     balancer: bal,
                     ..SelectionConfig::with_seed(5)
                 };
-                let sel = select_on_machine(p, MachineModel::free(), &parts, 1250, algo, &cfg)
-                    .unwrap();
+                let sel =
+                    select_on_machine(p, MachineModel::free(), &parts, 1250, algo, &cfg).unwrap();
                 assert_eq!(
                     sel.value,
                     oracle(&parts, 1250),
@@ -100,15 +99,9 @@ fn float_keys_work_end_to_end() {
     let n = 500 * p;
     let k = (n / 2) as u64;
     let cfg = SelectionConfig { min_sequential: 64, ..SelectionConfig::with_seed(2) };
-    let sel = select_on_machine(
-        p,
-        MachineModel::free(),
-        &parts,
-        k,
-        Algorithm::FastRandomized,
-        &cfg,
-    )
-    .unwrap();
+    let sel =
+        select_on_machine(p, MachineModel::free(), &parts, k, Algorithm::FastRandomized, &cfg)
+            .unwrap();
     let mut all: Vec<OrdF64> = parts.iter().flatten().copied().collect();
     all.sort_unstable();
     assert_eq!(sel.value, all[k as usize]);

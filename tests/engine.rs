@@ -1,0 +1,175 @@
+//! End-to-end tests of the persistent query engine through the facade:
+//! mixed batches checked against a sorted-vector oracle over every workload
+//! distribution, batching's collective-round advantage, and session
+//! persistence across the whole ingest/query/re-balance/delete lifecycle.
+
+use cgselect::{quantile_rank, Answer, Distribution, Engine, EngineConfig, MachineModel, Query};
+
+fn free_engine(p: usize) -> Engine<u64> {
+    Engine::new(EngineConfig::new(p).model(MachineModel::free())).unwrap()
+}
+
+/// Ingests `data`, runs one mixed batch (ranks + quantiles + median +
+/// top-k), and checks every exact answer against the sorted oracle.
+fn check_mixed_batch(engine: &mut Engine<u64>, data: Vec<u64>) {
+    let mut oracle = data.clone();
+    oracle.sort_unstable();
+    let n = oracle.len() as u64;
+    engine.ingest(data).unwrap();
+    assert_eq!(engine.len(), n);
+
+    let queries = vec![
+        Query::Rank(0),
+        Query::Rank(n / 3),
+        Query::Rank(n - 1),
+        Query::quantile(0.1),
+        Query::quantile(0.5),
+        Query::quantile(0.9),
+        Query::Median,
+        Query::TopK(7.min(n)),
+    ];
+    let report = engine.execute(&queries).unwrap();
+    assert_eq!(report.answers.len(), queries.len());
+    assert_eq!(report.sketch_answers, 0, "exact batch must not touch the sketches");
+
+    assert_eq!(report.answers[0], Answer::Value(oracle[0]));
+    assert_eq!(report.answers[1], Answer::Value(oracle[(n / 3) as usize]));
+    assert_eq!(report.answers[2], Answer::Value(oracle[(n - 1) as usize]));
+    for (i, q) in [0.1, 0.5, 0.9].into_iter().enumerate() {
+        assert_eq!(
+            report.answers[3 + i],
+            Answer::Value(oracle[quantile_rank(q, n) as usize]),
+            "quantile {q}"
+        );
+    }
+    assert_eq!(report.answers[6], Answer::Value(oracle[((n - 1) / 2) as usize]));
+    assert_eq!(report.answers[7], Answer::Top(oracle[..7.min(n as usize)].to_vec()));
+}
+
+#[test]
+fn mixed_batches_match_oracle_on_every_distribution() {
+    let p = 4;
+    let n = 6000;
+    let all = [
+        Distribution::Random,
+        Distribution::Sorted,
+        Distribution::ReverseSorted,
+        Distribution::FewDistinct(17),
+        Distribution::Gaussian,
+        Distribution::Zipf,
+        Distribution::OrganPipe,
+        Distribution::AllEqual,
+    ];
+    for dist in all {
+        let data: Vec<u64> = cgselect::generate(dist, n, p, 23).into_iter().flatten().collect();
+        let mut engine = free_engine(p);
+        check_mixed_batch(&mut engine, data);
+    }
+}
+
+#[test]
+fn batched_ranks_use_strictly_fewer_collective_rounds_than_single_calls() {
+    let p = 4;
+    let data: Vec<u64> =
+        cgselect::generate(Distribution::Random, 50_000, p, 31).into_iter().flatten().collect();
+    let mut engine = free_engine(p);
+    engine.ingest(data).unwrap();
+    let n = engine.len();
+
+    let r = 12;
+    let ranks: Vec<u64> = (0..r).map(|i| (i * n) / r).collect();
+    let batch: Vec<Query> = ranks.iter().map(|&k| Query::Rank(k)).collect();
+    let batched = engine.execute(&batch).unwrap();
+    assert_eq!(batched.exact_ranks, ranks.len());
+
+    let mut single_sum = 0u64;
+    for &k in &ranks {
+        single_sum += engine.execute(&[Query::Rank(k)]).unwrap().collective_ops;
+    }
+    assert!(
+        batched.collective_ops < single_sum,
+        "a batch of {r} rank queries must use strictly fewer collective rounds \
+         ({}) than {r} single-rank calls ({single_sum})",
+        batched.collective_ops
+    );
+    // The advantage must also show in message counts.
+    assert!(batched.comm.msgs_sent > 0);
+}
+
+#[test]
+fn lifecycle_ingest_query_rebalance_delete_in_one_session() {
+    let p = 4;
+    let mut engine: Engine<u64> =
+        Engine::new(EngineConfig::new(p).model(MachineModel::free()).imbalance_watermark(1.25))
+            .unwrap();
+
+    let mut oracle: Vec<u64> = Vec::new();
+
+    // Balanced ingest.
+    let a: Vec<u64> = (0..8000u64).map(|i| i.wrapping_mul(48271) % 65536).collect();
+    oracle.extend(&a);
+    assert!(!engine.ingest(a).unwrap().rebalanced);
+
+    // Hot shard trips the watermark once.
+    let b: Vec<u64> = (0..6000u64).map(|i| i.wrapping_mul(16807) % 65536).collect();
+    oracle.extend(&b);
+    let rep = engine.ingest_pinned(1, b).unwrap();
+    assert!(rep.rebalanced);
+    assert_eq!(engine.rebalances(), 1);
+    assert!(engine.imbalance_ratio() <= 1.25);
+
+    // Queries agree with the oracle after the move.
+    oracle.sort_unstable();
+    let n = oracle.len() as u64;
+    let report = engine.execute(&[Query::Median, Query::TopK(5)]).unwrap();
+    assert_eq!(report.answers[0], Answer::Value(oracle[((n - 1) / 2) as usize]));
+    assert_eq!(report.answers[1], Answer::Top(oracle[..5].to_vec()));
+
+    // Delete a value class entirely.
+    let removed = engine.delete(&[42]).unwrap().elements;
+    let expect_removed = oracle.iter().filter(|&&x| x == 42).count() as u64;
+    assert_eq!(removed, expect_removed);
+    oracle.retain(|&x| x != 42);
+    let n = oracle.len() as u64;
+    assert_eq!(engine.len(), n);
+    let report = engine.execute(&[Query::quantile(0.5)]).unwrap();
+    assert_eq!(report.answers[0], Answer::Value(oracle[quantile_rank(0.5, n) as usize]));
+}
+
+#[test]
+fn approximate_quantiles_honor_their_tolerance_against_the_oracle() {
+    let p = 8;
+    let mut engine: Engine<u64> =
+        Engine::new(EngineConfig::new(p).model(MachineModel::free()).sketch_capacity(2048))
+            .unwrap();
+    let data: Vec<u64> =
+        cgselect::generate(Distribution::Gaussian, 120_000, p, 77).into_iter().flatten().collect();
+    let mut oracle = data.clone();
+    oracle.sort_unstable();
+    engine.ingest(data).unwrap();
+
+    let tol = 0.03;
+    let qs = [0.25, 0.5, 0.75, 0.99];
+    let batch: Vec<Query> = qs.iter().map(|&q| Query::quantile_within(q, tol)).collect();
+    let report = engine.execute(&batch).unwrap();
+    assert_eq!(report.sketch_answers, qs.len(), "all four must be sketch-served");
+    for answer in &report.answers {
+        let Answer::Approximate { value, target_rank, max_rank_error } = *answer else {
+            panic!("expected approximate answer, got {answer:?}");
+        };
+        // True rank range of `value` in the oracle (duplicates allowed).
+        let lo = oracle.partition_point(|&x| x < value) as u64;
+        let hi = oracle.partition_point(|&x| x <= value) as u64;
+        let err = if target_rank < lo {
+            lo - target_rank
+        } else if target_rank >= hi {
+            target_rank - (hi - 1)
+        } else {
+            0
+        };
+        assert!(
+            err <= max_rank_error,
+            "true rank range [{lo}, {hi}) vs target {target_rank}: err {err} > {max_rank_error}"
+        );
+    }
+}

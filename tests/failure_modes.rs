@@ -47,11 +47,8 @@ fn divergent_algorithms_are_caught() {
     let err = small_timeout()
         .run(|proc| {
             let mine: Vec<u64> = (0..200).collect();
-            let algo = if proc.rank() == 0 {
-                Algorithm::Randomized
-            } else {
-                Algorithm::MedianOfMedians
-            };
+            let algo =
+                if proc.rank() == 0 { Algorithm::Randomized } else { Algorithm::MedianOfMedians };
             cgselect::parallel_select(
                 proc,
                 mine,
@@ -97,13 +94,8 @@ fn nan_free_float_keys_select_correctly_with_infinities() {
         vec![OrdF64(f64::INFINITY), OrdF64(-3.5), OrdF64(0.0)],
     ];
     let cfg = SelectionConfig { min_sequential: 4, ..SelectionConfig::with_seed(5) };
-    for (k, want) in [
-        (0u64, f64::NEG_INFINITY),
-        (1, -3.5),
-        (2, 0.0),
-        (3, 1.0),
-        (4, f64::INFINITY),
-    ] {
+    for (k, want) in [(0u64, f64::NEG_INFINITY), (1, -3.5), (2, 0.0), (3, 1.0), (4, f64::INFINITY)]
+    {
         let sel = cgselect::select_on_machine(
             2,
             MachineModel::free(),
@@ -122,8 +114,14 @@ fn invalid_config_fails_before_any_communication() {
     let err = Machine::with_model(2, MachineModel::free())
         .run(|proc| {
             let cfg = SelectionConfig { epsilon: 2.0, ..SelectionConfig::default() };
-            cgselect::parallel_select(proc, vec![proc.rank() as u64], 0, Algorithm::FastRandomized, &cfg)
-                .value
+            cgselect::parallel_select(
+                proc,
+                vec![proc.rank() as u64],
+                0,
+                Algorithm::FastRandomized,
+                &cfg,
+            )
+            .value
         })
         .unwrap_err();
     assert!(format!("{err}").contains("epsilon"), "{err}");

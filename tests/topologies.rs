@@ -2,8 +2,8 @@
 //! wormhole-scale hop costs stay close to the paper's crossbar model
 //! (the quantitative version of the paper's §2.1 argument).
 
-use cgselect::{Algorithm, Distribution, MachineModel, SelectionConfig};
 use cgselect::runtime::Topology;
+use cgselect::{Algorithm, Distribution, MachineModel, SelectionConfig};
 
 fn run(model: MachineModel) -> (u64, f64) {
     let p = 16;
