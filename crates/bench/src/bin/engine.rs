@@ -7,13 +7,17 @@
 //! one at a time — in collective rounds, virtual seconds (CM-5 model), and
 //! host wall-clock — and writes `results/engine.{csv,txt}`.
 //!
+//! Round accounting comes from `cgselect_engine::measure_rounds`, the same
+//! helper `tests/engine.rs` asserts on, so the numbers reported here are
+//! by construction the numbers the test suite guarantees.
+//!
 //! Pass `--quick` for a reduced grid.
 
 use std::time::Instant;
 
 use cgselect_bench::chart::{markdown_table, write_csv, write_text};
 use cgselect_bench::{quick_mode, results_dir};
-use cgselect_engine::{Engine, EngineConfig, Query};
+use cgselect_engine::{measure_rounds, Engine, EngineConfig, ExecutionMode, Query};
 use cgselect_workloads::{generate, Distribution};
 
 fn main() {
@@ -36,47 +40,47 @@ fn main() {
             .collect();
 
         let wall0 = Instant::now();
-        let batched = engine.execute(&queries).expect("batched execute");
+        let batched =
+            measure_rounds(&mut engine, &queries, ExecutionMode::Batched).expect("batched execute");
         let batched_wall = wall0.elapsed().as_secs_f64();
 
         let wall0 = Instant::now();
-        let mut single_ops = 0u64;
-        let mut single_makespan = 0.0f64;
-        let mut single_msgs = 0u64;
-        for q in &queries {
-            let rep = engine.execute(std::slice::from_ref(q)).expect("single execute");
-            single_ops += rep.collective_ops;
-            single_makespan += rep.makespan;
-            single_msgs += rep.comm.msgs_sent;
-        }
+        let single =
+            measure_rounds(&mut engine, &queries, ExecutionMode::PerQuery).expect("single execute");
         let single_wall = wall0.elapsed().as_secs_f64();
 
         rows.push(format!(
-            "{n},{p},{r},{},{single_ops},{:.6},{:.6},{},{single_msgs},{:.6},{:.6}",
+            "{n},{p},{r},{},{},{:.6},{:.6},{},{},{:.6},{:.6}",
             batched.collective_ops,
+            single.collective_ops,
             batched.makespan,
-            single_makespan,
-            batched.comm.msgs_sent,
+            single.makespan,
+            batched.msgs_sent,
+            single.msgs_sent,
             batched_wall,
             single_wall
         ));
         table.push(vec![
             r.to_string(),
             batched.collective_ops.to_string(),
-            single_ops.to_string(),
-            format!("{:.1}x", single_ops as f64 / batched.collective_ops as f64),
+            single.collective_ops.to_string(),
+            format!("{:.1}x", single.collective_ops as f64 / batched.collective_ops as f64),
+            format!("{:.2}", batched.rounds_per_query()),
+            format!("{:.2}", single.rounds_per_query()),
             format!("{:.4}", batched.makespan),
-            format!("{:.4}", single_makespan),
-            format!("{:.1}x", single_makespan / batched.makespan.max(1e-12)),
+            format!("{:.4}", single.makespan),
+            format!("{:.1}x", single.makespan / batched.makespan.max(1e-12)),
         ]);
         println!(
-            "R={r:>4}: collective ops {:>6} batched vs {:>7} single ({:.1}x); \
-             virtual {:.4}s vs {:.4}s; wall {:.3}s vs {:.3}s",
+            "R={r:>4}: collective ops {:>6} batched vs {:>7} single ({:.1}x, \
+             {:.2} vs {:.2} rounds/query); virtual {:.4}s vs {:.4}s; wall {:.3}s vs {:.3}s",
             batched.collective_ops,
-            single_ops,
-            single_ops as f64 / batched.collective_ops as f64,
+            single.collective_ops,
+            single.collective_ops as f64 / batched.collective_ops as f64,
+            batched.rounds_per_query(),
+            single.rounds_per_query(),
             batched.makespan,
-            single_makespan,
+            single.makespan,
             batched_wall,
             single_wall
         );
@@ -93,6 +97,8 @@ fn main() {
                 "coll. ops (batch)",
                 "coll. ops (single)",
                 "ops ratio",
+                "rounds/query (batch)",
+                "rounds/query (single)",
                 "virtual s (batch)",
                 "virtual s (single)",
                 "time ratio"

@@ -27,6 +27,11 @@
 //!   rank-error tolerance the sketches can honor are answered from the
 //!   sketches alone, never touching the full data, and fall back to the
 //!   exact paper algorithms otherwise.
+//! * **An async frontend** ([`frontend`]) — concurrent clients submit
+//!   single queries into a bounded [`SubmissionQueue`] and await
+//!   [`Ticket`]s, while a dedicated batcher thread forms batches by
+//!   deadline (micro-batching window + max batch size) so the coalescing
+//!   above happens *across* clients, not just within one caller's slice.
 //!
 //! ```
 //! use cgselect_engine::{Engine, EngineConfig, Query, Answer};
@@ -46,9 +51,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod frontend;
+mod measure;
 mod query;
 pub mod sketch;
 
+pub use frontend::{
+    AsyncError, FrontendConfig, FrontendStats, MutationTicket, QueryTicket, SubmissionQueue,
+    SubmitError, Ticket,
+};
+pub use measure::{measure_rounds, ExecutionMode, RoundsMeasurement};
 pub use query::{quantile_rank, Answer, Query};
 pub use sketch::ReservoirSketch;
 
@@ -388,6 +400,21 @@ impl<T: Key> Engine<T> {
         let removed = before - self.total;
         let rebalanced = self.maybe_rebalance()?;
         Ok(MutationReport { elements: removed, rebalanced })
+    }
+
+    /// Checks one query's domain against the current resident population
+    /// without executing it — exactly the validation [`Engine::execute`]
+    /// applies to a whole batch, exposed per query so the async frontend
+    /// can fail an invalid query's ticket without failing its batch.
+    pub fn validate_query(&self, query: &Query) -> Result<(), EngineError> {
+        query::validate(query, self.total)
+    }
+
+    /// Hands this engine (and its persistent session) to a dedicated
+    /// batcher thread and returns the async [`SubmissionQueue`] frontend.
+    /// Shorthand for [`SubmissionQueue::start`].
+    pub fn into_frontend(self, cfg: FrontendConfig) -> SubmissionQueue<T> {
+        SubmissionQueue::start(self, cfg)
     }
 
     /// Executes one batch of queries against the resident data.

@@ -1,0 +1,110 @@
+//! Collective-round accounting shared by tests and benchmarks.
+//!
+//! The engine's core claim — a batch of `R` rank-type queries costs
+//! `O(log n + R)` collective rounds instead of `O(R·log n)` — is asserted
+//! by `tests/engine.rs` and measured by the `engine` bench binary. Both
+//! must count rounds *identically* or the test proves something the bench
+//! does not report; this module is the single implementation they share.
+
+use cgselect_runtime::Key;
+
+use crate::{Engine, EngineError, Query};
+
+/// How [`measure_rounds`] executes a query set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// The whole set as one coalesced [`Engine::execute`] batch.
+    Batched,
+    /// Each query as its own single-element batch (the baseline the
+    /// micro-batcher exists to beat).
+    PerQuery,
+}
+
+/// What one [`measure_rounds`] run observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RoundsMeasurement {
+    /// Queries executed.
+    pub queries: usize,
+    /// Collective operations started, per processor (summed across the
+    /// per-query executions in [`ExecutionMode::PerQuery`] mode).
+    pub collective_ops: u64,
+    /// Virtual-time makespan (summed across per-query executions).
+    pub makespan: f64,
+    /// Messages sent (summed across per-query executions).
+    pub msgs_sent: u64,
+}
+
+impl RoundsMeasurement {
+    /// Collective rounds paid per query — the figure of merit batching
+    /// amortizes. Zero when no queries were measured.
+    pub fn rounds_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.collective_ops as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Executes `queries` on `engine` in the given mode and returns the
+/// collective-round accounting. This is THE definition of "collective
+/// rounds per query" — `tests/engine.rs` asserts on it and the `engine`
+/// bench binary reports it, so the two cannot drift apart.
+pub fn measure_rounds<T: Key>(
+    engine: &mut Engine<T>,
+    queries: &[Query],
+    mode: ExecutionMode,
+) -> Result<RoundsMeasurement, EngineError> {
+    let mut m = RoundsMeasurement { queries: queries.len(), ..Default::default() };
+    match mode {
+        ExecutionMode::Batched => {
+            let report = engine.execute(queries)?;
+            m.collective_ops = report.collective_ops;
+            m.makespan = report.makespan;
+            m.msgs_sent = report.comm.msgs_sent;
+        }
+        ExecutionMode::PerQuery => {
+            for q in queries {
+                let report = engine.execute(std::slice::from_ref(q))?;
+                m.collective_ops += report.collective_ops;
+                m.makespan += report.makespan;
+                m.msgs_sent += report.comm.msgs_sent;
+            }
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+    use cgselect_runtime::MachineModel;
+
+    #[test]
+    fn batched_mode_beats_per_query_mode() {
+        let mut engine: Engine<u64> =
+            Engine::new(EngineConfig::new(4).model(MachineModel::free())).unwrap();
+        engine.ingest((0..20_000u64).rev().collect()).unwrap();
+        let queries: Vec<Query> = (1..=10u64).map(|i| Query::Rank(i * 1500)).collect();
+        let batched = measure_rounds(&mut engine, &queries, ExecutionMode::Batched).unwrap();
+        let single = measure_rounds(&mut engine, &queries, ExecutionMode::PerQuery).unwrap();
+        assert_eq!(batched.queries, single.queries);
+        assert!(batched.collective_ops > 0);
+        assert!(
+            batched.rounds_per_query() < single.rounds_per_query(),
+            "batched {} vs per-query {} rounds/query",
+            batched.rounds_per_query(),
+            single.rounds_per_query()
+        );
+    }
+
+    #[test]
+    fn empty_query_set_measures_zero() {
+        let mut engine: Engine<u64> =
+            Engine::new(EngineConfig::new(2).model(MachineModel::free())).unwrap();
+        engine.ingest(vec![1, 2, 3]).unwrap();
+        let m = measure_rounds(&mut engine, &[], ExecutionMode::PerQuery).unwrap();
+        assert_eq!(m.rounds_per_query(), 0.0);
+    }
+}

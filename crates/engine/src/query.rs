@@ -90,6 +90,32 @@ pub fn quantile_rank(q: f64, n: u64) -> u64 {
     ((q * (n - 1) as f64).round() as u64).min(n - 1)
 }
 
+/// Checks one query's domain against a resident population of `n` elements
+/// without planning it: the single source of truth for what
+/// [`plan`] accepts, also used by the async frontend to reject an invalid
+/// query individually instead of failing the whole coalesced batch.
+pub(crate) fn validate(query: &Query, n: u64) -> Result<(), crate::EngineError> {
+    use crate::EngineError;
+    if n == 0 {
+        return Err(EngineError::Empty);
+    }
+    match *query {
+        Query::Rank(k) if k >= n => Err(EngineError::RankOutOfRange { rank: k, n }),
+        Query::Quantile { q, .. } if !(0.0..=1.0).contains(&q) => {
+            Err(EngineError::InvalidQuantile(q))
+        }
+        // NaN and ±∞ are rejected up front: an infinite tolerance would
+        // otherwise satisfy `t >= sketch_bound` even when the bound is ∞
+        // (sketches disabled) and send the query into an empty-sketch
+        // estimate.
+        Query::Quantile { tolerance: Some(t), .. } if !t.is_finite() || t < 0.0 => {
+            Err(EngineError::InvalidTolerance(t))
+        }
+        Query::TopK(k) if k > n => Err(EngineError::TopKTooLarge { k, n }),
+        _ => Ok(()),
+    }
+}
+
 /// How the planner resolved one query.
 #[derive(Clone, Debug)]
 pub(crate) enum Resolution {
@@ -123,35 +149,20 @@ pub(crate) fn plan(
     n: u64,
     sketch_bound: f64,
 ) -> Result<Plan, crate::EngineError> {
-    use crate::EngineError;
     if n == 0 {
-        return Err(EngineError::Empty);
+        return Err(crate::EngineError::Empty);
     }
     let mut resolutions = Vec::with_capacity(queries.len());
     let mut exact_ranks = Vec::new();
     let mut sketch_targets = Vec::new();
     for &query in queries {
+        validate(&query, n)?;
         let res = match query {
-            Query::Rank(k) => {
-                if k >= n {
-                    return Err(EngineError::RankOutOfRange { rank: k, n });
-                }
-                Resolution::Exact(k)
-            }
+            Query::Rank(k) => Resolution::Exact(k),
             Query::Median => Resolution::Exact((n - 1) / 2),
             Query::Quantile { q, tolerance } => {
-                if !(0.0..=1.0).contains(&q) {
-                    return Err(EngineError::InvalidQuantile(q));
-                }
                 let target = quantile_rank(q, n);
                 match tolerance {
-                    // NaN and ±∞ are rejected up front: an infinite
-                    // tolerance would otherwise satisfy `t >= sketch_bound`
-                    // even when the bound is ∞ (sketches disabled) and send
-                    // the query into an empty-sketch estimate.
-                    Some(t) if !t.is_finite() || t < 0.0 => {
-                        return Err(EngineError::InvalidTolerance(t))
-                    }
                     Some(t) if t >= sketch_bound => {
                         sketch_targets.push(target);
                         Resolution::Sketch {
@@ -164,9 +175,6 @@ pub(crate) fn plan(
                 }
             }
             Query::TopK(k) => {
-                if k > n {
-                    return Err(EngineError::TopKTooLarge { k, n });
-                }
                 for r in 0..k {
                     exact_ranks.push(r);
                 }

@@ -143,6 +143,16 @@ pub struct Session {
     poisoned: bool,
 }
 
+/// A [`Session`] is `Send`: it can be handed off whole — resident shards,
+/// live worker threads and all — to another owner thread, which is how the
+/// engine's async frontend moves a populated session onto its dedicated
+/// batcher thread. This assertion makes the guarantee a compile-time
+/// contract so a future field cannot silently revoke it.
+const _: () = {
+    const fn assert_send<S: Send>() {}
+    assert_send::<Session>();
+};
+
 impl Machine {
     /// Starts a persistent session with this machine's shape: the `p`
     /// worker threads stay alive until the session is dropped.
@@ -451,6 +461,34 @@ mod tests {
         let mut s = machine.session();
         let persistent = s.run(|proc, _| proc.scan(proc.rank() as u64 + 1, |a, b| a + b)).unwrap();
         assert_eq!(one_shot, persistent);
+    }
+
+    #[test]
+    fn session_hand_off_to_another_thread_keeps_state_and_clocks() {
+        // The async-frontend pattern: populate a session on one thread,
+        // move it (shards resident) to a dedicated worker thread, keep
+        // serving there, then hand it back.
+        let mut s = Session::with_model(3, MachineModel::cm5());
+        s.run(|proc, store| {
+            store.insert::<Vec<u64>>(vec![proc.rank() as u64 * 100; 8]);
+        })
+        .unwrap();
+        let t0 = s.run(|proc, _| proc.now()).unwrap();
+        let handle = std::thread::spawn(move || {
+            let sums: Vec<u64> =
+                s.run(|_, store| store.get::<Vec<u64>>().unwrap().iter().sum()).unwrap();
+            assert_eq!(sums, vec![0, 800, 1600]);
+            s
+        });
+        let mut s = handle.join().unwrap();
+        // Back on the original thread: shards and the virtual clocks
+        // survived both hand-offs.
+        let t1 = s.run(|proc, _| proc.now()).unwrap();
+        for (a, b) in t0.iter().zip(&t1) {
+            assert!(b > a, "clock must keep advancing across thread hand-offs");
+        }
+        let lens = s.run(|_, store| store.get::<Vec<u64>>().unwrap().len()).unwrap();
+        assert_eq!(lens, vec![8, 8, 8]);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no registry access, so this workspace ships the
-//! small slice of crossbeam's API that `cgselect-runtime` actually uses: an
-//! unbounded MPSC channel with cloneable senders, timeout-aware receives and
-//! disconnect detection. It is implemented on `std::sync` primitives
+//! small slice of crossbeam's API that `cgselect-runtime` and
+//! `cgselect-engine` actually use: unbounded and bounded MPSC channels with
+//! cloneable senders, timeout-aware receives, non-blocking `try_send`
+//! (admission control for the engine's submission queue) and disconnect
+//! detection. It is implemented on `std::sync` primitives
 //! (`Mutex` + `Condvar`); semantics match `crossbeam-channel` for this
 //! surface, throughput is merely adequate (the runtime's virtual processors
 //! block on `recv_timeout`, so the channel is never the bottleneck in the
@@ -12,7 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Multi-producer single-consumer unbounded channels.
+/// Multi-producer single-consumer unbounded and bounded channels.
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
@@ -20,13 +22,23 @@ pub mod channel {
 
     struct State<T> {
         queue: VecDeque<T>,
+        /// `None` for unbounded channels, `Some(cap)` for bounded ones.
+        capacity: Option<usize>,
         senders: usize,
         receiver_alive: bool,
+    }
+
+    impl<T> State<T> {
+        fn is_full(&self) -> bool {
+            self.capacity.is_some_and(|cap| self.queue.len() >= cap)
+        }
     }
 
     struct Shared<T> {
         state: Mutex<State<T>>,
         ready: Condvar,
+        /// Signalled when a bounded channel's queue makes room.
+        space: Condvar,
     }
 
     /// The sending half of an unbounded channel. Cloneable; the channel
@@ -48,6 +60,34 @@ pub mod channel {
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`]; carries the unsent message
+    /// back to the caller.
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// The receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
         }
     }
 
@@ -75,9 +115,28 @@ pub mod channel {
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages.
+    /// [`Sender::send`] blocks while full; [`Sender::try_send`] fails fast
+    /// with [`TrySendError::Full`] instead. `cap` must be at least 1 (the
+    /// zero-capacity rendezvous channel of real crossbeam is not shimmed).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "the shim does not implement zero-capacity rendezvous channels");
+        channel_with_capacity(Some(cap))
+    }
+
+    fn channel_with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receiver_alive: true }),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receiver_alive: true,
+            }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (Sender { shared: shared.clone() }, Receiver { shared })
     }
@@ -103,21 +162,58 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.state.lock().expect("channel poisoned").receiver_alive = false;
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            st.receiver_alive = false;
+            drop(st);
+            // Wake senders blocked waiting for room in a bounded channel so
+            // they can observe the disconnect.
+            self.shared.space.notify_all();
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`; fails only if the receiver is gone.
+        /// Enqueues `value`, blocking while a bounded channel is at
+        /// capacity; fails only if the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if !st.receiver_alive {
+                    return Err(SendError(value));
+                }
+                if !st.is_full() {
+                    st.queue.push_back(value);
+                    drop(st);
+                    self.shared.ready.notify_one();
+                    return Ok(());
+                }
+                st = self.shared.space.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Enqueues `value` without blocking; fails fast when a bounded
+        /// channel is at capacity or the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
             if !st.receiver_alive {
-                return Err(SendError(value));
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.is_full() {
+                return Err(TrySendError::Full(value));
             }
             st.queue.push_back(value);
             drop(st);
             self.shared.ready.notify_one();
             Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().expect("channel poisoned").queue.len()
+        }
+
+        /// True if no message is currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -129,6 +225,8 @@ pub mod channel {
             let mut st = self.shared.state.lock().expect("channel poisoned");
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -149,6 +247,8 @@ pub mod channel {
             let mut st = self.shared.state.lock().expect("channel poisoned");
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -162,15 +262,24 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.shared.state.lock().expect("channel poisoned");
             match st.queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(st);
+                    self.shared.space.notify_one();
+                    Ok(v)
+                }
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
         }
 
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().expect("channel poisoned").queue.len()
+        }
+
         /// True if no message is currently queued.
         pub fn is_empty(&self) -> bool {
-            self.shared.state.lock().expect("channel poisoned").queue.is_empty()
+            self.len() == 0
         }
     }
 
@@ -214,6 +323,50 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_try_send_rejects_when_full_and_recovers() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.len(), 2);
+            match tx.try_send(3) {
+                Err(TrySendError::Full(v)) => assert_eq!(v, 3),
+                other => panic!("expected Full, got {other:?}"),
+            }
+            // Draining makes room again.
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Ok(3));
+            assert_eq!(rx.len(), 0);
+        }
+
+        #[test]
+        fn bounded_blocking_send_waits_for_room() {
+            let (tx, rx) = bounded::<u64>(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until the receiver pops 1
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(2));
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn bounded_send_to_dropped_receiver_fails_fast() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap(); // channel now full
+            drop(rx);
+            // A blocked sender must observe the disconnect, not hang.
+            assert!(tx.send(2).is_err());
+            match tx.try_send(3) {
+                Err(TrySendError::Disconnected(v)) => assert_eq!(v, 3),
+                other => panic!("expected Disconnected, got {other:?}"),
+            }
         }
 
         #[test]

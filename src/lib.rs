@@ -47,6 +47,23 @@
 //! assert_eq!(report.answers[2], Answer::Top(vec![0, 1, 2]));
 //! ```
 //!
+//! For concurrent clients, hand the engine to the async frontend: each
+//! client submits single queries and awaits a [`Ticket`], while the
+//! batcher thread coalesces everything arriving within the micro-batch
+//! window into one collective pass:
+//!
+//! ```
+//! use cgselect::{Answer, Engine, EngineConfig, FrontendConfig, Query};
+//!
+//! let mut engine: Engine<u64> = Engine::new(EngineConfig::new(4)).unwrap();
+//! engine.ingest((0..10_000u64).rev().collect()).unwrap();
+//! let queue = engine.into_frontend(FrontendConfig::new());
+//! let t1 = queue.submit(Query::Median).unwrap();
+//! let t2 = queue.submit(Query::TopK(2)).unwrap();
+//! assert_eq!(t1.wait(), Ok(Answer::Value(4_999)));
+//! assert_eq!(t2.wait(), Ok(Answer::Top(vec![0, 1])));
+//! ```
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -100,7 +117,9 @@ pub use cgselect_core::{
     SelectionConfig, SelectionOutcome, Weighted,
 };
 pub use cgselect_engine::{
-    quantile_rank, Answer, BatchReport, Engine, EngineConfig, EngineError, MutationReport, Query,
+    measure_rounds, quantile_rank, Answer, AsyncError, BatchReport, Engine, EngineConfig,
+    EngineError, ExecutionMode, FrontendConfig, FrontendStats, MutationReport, MutationTicket,
+    Query, QueryTicket, RoundsMeasurement, SubmissionQueue, SubmitError, Ticket,
 };
 pub use cgselect_runtime::{
     CommStats, Key, Machine, MachineModel, OrdF64, Proc, RunError, Session, ShardStore,
