@@ -1,34 +1,97 @@
-//! Batched vs per-query execution on the persistent engine: the
-//! amortization experiment motivating `cgselect-engine`.
+//! The persistent engine's two amortization experiments.
 //!
-//! For batches of R rank/quantile queries over the same resident data, the
-//! engine coalesces the whole batch into one `parallel_multi_select` pass;
-//! this binary measures what that saves against issuing the R queries
-//! one at a time — in collective rounds, virtual seconds (CM-5 model), and
-//! host wall-clock — and writes `results/engine.{csv,txt}`.
+//! **Experiment 1 — batching** (the PR-2 claim, `results/engine.{csv,txt}`):
+//! for batches of R rank queries over the same resident data, one coalesced
+//! multi-select pass vs R single-query calls, on the baseline (index-free)
+//! engine — in collective rounds, virtual seconds (CM-5 model), and host
+//! wall-clock. Round accounting comes from `cgselect_engine::measure_rounds`,
+//! the same helper `tests/engine.rs` asserts on.
 //!
-//! Round accounting comes from `cgselect_engine::measure_rounds`, the same
-//! helper `tests/engine.rs` asserts on, so the numbers reported here are
-//! by construction the numbers the test suite guarantees.
+//! **Experiment 2 — the resident bucket index**
+//! (`results/engine_indexed.{csv,txt}`): the indexed engine vs the PR-2
+//! batched baseline on two workloads — fresh distinct-rank batches
+//! (localization pays) and a repeated-quantile stream (the histogram fast
+//! path pays) — reporting collective ops/query, virtual makespan, wall
+//! clock, and histogram hit counts. The indexed exact path clones nothing:
+//! the multi-select runs over candidate buckets borrowed in place, so the
+//! baseline's per-batch full-shard copy + scan is simply absent.
 //!
-//! Pass `--quick` for a reduced grid.
+//! Pass `--quick` for a reduced grid. Pass `--check` to exit non-zero
+//! unless the indexed engine uses no more collective ops/query than the
+//! baseline on both workloads *and* at least 2× fewer on the
+//! repeated-quantile workload — the CI perf-smoke regression guard.
 
 use std::time::Instant;
 
 use cgselect_bench::chart::{markdown_table, write_csv, write_text};
 use cgselect_bench::{quick_mode, results_dir};
-use cgselect_engine::{measure_rounds, Engine, EngineConfig, ExecutionMode, Query};
+use cgselect_engine::{measure_rounds, Engine, EngineConfig, ExecutionMode, IndexHealth, Query};
 use cgselect_workloads::{generate, Distribution};
 
-fn main() {
-    let quick = quick_mode();
-    let dir = results_dir();
+fn check_mode() -> bool {
+    std::env::args().any(|a| a == "--check")
+}
+
+/// One mode × workload measurement of experiment 2.
+struct Run {
+    workload: &'static str,
+    mode: &'static str,
+    batches: usize,
+    queries: usize,
+    collective_ops: u64,
+    makespan: f64,
+    wall: f64,
+    health: IndexHealth,
+}
+
+impl Run {
+    fn ops_per_query(&self) -> f64 {
+        self.collective_ops as f64 / self.queries as f64
+    }
+}
+
+fn drive(
+    workload: &'static str,
+    mode: &'static str,
+    index_buckets: usize,
+    data: &[u64],
+    p: usize,
+    batches: &[Vec<Query>],
+) -> Run {
+    let mut engine: Engine<u64> =
+        Engine::new(EngineConfig::new(p).index_buckets(index_buckets)).expect("engine start");
+    engine.ingest(data.to_vec()).expect("ingest");
+    let wall0 = Instant::now();
+    let mut collective_ops = 0u64;
+    let mut makespan = 0.0f64;
+    let mut queries = 0usize;
+    for batch in batches {
+        let report = engine.execute(batch).expect("execute");
+        collective_ops += report.collective_ops;
+        makespan += report.makespan;
+        queries += batch.len();
+    }
+    Run {
+        workload,
+        mode,
+        batches: batches.len(),
+        queries,
+        collective_ops,
+        makespan,
+        wall: wall0.elapsed().as_secs_f64(),
+        health: engine.index_health(),
+    }
+}
+
+/// Experiment 1: batched vs per-query on the baseline engine.
+fn batching_experiment(quick: bool, dir: &std::path::Path) {
     let p = 8;
     let n: usize = if quick { 1 << 17 } else { 1 << 20 };
     let batch_sizes: &[usize] = if quick { &[4, 16] } else { &[4, 16, 64, 256] };
 
     let data: Vec<u64> = generate(Distribution::Random, n, p, 7).into_iter().flatten().collect();
-    let mut engine: Engine<u64> = Engine::new(EngineConfig::new(p)).expect("engine start");
+    let mut engine: Engine<u64> =
+        Engine::new(EngineConfig::new(p).index_buckets(0)).expect("engine start");
     engine.ingest(data).expect("ingest");
     let total = engine.len();
 
@@ -87,7 +150,7 @@ fn main() {
     }
 
     let out = format!(
-        "Batched vs per-query execution on the persistent engine\n\
+        "Batched vs per-query execution on the persistent engine (baseline, index off)\n\
          (n = {n}, p = {p}, random resident data; virtual times under the CM-5 model)\n\n{}\n\
          One multi-select pass resolves a whole batch in O(log n + R) pivot\n\
          rounds; R single-rank calls pay O(R log n). The ratio grows with R.\n",
@@ -114,5 +177,142 @@ fn main() {
     );
     write_text(&dir.join("engine.txt"), &out);
     print!("{out}");
-    println!("engine -> {}/engine.{{csv,txt}}", dir.display());
+}
+
+/// Experiment 2: resident bucket index vs the batched baseline.
+fn index_experiment(quick: bool, dir: &std::path::Path) -> bool {
+    let p = 8;
+    let n: usize = if quick { 1 << 17 } else { 1 << 20 };
+    let data: Vec<u64> = generate(Distribution::Random, n, p, 11).into_iter().flatten().collect();
+    let total = data.len() as u64;
+
+    // Workload A: fresh distinct ranks every batch (no repeats to cache).
+    let distinct_batches: Vec<Vec<Query>> = (0..8u64)
+        .map(|b| (0..32u64).map(|i| Query::Rank((i * total / 32 + b * 97 + i) % total)).collect())
+        .collect();
+    // Workload B: the same quantile set, batch after batch (a dashboard).
+    let quantiles: Vec<Query> = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+        .into_iter()
+        .map(Query::quantile)
+        .chain([Query::Median])
+        .collect();
+    let repeated_batches: Vec<Vec<Query>> = (0..16).map(|_| quantiles.clone()).collect();
+
+    let runs = vec![
+        drive("distinct-ranks", "baseline", 0, &data, p, &distinct_batches),
+        drive("distinct-ranks", "indexed", 64, &data, p, &distinct_batches),
+        drive("repeated-quantiles", "baseline", 0, &data, p, &repeated_batches),
+        drive("repeated-quantiles", "indexed", 64, &data, p, &repeated_batches),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for run in &runs {
+        rows.push(format!(
+            "{},{},{n},{p},{},{},{},{:.4},{:.6},{:.6},{},{},{}",
+            run.workload,
+            run.mode,
+            run.batches,
+            run.queries,
+            run.collective_ops,
+            run.ops_per_query(),
+            run.makespan,
+            run.wall,
+            run.health.histogram_hits,
+            run.health.rebuilds,
+            run.health.buckets,
+        ));
+        table.push(vec![
+            run.workload.to_string(),
+            run.mode.to_string(),
+            run.queries.to_string(),
+            run.collective_ops.to_string(),
+            format!("{:.2}", run.ops_per_query()),
+            format!("{:.5}", run.makespan),
+            format!("{:.3}", run.wall),
+            run.health.histogram_hits.to_string(),
+        ]);
+        println!(
+            "{:>18} | {:>8}: {:>6} coll. ops over {} queries ({:.2}/query); \
+             virtual {:.5}s; wall {:.3}s; histogram hits {}",
+            run.workload,
+            run.mode,
+            run.collective_ops,
+            run.queries,
+            run.ops_per_query(),
+            run.makespan,
+            run.wall,
+            run.health.histogram_hits
+        );
+    }
+
+    let ratio = |w: &str| {
+        let base = runs.iter().find(|r| r.workload == w && r.mode == "baseline").unwrap();
+        let idx = runs.iter().find(|r| r.workload == w && r.mode == "indexed").unwrap();
+        base.ops_per_query() / idx.ops_per_query().max(1e-12)
+    };
+    let out = format!(
+        "Resident bucket index vs the batched baseline\n\
+         (n = {n}, p = {p}, random resident data; virtual times under the CM-5 model)\n\n{}\n\
+         Localization against the cached per-bucket histogram confines each\n\
+         rank to a candidate-bucket window (borrowed in place — the baseline's\n\
+         per-batch full-shard clone does not exist on the indexed path), and\n\
+         answer-refined splitters turn repeated quantiles into histogram-only\n\
+         lookups. Collective-ops ratios: distinct-ranks {:.1}x, \n\
+         repeated-quantiles {:.1}x.\n",
+        markdown_table(
+            &[
+                "workload",
+                "mode",
+                "queries",
+                "coll. ops",
+                "ops/query",
+                "virtual s",
+                "wall s",
+                "histogram hits"
+            ],
+            &table
+        ),
+        ratio("distinct-ranks"),
+        ratio("repeated-quantiles"),
+    );
+    write_csv(
+        &dir.join("engine_indexed.csv"),
+        "workload,mode,n,p,batches,queries,collective_ops,ops_per_query,makespan,wall_s,\
+         histogram_hits,index_rebuilds,buckets",
+        &rows,
+    );
+    write_text(&dir.join("engine_indexed.txt"), &out);
+    print!("{out}");
+
+    // The regression guard CI asserts on.
+    let mut ok = true;
+    for w in ["distinct-ranks", "repeated-quantiles"] {
+        if ratio(w) < 1.0 {
+            eprintln!("PERF REGRESSION: indexed ops/query exceeds baseline on {w}");
+            ok = false;
+        }
+    }
+    if ratio("repeated-quantiles") < 2.0 {
+        eprintln!(
+            "PERF REGRESSION: repeated-quantile ops/query ratio {:.2} < 2.0",
+            ratio("repeated-quantiles")
+        );
+        ok = false;
+    }
+    ok
+}
+
+fn main() {
+    let quick = quick_mode();
+    let dir = results_dir();
+    batching_experiment(quick, &dir);
+    let ok = index_experiment(quick, &dir);
+    println!("engine -> {}/engine.{{csv,txt}} + engine_indexed.{{csv,txt}}", dir.display());
+    if check_mode() && !ok {
+        std::process::exit(1);
+    }
+    if check_mode() {
+        println!("perf smoke: indexed engine within bounds (distinct <= baseline, repeated >= 2x)");
+    }
 }

@@ -8,20 +8,58 @@
 //! `O((n/p)·(1 + log R))` plus the collective terms — the classic
 //! multi-select recursion, parallelized with the paper's machinery
 //! (shared-seed pivots, owner broadcast, Combine counts).
+//!
+//! Three entry points, cheapest last:
+//!
+//! * [`parallel_multi_select`] — the original owned-input form: consumes a
+//!   local `Vec<T>` and computes the global population itself.
+//! * [`parallel_multi_select_in`] — copy-free: partitions a **borrowed**
+//!   `&mut [T]` in place (plus a small owned overflow vector), with the
+//!   exact global population supplied by the caller — no per-call clone of
+//!   resident data and no population collective.
+//! * [`parallel_multi_select_windows`] — the engine's resident-bucket-index
+//!   form: many pre-localized candidate windows resolved **in lockstep**.
+//!   Every recursion round issues one vectorized prefix-sum, one vectorized
+//!   owner broadcast and one vectorized count Combine *for all live
+//!   segments together*, and all small-enough segments share a single
+//!   gather/broadcast finish — so a batch of `R` windows costs
+//!   `O(log(max window))` collective rounds, not `R` times that.
 
 use cgselect_runtime::{Key, Proc, PHASE_FINISH};
 use cgselect_seqsel::{partition3, KernelRng, OpCount};
 
 use crate::SelectionConfig;
 
-/// One pending segment of the multi-select recursion. Segments are pushed
-/// and popped in an order determined solely by global counts, so every
-/// processor processes the identical sequence (SPMD-safe).
-struct Segment<T> {
-    data: Vec<T>,
+/// One pre-localized candidate window handed to
+/// [`parallel_multi_select_windows`]: a borrowed slice of this processor's
+/// resident storage (partitioned in place, never copied), a small owned
+/// overflow (e.g. a cloned unindexed delta run), the window's exact global
+/// population, and the ranks to resolve inside it.
+pub struct RankedWindow<'a, T> {
+    /// Borrowed local elements of the window; permuted in place.
+    pub slice: &'a mut [T],
+    /// Small owned local overflow, consumed by the recursion.
+    pub extra: Vec<T>,
+    /// Exact global population of the window (over all processors).
+    pub n: u64,
+    /// `(rank within the window, output slot)` pairs, ranks `< n`.
+    pub ranks: Vec<(u64, usize)>,
+}
+
+/// One live segment of the lockstep recursion. Segments split and shrink in
+/// an order determined solely by global counts, so every processor tracks
+/// the identical list (SPMD-safe).
+struct Segment<'a, T> {
+    slice: &'a mut [T],
+    extra: Vec<T>,
     n: u64,
-    /// (rank within this segment, index into the output vector)
     ranks: Vec<(u64, usize)>,
+}
+
+impl<T> Segment<'_, T> {
+    fn local_len(&self) -> u64 {
+        (self.slice.len() + self.extra.len()) as u64
+    }
 }
 
 /// Selects the elements at several global ranks of the distributed
@@ -57,101 +95,249 @@ pub fn parallel_multi_select<T: Key>(
     ranks: &[u64],
     cfg: &SelectionConfig,
 ) -> Vec<T> {
-    cfg.validate();
-    let p = proc.nprocs();
     let n0 = proc.combine(data.len() as u64, |a, b| a + b);
     assert!(n0 > 0, "multi-select on an empty distributed set");
-    for &r in ranks {
-        assert!(r < n0, "rank {r} out of range for {n0} elements");
-    }
+    parallel_multi_select_in(proc, &mut [], data, n0, ranks, cfg)
+}
+
+/// The borrowed, copy-free multi-select: resolves `ranks` over the
+/// distributed multiset formed by every processor's `local` slice plus its
+/// owned `extra` vector, whose exact global population `n` the caller
+/// supplies (so no population collective is paid). `local` is partitioned
+/// **in place** — on return its elements are permuted (multiset unchanged).
+///
+/// # Panics
+/// Panics if `n == 0` while ranks are requested, or any rank is `>= n`.
+pub fn parallel_multi_select_in<T: Key>(
+    proc: &mut Proc,
+    local: &mut [T],
+    extra: Vec<T>,
+    n: u64,
+    ranks: &[u64],
+    cfg: &SelectionConfig,
+) -> Vec<T> {
     if ranks.is_empty() {
         return Vec::new();
     }
+    assert!(n > 0, "multi-select on an empty distributed set");
+    let pairs = ranks.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+    let window = RankedWindow { slice: local, extra, n, ranks: pairs };
+    let out = parallel_multi_select_windows(proc, vec![window], ranks.len(), cfg);
+    out.into_iter().map(|v| v.expect("every requested rank must have been resolved")).collect()
+}
 
-    let threshold = cfg.threshold(p);
+/// Lockstep multi-select over many pre-localized windows (see the module
+/// docs): resolves every window's ranks into a `Vec<Option<T>>` of length
+/// `out_len`, indexed by the windows' output slots. Slots not named by any
+/// window remain `None`.
+///
+/// Windows must be constructed identically on every processor (same count,
+/// same `n`s, same ranks — the local slices naturally differ); output slots
+/// must not repeat across windows.
+///
+/// # Panics
+/// Panics if a window has ranks but `n == 0`, or a rank `>= n`.
+pub fn parallel_multi_select_windows<T: Key>(
+    proc: &mut Proc,
+    windows: Vec<RankedWindow<'_, T>>,
+    out_len: usize,
+    cfg: &SelectionConfig,
+) -> Vec<Option<T>> {
+    cfg.validate();
+    let mut out: Vec<Option<T>> = vec![None; out_len];
     let mut shared_rng = KernelRng::new(cfg.seed ^ 0x6D75_6C74); // "mult"
-    let mut out: Vec<Option<T>> = vec![None; ranks.len()];
+    let threshold = cfg.threshold(proc.nprocs());
 
-    let mut sorted_ranks: Vec<(u64, usize)> =
-        ranks.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
-    sorted_ranks.sort_unstable();
+    let mut active: Vec<Segment<'_, T>> = Vec::with_capacity(windows.len());
+    for w in windows {
+        if w.ranks.is_empty() {
+            continue;
+        }
+        assert!(w.n > 0, "multi-select window with ranks but no elements");
+        for &(r, _) in &w.ranks {
+            assert!(r < w.n, "rank {r} out of range for a window of {} elements", w.n);
+        }
+        let mut ranks = w.ranks;
+        ranks.sort_unstable();
+        active.push(Segment { slice: w.slice, extra: w.extra, n: w.n, ranks });
+    }
 
-    let mut stack = vec![Segment { data, n: n0, ranks: sorted_ranks }];
     let mut rounds = 0u32;
-    while let Some(seg) = stack.pop() {
+    while !active.is_empty() {
         rounds += 1;
         assert!(
             rounds <= cfg.max_iters,
             "multi-select exceeded {} rounds (likely a bug)",
             cfg.max_iters
         );
-        if seg.ranks.is_empty() {
-            continue;
+
+        // Segments at or below the sequential threshold finish together in
+        // one shared gather + broadcast; the rest take a vectorized
+        // partition round. The split is driven by global counts only, so it
+        // is identical on every processor.
+        let (finish, mut big): (Vec<_>, Vec<_>) = active.drain(..).partition(|s| s.n <= threshold);
+        if !finish.is_empty() {
+            solve_finishers(proc, finish, &mut out);
         }
-        if seg.n <= threshold {
-            solve_segment_sequentially(proc, seg, &mut out);
+        if big.is_empty() {
             continue;
         }
 
-        // Shared pivot draw (identical stream on every processor), owner
-        // broadcast, three-way partition — as in the randomized algorithm,
-        // but both sides survive, each carrying its share of the ranks.
-        let idx = shared_rng.below(seg.n);
-        let len = seg.data.len() as u64;
-        let before = proc.exclusive_prefix_sum(len);
-        let mine = (before <= idx && idx < before + len).then(|| seg.data[(idx - before) as usize]);
-        let pivot: T = proc.bcast_from_owner(mine);
+        // One shared pivot per live segment (identical stream everywhere),
+        // located via a single vectorized exclusive prefix sum and published
+        // via a single vectorized owner broadcast.
+        let pivot_idx: Vec<u64> = big.iter().map(|s| shared_rng.below(s.n)).collect();
+        let lens: Vec<u64> = big.iter().map(Segment::local_len).collect();
+        let incl = proc
+            .scan(lens.clone(), |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect::<Vec<u64>>());
+        let owners: Vec<(Option<T>, u64)> = big
+            .iter()
+            .zip(&lens)
+            .zip(&incl)
+            .zip(&pivot_idx)
+            .map(|(((seg, &len), &inc), &idx)| {
+                let before = inc - len;
+                let mine = (before <= idx && idx < before + len).then(|| {
+                    let at = (idx - before) as usize;
+                    if at < seg.slice.len() {
+                        seg.slice[at]
+                    } else {
+                        seg.extra[at - seg.slice.len()]
+                    }
+                });
+                (mine, u64::from(mine.is_some()))
+            })
+            .collect();
+        let merged = proc.combine(owners, |a, b| {
+            a.into_iter().zip(b).map(|((va, ca), (vb, cb))| (va.or(vb), ca + cb)).collect()
+        });
+        let pivots: Vec<T> = merged
+            .into_iter()
+            .map(|(v, c)| {
+                assert_eq!(c, 1, "each segment pivot needs exactly one owner, found {c}");
+                v.expect("owner count is 1, value must exist")
+            })
+            .collect();
 
-        let mut data = seg.data;
+        // Local three-way partitions, then one vectorized count Combine.
         let mut ops = OpCount::new();
-        let (a, b) = partition3(&mut data, pivot, pivot, &mut ops);
+        let splits: Vec<(usize, usize, usize, usize)> = big
+            .iter_mut()
+            .zip(&pivots)
+            .map(|(seg, &pivot)| {
+                let (a1, b1) = partition3(seg.slice, pivot, pivot, &mut ops);
+                let (a2, b2) = partition3(&mut seg.extra, pivot, pivot, &mut ops);
+                (a1, b1, a2, b2)
+            })
+            .collect();
         proc.charge_ops(ops.total());
-        let local = (a as u64, (b - a) as u64);
-        let (c_lt, c_eq) = proc.combine(local, |x, y| (x.0 + y.0, x.1 + y.1));
+        let local_counts: Vec<(u64, u64)> = splits
+            .iter()
+            .map(|&(a1, b1, a2, b2)| ((a1 + a2) as u64, ((b1 - a1) + (b2 - a2)) as u64))
+            .collect();
+        let totals = proc.combine(local_counts, |a, b| {
+            a.into_iter().zip(b).map(|((l1, e1), (l2, e2))| (l1 + l2, e1 + e2)).collect()
+        });
 
-        let mut left_ranks = Vec::new();
-        let mut right_ranks = Vec::new();
-        for (r, i) in seg.ranks {
-            if r < c_lt {
-                left_ranks.push((r, i));
-            } else if r < c_lt + c_eq {
-                out[i] = Some(pivot);
-            } else {
-                right_ranks.push((r - c_lt - c_eq, i));
+        // Split every segment into its surviving children, in segment order
+        // (left before right) — deterministic across processors.
+        let mut extra_moves = 0u64;
+        for ((seg, &(a1, b1, a2, b2)), (&pivot, &(c_lt, c_eq))) in
+            big.into_iter().zip(&splits).zip(pivots.iter().zip(&totals))
+        {
+            let mut left_ranks = Vec::new();
+            let mut right_ranks = Vec::new();
+            for (r, i) in seg.ranks {
+                if r < c_lt {
+                    left_ranks.push((r, i));
+                } else if r < c_lt + c_eq {
+                    out[i] = Some(pivot);
+                } else {
+                    right_ranks.push((r - c_lt - c_eq, i));
+                }
+            }
+            // The borrowed slice splits in place (no copies); only the
+            // owned overflow pays for its split.
+            let (left_slice, rest) = seg.slice.split_at_mut(a1);
+            let (_eq_slice, right_slice) = rest.split_at_mut(b1 - a1);
+            let mut extra = seg.extra;
+            let right_extra = extra.split_off(b2);
+            extra.truncate(a2);
+            extra_moves += (extra.len() + right_extra.len()) as u64;
+            if !left_ranks.is_empty() {
+                active.push(Segment { slice: left_slice, extra, n: c_lt, ranks: left_ranks });
+            }
+            if !right_ranks.is_empty() {
+                active.push(Segment {
+                    slice: right_slice,
+                    extra: right_extra,
+                    n: seg.n - c_lt - c_eq,
+                    ranks: right_ranks,
+                });
             }
         }
-
-        let right_data = data.split_off(b);
-        data.truncate(a);
-        proc.charge_ops((data.len() + right_data.len()) as u64);
-        // Deterministic processing order: left segment next (depth-first,
-        // ascending ranks).
-        stack.push(Segment { data: right_data, n: seg.n - c_lt - c_eq, ranks: right_ranks });
-        stack.push(Segment { data, n: c_lt, ranks: left_ranks });
+        proc.charge_ops(extra_moves);
     }
-
-    out.into_iter().map(|v| v.expect("every requested rank must have been resolved")).collect()
+    out
 }
 
-/// Gathers a small segment on P0, sorts it once, reads off all of the
-/// segment's ranks, and broadcasts the answers.
-fn solve_segment_sequentially<T: Key>(proc: &mut Proc, seg: Segment<T>, out: &mut [Option<T>]) {
+/// Finishes all small segments of one round together: a single flat gather
+/// on P0 — untagged when only one segment finishes (the common
+/// single-window path, half the modeled payload), `(segment, element)`
+/// pairs otherwise — one sort-and-read-off per segment, and a single
+/// broadcast of every answer. Both branches issue the identical collective
+/// sequence, and `segs.len()` is globally agreed, so SPMD order holds.
+fn solve_finishers<T: Key>(proc: &mut Proc, segs: Vec<Segment<'_, T>>, out: &mut [Option<T>]) {
     proc.phase_begin(PHASE_FINISH);
-    let gathered = proc.gather_flat(0, seg.data);
-    let answers: Option<Vec<T>> = gathered.map(|mut all| {
-        debug_assert_eq!(all.len() as u64, seg.n);
+    let gathered: Option<Vec<Vec<T>>> = if segs.len() == 1 {
+        let seg = &segs[0];
+        let mut mine = seg.slice.to_vec();
+        mine.extend_from_slice(&seg.extra);
+        proc.charge_ops(mine.len() as u64);
+        proc.gather_flat(0, mine).map(|all| vec![all])
+    } else {
+        let mut mine: Vec<(u32, T)> = Vec::new();
+        for (i, seg) in segs.iter().enumerate() {
+            let tag = i as u32;
+            mine.extend(seg.slice.iter().map(|&x| (tag, x)));
+            mine.extend(seg.extra.iter().map(|&x| (tag, x)));
+        }
+        proc.charge_ops(mine.len() as u64);
+        proc.gather_flat(0, mine).map(|all| {
+            let mut per: Vec<Vec<T>> = (0..segs.len()).map(|_| Vec::new()).collect();
+            for (tag, x) in all {
+                per[tag as usize].push(x);
+            }
+            per
+        })
+    };
+    let answers: Option<Vec<T>> = gathered.map(|mut per| {
+        let mut res = Vec::new();
         let mut cmps = 0u64;
-        all.sort_unstable_by(|a, b| {
-            cmps += 1;
-            a.cmp(b)
-        });
-        proc.charge_ops(cmps + all.len() as u64);
-        seg.ranks.iter().map(|&(r, _)| all[r as usize]).collect()
+        let mut moved = 0u64;
+        for (seg, bucket) in segs.iter().zip(&mut per) {
+            moved += bucket.len() as u64;
+            debug_assert_eq!(
+                bucket.len() as u64,
+                seg.n,
+                "caller-supplied window population disagrees with the gathered count"
+            );
+            bucket.sort_unstable_by(|a, b| {
+                cmps += 1;
+                a.cmp(b)
+            });
+            res.extend(seg.ranks.iter().map(|&(r, _)| bucket[r as usize]));
+        }
+        proc.charge_ops(cmps + moved);
+        res
     });
     let answers = proc.broadcast(0, answers);
     proc.phase_end(PHASE_FINISH);
-    for ((_, i), v) in seg.ranks.iter().zip(answers) {
-        out[*i] = Some(v);
+    let mut it = answers.into_iter();
+    for seg in segs {
+        for (_, slot) in seg.ranks {
+            out[slot] = Some(it.next().expect("one answer per requested rank"));
+        }
     }
 }
 
@@ -263,5 +449,131 @@ mod tests {
         let err =
             multi_select_on_machine(2, MachineModel::free(), &parts, &[5], &cfg()).unwrap_err();
         assert!(format!("{err}").contains("out of range"));
+    }
+
+    #[test]
+    fn borrowed_form_matches_oracle_and_preserves_the_multiset() {
+        // The engine's shape: a borrowed resident slice per processor plus a
+        // small owned delta clone; answers must match the oracle over the
+        // union, and the borrowed storage must come back permuted-not-lost.
+        let p = 4;
+        let parts: Vec<Vec<u64>> =
+            (0..p).map(|r| (0..500).map(|i| ((i * 13 + r * 7) % 911) as u64).collect()).collect();
+        let extras: Vec<Vec<u64>> =
+            (0..p).map(|r| (0..20).map(|i| (1000 + i * 3 + r as u64) % 911).collect()).collect();
+        let union: Vec<Vec<u64>> =
+            (0..p).map(|r| parts[r].iter().chain(extras[r].iter()).copied().collect()).collect();
+        let n: u64 = union.iter().map(|v| v.len() as u64).sum();
+        let ranks = [0u64, 17, n / 2, n - 1];
+        let expect = oracle(&union, &ranks);
+
+        let outs = cgselect_runtime::Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mut local = parts[proc.rank()].clone();
+                let got = parallel_multi_select_in(
+                    proc,
+                    &mut local,
+                    extras[proc.rank()].clone(),
+                    n,
+                    &ranks,
+                    &cfg(),
+                );
+                (got, local)
+            })
+            .unwrap();
+        for (rank, (got, local)) in outs.into_iter().enumerate() {
+            assert_eq!(got, expect);
+            // In-place partitioning permutes but never loses elements.
+            let mut a = local;
+            a.sort_unstable();
+            let mut b = parts[rank].clone();
+            b.sort_unstable();
+            assert_eq!(a, b, "rank {rank} slice multiset changed");
+        }
+    }
+
+    #[test]
+    fn lockstep_windows_resolve_disjoint_ranges_with_shared_rounds() {
+        // Two disjoint windows per processor (low half / high half of a
+        // global 0..1000 range, dealt round-robin) resolved in one lockstep
+        // pass; collective rounds must be far below two sequential passes.
+        let p = 4;
+        let per = 250usize; // per processor, per window
+        let low: Vec<Vec<u64>> =
+            (0..p).map(|r| (0..per).map(|i| ((i * p + r) * 2) as u64 % 1000).collect()).collect();
+        let high: Vec<Vec<u64>> = (0..p)
+            .map(|r| (0..per).map(|i| 1000 + ((i * p + r) * 3) as u64 % 1000).collect())
+            .collect();
+        let n_low: u64 = (p * per) as u64;
+        let n_high: u64 = (p * per) as u64;
+        let mut all_low: Vec<u64> = low.iter().flatten().copied().collect();
+        let mut all_high: Vec<u64> = high.iter().flatten().copied().collect();
+        all_low.sort_unstable();
+        all_high.sort_unstable();
+
+        let outs = cgselect_runtime::Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mut a = low[proc.rank()].clone();
+                let mut b = high[proc.rank()].clone();
+                let windows = vec![
+                    RankedWindow {
+                        slice: &mut a,
+                        extra: Vec::new(),
+                        n: n_low,
+                        ranks: vec![(0, 0), (n_low / 2, 1)],
+                    },
+                    RankedWindow {
+                        slice: &mut b,
+                        extra: Vec::new(),
+                        n: n_high,
+                        ranks: vec![(n_high / 3, 2), (n_high - 1, 3)],
+                    },
+                ];
+                let c0 = proc.comm_stats().collective_ops;
+                let got = parallel_multi_select_windows(proc, windows, 4, &cfg());
+                (got, proc.comm_stats().collective_ops - c0)
+            })
+            .unwrap();
+        for (got, _) in &outs {
+            assert_eq!(got[0], Some(all_low[0]));
+            assert_eq!(got[1], Some(all_low[(n_low / 2) as usize]));
+            assert_eq!(got[2], Some(all_high[(n_high / 3) as usize]));
+            assert_eq!(got[3], Some(all_high[(n_high - 1) as usize]));
+        }
+        // Lockstep sharing: two windows together must cost well under two
+        // independent passes (each pass would pay its own rounds).
+        let shared = outs[0].1;
+        let single = cgselect_runtime::Machine::with_model(p, MachineModel::free())
+            .run(|proc| {
+                let mut a = low[proc.rank()].clone();
+                let c0 = proc.comm_stats().collective_ops;
+                let _ = parallel_multi_select_in(
+                    proc,
+                    &mut a,
+                    Vec::new(),
+                    n_low,
+                    &[0, n_low / 2],
+                    &cfg(),
+                );
+                proc.comm_stats().collective_ops - c0
+            })
+            .unwrap()[0];
+        assert!(
+            shared < 2 * single,
+            "two lockstep windows ({shared} collective ops) must beat two passes (2×{single})"
+        );
+    }
+
+    #[test]
+    fn windows_with_empty_rank_lists_are_skipped() {
+        let outs = cgselect_runtime::Machine::with_model(2, MachineModel::free())
+            .run(|proc| {
+                let mut data = vec![proc.rank() as u64 * 2, proc.rank() as u64 * 2 + 1];
+                let windows =
+                    vec![RankedWindow { slice: &mut data, extra: Vec::new(), n: 4, ranks: vec![] }];
+                parallel_multi_select_windows(proc, windows, 0, &cfg())
+            })
+            .unwrap();
+        assert!(outs.iter().all(Vec::is_empty));
     }
 }

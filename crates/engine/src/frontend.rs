@@ -254,6 +254,16 @@ pub struct FrontendStats {
     pub total_wait: Duration,
     /// Largest single submission-to-execution wait observed.
     pub max_wait: Duration,
+    /// Exact ranks answered from the resident bucket index's cached
+    /// histogram alone (zero element scans), across all executed batches.
+    pub histogram_answers: u64,
+    /// Bucket-index (re)builds the engine has performed so far.
+    pub index_rebuilds: u64,
+    /// Amortized delta-run merges the engine has performed so far.
+    pub delta_merges: u64,
+    /// Delta-run occupancy (unindexed fraction of the resident population)
+    /// observed at the most recent executed batch.
+    pub delta_occupancy: f64,
 }
 
 impl FrontendStats {
@@ -726,6 +736,11 @@ fn execute_batch<T: Key>(engine: &mut Engine<T>, batch: Vec<PendingQuery<T>>, sh
             stats.collective_ops += report.collective_ops;
             stats.msgs_sent += report.comm.msgs_sent;
             stats.makespan += report.makespan;
+            stats.histogram_answers += report.histogram_answers as u64;
+            stats.delta_occupancy = report.delta_occupancy;
+            let health = engine.index_health();
+            stats.index_rebuilds = health.rebuilds;
+            stats.delta_merges = health.delta_merges;
         }
     }
 

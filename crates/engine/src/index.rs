@@ -1,0 +1,449 @@
+//! The resident bucket index: copy-free, scan-free batch execution.
+//!
+//! The engine's exact path originally cloned every shard and re-partitioned
+//! the raw data from scratch on every batch — `O(n/p)` copy + scan whose
+//! partitioning work was then thrown away. This module keeps that work:
+//!
+//! * **Shared splitters** — at (re)build time the shards agree, through one
+//!   collective over their ingest-maintained sample sketches, on a vector
+//!   of [`SepBound`] splitters (Nowicki-style regular sampling). Every
+//!   shard partitions its resident data into the *same* value-range buckets
+//!   ([`ShardIndex`]), so "bucket `b`" means one global value interval.
+//! * **A cached global histogram** — the engine host caches the per-bucket
+//!   global counts (plus per-bucket min/max) in a [`GlobalIndex`]. A rank
+//!   query then *localizes* without touching data: binary search over the
+//!   cached prefix sums yields the small window of candidate buckets that
+//!   must contain the target ([`GlobalIndex::window`]).
+//! * **Copy-free execution** — the multi-select recursion runs over the
+//!   candidate buckets *borrowed in place*
+//!   ([`cgselect_core::parallel_multi_select_in`]); the only per-batch copy
+//!   is the small unindexed delta run.
+//! * **A histogram-only fast path** — a rank whose candidate window is a
+//!   single bucket of one repeated value (tracked min == max) is answered
+//!   from the cached histogram alone: zero element scans, zero extra
+//!   collectives. Refinement (below) makes this the steady state for
+//!   repeated and near-repeated quantiles.
+//! * **Adaptive refinement** — after a batch resolves its answers, each
+//!   candidate window is re-partitioned by the answer values, inserting
+//!   `(v, exclusive), (v, inclusive)` splitter pairs that carve out each
+//!   answer's exact equality class. The next batch asking the same (or a
+//!   nearby) quantile finds a constant candidate bucket and takes the fast
+//!   path.
+//! * **Delta runs** — ingest appends to an unindexed tail; queries fold the
+//!   (cloned, small) tail into every candidate window and widen windows by
+//!   the global delta count, so answers stay exact between the amortized
+//!   merges that fold the tail into the buckets.
+
+use cgselect_runtime::Key;
+use cgselect_seqsel::{partition_by_bounds, OpCount, SepBound};
+
+/// Per-shard half of the index, resident in the worker's `ShardStore`
+/// alongside the data: the shard's `data[..delta_start()]` prefix is
+/// bucket-ordered under the shared `bounds`; the tail is the unindexed
+/// delta run.
+pub(crate) struct ShardIndex<T> {
+    /// The shared splitters — identical on every shard by construction.
+    pub bounds: Vec<SepBound<T>>,
+    /// Bucket offsets into the indexed prefix: `bounds.len() + 2` entries,
+    /// non-decreasing, `offsets[0] == 0`; bucket `b` is
+    /// `data[offsets[b]..offsets[b + 1]]`.
+    pub offsets: Vec<usize>,
+}
+
+impl<T: Key> ShardIndex<T> {
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Where the unindexed delta run begins in the shard's data vector.
+    pub fn delta_start(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty")
+    }
+}
+
+/// Per-bucket shard-local summary: `(count, Some((min, max)))` —
+/// `None` for an empty bucket.
+pub(crate) type BucketStats<T> = Vec<(u64, Option<(T, T)>)>;
+
+/// Scans `offsets`-delimited buckets of `data` and summarizes each.
+/// Cost: one pass over `data` (caller charges `data.len()` ops).
+pub(crate) fn bucket_stats<T: Key>(data: &[T], offsets: &[usize]) -> BucketStats<T> {
+    offsets
+        .windows(2)
+        .map(|w| {
+            let s = &data[w[0]..w[1]];
+            let mm = s.iter().fold(None, |acc: Option<(T, T)>, &x| match acc {
+                None => Some((x, x)),
+                Some((lo, hi)) => Some((lo.min(x), hi.max(x))),
+            });
+            (s.len() as u64, mm)
+        })
+        .collect()
+}
+
+/// The window's refined splitters: the old internal splitters plus an
+/// equality-class pair around every resolved answer value, sorted and
+/// deduplicated — identical on every shard because both inputs are.
+///
+/// Bounds at or beyond the window's *outer* bounds (`lower`, `upper`) are
+/// dropped: they would only carve empty sub-buckets (no window element
+/// lies outside the outer bounds) and would violate the strictly
+/// increasing invariant of the shard's stored splitter vector.
+pub(crate) fn refined_bounds<T: Key>(
+    old_internal: &[SepBound<T>],
+    answers: &[T],
+    lower: Option<SepBound<T>>,
+    upper: Option<SepBound<T>>,
+) -> Vec<SepBound<T>> {
+    let mut v: Vec<SepBound<T>> = old_internal.to_vec();
+    for &a in answers {
+        v.push(SepBound::lt(a));
+        v.push(SepBound::le(a));
+    }
+    v.sort_unstable();
+    v.dedup();
+    v.retain(|&b| lower.is_none_or(|lo| b > lo) && upper.is_none_or(|hi| b < hi));
+    v
+}
+
+/// One contiguous window of candidate buckets and the batch ranks routed
+/// into it. Windows of distinct groups are disjoint; ranks are expressed
+/// relative to the window's subset (candidate buckets + the whole delta).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Group {
+    /// First candidate bucket.
+    pub lo: usize,
+    /// Last candidate bucket (inclusive).
+    pub hi: usize,
+    /// Exact global population of the window's subset:
+    /// `prefix[hi + 1] - prefix[lo] + delta_total`.
+    pub n: u64,
+    /// Within-subset ranks (sorted, distinct).
+    pub ranks: Vec<u64>,
+    /// For each rank, its slot in the batch's coalesced rank list.
+    pub out: Vec<usize>,
+}
+
+/// Routing of a batch's coalesced exact ranks against the cached histogram.
+pub(crate) struct Routing<T> {
+    /// Candidate-window groups, ascending and disjoint.
+    pub groups: Vec<Group>,
+    /// Histogram-only answers: `(slot, value)` pairs resolved with zero
+    /// element scans.
+    pub fast: Vec<(usize, T)>,
+}
+
+/// Host-side cached global histogram of the shared buckets.
+#[derive(Clone, Debug)]
+pub(crate) struct GlobalIndex<T> {
+    /// Global per-bucket counts of *indexed* elements.
+    pub counts: Vec<u64>,
+    /// Prefix sums of `counts` (`counts.len() + 1` entries, first 0).
+    pub prefix: Vec<u64>,
+    /// Global per-bucket `(min, max)` of indexed elements (`None` = empty).
+    pub minmax: Vec<Option<(T, T)>>,
+    /// Global number of unindexed delta elements across all shards.
+    pub delta_total: u64,
+}
+
+impl<T: Key> GlobalIndex<T> {
+    /// Assembles the host cache from the per-shard summaries returned by
+    /// the build run.
+    pub fn from_shard_stats(per_shard: &[BucketStats<T>]) -> Self {
+        let nb = per_shard.first().map_or(0, Vec::len);
+        let mut acc: BucketStats<T> = vec![(0, None); nb];
+        for stats in per_shard {
+            merge_stats(&mut acc, stats);
+        }
+        let mut idx = GlobalIndex {
+            counts: acc.iter().map(|&(c, _)| c).collect(),
+            prefix: Vec::new(),
+            minmax: acc.into_iter().map(|(_, mm)| mm).collect(),
+            delta_total: 0,
+        };
+        idx.rebuild_prefix();
+        idx
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Recomputes the prefix sums after counts changed.
+    pub fn rebuild_prefix(&mut self) {
+        self.prefix = std::iter::once(0)
+            .chain(self.counts.iter().scan(0u64, |acc, &c| {
+                *acc += c;
+                Some(*acc)
+            }))
+            .collect();
+    }
+
+    /// The contiguous window `[lo, hi]` of buckets that may contain global
+    /// rank `r`: every bucket `b` with `prefix[b] <= r < prefix[b+1] +
+    /// delta_total` (the delta widens the window because unindexed elements
+    /// may fall anywhere).
+    pub fn window(&self, r: u64) -> (usize, usize) {
+        let last = self.counts.len() - 1;
+        let hi = (self.prefix.partition_point(|&x| x <= r) - 1).min(last);
+        let lo = self.prefix[1..].partition_point(|&x| x + self.delta_total <= r).min(last);
+        debug_assert!(lo <= hi, "window inverted for rank {r}");
+        (lo, hi)
+    }
+
+    /// Histogram-only resolution: `Some(v)` when rank `r`'s window is a
+    /// single bucket holding one repeated value and no delta elements can
+    /// shift it — the answer needs zero element scans.
+    pub fn fast_value(&self, r: u64) -> Option<T> {
+        if self.delta_total != 0 || self.counts.is_empty() {
+            return None;
+        }
+        let (lo, hi) = self.window(r);
+        if lo != hi {
+            return None;
+        }
+        match self.minmax[lo] {
+            Some((mn, mx)) if mn == mx => Some(mn),
+            _ => None,
+        }
+    }
+
+    /// Routes the batch's sorted, deduplicated rank list: fast-path ranks
+    /// are answered from the histogram; the rest coalesce into disjoint
+    /// candidate-window groups (overlapping windows merge).
+    pub fn route(&self, ranks: &[u64]) -> Routing<T> {
+        /// An under-construction group: window bounds plus its
+        /// `(global rank, slot)` members, ascending.
+        type OpenGroup = (usize, usize, Vec<(u64, usize)>);
+        let mut routing = Routing { groups: Vec::new(), fast: Vec::new() };
+        let mut open: Vec<OpenGroup> = Vec::new();
+        for (slot, &r) in ranks.iter().enumerate() {
+            if let Some(v) = self.fast_value(r) {
+                routing.fast.push((slot, v));
+                continue;
+            }
+            let (lo, hi) = self.window(r);
+            match open.last_mut() {
+                // Ranks ascend, so windows ascend: overlap can only happen
+                // with the most recent group.
+                Some(last) if lo <= last.1 => {
+                    last.1 = last.1.max(hi);
+                    last.2.push((r, slot));
+                }
+                _ => open.push((lo, hi, vec![(r, slot)])),
+            }
+        }
+        for (lo, hi, members) in open {
+            let base = self.prefix[lo];
+            let n = self.prefix[hi + 1] - base + self.delta_total;
+            let (ranks, out) = members.into_iter().map(|(r, s)| (r - base, s)).unzip();
+            routing.groups.push(Group { lo, hi, n, ranks, out });
+        }
+        routing
+    }
+
+    /// Applies one refined window: buckets `lo..=hi` are replaced by the
+    /// refreshed per-bucket stats. Call in descending `lo` order so earlier
+    /// windows' indices stay valid; call [`rebuild_prefix`](Self::rebuild_prefix)
+    /// once afterwards.
+    pub fn splice_window(&mut self, lo: usize, hi: usize, stats: &BucketStats<T>) {
+        self.counts.splice(lo..=hi, stats.iter().map(|&(c, _)| c));
+        self.minmax.splice(lo..=hi, stats.iter().map(|&(_, mm)| mm));
+    }
+
+    /// Folds per-shard delta-merge summaries into the cached histogram
+    /// (delta elements joined their buckets; the delta run is empty again).
+    pub fn absorb_delta(&mut self, per_shard: &[BucketStats<T>]) {
+        let mut acc: BucketStats<T> =
+            self.counts.iter().zip(&self.minmax).map(|(&c, &mm)| (c, mm)).collect();
+        for stats in per_shard {
+            merge_stats(&mut acc, stats);
+        }
+        self.counts = acc.iter().map(|&(c, _)| c).collect();
+        self.minmax = acc.into_iter().map(|(_, mm)| mm).collect();
+        self.delta_total = 0;
+        self.rebuild_prefix();
+    }
+
+    /// Applies per-shard deletion summaries (`removed[b]` per bucket plus a
+    /// final delta-run entry). Min/max are deliberately kept: removal can
+    /// only shrink a bucket's value range, and the fast path reads min/max
+    /// only when they are equal — which deletion cannot falsify.
+    pub fn apply_removals(&mut self, per_shard: &[Vec<u64>]) {
+        for removed in per_shard {
+            debug_assert_eq!(removed.len(), self.counts.len() + 1);
+            for (b, &c) in removed[..self.counts.len()].iter().enumerate() {
+                self.counts[b] -= c;
+            }
+            self.delta_total -= removed[self.counts.len()];
+        }
+        self.rebuild_prefix();
+    }
+}
+
+/// Elementwise merge of two shards' per-bucket summaries (counts sum,
+/// min/max widen) — how the host folds a refined window's per-shard stats.
+pub(crate) fn merge_stats<T: Key>(into: &mut BucketStats<T>, other: &BucketStats<T>) {
+    debug_assert_eq!(into.len(), other.len(), "shards disagree on refined bucket count");
+    for ((c, mm), &(oc, omm)) in into.iter_mut().zip(other) {
+        *c += oc;
+        *mm = merge_minmax(*mm, omm);
+    }
+}
+
+fn merge_minmax<T: Key>(a: Option<(T, T)>, b: Option<(T, T)>) -> Option<(T, T)> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some((alo, ahi)), Some((blo, bhi))) => Some((alo.min(blo), ahi.max(bhi))),
+    }
+}
+
+/// Shard-side (re)build: partitions the whole data vector (delta included)
+/// by the shared `bounds` and installs the index. Returns the per-bucket
+/// summary for the host cache. Measured costs land in `ops`; the caller
+/// charges them plus one pass for the summary scan.
+pub(crate) fn build_shard_index<T: Key>(
+    data: &mut [T],
+    bounds: Vec<SepBound<T>>,
+    ops: &mut OpCount,
+) -> (ShardIndex<T>, BucketStats<T>) {
+    let offsets = partition_by_bounds(data, &bounds, ops);
+    let stats = bucket_stats(data, &offsets);
+    (ShardIndex { bounds, offsets }, stats)
+}
+
+/// Picks up to `nb - 1` splitters from the pooled (sorted) sample values:
+/// evenly spaced sample quantiles, deduplicated, all inclusive. Identical
+/// on every shard because the pool is.
+pub(crate) fn splitters_from_samples<T: Key>(pool: &[T], nb: usize) -> Vec<SepBound<T>> {
+    if pool.is_empty() || nb < 2 {
+        return Vec::new();
+    }
+    let mut values: Vec<T> = (1..nb).map(|i| pool[i * pool.len() / nb]).collect();
+    values.dedup();
+    values.into_iter().map(SepBound::le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(counts: &[u64], values: &[u64]) -> GlobalIndex<u64> {
+        // Bucket b holds counts[b] copies of values[b] (min == max).
+        let minmax = counts
+            .iter()
+            .zip(values)
+            .map(|(&c, &v)| if c == 0 { None } else { Some((v, v)) })
+            .collect();
+        let mut g =
+            GlobalIndex { counts: counts.to_vec(), prefix: Vec::new(), minmax, delta_total: 0 };
+        g.rebuild_prefix();
+        g
+    }
+
+    #[test]
+    fn window_localizes_without_delta() {
+        let g = idx(&[10, 0, 5, 5], &[1, 0, 3, 4]);
+        assert_eq!(g.window(0), (0, 0));
+        assert_eq!(g.window(9), (0, 0));
+        assert_eq!(g.window(10), (2, 2)); // bucket 1 is empty
+        assert_eq!(g.window(14), (2, 2));
+        assert_eq!(g.window(15), (3, 3));
+        assert_eq!(g.window(19), (3, 3));
+    }
+
+    #[test]
+    fn delta_widens_windows() {
+        let mut g = idx(&[10, 10], &[1, 2]);
+        g.delta_total = 3;
+        // Rank 11 could be in bucket 0 (if ≥2 delta elements precede it) or 1.
+        assert_eq!(g.window(11), (0, 1));
+        // Rank 20..22 sit past every indexed element: last bucket only.
+        assert_eq!(g.window(21), (1, 1));
+        // And the fast path must refuse while a delta is pending.
+        assert_eq!(g.fast_value(0), None);
+    }
+
+    #[test]
+    fn fast_path_requires_singleton_constant_bucket() {
+        let mut g = idx(&[4, 6, 2], &[7, 9, 11]);
+        assert_eq!(g.fast_value(0), Some(7));
+        assert_eq!(g.fast_value(5), Some(9));
+        assert_eq!(g.fast_value(10), Some(11));
+        g.minmax[1] = Some((8, 9)); // bucket 1 no longer constant
+        assert_eq!(g.fast_value(5), None);
+    }
+
+    #[test]
+    fn route_merges_overlapping_windows_and_splits_fast_ranks() {
+        let mut g = idx(&[10, 10, 10], &[1, 2, 3]);
+        g.minmax[1] = Some((2, 5)); // middle bucket not constant
+        let routing = g.route(&[0, 12, 15, 25]);
+        // Ranks 0 and 25 hit constant singleton buckets -> fast.
+        assert_eq!(routing.fast, vec![(0, 1), (3, 3)]);
+        // Ranks 12 and 15 share bucket-1's window -> one group.
+        assert_eq!(routing.groups.len(), 1);
+        let grp = &routing.groups[0];
+        assert_eq!((grp.lo, grp.hi, grp.n), (1, 1, 10));
+        assert_eq!(grp.ranks, vec![2, 5]); // relative to prefix[1] = 10
+        assert_eq!(grp.out, vec![1, 2]);
+    }
+
+    #[test]
+    fn splice_and_absorb_keep_the_histogram_consistent() {
+        let mut g = idx(&[10, 10], &[1, 5]);
+        // Refine bucket 1 into three sub-buckets (e.g. around answer 5).
+        g.splice_window(1, 1, &vec![(4, Some((4, 4))), (5, Some((5, 5))), (1, Some((6, 6)))]);
+        g.rebuild_prefix();
+        assert_eq!(g.counts, vec![10, 4, 5, 1]);
+        assert_eq!(g.prefix, vec![0, 10, 14, 19, 20]);
+        assert_eq!(g.fast_value(14), Some(5));
+        // A delta merge adds counts in place.
+        g.delta_total = 3;
+        g.absorb_delta(&[vec![(0, None), (2, Some((3, 4))), (1, Some((5, 5))), (0, None)]]);
+        assert_eq!(g.counts, vec![10, 6, 6, 1]);
+        assert_eq!(g.delta_total, 0);
+        assert_eq!(g.fast_value(14), None); // bucket 1 now spans 3..=4... rank 14 is in bucket 1
+        assert_eq!(g.fast_value(16), Some(5));
+    }
+
+    #[test]
+    fn removals_update_counts_and_delta() {
+        let mut g = idx(&[5, 5], &[1, 2]);
+        g.delta_total = 4;
+        g.apply_removals(&[vec![2, 0, 1], vec![1, 5, 3]]);
+        assert_eq!(g.counts, vec![2, 0]);
+        assert_eq!(g.delta_total, 0);
+        assert_eq!(g.prefix, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn splitters_are_deduplicated_sample_quantiles() {
+        let pool: Vec<u64> = (0..100).collect();
+        let s = splitters_from_samples(&pool, 4);
+        assert_eq!(s, vec![SepBound::le(25u64), SepBound::le(50), SepBound::le(75)]);
+        assert!(splitters_from_samples(&[7u64; 50], 8).len() <= 1);
+        assert!(splitters_from_samples::<u64>(&[], 8).is_empty());
+        assert!(splitters_from_samples(&pool, 1).is_empty());
+    }
+
+    #[test]
+    fn refined_bounds_carve_equality_classes() {
+        let old = vec![SepBound::le(10u64)];
+        let b = refined_bounds(&old, &[7, 10], None, None);
+        assert_eq!(
+            b,
+            vec![SepBound::lt(7u64), SepBound::le(7), SepBound::lt(10), SepBound::le(10)]
+        );
+    }
+
+    #[test]
+    fn refined_bounds_respect_the_outer_bounds() {
+        // An answer equal to an outer bound must not re-insert it: the
+        // shard's stored splitter vector has to stay strictly increasing.
+        let b = refined_bounds(&[], &[5u64, 20], Some(SepBound::lt(5)), Some(SepBound::le(20)));
+        assert_eq!(b, vec![SepBound::le(5u64), SepBound::lt(20)]);
+    }
+}

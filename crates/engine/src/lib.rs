@@ -11,12 +11,25 @@
 //!
 //! * **Batched execution** — a batch's [`Query::Rank`] / [`Query::Quantile`]
 //!   / [`Query::Median`] / [`Query::TopK`] queries are coalesced into *one*
-//!   sorted, deduplicated rank list and resolved by a single
-//!   [`cgselect_core::parallel_multi_select`] collective pass: `R` rank
-//!   queries cost `O(log n + R)` pivot rounds instead of `O(R·log n)`.
-//!   Per-batch [`BatchReport`] carries the measured
+//!   sorted, deduplicated rank list and resolved by a single lockstep
+//!   multi-select pass ([`cgselect_core::parallel_multi_select_windows`]):
+//!   `R` rank queries cost `O(log n + R)` pivot rounds instead of
+//!   `O(R·log n)`. Per-batch [`BatchReport`] carries the measured
 //!   [`cgselect_runtime::CommStats`], the collective-operation count and the
 //!   virtual-time makespan.
+//! * **A resident bucket index** — each shard keeps its data organized into
+//!   buckets under *shared* sample-derived splitters, and the engine caches
+//!   the global per-bucket histogram. A rank query localizes against the
+//!   cached histogram to a small window of candidate buckets, the
+//!   multi-select recursion runs **only over those candidate buckets,
+//!   borrowed in place** (the per-batch full-shard clone + scan of the
+//!   pre-index engine is gone), and windows that collapse to one
+//!   repeated-value bucket are answered from the histogram alone — zero
+//!   element scans, which is the steady state for repeated quantiles
+//!   because resolved answers refine the splitters. Ingest appends to a
+//!   small unindexed *delta run* that is merged amortized; rebalance
+//!   rebuilds the splitters. See [`EngineConfig::index_buckets`],
+//!   [`EngineConfig::delta_threshold`] and [`Engine::index_health`].
 //! * **Incremental ingest/delete** with an **imbalance watermark**: shard
 //!   sizes are tracked, and when `max/mean` exceeds
 //!   [`EngineConfig::imbalance_watermark`] the engine re-balances with the
@@ -52,6 +65,7 @@
 #![forbid(unsafe_code)]
 
 pub mod frontend;
+mod index;
 mod measure;
 mod query;
 pub mod sketch;
@@ -67,8 +81,14 @@ pub use sketch::ReservoirSketch;
 use std::sync::Arc;
 
 use cgselect_balance::{rebalance, Balancer};
-use cgselect_core::{parallel_multi_select, SelectionConfig};
+use cgselect_core::{parallel_multi_select_windows, RankedWindow, SelectionConfig};
 use cgselect_runtime::{CommStats, Key, MachineModel, RunError, Session, ShardStore};
+use cgselect_seqsel::{partition_by_bounds, OpCount};
+
+use index::{
+    bucket_stats, build_shard_index, merge_stats, refined_bounds, splitters_from_samples,
+    BucketStats, GlobalIndex, Group, ShardIndex,
+};
 
 /// Configuration of a persistent engine.
 #[derive(Clone, Debug)]
@@ -87,11 +107,22 @@ pub struct EngineConfig {
     /// Per-shard reservoir capacity for the approximate path (0 disables
     /// the sketches, forcing every quantile to the exact path).
     pub sketch_capacity: usize,
+    /// Target bucket count of the resident bucket index (0 disables the
+    /// index: every exact batch scans the full resident data, as the
+    /// pre-index engine did — the baseline the `engine` bench compares
+    /// against). Adaptive refinement may grow the bucket count up to 4×
+    /// this target before a rebuild is scheduled.
+    pub index_buckets: usize,
+    /// Fraction of the resident population that may sit in the unindexed
+    /// delta run before a merge folds it into the buckets (a floor of 64
+    /// elements applies, so tiny engines don't merge per ingest).
+    pub delta_threshold: f64,
 }
 
 impl EngineConfig {
     /// Defaults for a `p`-shard engine: CM-5 cost model, global-exchange
-    /// re-balancing at watermark 1.5, 2048-sample sketches.
+    /// re-balancing at watermark 1.5, 2048-sample sketches, a 64-bucket
+    /// resident index with a 5% delta threshold.
     pub fn new(nprocs: usize) -> Self {
         EngineConfig {
             nprocs,
@@ -100,6 +131,8 @@ impl EngineConfig {
             balancer: Balancer::GlobalExchange,
             imbalance_watermark: 1.5,
             sketch_capacity: 2048,
+            index_buckets: 64,
+            delta_threshold: 0.05,
         }
     }
 
@@ -127,6 +160,19 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style bucket-index target (0 disables the index).
+    pub fn index_buckets(mut self, buckets: usize) -> Self {
+        self.index_buckets = buckets;
+        self
+    }
+
+    /// Builder-style delta-run merge threshold (fraction of the resident
+    /// population).
+    pub fn delta_threshold(mut self, fraction: f64) -> Self {
+        self.delta_threshold = fraction;
+        self
+    }
+
     fn validate(&self) {
         assert!(self.nprocs >= 1, "an engine needs at least one shard");
         assert!(
@@ -134,7 +180,18 @@ impl EngineConfig {
             "imbalance watermark must be >= 1.0 (max/mean ratio), got {}",
             self.imbalance_watermark
         );
+        assert!(
+            self.delta_threshold.is_finite() && self.delta_threshold >= 0.0,
+            "delta threshold must be a finite non-negative fraction, got {}",
+            self.delta_threshold
+        );
         self.selection.validate();
+    }
+
+    /// Refinement may grow the bucket count this far before the index is
+    /// marked for a rebuild.
+    fn bucket_cap(&self) -> usize {
+        (self.index_buckets * 4).max(self.index_buckets + 16)
     }
 }
 
@@ -213,6 +270,12 @@ pub struct BatchReport<T> {
     pub exact_ranks: usize,
     /// How many queries were served from the sketches.
     pub sketch_answers: usize,
+    /// How many of the distinct exact ranks were answered from the cached
+    /// bucket histogram alone (zero element scans).
+    pub histogram_answers: usize,
+    /// Fraction of the resident population sitting in the unindexed delta
+    /// run when this batch executed (0.0 when the index is disabled).
+    pub delta_occupancy: f64,
 }
 
 /// What one ingest/delete did.
@@ -224,11 +287,31 @@ pub struct MutationReport {
     pub rebalanced: bool,
 }
 
-/// Per-shard resident data plus its sketch; lives in each worker's
-/// [`ShardStore`] between calls.
+/// Health snapshot of the resident bucket index (see
+/// [`Engine::index_health`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IndexHealth {
+    /// Current global bucket count (0 while no index is built).
+    pub buckets: usize,
+    /// Unindexed delta-run elements across all shards.
+    pub delta_len: u64,
+    /// `delta_len / resident population` (0.0 when empty).
+    pub delta_occupancy: f64,
+    /// Index (re)builds so far — the initial build counts as one; further
+    /// rebuilds come from rebalances and refinement growing past the cap.
+    pub rebuilds: u64,
+    /// Amortized delta-run merges so far.
+    pub delta_merges: u64,
+    /// Exact ranks answered from the histogram alone, cumulatively.
+    pub histogram_hits: u64,
+}
+
+/// Per-shard resident data plus its sketch and (optional) bucket index;
+/// lives in each worker's [`ShardStore`] between calls.
 struct Shard<T> {
     data: Vec<T>,
     sketch: ReservoirSketch<T>,
+    index: Option<ShardIndex<T>>,
 }
 
 /// A persistent sharded selection/quantile engine over element type `T`.
@@ -243,7 +326,13 @@ pub struct Engine<T: Key> {
     rebalances: u64,
     batches: u64,
     ingest_cursor: usize,
-    _elem: std::marker::PhantomData<T>,
+    /// Host-side cached global histogram of the shared buckets.
+    index: Option<GlobalIndex<T>>,
+    /// Set when the splitters are stale (rebalance, refinement growth).
+    index_dirty: bool,
+    index_rebuilds: u64,
+    delta_merges: u64,
+    histogram_hits: u64,
 }
 
 impl<T: Key> Engine<T> {
@@ -258,6 +347,7 @@ impl<T: Key> Engine<T> {
             store.insert(Shard::<T> {
                 data: Vec::new(),
                 sketch: ReservoirSketch::new(capacity, shard_seed),
+                index: None,
             });
         })?;
         Ok(Engine {
@@ -266,9 +356,13 @@ impl<T: Key> Engine<T> {
             rebalances: 0,
             batches: 0,
             ingest_cursor: 0,
+            index: None,
+            index_dirty: false,
+            index_rebuilds: 0,
+            delta_merges: 0,
+            histogram_hits: 0,
             session,
             cfg,
-            _elem: std::marker::PhantomData,
         })
     }
 
@@ -302,6 +396,26 @@ impl<T: Key> Engine<T> {
         self.batches
     }
 
+    /// Health snapshot of the resident bucket index.
+    pub fn index_health(&self) -> IndexHealth {
+        let (buckets, delta_len) = match &self.index {
+            Some(g) => (g.num_buckets(), g.delta_total),
+            None => (0, 0),
+        };
+        IndexHealth {
+            buckets,
+            delta_len,
+            delta_occupancy: if self.total == 0 {
+                0.0
+            } else {
+                delta_len as f64 / self.total as f64
+            },
+            rebuilds: self.index_rebuilds,
+            delta_merges: self.delta_merges,
+            histogram_hits: self.histogram_hits,
+        }
+    }
+
     /// Current `max/mean` shard-size ratio (1.0 when empty or perfectly
     /// balanced).
     pub fn imbalance_ratio(&self) -> f64 {
@@ -315,7 +429,8 @@ impl<T: Key> Engine<T> {
 
     /// Ingests `items`, spread round-robin across the shards (the cursor
     /// persists, so successive small ingests stay balanced). Sketches are
-    /// maintained incrementally; the watermark is checked afterwards.
+    /// maintained incrementally, the new elements join the index's delta
+    /// run, and the watermark is checked afterwards.
     pub fn ingest(&mut self, items: Vec<T>) -> Result<MutationReport, EngineError> {
         let p = self.cfg.nprocs;
         let count = items.len();
@@ -348,7 +463,8 @@ impl<T: Key> Engine<T> {
         let added: u64 = chunks.iter().map(|c| c.len() as u64).sum();
         // Each worker takes (moves) its own chunk out of the shared slots —
         // ingest is the engine's primary data path and must not copy the
-        // batch a second time.
+        // batch a second time. Appends land past the indexed prefix, so
+        // they *are* the delta run; no index restructuring happens here.
         let chunks: Arc<Vec<std::sync::Mutex<Option<Vec<T>>>>> =
             Arc::new(chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect());
         let sizes = self.session.run(move |proc, store| {
@@ -367,12 +483,19 @@ impl<T: Key> Engine<T> {
             shard.data.len() as u64
         })?;
         self.set_sizes(sizes);
+        if let Some(gidx) = &mut self.index {
+            gidx.delta_total += added;
+        }
         let rebalanced = self.maybe_rebalance()?;
+        if !rebalanced {
+            self.maybe_merge_delta()?;
+        }
         Ok(MutationReport { elements: added, rebalanced })
     }
 
     /// Deletes **all** resident occurrences of the given values, returning
-    /// how many elements were removed. Shard sketches are rebuilt and the
+    /// how many elements were removed. The bucket index and its histogram
+    /// are maintained in place; shard sketches are rebuilt and the
     /// watermark is checked afterwards.
     pub fn delete(&mut self, values: &[T]) -> Result<MutationReport, EngineError> {
         if values.is_empty() || self.total == 0 {
@@ -382,24 +505,80 @@ impl<T: Key> Engine<T> {
         sorted.sort_unstable();
         sorted.dedup();
         let sorted = Arc::new(sorted);
-        let sizes = self.session.run(move |proc, store| {
+        let results = self.session.run(move |proc, store| {
             let shard = shard_mut::<T>(store);
-            let before = shard.data.len();
-            // One pass over the shard, with a log-factor for the binary
-            // search each element performs against the delete list.
-            proc.charge_ops((before as u64) * (1 + sorted.len().ilog2() as u64));
-            shard.data.retain(|x| sorted.binary_search(x).is_err());
-            if shard.data.len() != before {
-                shard.sketch.rebuild(&shard.data);
-                proc.charge_ops(shard.data.len() as u64);
+            let Shard { data, sketch, index } = shard;
+            let before = data.len();
+            // One compacting pass; every comparison of the per-element
+            // binary search and every element move is counted, matching how
+            // the selection kernels charge their measured work.
+            let mut cmps = 0u64;
+            let mut moves = 0u64;
+            let mut write = 0usize;
+            let mut removed: Vec<u64> =
+                index.as_ref().map(|idx| vec![0; idx.num_buckets() + 1]).unwrap_or_default();
+            match index {
+                Some(idx) => {
+                    let delta_start = idx.delta_start();
+                    let nb = idx.num_buckets();
+                    let mut b = 0usize;
+                    for read in 0..before {
+                        let bucket = if read >= delta_start {
+                            nb
+                        } else {
+                            while read >= idx.offsets[b + 1] {
+                                b += 1;
+                            }
+                            b
+                        };
+                        let x = data[read];
+                        if binary_search_counting(&sorted, &x, &mut cmps) {
+                            removed[bucket] += 1;
+                        } else {
+                            if write != read {
+                                data[write] = x;
+                                moves += 1;
+                            }
+                            write += 1;
+                        }
+                    }
+                    data.truncate(write);
+                    let mut shifted = 0usize;
+                    for (i, &gone) in removed[..nb].iter().enumerate() {
+                        shifted += gone as usize;
+                        idx.offsets[i + 1] -= shifted;
+                    }
+                }
+                None => {
+                    for read in 0..before {
+                        let x = data[read];
+                        if !binary_search_counting(&sorted, &x, &mut cmps) {
+                            if write != read {
+                                data[write] = x;
+                                moves += 1;
+                            }
+                            write += 1;
+                        }
+                    }
+                    data.truncate(write);
+                }
             }
-            shard.data.len() as u64
+            proc.charge_ops(cmps + moves);
+            if write != before {
+                sketch.rebuild(data);
+                proc.charge_ops(data.len() as u64);
+            }
+            (data.len() as u64, removed)
         })?;
         let before = self.total;
+        let (sizes, removed): (Vec<u64>, Vec<Vec<u64>>) = results.into_iter().unzip();
         self.set_sizes(sizes);
-        let removed = before - self.total;
+        if let Some(gidx) = &mut self.index {
+            gidx.apply_removals(&removed);
+        }
+        let removed_total = before - self.total;
         let rebalanced = self.maybe_rebalance()?;
-        Ok(MutationReport { elements: removed, rebalanced })
+        Ok(MutationReport { elements: removed_total, rebalanced })
     }
 
     /// Checks one query's domain against the current resident population
@@ -420,9 +599,13 @@ impl<T: Key> Engine<T> {
     /// Executes one batch of queries against the resident data.
     ///
     /// All rank-type queries (ranks, exact quantiles, medians, top-k) are
-    /// coalesced into a single `parallel_multi_select` pass; quantiles with
-    /// a tolerance the sketches can honor are answered without touching
-    /// the full data. Answers are aligned with `queries`.
+    /// coalesced into one rank list; each rank is localized against the
+    /// cached bucket histogram (answered outright when its candidate window
+    /// is a single repeated-value bucket) and the remainder is resolved by
+    /// a single lockstep multi-select pass over the candidate buckets,
+    /// borrowed in place. Quantiles with a tolerance the sketches can honor
+    /// are answered without touching the full data. Answers are aligned
+    /// with `queries`.
     pub fn execute(&mut self, queries: &[Query]) -> Result<BatchReport<T>, EngineError> {
         let sketch_bound = if self.cfg.sketch_capacity == 0 {
             f64::INFINITY
@@ -436,14 +619,35 @@ impl<T: Key> Engine<T> {
         };
         let plan = query::plan(queries, self.total, sketch_bound)?;
 
+        if self.cfg.index_buckets > 0 && !plan.exact_ranks.is_empty() {
+            self.ensure_index()?;
+        }
+
         // Per-batch pivot seed: deterministic, but decorrelated across
         // batches so one unlucky stream cannot haunt every batch.
         let mut sel_cfg = self.cfg.selection.clone();
         sel_cfg.seed ^= (self.batches + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
         self.batches += 1;
 
-        let exact_ranks = Arc::new(plan.exact_ranks.clone());
-        let sketch_targets = Arc::new(plan.sketch_targets.clone());
+        // Host-side routing against the cached histogram: zero collectives.
+        let exact_ranks = plan.exact_ranks.clone();
+        let (groups, fast): (Arc<Vec<Group>>, Vec<(usize, T)>) = match &self.index {
+            Some(gidx) if !exact_ranks.is_empty() => {
+                let routing = gidx.route(&exact_ranks);
+                (Arc::new(routing.groups), routing.fast)
+            }
+            _ => (Arc::new(Vec::new()), Vec::new()),
+        };
+        let use_index = self.index.is_some();
+        let run_full = !use_index && !exact_ranks.is_empty();
+        let n_exact = exact_ranks.len();
+        let full_total = self.total;
+        let delta_total = self.index.as_ref().map_or(0, |g| g.delta_total);
+        let delta_occupancy = self.index_health().delta_occupancy;
+
+        let groups_cl = groups.clone();
+        let exact_ranks_cl = exact_ranks.clone();
+        let sketch_targets = plan.sketch_targets.clone();
         let results = self.session.run(move |proc, store| {
             // Synchronize clocks so the elapsed virtual time is a makespan.
             proc.barrier();
@@ -451,14 +655,116 @@ impl<T: Key> Engine<T> {
             let t0 = proc.now();
 
             let shard = shard_mut::<T>(store);
-            let exact_values: Vec<T> = if exact_ranks.is_empty() {
-                Vec::new()
-            } else {
-                // multi-select consumes its input; queries must not, so a
-                // working copy is made (and its cost charged).
-                proc.charge_ops(shard.data.len() as u64);
-                parallel_multi_select(proc, shard.data.clone(), &exact_ranks, &sel_cfg)
-            };
+            let mut exact: Vec<Option<T>> = vec![None; n_exact];
+            let mut refines: Vec<BucketStats<T>> = Vec::new();
+            if use_index && !groups_cl.is_empty() {
+                let Shard { data, index, .. } = &mut *shard;
+                let idx = index.as_mut().expect("indexed execution requires a shard index");
+                let delta_start = idx.delta_start();
+                let nb = idx.num_buckets();
+                let (indexed_part, delta_part) = data.split_at_mut(delta_start);
+
+                // Localize the delta run once per batch: partition it by the
+                // shared splitters, then Combine the per-bucket delta counts
+                // (one vectorized collective) so every group can fold in
+                // exactly its in-range delta elements and rebase its ranks
+                // by the delta mass below its window — instead of every
+                // group cloning and re-partitioning the whole delta.
+                let (doff, delta_prefix) = if delta_total > 0 {
+                    let mut ops = OpCount::new();
+                    let doff = partition_by_bounds(delta_part, &idx.bounds, &mut ops);
+                    proc.charge_ops(ops.total());
+                    let local: Vec<u64> = doff.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+                    let global = proc.combine(local, |a, b| {
+                        a.into_iter().zip(b).map(|(x, y)| x + y).collect::<Vec<u64>>()
+                    });
+                    let mut prefix = vec![0u64; nb + 1];
+                    for (b, c) in global.into_iter().enumerate() {
+                        prefix[b + 1] = prefix[b] + c;
+                    }
+                    (doff, prefix)
+                } else {
+                    (vec![0; nb + 1], vec![0; nb + 1])
+                };
+
+                // Carve the disjoint candidate windows out of the indexed
+                // prefix (borrowed, never cloned); each window additionally
+                // folds in its slice of the (already localized) delta run.
+                let mut windows: Vec<RankedWindow<'_, T>> = Vec::with_capacity(groups_cl.len());
+                let mut rest = indexed_part;
+                let mut consumed = 0usize;
+                for group in groups_cl.iter() {
+                    let start = idx.offsets[group.lo] - consumed;
+                    let len = idx.offsets[group.hi + 1] - idx.offsets[group.lo];
+                    let (_skip, tail) = rest.split_at_mut(start);
+                    let (slice, tail) = tail.split_at_mut(len);
+                    rest = tail;
+                    consumed = idx.offsets[group.hi + 1];
+                    let extra = delta_part[doff[group.lo]..doff[group.hi + 1]].to_vec();
+                    proc.charge_ops(extra.len() as u64);
+                    // The host sized the window over the *whole* delta (it
+                    // only knows the global delta total); with the exact
+                    // per-bucket delta counts the subset narrows to the
+                    // window's own delta mass, and ranks shift down by the
+                    // delta strictly below the window.
+                    let delta_below = delta_prefix[group.lo];
+                    let delta_in = delta_prefix[group.hi + 1] - delta_below;
+                    windows.push(RankedWindow {
+                        slice,
+                        extra,
+                        n: group.n - delta_total + delta_in,
+                        ranks: group
+                            .ranks
+                            .iter()
+                            .map(|&r| r - delta_below)
+                            .zip(group.out.iter().copied())
+                            .collect(),
+                    });
+                }
+                exact = parallel_multi_select_windows(proc, windows, n_exact, &sel_cfg);
+
+                // Refine each window by its answers (descending, so earlier
+                // windows' bucket indices stay valid): the resolved values
+                // become equality-class splitters, restoring the index the
+                // in-place pass permuted and making repeated/nearby ranks
+                // histogram-only next batch.
+                let (indexed_part, _) = data.split_at_mut(delta_start);
+                refines = vec![Vec::new(); groups_cl.len()];
+                for (g, group) in groups_cl.iter().enumerate().rev() {
+                    let answers: Vec<T> = group
+                        .out
+                        .iter()
+                        .map(|&slot| exact[slot].expect("group rank resolved"))
+                        .collect();
+                    let lower = (group.lo > 0).then(|| idx.bounds[group.lo - 1]);
+                    let upper = (group.hi < idx.bounds.len()).then(|| idx.bounds[group.hi]);
+                    let new_bounds =
+                        refined_bounds(&idx.bounds[group.lo..group.hi], &answers, lower, upper);
+                    let base = idx.offsets[group.lo];
+                    let range = &mut indexed_part[base..idx.offsets[group.hi + 1]];
+                    let mut ops = OpCount::new();
+                    let local = partition_by_bounds(range, &new_bounds, &mut ops);
+                    proc.charge_ops(ops.total() + range.len() as u64);
+                    refines[g] = bucket_stats(range, &local);
+                    idx.bounds.splice(group.lo..group.hi, new_bounds);
+                    let internal: Vec<usize> =
+                        local[1..local.len() - 1].iter().map(|&o| base + o).collect();
+                    idx.offsets.splice(group.lo + 1..group.hi + 1, internal);
+                }
+            } else if run_full {
+                // No index: resolve over the whole resident slice, still
+                // borrowed in place — the pre-index full-shard clone is
+                // gone on this path too.
+                let pairs: Vec<(u64, usize)> =
+                    exact_ranks_cl.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+                let window = RankedWindow {
+                    slice: &mut shard.data,
+                    extra: Vec::new(),
+                    n: full_total,
+                    ranks: pairs,
+                };
+                exact = parallel_multi_select_windows(proc, vec![window], n_exact, &sel_cfg);
+            }
 
             let sketch_values: Vec<T> = if sketch_targets.is_empty() {
                 Vec::new()
@@ -477,17 +783,43 @@ impl<T: Key> Engine<T> {
                     .collect()
             };
 
-            (exact_values, sketch_values, proc.comm_stats().since(&comm0), proc.now() - t0)
+            (exact, refines, sketch_values, proc.comm_stats().since(&comm0), proc.now() - t0)
         })?;
 
         let mut comm = CommStats::default();
         let mut makespan = 0.0f64;
-        for (_, _, delta, elapsed) in &results {
+        for (_, _, _, delta, elapsed) in &results {
             comm = comm.merged(delta);
             makespan = makespan.max(*elapsed);
         }
-        let (exact_values, sketch_values, rank0_delta, _) = &results[0];
-        let answers = plan.assemble(exact_values, sketch_values);
+
+        // Fold the refinement back into the cached histogram.
+        if use_index && !groups.is_empty() {
+            let gidx = self.index.as_mut().expect("index cached");
+            for (g, group) in groups.iter().enumerate().rev() {
+                let mut merged = results[0].1[g].clone();
+                for (_, refines, _, _, _) in &results[1..] {
+                    merge_stats(&mut merged, &refines[g]);
+                }
+                gidx.splice_window(group.lo, group.hi, &merged);
+            }
+            gidx.rebuild_prefix();
+            if gidx.num_buckets() > self.cfg.bucket_cap() {
+                self.index_dirty = true;
+            }
+        }
+        self.histogram_hits += fast.len() as u64;
+
+        let (exact0, _, sketch_values, rank0_delta, _) = &results[0];
+        let mut exact_slots = exact0.clone();
+        for &(slot, v) in &fast {
+            exact_slots[slot] = Some(v);
+        }
+        let exact_values: Vec<T> = exact_slots
+            .into_iter()
+            .map(|v| v.expect("every coalesced rank must have been resolved"))
+            .collect();
+        let answers = plan.assemble(&exact_values, sketch_values);
         Ok(BatchReport {
             answers,
             comm,
@@ -495,7 +827,91 @@ impl<T: Key> Engine<T> {
             makespan,
             exact_ranks: plan.exact_ranks.len(),
             sketch_answers: plan.sketch_targets.len(),
+            histogram_answers: fast.len(),
+            delta_occupancy,
         })
+    }
+
+    /// (Re)builds the resident bucket index when it is missing or stale:
+    /// the shards pool their sample sketches through one collective, derive
+    /// the identical splitter vector, partition their data (delta run
+    /// included) and report per-bucket summaries, which the host caches as
+    /// the global histogram.
+    fn ensure_index(&mut self) -> Result<(), EngineError> {
+        if self.index.is_some() && !self.index_dirty {
+            return Ok(());
+        }
+        debug_assert!(self.total > 0, "index builds only over resident data");
+        let nb = self.cfg.index_buckets;
+        let stats = self.session.run(move |proc, store| {
+            let shard = shard_mut::<T>(store);
+            // Sample source: the resident sketch (maintained on ingest); a
+            // strided data sample when sketches are disabled.
+            let samples: Vec<T> = if shard.sketch.samples().is_empty() {
+                let want = (4 * nb).max(1);
+                let stride = (shard.data.len() / want).max(1);
+                shard.data.iter().copied().step_by(stride).take(want).collect()
+            } else {
+                shard.sketch.samples().to_vec()
+            };
+            proc.charge_ops(samples.len() as u64);
+            let mut pool: Vec<T> = proc.all_gatherv(samples).into_iter().flatten().collect();
+            let m = pool.len() as u64;
+            pool.sort_unstable();
+            proc.charge_ops(m * (1 + m.max(2).ilog2() as u64));
+            let bounds = splitters_from_samples(&pool, nb);
+            let mut ops = OpCount::new();
+            let (idx, stats) = build_shard_index(&mut shard.data, bounds, &mut ops);
+            proc.charge_ops(ops.total() + shard.data.len() as u64);
+            shard.index = Some(idx);
+            stats
+        })?;
+        self.index = Some(GlobalIndex::from_shard_stats(&stats));
+        self.index_dirty = false;
+        self.index_rebuilds += 1;
+        Ok(())
+    }
+
+    /// Folds the delta run into the buckets once it outgrows the threshold.
+    fn maybe_merge_delta(&mut self) -> Result<bool, EngineError> {
+        let Some(gidx) = &self.index else {
+            return Ok(false);
+        };
+        let threshold = (self.cfg.delta_threshold * self.total as f64).max(64.0);
+        if (gidx.delta_total as f64) <= threshold {
+            return Ok(false);
+        }
+        let stats = self.session.run(move |proc, store| {
+            let shard = shard_mut::<T>(store);
+            let Shard { data, index, .. } = shard;
+            let idx = index.as_mut().expect("delta merge requires a shard index");
+            let delta_start = idx.delta_start();
+            let total_len = data.len();
+            let mut ops = OpCount::new();
+            let (indexed_part, delta_part) = data.split_at_mut(delta_start);
+            let doff = partition_by_bounds(delta_part, &idx.bounds, &mut ops);
+            let dstats = bucket_stats(delta_part, &doff);
+            // Amortized reorganization: rebuild the flat storage with each
+            // bucket's delta members appended to it.
+            let nb = idx.num_buckets();
+            let mut merged = Vec::with_capacity(total_len);
+            let mut new_offsets = Vec::with_capacity(nb + 1);
+            new_offsets.push(0);
+            for b in 0..nb {
+                merged.extend_from_slice(&indexed_part[idx.offsets[b]..idx.offsets[b + 1]]);
+                merged.extend_from_slice(&delta_part[doff[b]..doff[b + 1]]);
+                new_offsets.push(merged.len());
+            }
+            proc.charge_ops(ops.total() + merged.len() as u64);
+            *data = merged;
+            idx.offsets = new_offsets;
+            dstats
+        })?;
+        if let Some(gidx) = &mut self.index {
+            gidx.absorb_delta(&stats);
+        }
+        self.delta_merges += 1;
+        Ok(true)
     }
 
     fn set_sizes(&mut self, sizes: Vec<u64>) {
@@ -503,7 +919,10 @@ impl<T: Key> Engine<T> {
         self.shard_sizes = sizes;
     }
 
-    /// Runs the configured balancer if the watermark is exceeded.
+    /// Runs the configured balancer if the watermark is exceeded. A
+    /// re-balance moves elements between shards arbitrarily, so it drops
+    /// the bucket index; the splitters are rebuilt lazily on the next exact
+    /// batch.
     fn maybe_rebalance(&mut self) -> Result<bool, EngineError> {
         if self.cfg.nprocs == 1 || self.total < self.cfg.nprocs as u64 {
             return Ok(false);
@@ -514,14 +933,31 @@ impl<T: Key> Engine<T> {
         let balancer = self.cfg.balancer;
         let sizes = self.session.run(move |proc, store| {
             let shard = shard_mut::<T>(store);
+            shard.index = None;
             rebalance(balancer, proc, &mut shard.data);
             shard.sketch.rebuild(&shard.data);
             proc.charge_ops(shard.data.len() as u64);
             shard.data.len() as u64
         })?;
         self.set_sizes(sizes);
+        self.index = None;
+        self.index_dirty = false;
         self.rebalances += 1;
         Ok(true)
+    }
+}
+
+/// Binary search that reports its measured comparisons (the delete path's
+/// op accounting, matching the kernels' counted discipline — the same
+/// counting-closure idiom as `cgselect_seqsel::bucket_of`).
+fn binary_search_counting<T: Ord>(sorted: &[T], x: &T, cmps: &mut u64) -> bool {
+    let i = sorted.partition_point(|v| {
+        *cmps += 1;
+        v < x
+    });
+    i < sorted.len() && {
+        *cmps += 1;
+        sorted[i] == *x
     }
 }
 
@@ -572,6 +1008,31 @@ mod tests {
             assert!(report.comm.msgs_sent > 0);
         }
         assert_eq!(engine.batches(), 3);
+        // The repeated ranks (median, quantiles, top-k) were refined into
+        // equality-class buckets by batch 0, so later batches answered them
+        // from the histogram alone.
+        assert!(engine.index_health().histogram_hits > 0);
+    }
+
+    #[test]
+    fn repeated_quantiles_become_histogram_only() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(4)).unwrap();
+        engine.ingest((0..20_000u64).rev().collect()).unwrap();
+        let queries =
+            vec![Query::quantile(0.25), Query::Median, Query::quantile(0.9), Query::Rank(17)];
+        let warm = engine.execute(&queries).unwrap();
+        assert_eq!(warm.histogram_answers, 0);
+        let hot = engine.execute(&queries).unwrap();
+        // Every distinct rank of the repeated batch is a histogram answer …
+        assert_eq!(hot.histogram_answers, hot.exact_ranks);
+        // … so the batch paid only the synchronization barrier.
+        assert!(
+            hot.collective_ops < warm.collective_ops / 2,
+            "hot {} vs warm {} collective ops",
+            hot.collective_ops,
+            warm.collective_ops
+        );
+        assert_eq!(hot.answers, warm.answers);
     }
 
     #[test]
@@ -617,6 +1078,69 @@ mod tests {
     }
 
     #[test]
+    fn delete_through_the_index_stays_exact() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(4)).unwrap();
+        let data: Vec<u64> = (0..6000u64).map(|i| i % 500).collect();
+        engine.ingest(data.clone()).unwrap();
+        // Build the index, then delete value classes through it.
+        engine.execute(&[Query::Median]).unwrap();
+        assert!(engine.index_health().buckets > 0);
+        let rep = engine.delete(&[100, 250, 499]).unwrap();
+        assert_eq!(rep.elements, 36); // 3 values × 12 occurrences each
+        let mut oracle = oracle_sorted(&data);
+        oracle.retain(|&x| x != 100 && x != 250 && x != 499);
+        let n = oracle.len() as u64;
+        let report = engine.execute(&[Query::Rank(0), Query::Median, Query::Rank(n - 1)]).unwrap();
+        assert_eq!(report.answers[0], Answer::Value(oracle[0]));
+        assert_eq!(report.answers[1], Answer::Value(oracle[((n - 1) / 2) as usize]));
+        assert_eq!(report.answers[2], Answer::Value(oracle[(n - 1) as usize]));
+    }
+
+    #[test]
+    fn delta_run_keeps_answers_exact_until_merge() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(2).delta_threshold(10.0)).unwrap(); // merge never triggers
+        let mut all: Vec<u64> = (0..3000u64).map(|i| i.wrapping_mul(2654435761) % 9973).collect();
+        engine.ingest(all.clone()).unwrap();
+        engine.execute(&[Query::Median]).unwrap(); // builds the index
+        for round in 0..4u64 {
+            let burst: Vec<u64> = (0..333u64).map(|i| (round * 1000 + i * 7) % 9973).collect();
+            all.extend(&burst);
+            engine.ingest(burst).unwrap();
+            assert!(engine.index_health().delta_len > 0, "delta must accumulate");
+            let sorted = oracle_sorted(&all);
+            let n = sorted.len() as u64;
+            let report =
+                engine.execute(&[Query::Rank(0), Query::Median, Query::quantile(0.99)]).unwrap();
+            assert_eq!(report.answers[0], Answer::Value(sorted[0]));
+            assert_eq!(report.answers[1], Answer::Value(sorted[((n - 1) / 2) as usize]));
+            assert_eq!(report.answers[2], Answer::Value(sorted[quantile_rank(0.99, n) as usize]));
+            assert!(report.delta_occupancy > 0.0);
+        }
+        assert_eq!(engine.index_health().delta_merges, 0);
+    }
+
+    #[test]
+    fn delta_merge_triggers_at_the_threshold_and_stays_exact() {
+        let mut engine: Engine<u64> = Engine::new(free_cfg(2).delta_threshold(0.02)).unwrap();
+        let mut all: Vec<u64> = (0..8000u64).map(|i| i.wrapping_mul(48271) % 65_536).collect();
+        engine.ingest(all.clone()).unwrap();
+        engine.execute(&[Query::Median]).unwrap();
+        assert_eq!(engine.index_health().delta_merges, 0);
+        // 8000 × 0.02 = 160 < 400-element burst -> merge must fire.
+        let burst: Vec<u64> = (0..400u64).map(|i| i * 131 % 65_536).collect();
+        all.extend(&burst);
+        engine.ingest(burst).unwrap();
+        let health = engine.index_health();
+        assert_eq!(health.delta_merges, 1);
+        assert_eq!(health.delta_len, 0);
+        let sorted = oracle_sorted(&all);
+        let n = sorted.len() as u64;
+        let report = engine.execute(&[Query::Median, Query::quantile(0.75)]).unwrap();
+        assert_eq!(report.answers[0], Answer::Value(sorted[((n - 1) / 2) as usize]));
+        assert_eq!(report.answers[1], Answer::Value(sorted[quantile_rank(0.75, n) as usize]));
+    }
+
+    #[test]
     fn approximate_quantile_stays_within_tolerance() {
         let mut engine: Engine<u64> = Engine::new(free_cfg(4).sketch_capacity(2048)).unwrap();
         // 0..80000 shuffled deterministically: value == rank.
@@ -658,7 +1182,11 @@ mod tests {
 
     #[test]
     fn batching_uses_fewer_collective_ops_than_single_queries() {
-        let mut engine: Engine<u64> = Engine::new(free_cfg(4)).unwrap();
+        // Baseline-path claim (index disabled): coalescing R ranks into one
+        // multi-select pass beats R single-rank passes. With the index on,
+        // repeated single queries would be answered from the histogram and
+        // the comparison would measure the cache, not the batching.
+        let mut engine: Engine<u64> = Engine::new(free_cfg(4).index_buckets(0)).unwrap();
         let data: Vec<u64> =
             (0..40_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
         engine.ingest(data).unwrap();
@@ -676,6 +1204,29 @@ mod tests {
             "batched {} vs {} summed single-query collective ops",
             batched.collective_ops,
             single_total
+        );
+    }
+
+    #[test]
+    fn indexed_engine_beats_the_baseline_on_collective_ops() {
+        let data: Vec<u64> =
+            (0..40_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
+        let queries: Vec<Query> = (1..=16).map(|i| Query::Rank(i * 2000)).collect();
+
+        let mut baseline: Engine<u64> = Engine::new(free_cfg(4).index_buckets(0)).unwrap();
+        baseline.ingest(data.clone()).unwrap();
+        let base = baseline.execute(&queries).unwrap();
+
+        let mut indexed: Engine<u64> = Engine::new(free_cfg(4)).unwrap();
+        indexed.ingest(data).unwrap();
+        let idx = indexed.execute(&queries).unwrap();
+
+        assert_eq!(idx.answers, base.answers);
+        assert!(
+            2 * idx.collective_ops <= base.collective_ops,
+            "indexed {} vs baseline {} collective ops (first batch)",
+            idx.collective_ops,
+            base.collective_ops
         );
     }
 
@@ -711,8 +1262,13 @@ mod tests {
         let mut engine: Engine<u64> = Engine::new(EngineConfig::new(4)).unwrap();
         engine.ingest((0..10_000u64).collect()).unwrap();
         let a = engine.execute(&[Query::Median]).unwrap();
-        let b = engine.execute(&[Query::Median]).unwrap();
+        let b = engine.execute(&[Query::Rank(123)]).unwrap();
         assert!(a.makespan > 0.0);
         assert!(b.makespan > 0.0);
+        // A fully histogram-answered repeat costs no measured batch time —
+        // that is the point of the fast path.
+        let c = engine.execute(&[Query::Median]).unwrap();
+        assert_eq!(c.histogram_answers, 1);
+        assert_eq!(c.answers, a.answers);
     }
 }

@@ -83,8 +83,11 @@ mod tests {
 
     #[test]
     fn batched_mode_beats_per_query_mode() {
+        // Baseline path (index off): with the resident index, the per-query
+        // repeats would be served from the histogram and this would measure
+        // the cache instead of batching.
         let mut engine: Engine<u64> =
-            Engine::new(EngineConfig::new(4).model(MachineModel::free())).unwrap();
+            Engine::new(EngineConfig::new(4).model(MachineModel::free()).index_buckets(0)).unwrap();
         engine.ingest((0..20_000u64).rev().collect()).unwrap();
         let queries: Vec<Query> = (1..=10u64).map(|i| Query::Rank(i * 1500)).collect();
         let batched = measure_rounds(&mut engine, &queries, ExecutionMode::Batched).unwrap();

@@ -11,6 +11,7 @@
 //! instead and never touch the full data.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One query against the resident distributed multiset.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -128,13 +129,17 @@ pub(crate) enum Resolution {
 }
 
 /// A planned batch: per-query resolutions plus the coalesced rank list.
+///
+/// The rank lists are built behind `Arc`s here, in the planner, so the
+/// engine can ship them into its SPMD closure without re-cloning the
+/// vectors per batch.
 #[derive(Clone, Debug)]
 pub(crate) struct Plan {
     pub resolutions: Vec<Resolution>,
     /// Sorted, deduplicated ranks feeding the single multi-select pass.
-    pub exact_ranks: Vec<u64>,
+    pub exact_ranks: Arc<Vec<u64>>,
     /// Target ranks of the sketch-served queries, in resolution order.
-    pub sketch_targets: Vec<u64>,
+    pub sketch_targets: Arc<Vec<u64>>,
 }
 
 /// Plans a batch over `n` resident elements. `sketch_bound` is the smallest
@@ -188,7 +193,11 @@ pub(crate) fn plan(
     }
     exact_ranks.sort_unstable();
     exact_ranks.dedup();
-    Ok(Plan { resolutions, exact_ranks, sketch_targets })
+    Ok(Plan {
+        resolutions,
+        exact_ranks: Arc::new(exact_ranks),
+        sketch_targets: Arc::new(sketch_targets),
+    })
 }
 
 impl Plan {
@@ -241,7 +250,7 @@ mod tests {
             Query::quantile(1.0), // rank 10
         ];
         let plan = plan(&queries, 11, f64::INFINITY).unwrap();
-        assert_eq!(plan.exact_ranks, vec![0, 1, 2, 5, 10]);
+        assert_eq!(*plan.exact_ranks, vec![0, 1, 2, 5, 10]);
         assert!(plan.sketch_targets.is_empty());
         let answers = plan.assemble(&[10, 11, 12, 15, 20], &[]);
         assert_eq!(answers[0], Answer::Value(15));
@@ -255,8 +264,8 @@ mod tests {
         let queries = [Query::quantile_within(0.5, 0.05), Query::quantile_within(0.5, 0.001)];
         let plan = plan(&queries, 1000, 0.01).unwrap();
         // 0.05 >= bound 0.01 -> sketch; 0.001 < bound -> exact fallback.
-        assert_eq!(plan.sketch_targets, vec![500]);
-        assert_eq!(plan.exact_ranks, vec![500]);
+        assert_eq!(*plan.sketch_targets, vec![500]);
+        assert_eq!(*plan.exact_ranks, vec![500]);
         match plan.resolutions[0] {
             Resolution::Sketch { target_rank: 500, max_rank_error: 50 } => {}
             ref other => panic!("unexpected resolution {other:?}"),

@@ -35,6 +35,7 @@ mod partition;
 mod quickselect;
 mod rng;
 mod sort_select;
+mod splitters;
 mod weighted_median;
 
 pub use buckets::Buckets;
@@ -47,6 +48,7 @@ pub use partition::{insertion_sort, partition3, partition_le};
 pub use quickselect::quickselect;
 pub use rng::KernelRng;
 pub use sort_select::sort_select;
+pub use splitters::{bucket_of, partition_by_bounds, SepBound};
 pub use weighted_median::weighted_median;
 
 /// 0-based rank of the paper's median (1-based rank ⌈N/2⌉) among `n` items.

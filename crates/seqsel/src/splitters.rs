@@ -1,0 +1,227 @@
+//! Shared-splitter bucket boundaries for distributed bucket indexes.
+//!
+//! The paper's bucket structure ([`crate::Buckets`]) is *local*: every
+//! processor derives its own separators from its own data. A distributed
+//! engine that wants a *global* per-bucket histogram needs the opposite —
+//! one splitter vector agreed by all processors, against which each shard
+//! partitions its local data so that "bucket `i`" means the same value
+//! range everywhere (Nowicki's regular-sampling multiple selection works
+//! this way).
+//!
+//! A splitter here is a [`SepBound`] — an upper boundary that is either
+//! *inclusive* (`x ≤ v`) or *exclusive* (`x < v`). The exclusive flavour is
+//! what lets a refinement isolate an exact equality class: inserting the
+//! pair `(v, exclusive), (v, inclusive)` around a resolved answer `v`
+//! carves the buckets `(…, v)`, `[v, v]`, `(v, …)` — and a bucket that is
+//! a pure equality class can later be answered from counts alone, with no
+//! element scan. Because both bounds mention only the shared value `v`,
+//! every shard splits identically and the global histogram stays valid.
+
+use crate::ops::OpCount;
+
+/// An upper bucket boundary: admits `x ≤ value` (inclusive) or `x < value`
+/// (exclusive).
+///
+/// Bounds are totally ordered by `(value, inclusive)` with the exclusive
+/// bound *first*, so a sorted bound vector `s₀ < s₁ < …` defines buckets
+/// `B₀ = {x : s₀ admits x}`, `Bᵢ = {x : sᵢ admits x, sᵢ₋₁ does not}`, plus
+/// a final bucket for everything no bound admits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SepBound<T> {
+    /// The boundary value.
+    pub value: T,
+    /// `false`: the bucket below this bound excludes `value` itself.
+    pub inclusive: bool,
+}
+
+impl<T: Copy + Ord> SepBound<T> {
+    /// An inclusive boundary (`x ≤ value` falls below it).
+    pub fn le(value: T) -> Self {
+        SepBound { value, inclusive: true }
+    }
+
+    /// An exclusive boundary (`x < value` falls below it).
+    pub fn lt(value: T) -> Self {
+        SepBound { value, inclusive: false }
+    }
+
+    /// True if `x` belongs at or below this boundary.
+    #[inline]
+    pub fn admits(&self, x: &T) -> bool {
+        if self.inclusive {
+            *x <= self.value
+        } else {
+            *x < self.value
+        }
+    }
+}
+
+/// The index of the bucket `x` belongs to under sorted `bounds` (buckets
+/// number `0 ..= bounds.len()`): the first bound admitting `x`, or
+/// `bounds.len()` when none does. `O(log B)` comparisons, charged to `ops`.
+pub fn bucket_of<T: Copy + Ord>(bounds: &[SepBound<T>], x: &T, ops: &mut OpCount) -> usize {
+    let mut cmps = 0u64;
+    let idx = bounds.partition_point(|b| {
+        cmps += 1;
+        !b.admits(x)
+    });
+    ops.cmps += cmps.max(1);
+    idx
+}
+
+/// Partitions `data` in place by a single bound: `[admitted | rejected]`,
+/// returning the number of admitted elements. Same scan discipline (and
+/// measured costs) as [`crate::partition_le`].
+fn partition_bound<T: Copy + Ord>(data: &mut [T], bound: SepBound<T>, ops: &mut OpCount) -> usize {
+    let mut i = 0usize;
+    let mut j = data.len();
+    loop {
+        while i < j {
+            ops.cmps += 1;
+            if bound.admits(&data[i]) {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        while i < j {
+            ops.cmps += 1;
+            if !bound.admits(&data[j - 1]) {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if i >= j {
+            return i;
+        }
+        data.swap(i, j - 1);
+        ops.moves += 3;
+        i += 1;
+        j -= 1;
+    }
+}
+
+/// Multiway in-place partition of `data` by strictly increasing `bounds`:
+/// afterwards the elements of bucket `i` occupy `data[ret[i]..ret[i+1]]`.
+///
+/// Returns the bucket offsets — `bounds.len() + 2` entries, first `0`, last
+/// `data.len()`, non-decreasing (empty buckets are allowed, unlike the
+/// local [`crate::Buckets`] structure). Recursive halving over the bound
+/// vector: `O(n log B)` measured comparisons.
+///
+/// # Panics
+/// Panics (debug builds) if `bounds` is not strictly increasing.
+pub fn partition_by_bounds<T: Copy + Ord>(
+    data: &mut [T],
+    bounds: &[SepBound<T>],
+    ops: &mut OpCount,
+) -> Vec<usize> {
+    debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+    let mut offsets = vec![0usize; bounds.len() + 2];
+    *offsets.last_mut().expect("non-empty") = data.len();
+    rec(data, 0, bounds, 0, &mut offsets, ops);
+    offsets
+}
+
+fn rec<T: Copy + Ord>(
+    data: &mut [T],
+    base: usize,
+    bounds: &[SepBound<T>],
+    first_bucket: usize,
+    offsets: &mut [usize],
+    ops: &mut OpCount,
+) {
+    if bounds.is_empty() {
+        return;
+    }
+    let mid = bounds.len() / 2;
+    let cut = partition_bound(data, bounds[mid], ops);
+    // Everything in data[..cut] falls at or below bounds[mid]; the bucket
+    // starting after bounds[mid] therefore begins at base + cut.
+    offsets[first_bucket + mid + 1] = base + cut;
+    let (lo, hi) = data.split_at_mut(cut);
+    rec(lo, base, &bounds[..mid], first_bucket, offsets, ops);
+    rec(hi, base + cut, &bounds[mid + 1..], first_bucket + mid + 1, offsets, ops);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_bucket(bounds: &[SepBound<u64>], x: u64) -> usize {
+        bounds.iter().position(|b| b.admits(&x)).unwrap_or(bounds.len())
+    }
+
+    #[test]
+    fn bound_ordering_puts_exclusive_first() {
+        assert!(SepBound::lt(5u64) < SepBound::le(5u64));
+        assert!(SepBound::le(4u64) < SepBound::lt(5u64));
+        assert!(!SepBound::lt(5u64).admits(&5));
+        assert!(SepBound::le(5u64).admits(&5));
+        assert!(SepBound::lt(5u64).admits(&4));
+    }
+
+    #[test]
+    fn bucket_of_matches_linear_scan() {
+        let bounds =
+            vec![SepBound::le(10u64), SepBound::lt(20), SepBound::le(20), SepBound::le(35)];
+        let mut ops = OpCount::new();
+        for x in [0u64, 10, 11, 19, 20, 21, 35, 36, 1000] {
+            assert_eq!(bucket_of(&bounds, &x, &mut ops), oracle_bucket(&bounds, x), "x={x}");
+        }
+        assert!(ops.cmps > 0);
+    }
+
+    #[test]
+    fn eq_class_isolation_via_paired_bounds() {
+        // (v, exclusive) + (v, inclusive) carve out the pure equality class.
+        let bounds = vec![SepBound::lt(7u64), SepBound::le(7)];
+        let mut data = vec![9u64, 7, 1, 7, 3, 7, 12, 0, 7];
+        let mut ops = OpCount::new();
+        let off = partition_by_bounds(&mut data, &bounds, &mut ops);
+        assert_eq!(off, vec![0, 3, 7, 9]);
+        assert!(data[off[0]..off[1]].iter().all(|&x| x < 7));
+        assert_eq!(&data[off[1]..off[2]], &[7, 7, 7, 7]);
+        assert!(data[off[2]..].iter().all(|&x| x > 7));
+    }
+
+    #[test]
+    fn multiway_partition_matches_bucket_of() {
+        let bounds: Vec<SepBound<u64>> =
+            vec![SepBound::le(100), SepBound::le(250), SepBound::lt(600), SepBound::le(600)];
+        let mut rng = crate::KernelRng::new(5);
+        let mut data: Vec<u64> = (0..500).map(|_| rng.next_u64() % 800).collect();
+        let orig = data.clone();
+        let mut ops = OpCount::new();
+        let off = partition_by_bounds(&mut data, &bounds, &mut ops);
+        assert_eq!(off.len(), bounds.len() + 2);
+        assert_eq!((off[0], *off.last().unwrap()), (0, data.len()));
+        for b in 0..bounds.len() + 1 {
+            for &x in &data[off[b]..off[b + 1]] {
+                assert_eq!(oracle_bucket(&bounds, x), b, "x={x} in bucket {b}");
+            }
+        }
+        // Multiset preserved.
+        let (mut a, mut b) = (data, orig);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(ops.cmps > 0);
+    }
+
+    #[test]
+    fn empty_buckets_and_empty_inputs() {
+        let bounds = vec![SepBound::le(5u64), SepBound::le(10), SepBound::le(20)];
+        let mut data: Vec<u64> = vec![30, 31, 32];
+        let mut ops = OpCount::new();
+        let off = partition_by_bounds(&mut data, &bounds, &mut ops);
+        assert_eq!(off, vec![0, 0, 0, 0, 3]); // everything past every bound
+        let mut none: Vec<u64> = Vec::new();
+        let off = partition_by_bounds(&mut none, &bounds, &mut ops);
+        assert_eq!(off, vec![0, 0, 0, 0, 0]);
+        let mut flat = vec![1u64, 2, 3];
+        let off = partition_by_bounds(&mut flat, &[], &mut ops);
+        assert_eq!(off, vec![0, 3]);
+    }
+}

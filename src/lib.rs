@@ -118,8 +118,8 @@ pub use cgselect_core::{
 };
 pub use cgselect_engine::{
     measure_rounds, quantile_rank, Answer, AsyncError, BatchReport, Engine, EngineConfig,
-    EngineError, ExecutionMode, FrontendConfig, FrontendStats, MutationReport, MutationTicket,
-    Query, QueryTicket, RoundsMeasurement, SubmissionQueue, SubmitError, Ticket,
+    EngineError, ExecutionMode, FrontendConfig, FrontendStats, IndexHealth, MutationReport,
+    MutationTicket, Query, QueryTicket, RoundsMeasurement, SubmissionQueue, SubmitError, Ticket,
 };
 pub use cgselect_runtime::{
     CommStats, Key, Machine, MachineModel, OrdF64, Proc, RunError, Session, ShardStore,

@@ -75,7 +75,12 @@ fn batched_ranks_use_strictly_fewer_collective_rounds_than_single_calls() {
     let p = 4;
     let data: Vec<u64> =
         cgselect::generate(Distribution::Random, 50_000, p, 31).into_iter().flatten().collect();
-    let mut engine = free_engine(p);
+    // Baseline path (bucket index off): with the index, the repeated ranks
+    // below would be answered from the cached histogram for free and this
+    // test would measure the cache, not batching. The indexed counterpart
+    // lives in tests/engine_indexed.rs.
+    let mut engine: Engine<u64> =
+        Engine::new(EngineConfig::new(p).model(MachineModel::free()).index_buckets(0)).unwrap();
     engine.ingest(data).unwrap();
     let n = engine.len();
 
