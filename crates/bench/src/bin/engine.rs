@@ -25,7 +25,10 @@ use std::time::Instant;
 
 use cgselect_bench::chart::{markdown_table, write_csv, write_text};
 use cgselect_bench::{quick_mode, results_dir};
-use cgselect_engine::{measure_rounds, Engine, EngineConfig, ExecutionMode, IndexHealth, Query};
+use cgselect_engine::{
+    measure_rounds, BackendChoice, ChannelMpTuning, Engine, EngineConfig, ExecutionMode,
+    IndexHealth, Query,
+};
 use cgselect_workloads::{generate, Distribution};
 
 fn check_mode() -> bool {
@@ -54,12 +57,14 @@ fn drive(
     workload: &'static str,
     mode: &'static str,
     index_buckets: usize,
+    backend: BackendChoice,
     data: &[u64],
     p: usize,
     batches: &[Vec<Query>],
 ) -> Run {
     let mut engine: Engine<u64> =
-        Engine::new(EngineConfig::new(p).index_buckets(index_buckets)).expect("engine start");
+        Engine::new(EngineConfig::new(p).index_buckets(index_buckets).backend(backend))
+            .expect("engine start");
     engine.ingest(data.to_vec()).expect("ingest");
     let wall0 = Instant::now();
     let mut collective_ops = 0u64;
@@ -198,11 +203,15 @@ fn index_experiment(quick: bool, dir: &std::path::Path) -> bool {
         .collect();
     let repeated_batches: Vec<Vec<Query>> = (0..16).map(|_| quantiles.clone()).collect();
 
+    let local = BackendChoice::LocalSpmd;
+    let mp = || BackendChoice::ChannelMp(ChannelMpTuning::default());
     let runs = vec![
-        drive("distinct-ranks", "baseline", 0, &data, p, &distinct_batches),
-        drive("distinct-ranks", "indexed", 64, &data, p, &distinct_batches),
-        drive("repeated-quantiles", "baseline", 0, &data, p, &repeated_batches),
-        drive("repeated-quantiles", "indexed", 64, &data, p, &repeated_batches),
+        drive("distinct-ranks", "baseline", 0, local.clone(), &data, p, &distinct_batches),
+        drive("distinct-ranks", "indexed", 64, local.clone(), &data, p, &distinct_batches),
+        drive("distinct-ranks", "indexed-mp", 64, mp(), &data, p, &distinct_batches),
+        drive("repeated-quantiles", "baseline", 0, local.clone(), &data, p, &repeated_batches),
+        drive("repeated-quantiles", "indexed", 64, local, &data, p, &repeated_batches),
+        drive("repeated-quantiles", "indexed-mp", 64, mp(), &data, p, &repeated_batches),
     ];
 
     let mut rows = Vec::new();
@@ -246,14 +255,16 @@ fn index_experiment(quick: bool, dir: &std::path::Path) -> bool {
         );
     }
 
+    let find = |w: &str, m: &str| {
+        runs.iter().find(|r| r.workload == w && r.mode == m).expect("run recorded")
+    };
     let ratio = |w: &str| {
-        let base = runs.iter().find(|r| r.workload == w && r.mode == "baseline").unwrap();
-        let idx = runs.iter().find(|r| r.workload == w && r.mode == "indexed").unwrap();
-        base.ops_per_query() / idx.ops_per_query().max(1e-12)
+        find(w, "baseline").ops_per_query() / find(w, "indexed").ops_per_query().max(1e-12)
     };
     let out = format!(
         "Resident bucket index vs the batched baseline\n\
-         (n = {n}, p = {p}, random resident data; virtual times under the CM-5 model)\n\n{}\n\
+         (n = {n}, p = {p}, random resident data; virtual times under the CM-5 model;\n\
+         indexed-mp = the same indexed engine on the message-passing ChannelMp backend)\n\n{}\n\
          Localization against the cached per-bucket histogram confines each\n\
          rank to a candidate-bucket window (borrowed in place — the baseline's\n\
          per-batch full-shard clone does not exist on the indexed path), and\n\
@@ -292,6 +303,19 @@ fn index_experiment(quick: bool, dir: &std::path::Path) -> bool {
             eprintln!("PERF REGRESSION: indexed ops/query exceeds baseline on {w}");
             ok = false;
         }
+        // Backend-neutrality guard: the message-passing backend must pay
+        // exactly the collective-round budget of the in-process session on
+        // the engine_indexed workload — a drift means a backend diverged
+        // from the shared per-shard ops.
+        let (spmd, chan) = (find(w, "indexed"), find(w, "indexed-mp"));
+        if spmd.collective_ops != chan.collective_ops {
+            eprintln!(
+                "BACKEND REGRESSION: ChannelMp used {} collective ops on {w}, \
+                 LocalSpmd used {}",
+                chan.collective_ops, spmd.collective_ops
+            );
+            ok = false;
+        }
     }
     if ratio("repeated-quantiles") < 2.0 {
         eprintln!(
@@ -313,6 +337,9 @@ fn main() {
         std::process::exit(1);
     }
     if check_mode() {
-        println!("perf smoke: indexed engine within bounds (distinct <= baseline, repeated >= 2x)");
+        println!(
+            "perf smoke: indexed engine within bounds (distinct <= baseline, repeated >= 2x) \
+             and ChannelMp collective-round counts equal LocalSpmd's"
+        );
     }
 }

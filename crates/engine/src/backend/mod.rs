@@ -1,0 +1,269 @@
+//! Pluggable execution backends: *where* the engine's shards live and
+//! *how* its collective rounds are realized.
+//!
+//! The paper's algorithms — and the Saukas–Song line of coarse-grained
+//! selection work — are phrased purely in terms of collectives, so their
+//! analysis holds no matter how a round is transported. This module makes
+//! the engine honor that: everything below the host-side planner (shard
+//! residency, batch execution, ingest/delete/rebalance, index maintenance,
+//! communication accounting) sits behind the [`ExecBackend`] trait, chosen
+//! per engine via [`crate::EngineConfig::backend`].
+//!
+//! Two backends ship:
+//!
+//! * **[`LocalSpmd`]** — the original in-process
+//!   [`cgselect_runtime::Session`]: shard state lives in each persistent
+//!   worker's `ShardStore`, programs are shipped as shared closures.
+//! * **[`ChannelMp`]** — message passing: each shard lives on its own
+//!   long-lived worker thread that owns its data outright; every command
+//!   and reply crosses the channel as a **serialized byte frame**
+//!   ([`wire`]), never as a shared pointer — the dress rehearsal for
+//!   out-of-process/remote shards. It also supports [`Fault`] injection
+//!   (worker panic mid-batch, dropped replies, slow shards) so the typed
+//!   error and poisoning behavior at this boundary is testable.
+//!
+//! Both backends execute the *identical* per-shard code ([`ops`], private)
+//! over the identical [`cgselect_runtime::Proc`] collectives, which is what
+//! `tests/backend_conformance.rs` exploits: every scenario family must
+//! produce the same answers **and the same collective-round counts** on
+//! both, differentially against the sequential oracle.
+
+pub mod channel_mp;
+mod local;
+pub(crate) mod ops;
+pub(crate) mod wire;
+
+pub use channel_mp::{ChannelMp, ChannelMpTuning, Fault};
+pub use local::LocalSpmd;
+
+use std::sync::Arc;
+
+use cgselect_core::SelectionConfig;
+use cgselect_runtime::{CommStats, Key, RunError};
+
+use crate::index::{BucketStats, Group};
+
+/// Which execution backend an engine runs on (see
+/// [`crate::EngineConfig::backend`]).
+#[derive(Clone, Debug, Default)]
+pub enum BackendChoice {
+    /// The in-process persistent SPMD session (the default).
+    #[default]
+    LocalSpmd,
+    /// Message passing over per-shard worker threads with serialized
+    /// command/reply frames, tuned by the carried [`ChannelMpTuning`].
+    ChannelMp(ChannelMpTuning),
+}
+
+impl BackendChoice {
+    /// The kind this choice constructs.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            BackendChoice::LocalSpmd => BackendKind::LocalSpmd,
+            BackendChoice::ChannelMp(_) => BackendKind::ChannelMp,
+        }
+    }
+}
+
+/// Discriminates the shipped backend implementations (e.g. for reports and
+/// bench labels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// [`LocalSpmd`].
+    LocalSpmd,
+    /// [`ChannelMp`].
+    ChannelMp,
+}
+
+impl BackendKind {
+    /// Stable lower-case label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::LocalSpmd => "local-spmd",
+            BackendKind::ChannelMp => "channel-mp",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A failure at the execution-backend boundary.
+///
+/// Mirrors [`RunError::SessionPoisoned`] semantics at the [`ExecBackend`]
+/// level: after any variant other than [`BackendError::Poisoned`] is
+/// returned once, the backend is poisoned and every subsequent call fails
+/// fast with [`BackendError::Poisoned`] — surviving shards may hold
+/// inconsistent state, so a long-lived service should rebuild the engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BackendError {
+    /// The in-process SPMD runtime failed; carries the underlying error.
+    Runtime(RunError),
+    /// A message-passing shard worker panicked mid-program.
+    WorkerPanicked {
+        /// Rank of the panicking worker.
+        rank: usize,
+        /// Panic payload rendered as a string.
+        message: String,
+    },
+    /// A shard worker stopped replying within the reply timeout (its reply
+    /// was lost, or the worker died without reporting).
+    WorkerUnresponsive {
+        /// Rank of the silent worker.
+        rank: usize,
+    },
+    /// The backend refused to run because an earlier program failed.
+    Poisoned,
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Runtime(e) => write!(f, "backend runtime failure: {e}"),
+            BackendError::WorkerPanicked { rank, message } => {
+                write!(f, "shard worker {rank} panicked: {message}")
+            }
+            BackendError::WorkerUnresponsive { rank } => {
+                write!(f, "shard worker {rank} stopped replying")
+            }
+            BackendError::Poisoned => {
+                write!(f, "backend poisoned by an earlier failed program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<RunError> for BackendError {
+    fn from(e: RunError) -> Self {
+        match e {
+            // The session's own fail-fast refusal is the backend-level
+            // poisoned state, not a fresh runtime failure.
+            RunError::SessionPoisoned => BackendError::Poisoned,
+            other => BackendError::Runtime(other),
+        }
+    }
+}
+
+impl BackendError {
+    /// True for failures that are usually fallout from another worker's
+    /// failure (timeouts, disconnects) — the backend-level twin of
+    /// [`RunError::is_secondary`], used to report root causes.
+    pub fn is_secondary(&self) -> bool {
+        match self {
+            BackendError::Runtime(e) => e.is_secondary(),
+            BackendError::WorkerPanicked { rank, message } => {
+                RunError::ProcPanicked { rank: *rank, message: message.clone() }.is_secondary()
+            }
+            BackendError::WorkerUnresponsive { .. } | BackendError::Poisoned => false,
+        }
+    }
+}
+
+/// Everything a backend's shards need to execute one coalesced query batch.
+///
+/// Host-side planning — rank coalescing, histogram routing, the per-batch
+/// pivot seed — has already happened; the plan is identical for every
+/// backend, which is what makes answers *and collective-round counts*
+/// comparable across backends.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// Candidate-window groups routed against the cached histogram (empty
+    /// when the index is off or every rank took the histogram fast path).
+    pub groups: Arc<Vec<Group>>,
+    /// The batch's sorted, deduplicated global ranks.
+    pub exact_ranks: Arc<Vec<u64>>,
+    /// Target ranks served from the resident sketches.
+    pub sketch_targets: Arc<Vec<u64>>,
+    /// Selection tuning with the per-batch pivot seed already folded in.
+    pub selection: SelectionConfig,
+    /// Whether the shards hold a bucket index this batch executes through.
+    pub use_index: bool,
+    /// Total resident population.
+    pub full_total: u64,
+    /// Global unindexed delta-run population.
+    pub delta_total: u64,
+}
+
+/// What one shard reports back from one executed batch.
+#[derive(Clone, Debug)]
+pub struct ShardBatchOutcome<T> {
+    /// Resolved values for the coalesced rank list; slots answered from the
+    /// host's histogram fast path stay `None`. Identical on every rank by
+    /// SPMD discipline.
+    pub exact: Vec<Option<T>>,
+    /// Per-group refreshed bucket summaries after answer refinement,
+    /// aligned with [`BatchPlan::groups`].
+    pub refines: Vec<BucketStats<T>>,
+    /// Sketch estimates for [`BatchPlan::sketch_targets`], in order.
+    pub sketch_values: Vec<T>,
+    /// Communication this shard moved during the batch (a
+    /// [`CommStats::since`] delta).
+    pub comm: CommStats,
+    /// Virtual time this shard spent in the batch.
+    pub elapsed: f64,
+}
+
+/// What one shard reports back from one delete pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardDeletion {
+    /// Elements remaining on the shard.
+    pub remaining: u64,
+    /// Per-bucket removal counts (`num_buckets + 1` entries, the last one
+    /// the delta run's) when the shard holds an index; empty otherwise.
+    pub removed: Vec<u64>,
+}
+
+/// The execution seam of the engine: owns shard residency and realizes
+/// every collective verb the host-side planner needs.
+///
+/// Implementations must uphold three contracts:
+///
+/// 1. **Determinism** — the same call sequence produces identical results
+///    (answers, per-shard sizes, bucket summaries, collective-op deltas)
+///    on every backend, because all of them run the same per-shard code
+///    over the same [`cgselect_runtime::Proc`] collective semantics.
+/// 2. **Rank order** — every `Vec` result is indexed by shard rank.
+/// 3. **Poisoning** — after any method returns an error, the backend is
+///    poisoned: subsequent calls fail fast with [`BackendError::Poisoned`]
+///    (mirroring [`RunError::SessionPoisoned`]) and worker threads are
+///    joined on drop.
+pub trait ExecBackend<T: Key>: Send {
+    /// Number of shards (= virtual processors).
+    fn nprocs(&self) -> usize;
+
+    /// Which implementation this is.
+    fn kind(&self) -> BackendKind;
+
+    /// True once a program has failed in this backend.
+    fn is_poisoned(&self) -> bool;
+
+    /// Appends `chunks[rank]` to each shard (the new elements join the
+    /// index's delta run) and returns the per-shard sizes.
+    fn ingest(&mut self, chunks: Vec<Vec<T>>) -> Result<Vec<u64>, BackendError>;
+
+    /// Removes every occurrence of the sorted, deduplicated `values` from
+    /// each shard, maintaining shard indexes in place.
+    fn delete(&mut self, values: Vec<T>) -> Result<Vec<ShardDeletion>, BackendError>;
+
+    /// Runs the configured balancer over all shards (dropping their bucket
+    /// indexes) and returns the per-shard sizes.
+    fn rebalance(&mut self) -> Result<Vec<u64>, BackendError>;
+
+    /// (Re)builds the shared-splitter bucket index with the given target
+    /// bucket count and returns each shard's per-bucket summary.
+    fn build_index(&mut self, buckets: usize) -> Result<Vec<BucketStats<T>>, BackendError>;
+
+    /// Folds each shard's delta run into its buckets and returns the
+    /// per-shard delta summaries.
+    fn merge_delta(&mut self) -> Result<Vec<BucketStats<T>>, BackendError>;
+
+    /// Executes one coalesced query batch (the
+    /// [`cgselect_core::parallel_multi_select_windows`] dispatch) and
+    /// returns each shard's outcome.
+    fn execute(&mut self, plan: &BatchPlan) -> Result<Vec<ShardBatchOutcome<T>>, BackendError>;
+}

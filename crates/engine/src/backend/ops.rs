@@ -1,0 +1,369 @@
+//! The per-shard halves of every engine operation, shared by all backends.
+//!
+//! Each function here is the body one virtual processor runs for one
+//! engine verb (ingest, delete, rebalance, index build, delta merge, batch
+//! execution). [`super::LocalSpmd`] invokes them from `Session::run`
+//! closures; [`super::ChannelMp`] invokes them from each shard's long-lived
+//! worker thread after decoding a command frame. Because both backends run
+//! *this exact code* over the same [`Proc`] collectives, they produce
+//! identical answers **and identical collective-round counts** — the
+//! property `tests/backend_conformance.rs` pins down.
+
+use cgselect_balance::{rebalance, Balancer};
+use cgselect_core::{parallel_multi_select_windows, RankedWindow};
+use cgselect_runtime::{Key, Proc};
+use cgselect_seqsel::{partition_by_bounds, OpCount};
+
+use crate::index::{
+    bucket_stats, build_shard_index, refined_bounds, splitters_from_samples, BucketStats,
+    ShardIndex,
+};
+use crate::sketch::ReservoirSketch;
+
+use super::{BatchPlan, ShardBatchOutcome, ShardDeletion};
+
+/// Per-shard resident data plus its sketch and (optional) bucket index.
+/// Lives wherever the backend keeps shard state: in the worker's
+/// `ShardStore` for [`super::LocalSpmd`], owned directly by the shard's
+/// worker thread for [`super::ChannelMp`].
+pub(crate) struct Shard<T> {
+    pub(crate) data: Vec<T>,
+    pub(crate) sketch: ReservoirSketch<T>,
+    pub(crate) index: Option<ShardIndex<T>>,
+}
+
+/// The empty shard every backend installs at construction; the sketch seed
+/// is decorrelated per rank exactly as the pre-backend engine did it.
+pub(crate) fn init_shard<T: Key>(rank: usize, sketch_capacity: usize, seed: u64) -> Shard<T> {
+    let shard_seed = seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Shard {
+        data: Vec::new(),
+        sketch: ReservoirSketch::new(sketch_capacity, shard_seed),
+        index: None,
+    }
+}
+
+/// Ingest: appends this shard's chunk past the indexed prefix (so the new
+/// elements *are* the delta run), maintains the sketch incrementally, and
+/// returns the shard's new size.
+pub(crate) fn ingest_shard<T: Key>(proc: &mut Proc, shard: &mut Shard<T>, mine: Vec<T>) -> u64 {
+    proc.charge_ops(mine.len() as u64);
+    shard.data.reserve(mine.len());
+    for x in mine {
+        shard.sketch.offer(x);
+        shard.data.push(x);
+    }
+    shard.data.len() as u64
+}
+
+/// Delete: one compacting pass removing every occurrence of the (sorted,
+/// deduplicated) values, maintaining the bucket index in place. Every
+/// binary-search comparison and element move is counted, matching how the
+/// selection kernels charge their measured work.
+pub(crate) fn delete_shard<T: Key>(
+    proc: &mut Proc,
+    shard: &mut Shard<T>,
+    sorted: &[T],
+) -> ShardDeletion {
+    let Shard { data, sketch, index } = shard;
+    let before = data.len();
+    let mut cmps = 0u64;
+    let mut moves = 0u64;
+    let mut write = 0usize;
+    let mut removed: Vec<u64> =
+        index.as_ref().map(|idx| vec![0; idx.num_buckets() + 1]).unwrap_or_default();
+    match index {
+        Some(idx) => {
+            let delta_start = idx.delta_start();
+            let nb = idx.num_buckets();
+            let mut b = 0usize;
+            for read in 0..before {
+                let bucket = if read >= delta_start {
+                    nb
+                } else {
+                    while read >= idx.offsets[b + 1] {
+                        b += 1;
+                    }
+                    b
+                };
+                let x = data[read];
+                if binary_search_counting(sorted, &x, &mut cmps) {
+                    removed[bucket] += 1;
+                } else {
+                    if write != read {
+                        data[write] = x;
+                        moves += 1;
+                    }
+                    write += 1;
+                }
+            }
+            data.truncate(write);
+            let mut shifted = 0usize;
+            for (i, &gone) in removed[..nb].iter().enumerate() {
+                shifted += gone as usize;
+                idx.offsets[i + 1] -= shifted;
+            }
+        }
+        None => {
+            for read in 0..before {
+                let x = data[read];
+                if !binary_search_counting(sorted, &x, &mut cmps) {
+                    if write != read {
+                        data[write] = x;
+                        moves += 1;
+                    }
+                    write += 1;
+                }
+            }
+            data.truncate(write);
+        }
+    }
+    proc.charge_ops(cmps + moves);
+    if write != before {
+        sketch.rebuild(data);
+        proc.charge_ops(data.len() as u64);
+    }
+    ShardDeletion { remaining: data.len() as u64, removed }
+}
+
+/// Rebalance: runs the configured balancer over the shard data (dropping
+/// the bucket index, whose splitters a rebalance invalidates), rebuilds the
+/// sketch, and returns the shard's new size.
+pub(crate) fn rebalance_shard<T: Key>(
+    proc: &mut Proc,
+    shard: &mut Shard<T>,
+    balancer: Balancer,
+) -> u64 {
+    shard.index = None;
+    rebalance(balancer, proc, &mut shard.data);
+    shard.sketch.rebuild(&shard.data);
+    proc.charge_ops(shard.data.len() as u64);
+    shard.data.len() as u64
+}
+
+/// Index (re)build: the shards pool their sample sketches through one
+/// collective, derive the identical splitter vector, partition their data
+/// (delta run included) and report the per-bucket summary for the host's
+/// cached global histogram.
+pub(crate) fn build_index_shard<T: Key>(
+    proc: &mut Proc,
+    shard: &mut Shard<T>,
+    nb: usize,
+) -> BucketStats<T> {
+    // Sample source: the resident sketch (maintained on ingest); a strided
+    // data sample when sketches are disabled.
+    let samples: Vec<T> = if shard.sketch.samples().is_empty() {
+        let want = (4 * nb).max(1);
+        let stride = (shard.data.len() / want).max(1);
+        shard.data.iter().copied().step_by(stride).take(want).collect()
+    } else {
+        shard.sketch.samples().to_vec()
+    };
+    proc.charge_ops(samples.len() as u64);
+    let mut pool: Vec<T> = proc.all_gatherv(samples).into_iter().flatten().collect();
+    let m = pool.len() as u64;
+    pool.sort_unstable();
+    proc.charge_ops(m * (1 + m.max(2).ilog2() as u64));
+    let bounds = splitters_from_samples(&pool, nb);
+    let mut ops = OpCount::new();
+    let (idx, stats) = build_shard_index(&mut shard.data, bounds, &mut ops);
+    proc.charge_ops(ops.total() + shard.data.len() as u64);
+    shard.index = Some(idx);
+    stats
+}
+
+/// Delta merge: partitions the delta run by the shared splitters and
+/// rebuilds the flat storage with each bucket's delta members appended,
+/// returning the delta's per-bucket summary for the host cache.
+pub(crate) fn merge_delta_shard<T: Key>(proc: &mut Proc, shard: &mut Shard<T>) -> BucketStats<T> {
+    let Shard { data, index, .. } = shard;
+    let idx = index.as_mut().expect("delta merge requires a shard index");
+    let delta_start = idx.delta_start();
+    let total_len = data.len();
+    let mut ops = OpCount::new();
+    let (indexed_part, delta_part) = data.split_at_mut(delta_start);
+    let doff = partition_by_bounds(delta_part, &idx.bounds, &mut ops);
+    let dstats = bucket_stats(delta_part, &doff);
+    // Amortized reorganization: rebuild the flat storage with each bucket's
+    // delta members appended to it.
+    let nb = idx.num_buckets();
+    let mut merged = Vec::with_capacity(total_len);
+    let mut new_offsets = Vec::with_capacity(nb + 1);
+    new_offsets.push(0);
+    for b in 0..nb {
+        merged.extend_from_slice(&indexed_part[idx.offsets[b]..idx.offsets[b + 1]]);
+        merged.extend_from_slice(&delta_part[doff[b]..doff[b + 1]]);
+        new_offsets.push(merged.len());
+    }
+    proc.charge_ops(ops.total() + merged.len() as u64);
+    *data = merged;
+    idx.offsets = new_offsets;
+    dstats
+}
+
+/// Batch execution: the whole per-shard half of [`crate::Engine::execute`]
+/// — delta localization, borrowed candidate windows, the lockstep
+/// multi-select, answer refinement, and the sketch-served estimates. The
+/// measured [`cgselect_runtime::CommStats`] delta and virtual-time makespan
+/// come back in the outcome.
+pub(crate) fn execute_shard<T: Key>(
+    proc: &mut Proc,
+    shard: &mut Shard<T>,
+    plan: &BatchPlan,
+) -> ShardBatchOutcome<T> {
+    let n_exact = plan.exact_ranks.len();
+    let run_full = !plan.use_index && n_exact > 0;
+    let delta_total = plan.delta_total;
+
+    // Synchronize clocks so the elapsed virtual time is a makespan.
+    proc.barrier();
+    let comm0 = proc.comm_stats();
+    let t0 = proc.now();
+
+    let mut exact: Vec<Option<T>> = vec![None; n_exact];
+    let mut refines: Vec<BucketStats<T>> = Vec::new();
+    if plan.use_index && !plan.groups.is_empty() {
+        let Shard { data, index, .. } = &mut *shard;
+        let idx = index.as_mut().expect("indexed execution requires a shard index");
+        let delta_start = idx.delta_start();
+        let nb = idx.num_buckets();
+        let (indexed_part, delta_part) = data.split_at_mut(delta_start);
+
+        // Localize the delta run once per batch: partition it by the
+        // shared splitters, then Combine the per-bucket delta counts
+        // (one vectorized collective) so every group can fold in
+        // exactly its in-range delta elements and rebase its ranks
+        // by the delta mass below its window — instead of every
+        // group cloning and re-partitioning the whole delta.
+        let (doff, delta_prefix) = if delta_total > 0 {
+            let mut ops = OpCount::new();
+            let doff = partition_by_bounds(delta_part, &idx.bounds, &mut ops);
+            proc.charge_ops(ops.total());
+            let local: Vec<u64> = doff.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+            let global = proc.combine(local, |a, b| {
+                a.into_iter().zip(b).map(|(x, y)| x + y).collect::<Vec<u64>>()
+            });
+            let mut prefix = vec![0u64; nb + 1];
+            for (b, c) in global.into_iter().enumerate() {
+                prefix[b + 1] = prefix[b] + c;
+            }
+            (doff, prefix)
+        } else {
+            (vec![0; nb + 1], vec![0; nb + 1])
+        };
+
+        // Carve the disjoint candidate windows out of the indexed
+        // prefix (borrowed, never cloned); each window additionally
+        // folds in its slice of the (already localized) delta run.
+        let mut windows: Vec<RankedWindow<'_, T>> = Vec::with_capacity(plan.groups.len());
+        let mut rest = indexed_part;
+        let mut consumed = 0usize;
+        for group in plan.groups.iter() {
+            let start = idx.offsets[group.lo] - consumed;
+            let len = idx.offsets[group.hi + 1] - idx.offsets[group.lo];
+            let (_skip, tail) = rest.split_at_mut(start);
+            let (slice, tail) = tail.split_at_mut(len);
+            rest = tail;
+            consumed = idx.offsets[group.hi + 1];
+            let extra = delta_part[doff[group.lo]..doff[group.hi + 1]].to_vec();
+            proc.charge_ops(extra.len() as u64);
+            // The host sized the window over the *whole* delta (it
+            // only knows the global delta total); with the exact
+            // per-bucket delta counts the subset narrows to the
+            // window's own delta mass, and ranks shift down by the
+            // delta strictly below the window.
+            let delta_below = delta_prefix[group.lo];
+            let delta_in = delta_prefix[group.hi + 1] - delta_below;
+            windows.push(RankedWindow {
+                slice,
+                extra,
+                n: group.n - delta_total + delta_in,
+                ranks: group
+                    .ranks
+                    .iter()
+                    .map(|&r| r - delta_below)
+                    .zip(group.out.iter().copied())
+                    .collect(),
+            });
+        }
+        exact = parallel_multi_select_windows(proc, windows, n_exact, &plan.selection);
+
+        // Refine each window by its answers (descending, so earlier
+        // windows' bucket indices stay valid): the resolved values
+        // become equality-class splitters, restoring the index the
+        // in-place pass permuted and making repeated/nearby ranks
+        // histogram-only next batch.
+        let (indexed_part, _) = data.split_at_mut(delta_start);
+        refines = vec![Vec::new(); plan.groups.len()];
+        for (g, group) in plan.groups.iter().enumerate().rev() {
+            let answers: Vec<T> =
+                group.out.iter().map(|&slot| exact[slot].expect("group rank resolved")).collect();
+            let lower = (group.lo > 0).then(|| idx.bounds[group.lo - 1]);
+            let upper = (group.hi < idx.bounds.len()).then(|| idx.bounds[group.hi]);
+            let new_bounds =
+                refined_bounds(&idx.bounds[group.lo..group.hi], &answers, lower, upper);
+            let base = idx.offsets[group.lo];
+            let range = &mut indexed_part[base..idx.offsets[group.hi + 1]];
+            let mut ops = OpCount::new();
+            let local = partition_by_bounds(range, &new_bounds, &mut ops);
+            proc.charge_ops(ops.total() + range.len() as u64);
+            refines[g] = bucket_stats(range, &local);
+            idx.bounds.splice(group.lo..group.hi, new_bounds);
+            let internal: Vec<usize> =
+                local[1..local.len() - 1].iter().map(|&o| base + o).collect();
+            idx.offsets.splice(group.lo + 1..group.hi + 1, internal);
+        }
+    } else if run_full {
+        // No index: resolve over the whole resident slice, still
+        // borrowed in place — the pre-index full-shard clone is
+        // gone on this path too.
+        let pairs: Vec<(u64, usize)> =
+            plan.exact_ranks.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+        let window = RankedWindow {
+            slice: &mut shard.data,
+            extra: Vec::new(),
+            n: plan.full_total,
+            ranks: pairs,
+        };
+        exact = parallel_multi_select_windows(proc, vec![window], n_exact, &plan.selection);
+    }
+
+    let sketch_values: Vec<T> = if plan.sketch_targets.is_empty() {
+        Vec::new()
+    } else {
+        // The approximate path moves only the sketches: every rank
+        // learns all reservoirs + populations and computes the
+        // same deterministic estimates.
+        let samples = proc.all_gatherv(shard.sketch.samples().to_vec());
+        let pops = proc.all_gather(shard.sketch.population());
+        let merged: Vec<(Vec<T>, u64)> = samples.into_iter().zip(pops).collect();
+        let sample_count: u64 = merged.iter().map(|(s, _)| s.len() as u64).sum();
+        proc.charge_ops(sample_count * (1 + sample_count.max(2).ilog2() as u64));
+        plan.sketch_targets
+            .iter()
+            .map(|&target| crate::sketch::estimate_rank(&merged, target))
+            .collect()
+    };
+
+    ShardBatchOutcome {
+        exact,
+        refines,
+        sketch_values,
+        comm: proc.comm_stats().since(&comm0),
+        elapsed: proc.now() - t0,
+    }
+}
+
+/// Binary search that reports its measured comparisons (the delete path's
+/// op accounting, matching the kernels' counted discipline — the same
+/// counting-closure idiom as `cgselect_seqsel::bucket_of`).
+fn binary_search_counting<T: Ord>(sorted: &[T], x: &T, cmps: &mut u64) -> bool {
+    let i = sorted.partition_point(|v| {
+        *cmps += 1;
+        v < x
+    });
+    i < sorted.len() && {
+        *cmps += 1;
+        sorted[i] == *x
+    }
+}

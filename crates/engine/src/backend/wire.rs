@@ -1,0 +1,290 @@
+//! The byte codec of the message-passing backend's control plane.
+//!
+//! Every command the [`super::ChannelMp`] host sends to a shard worker, and
+//! every reply a worker sends back, crosses the channel as one serialized
+//! frame built here — no shared pointers, no in-process shortcuts. This is
+//! the dress rehearsal for out-of-process shards: the frames are plain
+//! little-endian bytes (element values ride on the [`Key`] wire encoding),
+//! so the exact same protocol could be written to a socket.
+//!
+//! Frames are only ever produced and consumed by this crate, so decoding
+//! panics on malformed input instead of threading errors through every
+//! call site; inside a worker the panic is caught by the command loop and
+//! surfaced as a typed backend error.
+
+use cgselect_runtime::{CommStats, Key};
+
+use crate::index::{BucketStats, Group};
+
+/// Builds one wire frame.
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new(tag: u8) -> Self {
+        Writer { buf: vec![tag] }
+    }
+
+    pub(crate) fn into_frame(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub(crate) fn key<T: Key>(&mut self, v: T) {
+        v.wire_write(&mut self.buf);
+    }
+
+    pub(crate) fn keys<T: Key>(&mut self, vs: &[T]) {
+        self.usize(vs.len());
+        self.buf.reserve(vs.len() * T::WIRE_BYTES);
+        for &v in vs {
+            v.wire_write(&mut self.buf);
+        }
+    }
+
+    pub(crate) fn u64s(&mut self, vs: &[u64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    pub(crate) fn opt_key<T: Key>(&mut self, v: Option<T>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.key(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    pub(crate) fn bucket_stats<T: Key>(&mut self, stats: &BucketStats<T>) {
+        self.usize(stats.len());
+        for &(count, mm) in stats {
+            self.u64(count);
+            match mm {
+                Some((lo, hi)) => {
+                    self.bool(true);
+                    self.key(lo);
+                    self.key(hi);
+                }
+                None => self.bool(false),
+            }
+        }
+    }
+
+    pub(crate) fn group(&mut self, g: &Group) {
+        self.usize(g.lo);
+        self.usize(g.hi);
+        self.u64(g.n);
+        self.u64s(&g.ranks);
+        self.usize(g.out.len());
+        for &slot in &g.out {
+            self.usize(slot);
+        }
+    }
+
+    pub(crate) fn comm_stats(&mut self, s: &CommStats) {
+        self.u64(s.msgs_sent);
+        self.u64(s.bytes_sent);
+        self.u64(s.msgs_recv);
+        self.u64(s.bytes_recv);
+        self.u64(s.collective_ops);
+    }
+}
+
+/// Consumes one wire frame.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading after the frame's tag byte (which the caller has
+    /// already dispatched on).
+    pub(crate) fn new(frame: &'a [u8]) -> Self {
+        Reader { buf: frame, pos: 1 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let end = self.pos.checked_add(n).expect("wire frame length overflow");
+        let slice = self.buf.get(self.pos..end).expect("wire frame truncated");
+        self.pos = end;
+        slice
+    }
+
+    pub(crate) fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    pub(crate) fn bool(&mut self) -> bool {
+        self.u8() != 0
+    }
+
+    pub(crate) fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes taken"))
+    }
+
+    pub(crate) fn usize(&mut self) -> usize {
+        self.u64() as usize
+    }
+
+    pub(crate) fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
+    pub(crate) fn str(&mut self) -> String {
+        let len = self.usize();
+        String::from_utf8_lossy(self.take(len)).into_owned()
+    }
+
+    pub(crate) fn key<T: Key>(&mut self) -> T {
+        T::wire_read(self.take(T::WIRE_BYTES))
+    }
+
+    pub(crate) fn keys<T: Key>(&mut self) -> Vec<T> {
+        let len = self.usize();
+        (0..len).map(|_| self.key()).collect()
+    }
+
+    pub(crate) fn u64s(&mut self) -> Vec<u64> {
+        let len = self.usize();
+        (0..len).map(|_| self.u64()).collect()
+    }
+
+    pub(crate) fn opt_key<T: Key>(&mut self) -> Option<T> {
+        self.bool().then(|| self.key())
+    }
+
+    pub(crate) fn bucket_stats<T: Key>(&mut self) -> BucketStats<T> {
+        let len = self.usize();
+        (0..len)
+            .map(|_| {
+                let count = self.u64();
+                let mm = self.bool().then(|| {
+                    let lo = self.key();
+                    let hi = self.key();
+                    (lo, hi)
+                });
+                (count, mm)
+            })
+            .collect()
+    }
+
+    pub(crate) fn group(&mut self) -> Group {
+        let lo = self.usize();
+        let hi = self.usize();
+        let n = self.u64();
+        let ranks = self.u64s();
+        let out_len = self.usize();
+        let out = (0..out_len).map(|_| self.usize()).collect();
+        Group { lo, hi, n, ranks, out }
+    }
+
+    pub(crate) fn comm_stats(&mut self) -> CommStats {
+        CommStats {
+            msgs_sent: self.u64(),
+            bytes_sent: self.u64(),
+            msgs_recv: self.u64(),
+            bytes_recv: self.u64(),
+            collective_ops: self.u64(),
+        }
+    }
+
+    /// Asserts the frame was consumed exactly — a cheap wire-format check
+    /// applied to every decoded command and reply.
+    pub(crate) fn finish(self) {
+        assert_eq!(self.pos, self.buf.len(), "wire frame has trailing bytes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgselect_runtime::OrdF64;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = Writer::new(7);
+        w.bool(true);
+        w.u64(u64::MAX - 5);
+        w.usize(12345);
+        w.f64(-0.125);
+        w.str("hello wire");
+        w.key(OrdF64(2.5));
+        w.opt_key::<u64>(None);
+        w.opt_key(Some(99u64));
+        let frame = w.into_frame();
+        assert_eq!(frame[0], 7);
+        let mut r = Reader::new(&frame);
+        assert!(r.bool());
+        assert_eq!(r.u64(), u64::MAX - 5);
+        assert_eq!(r.usize(), 12345);
+        assert_eq!(r.f64(), -0.125);
+        assert_eq!(r.str(), "hello wire");
+        assert_eq!(r.key::<OrdF64>(), OrdF64(2.5));
+        assert_eq!(r.opt_key::<u64>(), None);
+        assert_eq!(r.opt_key::<u64>(), Some(99));
+        r.finish();
+    }
+
+    #[test]
+    fn aggregate_round_trips() {
+        let stats: BucketStats<u64> = vec![(4, Some((1, 9))), (0, None), (2, Some((5, 5)))];
+        let group = Group { lo: 2, hi: 5, n: 1000, ranks: vec![3, 700], out: vec![1, 0] };
+        let comm = CommStats {
+            msgs_sent: 1,
+            bytes_sent: 2,
+            msgs_recv: 3,
+            bytes_recv: 4,
+            collective_ops: 5,
+        };
+        let mut w = Writer::new(0);
+        w.keys(&[10u64, 20, 30]);
+        w.u64s(&[7, 8]);
+        w.bucket_stats(&stats);
+        w.group(&group);
+        w.comm_stats(&comm);
+        let frame = w.into_frame();
+        let mut r = Reader::new(&frame);
+        assert_eq!(r.keys::<u64>(), vec![10, 20, 30]);
+        assert_eq!(r.u64s(), vec![7, 8]);
+        assert_eq!(r.bucket_stats::<u64>(), stats);
+        assert_eq!(r.group(), group);
+        assert_eq!(r.comm_stats(), comm);
+        r.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "wire frame truncated")]
+    fn truncated_frames_are_rejected() {
+        let mut w = Writer::new(0);
+        w.u64(1);
+        let mut frame = w.into_frame();
+        frame.pop();
+        let mut r = Reader::new(&frame);
+        let _ = r.u64();
+    }
+}

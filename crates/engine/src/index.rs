@@ -63,8 +63,9 @@ impl<T: Key> ShardIndex<T> {
 }
 
 /// Per-bucket shard-local summary: `(count, Some((min, max)))` —
-/// `None` for an empty bucket.
-pub(crate) type BucketStats<T> = Vec<(u64, Option<(T, T)>)>;
+/// `None` for an empty bucket. Public because execution backends report it
+/// across the [`crate::ExecBackend`] boundary.
+pub type BucketStats<T> = Vec<(u64, Option<(T, T)>)>;
 
 /// Scans `offsets`-delimited buckets of `data` and summarizes each.
 /// Cost: one pass over `data` (caller charges `data.len()` ops).
@@ -110,8 +111,10 @@ pub(crate) fn refined_bounds<T: Key>(
 /// One contiguous window of candidate buckets and the batch ranks routed
 /// into it. Windows of distinct groups are disjoint; ranks are expressed
 /// relative to the window's subset (candidate buckets + the whole delta).
+/// Public because batch plans carry it across the [`crate::ExecBackend`]
+/// boundary.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub(crate) struct Group {
+pub struct Group {
     /// First candidate bucket.
     pub lo: usize,
     /// Last candidate bucket (inclusive).

@@ -3,9 +3,10 @@
 //! The paper's algorithms are one-shot: build a machine, select one rank,
 //! tear everything down. This crate turns them into a long-lived service:
 //! data is ingested once, stays **resident in shards on the `p` virtual
-//! processors** (a [`cgselect_runtime::Session`], whose worker threads
-//! survive between calls), and an unbounded stream of query batches is
-//! served against it.
+//! processors** (a pluggable [`ExecBackend`] whose worker threads survive
+//! between calls — the in-process [`cgselect_runtime::Session`] by
+//! default), and an unbounded stream of query batches is served against
+//! it.
 //!
 //! What the engine adds over raw `parallel_select`:
 //!
@@ -45,6 +46,16 @@
 //!   [`Ticket`]s, while a dedicated batcher thread forms batches by
 //!   deadline (micro-batching window + max batch size) so the coalescing
 //!   above happens *across* clients, not just within one caller's slice.
+//! * **Pluggable execution backends** ([`backend`]) — everything below the
+//!   host-side planner (shard residency, collective execution,
+//!   ingest/delete/rebalance, `CommStats` accounting) sits behind the
+//!   [`ExecBackend`] trait, chosen via [`EngineConfig::backend`]: the
+//!   in-process [`LocalSpmd`] session, or the message-passing
+//!   [`ChannelMp`] worker ring whose every command and reply crosses a
+//!   channel as a serialized byte frame (the dress rehearsal for
+//!   out-of-process shards). Both run the identical per-shard code, so
+//!   they produce identical answers *and* identical collective-round
+//!   counts — enforced by `tests/backend_conformance.rs`.
 //!
 //! ```
 //! use cgselect_engine::{Engine, EngineConfig, Query, Answer};
@@ -64,31 +75,33 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod frontend;
 mod index;
 mod measure;
 mod query;
 pub mod sketch;
 
+pub use backend::{
+    BackendChoice, BackendError, BackendKind, BatchPlan, ChannelMp, ChannelMpTuning, ExecBackend,
+    Fault, LocalSpmd, ShardBatchOutcome, ShardDeletion,
+};
 pub use frontend::{
     AsyncError, FrontendConfig, FrontendStats, MutationTicket, QueryTicket, SubmissionQueue,
     SubmitError, Ticket,
 };
+pub use index::{BucketStats, Group};
 pub use measure::{measure_rounds, ExecutionMode, RoundsMeasurement};
 pub use query::{quantile_rank, Answer, Query};
 pub use sketch::ReservoirSketch;
 
 use std::sync::Arc;
 
-use cgselect_balance::{rebalance, Balancer};
-use cgselect_core::{parallel_multi_select_windows, RankedWindow, SelectionConfig};
-use cgselect_runtime::{CommStats, Key, MachineModel, RunError, Session, ShardStore};
-use cgselect_seqsel::{partition_by_bounds, OpCount};
+use cgselect_balance::Balancer;
+use cgselect_core::SelectionConfig;
+use cgselect_runtime::{CommStats, Key, MachineModel, RunError};
 
-use index::{
-    bucket_stats, build_shard_index, merge_stats, refined_bounds, splitters_from_samples,
-    BucketStats, GlobalIndex, Group, ShardIndex,
-};
+use index::{merge_stats, GlobalIndex};
 
 /// Configuration of a persistent engine.
 #[derive(Clone, Debug)]
@@ -117,6 +130,10 @@ pub struct EngineConfig {
     /// delta run before a merge folds it into the buckets (a floor of 64
     /// elements applies, so tiny engines don't merge per ingest).
     pub delta_threshold: f64,
+    /// Which execution backend realizes the engine's collective rounds
+    /// (see [`backend`]): the in-process [`LocalSpmd`] session (default)
+    /// or the message-passing [`ChannelMp`] worker ring.
+    pub backend: BackendChoice,
 }
 
 impl EngineConfig {
@@ -133,6 +150,7 @@ impl EngineConfig {
             sketch_capacity: 2048,
             index_buckets: 64,
             delta_threshold: 0.05,
+            backend: BackendChoice::LocalSpmd,
         }
     }
 
@@ -171,6 +189,18 @@ impl EngineConfig {
     pub fn delta_threshold(mut self, fraction: f64) -> Self {
         self.delta_threshold = fraction;
         self
+    }
+
+    /// Builder-style execution-backend choice.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand: run on the message-passing [`ChannelMp`] backend with
+    /// default tuning.
+    pub fn channel_mp(self) -> Self {
+        self.backend(BackendChoice::ChannelMp(ChannelMpTuning::default()))
     }
 
     fn validate(&self) {
@@ -220,6 +250,11 @@ pub enum EngineError {
     },
     /// The underlying SPMD session failed (and is now poisoned).
     Runtime(RunError),
+    /// The execution backend failed at the [`ExecBackend`] boundary —
+    /// worker panic, lost reply, or a poisoned backend rejecting further
+    /// work. Mirrors [`RunError::SessionPoisoned`] semantics: the engine
+    /// must be rebuilt.
+    Backend(BackendError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -239,6 +274,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "top-k of {k} exceeds the {n} resident elements")
             }
             EngineError::Runtime(e) => write!(f, "runtime failure: {e}"),
+            EngineError::Backend(e) => write!(f, "backend failure: {e}"),
         }
     }
 }
@@ -248,6 +284,16 @@ impl std::error::Error for EngineError {}
 impl From<RunError> for EngineError {
     fn from(e: RunError) -> Self {
         EngineError::Runtime(e)
+    }
+}
+
+impl From<BackendError> for EngineError {
+    fn from(e: BackendError) -> Self {
+        match e {
+            // In-process runtime failures keep their pre-backend shape.
+            BackendError::Runtime(e) => EngineError::Runtime(e),
+            other => EngineError::Backend(other),
+        }
     }
 }
 
@@ -306,20 +352,13 @@ pub struct IndexHealth {
     pub histogram_hits: u64,
 }
 
-/// Per-shard resident data plus its sketch and (optional) bucket index;
-/// lives in each worker's [`ShardStore`] between calls.
-struct Shard<T> {
-    data: Vec<T>,
-    sketch: ReservoirSketch<T>,
-    index: Option<ShardIndex<T>>,
-}
-
 /// A persistent sharded selection/quantile engine over element type `T`.
 ///
-/// See the crate docs for the architecture; construction spawns the `p`
-/// worker threads, which stay alive until the engine is dropped.
+/// See the crate docs for the architecture; construction spawns the
+/// configured [`ExecBackend`]'s `p` worker threads, which stay alive (and
+/// keep the shards resident) until the engine is dropped — drop joins them.
 pub struct Engine<T: Key> {
-    session: Session,
+    backend: Box<dyn ExecBackend<T>>,
     cfg: EngineConfig,
     shard_sizes: Vec<u64>,
     total: u64,
@@ -335,21 +374,26 @@ pub struct Engine<T: Key> {
     histogram_hits: u64,
 }
 
+/// An [`Engine`] is `Send` no matter the backend: the async frontend hands
+/// it — resident shards, live worker threads and all — to its dedicated
+/// batcher thread. This assertion makes the guarantee a compile-time
+/// contract so a future backend cannot silently revoke it.
+const _: () = {
+    const fn assert_send<S: Send>() {}
+    assert_send::<Engine<u64>>();
+};
+
 impl<T: Key> Engine<T> {
-    /// Starts an engine: spawns the session and installs empty shards.
+    /// Starts an engine: spawns the configured backend's workers and
+    /// installs empty shards.
     pub fn new(cfg: EngineConfig) -> Result<Self, EngineError> {
         cfg.validate();
-        let mut session = Session::with_model(cfg.nprocs, cfg.model);
-        let capacity = cfg.sketch_capacity;
-        let seed = cfg.selection.seed;
-        session.run(move |proc, store| {
-            let shard_seed = seed ^ (proc.rank() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            store.insert(Shard::<T> {
-                data: Vec::new(),
-                sketch: ReservoirSketch::new(capacity, shard_seed),
-                index: None,
-            });
-        })?;
+        let backend: Box<dyn ExecBackend<T>> = match &cfg.backend {
+            BackendChoice::LocalSpmd => Box::new(LocalSpmd::<T>::start(&cfg)?),
+            BackendChoice::ChannelMp(tuning) => {
+                Box::new(ChannelMp::<T>::start(&cfg, tuning.clone()))
+            }
+        };
         Ok(Engine {
             shard_sizes: vec![0; cfg.nprocs],
             total: 0,
@@ -361,9 +405,14 @@ impl<T: Key> Engine<T> {
             index_rebuilds: 0,
             delta_merges: 0,
             histogram_hits: 0,
-            session,
+            backend,
             cfg,
         })
+    }
+
+    /// Which execution backend this engine runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// Number of shards (= virtual processors).
@@ -461,27 +510,9 @@ impl<T: Key> Engine<T> {
 
     fn ingest_chunks(&mut self, chunks: Vec<Vec<T>>) -> Result<MutationReport, EngineError> {
         let added: u64 = chunks.iter().map(|c| c.len() as u64).sum();
-        // Each worker takes (moves) its own chunk out of the shared slots —
-        // ingest is the engine's primary data path and must not copy the
-        // batch a second time. Appends land past the indexed prefix, so
-        // they *are* the delta run; no index restructuring happens here.
-        let chunks: Arc<Vec<std::sync::Mutex<Option<Vec<T>>>>> =
-            Arc::new(chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect());
-        let sizes = self.session.run(move |proc, store| {
-            let mine: Vec<T> = chunks[proc.rank()]
-                .lock()
-                .expect("ingest chunk lock")
-                .take()
-                .expect("each rank takes its chunk exactly once");
-            proc.charge_ops(mine.len() as u64);
-            let shard = shard_mut::<T>(store);
-            shard.data.reserve(mine.len());
-            for x in mine {
-                shard.sketch.offer(x);
-                shard.data.push(x);
-            }
-            shard.data.len() as u64
-        })?;
+        // Appends land past the indexed prefix, so they *are* the delta
+        // run; no index restructuring happens here.
+        let sizes = self.backend.ingest(chunks)?;
         self.set_sizes(sizes);
         if let Some(gidx) = &mut self.index {
             gidx.delta_total += added;
@@ -504,74 +535,13 @@ impl<T: Key> Engine<T> {
         let mut sorted = values.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        let sorted = Arc::new(sorted);
-        let results = self.session.run(move |proc, store| {
-            let shard = shard_mut::<T>(store);
-            let Shard { data, sketch, index } = shard;
-            let before = data.len();
-            // One compacting pass; every comparison of the per-element
-            // binary search and every element move is counted, matching how
-            // the selection kernels charge their measured work.
-            let mut cmps = 0u64;
-            let mut moves = 0u64;
-            let mut write = 0usize;
-            let mut removed: Vec<u64> =
-                index.as_ref().map(|idx| vec![0; idx.num_buckets() + 1]).unwrap_or_default();
-            match index {
-                Some(idx) => {
-                    let delta_start = idx.delta_start();
-                    let nb = idx.num_buckets();
-                    let mut b = 0usize;
-                    for read in 0..before {
-                        let bucket = if read >= delta_start {
-                            nb
-                        } else {
-                            while read >= idx.offsets[b + 1] {
-                                b += 1;
-                            }
-                            b
-                        };
-                        let x = data[read];
-                        if binary_search_counting(&sorted, &x, &mut cmps) {
-                            removed[bucket] += 1;
-                        } else {
-                            if write != read {
-                                data[write] = x;
-                                moves += 1;
-                            }
-                            write += 1;
-                        }
-                    }
-                    data.truncate(write);
-                    let mut shifted = 0usize;
-                    for (i, &gone) in removed[..nb].iter().enumerate() {
-                        shifted += gone as usize;
-                        idx.offsets[i + 1] -= shifted;
-                    }
-                }
-                None => {
-                    for read in 0..before {
-                        let x = data[read];
-                        if !binary_search_counting(&sorted, &x, &mut cmps) {
-                            if write != read {
-                                data[write] = x;
-                                moves += 1;
-                            }
-                            write += 1;
-                        }
-                    }
-                    data.truncate(write);
-                }
-            }
-            proc.charge_ops(cmps + moves);
-            if write != before {
-                sketch.rebuild(data);
-                proc.charge_ops(data.len() as u64);
-            }
-            (data.len() as u64, removed)
-        })?;
+        // One compacting pass per shard; every comparison of the
+        // per-element binary search and every element move is counted,
+        // matching how the selection kernels charge their measured work.
+        let results = self.backend.delete(sorted)?;
         let before = self.total;
-        let (sizes, removed): (Vec<u64>, Vec<Vec<u64>>) = results.into_iter().unzip();
+        let (sizes, removed): (Vec<u64>, Vec<Vec<u64>>) =
+            results.into_iter().map(|d| (d.remaining, d.removed)).unzip();
         self.set_sizes(sizes);
         if let Some(gidx) = &mut self.index {
             gidx.apply_removals(&removed);
@@ -639,167 +609,38 @@ impl<T: Key> Engine<T> {
             _ => (Arc::new(Vec::new()), Vec::new()),
         };
         let use_index = self.index.is_some();
-        let run_full = !use_index && !exact_ranks.is_empty();
-        let n_exact = exact_ranks.len();
-        let full_total = self.total;
         let delta_total = self.index.as_ref().map_or(0, |g| g.delta_total);
         let delta_occupancy = self.index_health().delta_occupancy;
 
-        let groups_cl = groups.clone();
-        let exact_ranks_cl = exact_ranks.clone();
-        let sketch_targets = plan.sketch_targets.clone();
-        let results = self.session.run(move |proc, store| {
-            // Synchronize clocks so the elapsed virtual time is a makespan.
-            proc.barrier();
-            let comm0 = proc.comm_stats();
-            let t0 = proc.now();
-
-            let shard = shard_mut::<T>(store);
-            let mut exact: Vec<Option<T>> = vec![None; n_exact];
-            let mut refines: Vec<BucketStats<T>> = Vec::new();
-            if use_index && !groups_cl.is_empty() {
-                let Shard { data, index, .. } = &mut *shard;
-                let idx = index.as_mut().expect("indexed execution requires a shard index");
-                let delta_start = idx.delta_start();
-                let nb = idx.num_buckets();
-                let (indexed_part, delta_part) = data.split_at_mut(delta_start);
-
-                // Localize the delta run once per batch: partition it by the
-                // shared splitters, then Combine the per-bucket delta counts
-                // (one vectorized collective) so every group can fold in
-                // exactly its in-range delta elements and rebase its ranks
-                // by the delta mass below its window — instead of every
-                // group cloning and re-partitioning the whole delta.
-                let (doff, delta_prefix) = if delta_total > 0 {
-                    let mut ops = OpCount::new();
-                    let doff = partition_by_bounds(delta_part, &idx.bounds, &mut ops);
-                    proc.charge_ops(ops.total());
-                    let local: Vec<u64> = doff.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
-                    let global = proc.combine(local, |a, b| {
-                        a.into_iter().zip(b).map(|(x, y)| x + y).collect::<Vec<u64>>()
-                    });
-                    let mut prefix = vec![0u64; nb + 1];
-                    for (b, c) in global.into_iter().enumerate() {
-                        prefix[b + 1] = prefix[b] + c;
-                    }
-                    (doff, prefix)
-                } else {
-                    (vec![0; nb + 1], vec![0; nb + 1])
-                };
-
-                // Carve the disjoint candidate windows out of the indexed
-                // prefix (borrowed, never cloned); each window additionally
-                // folds in its slice of the (already localized) delta run.
-                let mut windows: Vec<RankedWindow<'_, T>> = Vec::with_capacity(groups_cl.len());
-                let mut rest = indexed_part;
-                let mut consumed = 0usize;
-                for group in groups_cl.iter() {
-                    let start = idx.offsets[group.lo] - consumed;
-                    let len = idx.offsets[group.hi + 1] - idx.offsets[group.lo];
-                    let (_skip, tail) = rest.split_at_mut(start);
-                    let (slice, tail) = tail.split_at_mut(len);
-                    rest = tail;
-                    consumed = idx.offsets[group.hi + 1];
-                    let extra = delta_part[doff[group.lo]..doff[group.hi + 1]].to_vec();
-                    proc.charge_ops(extra.len() as u64);
-                    // The host sized the window over the *whole* delta (it
-                    // only knows the global delta total); with the exact
-                    // per-bucket delta counts the subset narrows to the
-                    // window's own delta mass, and ranks shift down by the
-                    // delta strictly below the window.
-                    let delta_below = delta_prefix[group.lo];
-                    let delta_in = delta_prefix[group.hi + 1] - delta_below;
-                    windows.push(RankedWindow {
-                        slice,
-                        extra,
-                        n: group.n - delta_total + delta_in,
-                        ranks: group
-                            .ranks
-                            .iter()
-                            .map(|&r| r - delta_below)
-                            .zip(group.out.iter().copied())
-                            .collect(),
-                    });
-                }
-                exact = parallel_multi_select_windows(proc, windows, n_exact, &sel_cfg);
-
-                // Refine each window by its answers (descending, so earlier
-                // windows' bucket indices stay valid): the resolved values
-                // become equality-class splitters, restoring the index the
-                // in-place pass permuted and making repeated/nearby ranks
-                // histogram-only next batch.
-                let (indexed_part, _) = data.split_at_mut(delta_start);
-                refines = vec![Vec::new(); groups_cl.len()];
-                for (g, group) in groups_cl.iter().enumerate().rev() {
-                    let answers: Vec<T> = group
-                        .out
-                        .iter()
-                        .map(|&slot| exact[slot].expect("group rank resolved"))
-                        .collect();
-                    let lower = (group.lo > 0).then(|| idx.bounds[group.lo - 1]);
-                    let upper = (group.hi < idx.bounds.len()).then(|| idx.bounds[group.hi]);
-                    let new_bounds =
-                        refined_bounds(&idx.bounds[group.lo..group.hi], &answers, lower, upper);
-                    let base = idx.offsets[group.lo];
-                    let range = &mut indexed_part[base..idx.offsets[group.hi + 1]];
-                    let mut ops = OpCount::new();
-                    let local = partition_by_bounds(range, &new_bounds, &mut ops);
-                    proc.charge_ops(ops.total() + range.len() as u64);
-                    refines[g] = bucket_stats(range, &local);
-                    idx.bounds.splice(group.lo..group.hi, new_bounds);
-                    let internal: Vec<usize> =
-                        local[1..local.len() - 1].iter().map(|&o| base + o).collect();
-                    idx.offsets.splice(group.lo + 1..group.hi + 1, internal);
-                }
-            } else if run_full {
-                // No index: resolve over the whole resident slice, still
-                // borrowed in place — the pre-index full-shard clone is
-                // gone on this path too.
-                let pairs: Vec<(u64, usize)> =
-                    exact_ranks_cl.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
-                let window = RankedWindow {
-                    slice: &mut shard.data,
-                    extra: Vec::new(),
-                    n: full_total,
-                    ranks: pairs,
-                };
-                exact = parallel_multi_select_windows(proc, vec![window], n_exact, &sel_cfg);
-            }
-
-            let sketch_values: Vec<T> = if sketch_targets.is_empty() {
-                Vec::new()
-            } else {
-                // The approximate path moves only the sketches: every rank
-                // learns all reservoirs + populations and computes the
-                // same deterministic estimates.
-                let samples = proc.all_gatherv(shard.sketch.samples().to_vec());
-                let pops = proc.all_gather(shard.sketch.population());
-                let merged: Vec<(Vec<T>, u64)> = samples.into_iter().zip(pops).collect();
-                let sample_count: u64 = merged.iter().map(|(s, _)| s.len() as u64).sum();
-                proc.charge_ops(sample_count * (1 + sample_count.max(2).ilog2() as u64));
-                sketch_targets
-                    .iter()
-                    .map(|&target| sketch::estimate_rank(&merged, target))
-                    .collect()
-            };
-
-            (exact, refines, sketch_values, proc.comm_stats().since(&comm0), proc.now() - t0)
-        })?;
+        // The backend-independent batch plan: the shards' half of the work
+        // (delta localization, borrowed candidate windows, the lockstep
+        // multi-select, answer refinement, sketch estimates) runs wherever
+        // the configured [`ExecBackend`] keeps the shards.
+        let batch_plan = BatchPlan {
+            groups: groups.clone(),
+            exact_ranks,
+            sketch_targets: plan.sketch_targets.clone(),
+            selection: sel_cfg,
+            use_index,
+            full_total: self.total,
+            delta_total,
+        };
+        let outcomes = self.backend.execute(&batch_plan)?;
 
         let mut comm = CommStats::default();
         let mut makespan = 0.0f64;
-        for (_, _, _, delta, elapsed) in &results {
-            comm = comm.merged(delta);
-            makespan = makespan.max(*elapsed);
+        for o in &outcomes {
+            comm = comm.merged(&o.comm);
+            makespan = makespan.max(o.elapsed);
         }
 
         // Fold the refinement back into the cached histogram.
         if use_index && !groups.is_empty() {
             let gidx = self.index.as_mut().expect("index cached");
             for (g, group) in groups.iter().enumerate().rev() {
-                let mut merged = results[0].1[g].clone();
-                for (_, refines, _, _, _) in &results[1..] {
-                    merge_stats(&mut merged, &refines[g]);
+                let mut merged = outcomes[0].refines[g].clone();
+                for o in &outcomes[1..] {
+                    merge_stats(&mut merged, &o.refines[g]);
                 }
                 gidx.splice_window(group.lo, group.hi, &merged);
             }
@@ -810,8 +651,8 @@ impl<T: Key> Engine<T> {
         }
         self.histogram_hits += fast.len() as u64;
 
-        let (exact0, _, sketch_values, rank0_delta, _) = &results[0];
-        let mut exact_slots = exact0.clone();
+        let rank0 = &outcomes[0];
+        let mut exact_slots = rank0.exact.clone();
         for &(slot, v) in &fast {
             exact_slots[slot] = Some(v);
         }
@@ -819,11 +660,11 @@ impl<T: Key> Engine<T> {
             .into_iter()
             .map(|v| v.expect("every coalesced rank must have been resolved"))
             .collect();
-        let answers = plan.assemble(&exact_values, sketch_values);
+        let answers = plan.assemble(&exact_values, &rank0.sketch_values);
         Ok(BatchReport {
             answers,
             comm,
-            collective_ops: rank0_delta.collective_ops,
+            collective_ops: rank0.comm.collective_ops,
             makespan,
             exact_ranks: plan.exact_ranks.len(),
             sketch_answers: plan.sketch_targets.len(),
@@ -842,30 +683,7 @@ impl<T: Key> Engine<T> {
             return Ok(());
         }
         debug_assert!(self.total > 0, "index builds only over resident data");
-        let nb = self.cfg.index_buckets;
-        let stats = self.session.run(move |proc, store| {
-            let shard = shard_mut::<T>(store);
-            // Sample source: the resident sketch (maintained on ingest); a
-            // strided data sample when sketches are disabled.
-            let samples: Vec<T> = if shard.sketch.samples().is_empty() {
-                let want = (4 * nb).max(1);
-                let stride = (shard.data.len() / want).max(1);
-                shard.data.iter().copied().step_by(stride).take(want).collect()
-            } else {
-                shard.sketch.samples().to_vec()
-            };
-            proc.charge_ops(samples.len() as u64);
-            let mut pool: Vec<T> = proc.all_gatherv(samples).into_iter().flatten().collect();
-            let m = pool.len() as u64;
-            pool.sort_unstable();
-            proc.charge_ops(m * (1 + m.max(2).ilog2() as u64));
-            let bounds = splitters_from_samples(&pool, nb);
-            let mut ops = OpCount::new();
-            let (idx, stats) = build_shard_index(&mut shard.data, bounds, &mut ops);
-            proc.charge_ops(ops.total() + shard.data.len() as u64);
-            shard.index = Some(idx);
-            stats
-        })?;
+        let stats = self.backend.build_index(self.cfg.index_buckets)?;
         self.index = Some(GlobalIndex::from_shard_stats(&stats));
         self.index_dirty = false;
         self.index_rebuilds += 1;
@@ -881,32 +699,7 @@ impl<T: Key> Engine<T> {
         if (gidx.delta_total as f64) <= threshold {
             return Ok(false);
         }
-        let stats = self.session.run(move |proc, store| {
-            let shard = shard_mut::<T>(store);
-            let Shard { data, index, .. } = shard;
-            let idx = index.as_mut().expect("delta merge requires a shard index");
-            let delta_start = idx.delta_start();
-            let total_len = data.len();
-            let mut ops = OpCount::new();
-            let (indexed_part, delta_part) = data.split_at_mut(delta_start);
-            let doff = partition_by_bounds(delta_part, &idx.bounds, &mut ops);
-            let dstats = bucket_stats(delta_part, &doff);
-            // Amortized reorganization: rebuild the flat storage with each
-            // bucket's delta members appended to it.
-            let nb = idx.num_buckets();
-            let mut merged = Vec::with_capacity(total_len);
-            let mut new_offsets = Vec::with_capacity(nb + 1);
-            new_offsets.push(0);
-            for b in 0..nb {
-                merged.extend_from_slice(&indexed_part[idx.offsets[b]..idx.offsets[b + 1]]);
-                merged.extend_from_slice(&delta_part[doff[b]..doff[b + 1]]);
-                new_offsets.push(merged.len());
-            }
-            proc.charge_ops(ops.total() + merged.len() as u64);
-            *data = merged;
-            idx.offsets = new_offsets;
-            dstats
-        })?;
+        let stats = self.backend.merge_delta()?;
         if let Some(gidx) = &mut self.index {
             gidx.absorb_delta(&stats);
         }
@@ -930,41 +723,13 @@ impl<T: Key> Engine<T> {
         if self.imbalance_ratio() <= self.cfg.imbalance_watermark {
             return Ok(false);
         }
-        let balancer = self.cfg.balancer;
-        let sizes = self.session.run(move |proc, store| {
-            let shard = shard_mut::<T>(store);
-            shard.index = None;
-            rebalance(balancer, proc, &mut shard.data);
-            shard.sketch.rebuild(&shard.data);
-            proc.charge_ops(shard.data.len() as u64);
-            shard.data.len() as u64
-        })?;
+        let sizes = self.backend.rebalance()?;
         self.set_sizes(sizes);
         self.index = None;
         self.index_dirty = false;
         self.rebalances += 1;
         Ok(true)
     }
-}
-
-/// Binary search that reports its measured comparisons (the delete path's
-/// op accounting, matching the kernels' counted discipline — the same
-/// counting-closure idiom as `cgselect_seqsel::bucket_of`).
-fn binary_search_counting<T: Ord>(sorted: &[T], x: &T, cmps: &mut u64) -> bool {
-    let i = sorted.partition_point(|v| {
-        *cmps += 1;
-        v < x
-    });
-    i < sorted.len() && {
-        *cmps += 1;
-        sorted[i] == *x
-    }
-}
-
-/// The shard installed at engine construction; its absence means the store
-/// was tampered with, which is a bug.
-fn shard_mut<T: Key>(store: &mut ShardStore) -> &mut Shard<T> {
-    store.get_mut::<Shard<T>>().expect("engine shard must be installed")
 }
 
 #[cfg(test)]
@@ -1246,6 +1011,38 @@ mod tests {
         // The session is still healthy.
         let report = engine.execute(&[Query::Median]).unwrap();
         assert_eq!(report.answers[0], Answer::Value(2));
+    }
+
+    #[test]
+    fn channel_mp_backend_matches_local_spmd_exactly() {
+        // The conformance harness (tests/backend_conformance.rs) covers the
+        // full lifecycle; this is the in-crate smoke check of the same
+        // invariant: identical answers AND identical collective-op counts.
+        let data: Vec<u64> = (0..8000u64).map(|i| i.wrapping_mul(2654435761) % 50_000).collect();
+        let queries = vec![Query::Rank(17), Query::Median, Query::quantile(0.9), Query::TopK(4)];
+
+        let mut local: Engine<u64> = Engine::new(free_cfg(3)).unwrap();
+        let mut mp: Engine<u64> = Engine::new(free_cfg(3).channel_mp()).unwrap();
+        assert_eq!(local.backend_kind(), BackendKind::LocalSpmd);
+        assert_eq!(mp.backend_kind(), BackendKind::ChannelMp);
+
+        local.ingest(data.clone()).unwrap();
+        mp.ingest(data).unwrap();
+        for round in 0..3 {
+            let a = local.execute(&queries).unwrap();
+            let b = mp.execute(&queries).unwrap();
+            assert_eq!(a.answers, b.answers, "round {round}");
+            assert_eq!(a.collective_ops, b.collective_ops, "round {round}");
+            assert_eq!(a.histogram_answers, b.histogram_answers, "round {round}");
+        }
+        local.delete(&[17, 99]).unwrap();
+        mp.delete(&[17, 99]).unwrap();
+        assert_eq!(local.len(), mp.len());
+        assert_eq!(local.index_health(), mp.index_health());
+        let a = local.execute(&queries).unwrap();
+        let b = mp.execute(&queries).unwrap();
+        assert_eq!(a.answers, b.answers);
+        assert_eq!(a.collective_ops, b.collective_ops);
     }
 
     #[test]

@@ -67,7 +67,7 @@ mod stats;
 pub mod trace;
 
 pub use key::{Key, OrdF64};
-pub use machine::{Machine, RunError};
+pub use machine::{panic_message, Machine, RunError};
 pub use model::{MachineModel, Topology};
 pub use process::Proc;
 pub use session::{Session, ShardStore};

@@ -125,39 +125,17 @@ impl Machine {
         R: Send,
     {
         let p = self.p;
-        let mut txs = Vec::with_capacity(p);
-        let mut rxs = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = unbounded::<Envelope>();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-
         let results: Vec<Result<R, RunError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = rxs
+            let handles: Vec<_> = self
+                .procs()
                 .into_iter()
-                .enumerate()
-                .map(|(rank, rx)| {
-                    let peers = txs.clone();
+                .map(|mut proc| {
                     let f = &f;
-                    let model = self.model;
-                    let timeout = self.recv_timeout;
                     scope.spawn(move || {
-                        let mut proc = Proc::new(rank, p, model, peers, rx, timeout);
                         let out = f(&mut proc);
                         // End-of-run protocol check: everyone synchronizes,
                         // then no messages may remain anywhere.
-                        proc.barrier();
-                        if !proc.no_pending_messages() {
-                            return Err(RunError::PendingMessages {
-                                rank,
-                                detail: proc.pending_summary(),
-                            });
-                        }
-                        if !proc.phases_balanced() {
-                            return Err(RunError::UnbalancedPhases { rank });
-                        }
-                        Ok(out)
+                        proc.finish_program().map(|()| out)
                     })
                 })
                 .collect();
@@ -172,8 +150,6 @@ impl Machine {
                 })
                 .collect()
         });
-        // Drop our copies of the senders only after all threads are done.
-        drop(txs);
 
         let mut out = Vec::with_capacity(p);
         let mut primary_err = None;
@@ -205,8 +181,11 @@ impl Machine {
 impl RunError {
     /// True for failures that are usually *consequences* of another
     /// processor's failure (timeouts and disconnects raised by the runtime
-    /// itself); used to report root causes instead of fallout.
-    pub(crate) fn is_secondary(&self) -> bool {
+    /// itself). [`Machine::run`] and [`crate::Session`] use it to report
+    /// root causes instead of fallout; external execution backends that
+    /// collect per-worker failures themselves should apply the same
+    /// triage.
+    pub fn is_secondary(&self) -> bool {
         match self {
             RunError::ProcPanicked { message, .. } => {
                 message.contains("timed out after")
@@ -219,6 +198,37 @@ impl RunError {
 }
 
 impl Machine {
+    /// Builds the `p` connected [`Proc`] handles of this machine without
+    /// running anything: the virtual crossbar is wired up and each handle
+    /// can be moved onto a caller-owned worker thread.
+    ///
+    /// This is the constructor for execution backends that manage their own
+    /// long-lived workers — [`crate::Session`] spawns and owns its threads
+    /// for you, whereas a message-passing engine backend wants to own each
+    /// shard's thread and command loop itself. The handles must be driven
+    /// together (collectives block until every rank participates), every
+    /// program a backend runs over them must end with
+    /// [`Proc::finish_program`], and the backend must gate program
+    /// boundaries — collect every rank's result before issuing the next
+    /// program, as `Session` does through its result channels — or a fast
+    /// rank's next-program messages race the slow ranks' end-of-program
+    /// checks.
+    pub fn procs(&self) -> Vec<Proc> {
+        let mut txs = Vec::with_capacity(self.p);
+        let mut rxs = Vec::with_capacity(self.p);
+        for _ in 0..self.p {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                Proc::new(rank, self.p, self.model, txs.clone(), rx, self.recv_timeout)
+            })
+            .collect()
+    }
+
     /// Runs an SPMD program where each processor starts from its slice of
     /// pre-distributed input data — the common pattern of every experiment
     /// in this repository (`parts[rank]` is cloned into rank's closure).
@@ -236,7 +246,11 @@ impl Machine {
     }
 }
 
-pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Renders a caught panic payload (`&str` or `String`) as a message
+/// string, for reporting a worker's death. Shared by [`Machine::run`], the
+/// [`crate::Session`] worker loop, and external execution backends that
+/// `catch_unwind` their own workers.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -439,6 +453,48 @@ mod tests {
             })
             .unwrap();
         assert_eq!(out[0], (10.0, 5));
+    }
+
+    #[test]
+    fn procs_fabric_runs_collectives_on_caller_owned_threads() {
+        // The external-backend pattern: take the wired-up Proc handles, move
+        // each onto its own long-lived worker thread, and run a stream of
+        // programs against them. The host must gate program boundaries
+        // (collect every worker's reply before issuing the next command) —
+        // that is what makes the per-program `finish_program` protocol
+        // check race-free, exactly as `Session` gates via its result
+        // channels.
+        let machine = Machine::with_model(4, MachineModel::free());
+        let mut links = Vec::new();
+        let handles: Vec<_> = machine
+            .procs()
+            .into_iter()
+            .map(|mut proc| {
+                let (cmd_tx, cmd_rx) = unbounded::<u64>();
+                let (res_tx, res_rx) = unbounded::<u64>();
+                links.push((cmd_tx, res_rx));
+                std::thread::spawn(move || {
+                    while let Ok(round) = cmd_rx.recv() {
+                        let s = proc.combine(proc.rank() as u64 + round, |a, b| a + b);
+                        proc.finish_program().unwrap();
+                        res_tx.send(s).unwrap();
+                    }
+                    proc.comm_stats().collective_ops
+                })
+            })
+            .collect();
+        for round in 0..3u64 {
+            for (tx, _) in &links {
+                tx.send(round).unwrap();
+            }
+            let sums: Vec<u64> = links.iter().map(|(_, rx)| rx.recv().unwrap()).collect();
+            assert_eq!(sums, vec![6 + 4 * round; 4], "round {round}");
+        }
+        drop(links); // disconnect: workers exit their command loops
+        let ops: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // SPMD discipline: every rank counts the same collectives.
+        assert!(ops[0] > 0);
+        assert_eq!(ops, vec![ops[0]; 4]);
     }
 
     #[test]

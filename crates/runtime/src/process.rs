@@ -6,6 +6,7 @@ use std::time::Duration;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::envelope::{Envelope, USER_TAG_LIMIT};
+use crate::machine::RunError;
 use crate::model::MachineModel;
 use crate::stats::{CommStats, PhaseTimer};
 use crate::trace::{Trace, TraceEvent, TraceEventKind};
@@ -273,6 +274,30 @@ impl Proc {
                 }
             }
         }
+    }
+
+    /// Runs the end-of-program protocol every execution backend must apply
+    /// after each SPMD program: a final barrier, then a check that no
+    /// unconsumed messages remain and that all phase timers are closed.
+    ///
+    /// [`crate::Machine::run`] and the [`crate::Session`] worker loop call
+    /// this internally; external backends that own their worker threads
+    /// (obtained via [`crate::Machine::procs`]) must call it themselves at
+    /// the end of every program so protocol bugs become hard errors instead
+    /// of silently corrupting the next program — and so communication
+    /// counters advance identically no matter which backend ran the program.
+    pub fn finish_program(&mut self) -> Result<(), RunError> {
+        self.barrier();
+        if !self.no_pending_messages() {
+            return Err(RunError::PendingMessages {
+                rank: self.rank,
+                detail: self.pending_summary(),
+            });
+        }
+        if !self.phases_balanced() {
+            return Err(RunError::UnbalancedPhases { rank: self.rank });
+        }
+        Ok(())
     }
 
     /// True if no unconsumed messages remain (stash and channel empty).

@@ -305,14 +305,7 @@ fn worker_loop(
             // End-of-program protocol check, as in `Machine::run`: everyone
             // synchronizes, then no messages may remain anywhere and all
             // phase timers must be closed.
-            proc.barrier();
-            if !proc.no_pending_messages() {
-                return Err(RunError::PendingMessages { rank, detail: proc.pending_summary() });
-            }
-            if !proc.phases_balanced() {
-                return Err(RunError::UnbalancedPhases { rank });
-            }
-            Ok(out)
+            proc.finish_program().map(|()| out)
         }));
         let reply = match outcome {
             Ok(Ok(v)) => Ok(v),

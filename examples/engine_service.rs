@@ -11,12 +11,13 @@
 //! cargo run --release --example engine_service
 //! ```
 
-use cgselect::{Answer, Engine, EngineConfig, Query};
+use cgselect::{Answer, BackendKind, Engine, EngineConfig, Query};
 
 fn main() {
     let p = 8;
     let mut engine: Engine<u64> =
         Engine::new(EngineConfig::new(p).imbalance_watermark(1.5).sketch_capacity(2048)).unwrap();
+    assert_eq!(engine.backend_kind(), BackendKind::LocalSpmd);
 
     // ---- Ingest: a steady stream, tracked by a client-side oracle ------
     let mut oracle: Vec<u64> = Vec::new();
@@ -187,5 +188,34 @@ fn main() {
         engine.batches(),
         engine.len(),
         engine.rebalances()
+    );
+
+    // ---- The same service on the message-passing backend ----------------
+    // One config knob moves every shard onto its own worker thread, with all
+    // commands and replies crossing channels as serialized byte frames (the
+    // dress rehearsal for out-of-process shards). Answers AND the
+    // collective-round budget must be identical to the in-process session.
+    let mut reference: Engine<u64> = Engine::new(EngineConfig::new(p)).unwrap();
+    let mut mp: Engine<u64> = Engine::new(EngineConfig::new(p).channel_mp()).unwrap();
+    assert_eq!(mp.backend_kind(), BackendKind::ChannelMp);
+    let sample: Vec<u64> = (0..40_000u64).map(|i| next(7_000_000 + i)).collect();
+    reference.ingest(sample.clone()).unwrap();
+    mp.ingest(sample).unwrap();
+    let batch: Vec<Query> =
+        (1..=20).map(|i| Query::quantile(i as f64 / 21.0)).chain([Query::TopK(5)]).collect();
+    let a = reference.execute(&batch).unwrap();
+    let b = mp.execute(&batch).unwrap();
+    assert_eq!(a.answers, b.answers, "backends must agree on every answer");
+    assert_eq!(
+        a.collective_ops, b.collective_ops,
+        "backends must agree on the collective-round budget"
+    );
+    println!(
+        "channel-mp backend: {} queries answered identically to local-spmd \
+         at the same {} collective ops/proc ({} shard worker threads, \
+         serialized command frames)",
+        batch.len(),
+        b.collective_ops,
+        mp.nprocs()
     );
 }

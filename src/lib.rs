@@ -117,8 +117,9 @@ pub use cgselect_core::{
     SelectionConfig, SelectionOutcome, Weighted,
 };
 pub use cgselect_engine::{
-    measure_rounds, quantile_rank, Answer, AsyncError, BatchReport, Engine, EngineConfig,
-    EngineError, ExecutionMode, FrontendConfig, FrontendStats, IndexHealth, MutationReport,
+    measure_rounds, quantile_rank, Answer, AsyncError, BackendChoice, BackendError, BackendKind,
+    BatchReport, ChannelMp, ChannelMpTuning, Engine, EngineConfig, EngineError, ExecBackend,
+    ExecutionMode, Fault, FrontendConfig, FrontendStats, IndexHealth, LocalSpmd, MutationReport,
     MutationTicket, Query, QueryTicket, RoundsMeasurement, SubmissionQueue, SubmitError, Ticket,
 };
 pub use cgselect_runtime::{

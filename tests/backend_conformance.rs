@@ -1,0 +1,470 @@
+//! Cross-backend conformance and fault-injection harness.
+//!
+//! The engine's execution seam ([`cgselect::ExecBackend`]) promises that
+//! *where* the shards live — the in-process `LocalSpmd` session or the
+//! message-passing `ChannelMp` worker ring — is unobservable: every
+//! scenario family (all 8 workload distributions × the full
+//! ingest-burst/delta-merge/delete/rebalance lifecycle) must produce
+//! answers identical to the sequential oracle **and** identical
+//! collective-round counts on both backends. The fault-injection half pins
+//! down the failure contract at the same boundary: a worker panic
+//! mid-batch, a lost reply, or a straggling shard must surface typed
+//! errors (never hangs), poison the backend, and reject subsequent work
+//! fast — mirroring `RunError::SessionPoisoned` semantics.
+
+use std::time::{Duration, Instant};
+
+use cgselect::{
+    quantile_rank, Answer, BackendChoice, BackendError, BackendKind, ChannelMpTuning, Distribution,
+    Engine, EngineConfig, EngineError, Fault, FrontendConfig, IndexHealth, MachineModel, Query,
+    SubmitError,
+};
+
+const ALL_DISTRIBUTIONS: [Distribution; 8] = [
+    Distribution::Random,
+    Distribution::Sorted,
+    Distribution::ReverseSorted,
+    Distribution::FewDistinct(17),
+    Distribution::Gaussian,
+    Distribution::Zipf,
+    Distribution::OrganPipe,
+    Distribution::AllEqual,
+];
+
+fn cfg(p: usize, backend: BackendChoice) -> EngineConfig {
+    // A tight delta threshold so ingest bursts cross merge boundaries and a
+    // small bucket target so refinement stays visible.
+    EngineConfig::new(p)
+        .model(MachineModel::free())
+        .index_buckets(16)
+        .delta_threshold(0.03)
+        .backend(backend)
+}
+
+fn channel_mp() -> BackendChoice {
+    BackendChoice::ChannelMp(ChannelMpTuning::default())
+}
+
+fn mixed_batch(n: u64) -> Vec<Query> {
+    vec![
+        Query::Rank(0),
+        Query::Rank(n / 3),
+        Query::Rank(n - 1),
+        Query::quantile(0.1),
+        Query::quantile(0.5),
+        Query::quantile(0.9),
+        Query::Median,
+        Query::TopK(5.min(n)),
+    ]
+}
+
+fn oracle_answers(sorted: &[u64], queries: &[Query]) -> Vec<Answer<u64>> {
+    let n = sorted.len() as u64;
+    queries
+        .iter()
+        .map(|q| match *q {
+            Query::Rank(k) => Answer::Value(sorted[k as usize]),
+            Query::Median => Answer::Value(sorted[((n - 1) / 2) as usize]),
+            Query::Quantile { q, .. } => Answer::Value(sorted[quantile_rank(q, n) as usize]),
+            Query::TopK(k) => Answer::Top(sorted[..k as usize].to_vec()),
+        })
+        .collect()
+}
+
+/// What one lifecycle step observed — everything that must be identical
+/// across backends, including the collective-round budget.
+#[derive(Debug, Clone, PartialEq)]
+struct Step {
+    label: String,
+    answers: Vec<Answer<u64>>,
+    collective_ops: u64,
+    histogram_answers: usize,
+    len: u64,
+    health: IndexHealth,
+}
+
+/// Drives one engine through the full mutation lifecycle for one
+/// distribution, oracle-checking every step, and records what the backend
+/// did. The op sequence is identical for every backend by construction.
+fn run_lifecycle(backend: BackendChoice, dist: Distribution) -> Vec<Step> {
+    let p = 4;
+    let n = 3000usize;
+    let data: Vec<u64> = cgselect::generate(dist, n, p, 23).into_iter().flatten().collect();
+    let mut engine: Engine<u64> = Engine::new(cfg(p, backend)).unwrap();
+    let mut all: Vec<u64> = Vec::new();
+    let mut steps = Vec::new();
+
+    let mut check = |engine: &mut Engine<u64>, all: &[u64], label: String| {
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        let queries = mixed_batch(sorted.len() as u64);
+        let report = engine.execute(&queries).unwrap();
+        assert_eq!(
+            report.answers,
+            oracle_answers(&sorted, &queries),
+            "{} diverged from the oracle at step {label} ({dist:?})",
+            engine.backend_kind(),
+        );
+        steps.push(Step {
+            label,
+            answers: report.answers,
+            collective_ops: report.collective_ops,
+            histogram_answers: report.histogram_answers,
+            len: engine.len(),
+            health: engine.index_health(),
+        });
+    };
+
+    // Phase 1: bulk ingest of two thirds; the first batch builds the index.
+    let (bulk, tail) = data.split_at(2 * n / 3);
+    all.extend_from_slice(bulk);
+    engine.ingest(bulk.to_vec()).unwrap();
+    check(&mut engine, &all, "bulk".into());
+    assert!(engine.index_health().buckets > 0, "{dist:?}: index must build");
+
+    // Phase 2: the remaining third arrives in bursts that ride the delta
+    // run and trip amortized merges at the threshold boundary.
+    for (i, burst) in tail.chunks(n / 9).enumerate() {
+        all.extend_from_slice(burst);
+        engine.ingest(burst.to_vec()).unwrap();
+        check(&mut engine, &all, format!("burst {i}"));
+    }
+    assert!(
+        engine.index_health().delta_merges >= 1,
+        "{dist:?}: bursts must have crossed the merge threshold ({:?})",
+        engine.index_health()
+    );
+
+    // Phase 3: delete two resident value classes through the index
+    // (skipped for the single-value distribution, which it would empty).
+    if all.iter().any(|&x| x != all[0]) {
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        let victims = vec![sorted[n / 4], sorted[(3 * n) / 4]];
+        engine.delete(&victims).unwrap();
+        all.retain(|x| !victims.contains(x));
+        check(&mut engine, &all, "delete".into());
+    }
+
+    // Phase 4: a hot-shard burst trips the watermark; the rebalance drops
+    // the splitters and the next batch rebuilds them.
+    let rebuilds_before = engine.index_health().rebuilds;
+    let hot: Vec<u64> = (0..all.len() as u64).map(|i| i.wrapping_mul(2654435761)).collect();
+    all.extend(&hot);
+    let rep = engine.ingest_pinned(1, hot).unwrap();
+    assert!(rep.rebalanced, "{dist:?}: watermark must trip");
+    check(&mut engine, &all, "rebalance".into());
+    assert!(
+        engine.index_health().rebuilds > rebuilds_before,
+        "{dist:?}: rebalance must force a splitter rebuild"
+    );
+    steps
+}
+
+// ---------------------------------------------------------------------------
+// Conformance: each backend against the oracle, then differentially.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conformance_local_spmd_all_distributions() {
+    for dist in ALL_DISTRIBUTIONS {
+        let steps = run_lifecycle(BackendChoice::LocalSpmd, dist);
+        assert!(steps.len() >= 5, "{dist:?}: lifecycle must cover every phase");
+    }
+}
+
+#[test]
+fn conformance_channel_mp_all_distributions() {
+    for dist in ALL_DISTRIBUTIONS {
+        let steps = run_lifecycle(channel_mp(), dist);
+        assert!(steps.len() >= 5, "{dist:?}: lifecycle must cover every phase");
+    }
+}
+
+#[test]
+fn backends_agree_on_answers_and_collective_rounds() {
+    for dist in ALL_DISTRIBUTIONS {
+        let local = run_lifecycle(BackendChoice::LocalSpmd, dist);
+        let mp = run_lifecycle(channel_mp(), dist);
+        assert_eq!(local.len(), mp.len(), "{dist:?}: lifecycle shapes diverged");
+        for (a, b) in local.iter().zip(&mp) {
+            assert_eq!(
+                a, b,
+                "{dist:?} step {}: backends must agree on answers, collective-round \
+                 counts and index health",
+                a.label
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: typed errors and poisoning at the ExecBackend boundary.
+// ---------------------------------------------------------------------------
+
+/// Short timeouts so injected faults resolve in milliseconds, not the 30 s
+/// production defaults.
+fn faulty(faults: &[Fault]) -> BackendChoice {
+    let mut tuning = ChannelMpTuning::new()
+        .reply_timeout(Duration::from_millis(2000))
+        .proc_timeout(Duration::from_millis(300));
+    for f in faults {
+        tuning = tuning.fault(f.clone());
+    }
+    BackendChoice::ChannelMp(tuning)
+}
+
+#[test]
+fn worker_panic_mid_batch_surfaces_typed_error_and_poisons() {
+    let mut engine: Engine<u64> =
+        Engine::new(cfg(3, faulty(&[Fault::PanicOnExecute { rank: 1, nth: 1 }]))).unwrap();
+    engine.ingest((0..3000u64).rev().collect()).unwrap();
+
+    // Execute 0 is healthy; execute 1 hits the injected mid-batch panic.
+    let ok = engine.execute(&[Query::Median]).unwrap();
+    assert_eq!(ok.answers[0], Answer::Value(1499));
+    let err = engine.execute(&[Query::quantile(0.25)]).unwrap_err();
+    match err {
+        EngineError::Backend(BackendError::WorkerPanicked { rank, ref message }) => {
+            assert_eq!(rank, 1, "the injected faulty rank must be reported, got {err:?}");
+            assert!(message.contains("injected fault"), "root cause lost: {message}");
+        }
+        other => panic!("expected a typed worker panic, got {other:?}"),
+    }
+
+    // Poisoned: subsequent batches are rejected fast (no collective work,
+    // no timeout waits), as are mutations.
+    let t0 = Instant::now();
+    let err = engine.execute(&[Query::Median]).unwrap_err();
+    assert_eq!(err, EngineError::Backend(BackendError::Poisoned));
+    assert!(
+        t0.elapsed() < Duration::from_millis(100),
+        "poisoned rejection must be fast, took {:?}",
+        t0.elapsed()
+    );
+    let err = engine.ingest(vec![1, 2, 3]).unwrap_err();
+    assert_eq!(err, EngineError::Backend(BackendError::Poisoned));
+    // Dropping the poisoned engine must still join every worker (covered
+    // again by the thread-leak test below).
+    drop(engine);
+}
+
+#[test]
+fn dropped_reply_surfaces_worker_unresponsive_and_poisons() {
+    let mut engine: Engine<u64> =
+        Engine::new(cfg(3, faulty(&[Fault::DropReplyOnExecute { rank: 2, nth: 0 }]))).unwrap();
+    engine.ingest((0..2000u64).collect()).unwrap();
+    let err = engine.execute(&[Query::Median]).unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::Backend(BackendError::WorkerUnresponsive { rank: 2 }),
+        "a lost reply must surface as a typed timeout on the silent rank"
+    );
+    let err = engine.execute(&[Query::Median]).unwrap_err();
+    assert_eq!(err, EngineError::Backend(BackendError::Poisoned));
+}
+
+#[test]
+fn slow_shard_stays_correct_within_timeouts() {
+    let choice = BackendChoice::ChannelMp(
+        ChannelMpTuning::new()
+            .fault(Fault::SlowShard { rank: 0, delay: Duration::from_millis(40) }),
+    );
+    let mut slow: Engine<u64> = Engine::new(cfg(3, choice)).unwrap();
+    let mut reference: Engine<u64> = Engine::new(cfg(3, BackendChoice::LocalSpmd)).unwrap();
+    let data: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(48271) % 9973).collect();
+    slow.ingest(data.clone()).unwrap();
+    reference.ingest(data).unwrap();
+    let queries = mixed_batch(2000);
+    let a = slow.execute(&queries).unwrap();
+    let b = reference.execute(&queries).unwrap();
+    // A straggler changes wall-clock latency, never results or rounds.
+    assert_eq!(a.answers, b.answers);
+    assert_eq!(a.collective_ops, b.collective_ops);
+}
+
+// ---------------------------------------------------------------------------
+// Frontend shutdown hands the engine back intact on both backends.
+// ---------------------------------------------------------------------------
+
+fn backends() -> [BackendChoice; 2] {
+    [BackendChoice::LocalSpmd, channel_mp()]
+}
+
+#[test]
+fn frontend_shutdown_mid_window_hands_engine_back_on_both_backends() {
+    for backend in backends() {
+        let kind = backend.kind();
+        let mut engine: Engine<u64> = Engine::new(cfg(2, backend)).unwrap();
+        engine.ingest((0..500u64).collect()).unwrap();
+        // A very wide window: the submitted queries hold the batch open, so
+        // shutdown lands while a micro-batch window is collecting.
+        let queue = engine.into_frontend(FrontendConfig::new().window(Duration::from_secs(5)));
+        let t1 = queue.submit(Query::Median).unwrap();
+        let t2 = queue.submit(Query::Rank(0)).unwrap();
+        let mut engine = queue.shutdown().expect("first shutdown claims the engine");
+        // Accepted submissions were drained before the hand-off.
+        assert_eq!(t1.wait(), Ok(Answer::Value(249)), "{kind}");
+        assert_eq!(t2.wait(), Ok(Answer::Value(0)), "{kind}");
+        // The engine comes back intact and serviceable.
+        assert_eq!(engine.len(), 500, "{kind}");
+        let report = engine.execute(&[Query::TopK(2)]).unwrap();
+        assert_eq!(report.answers[0], Answer::Top(vec![0, 1]), "{kind}");
+    }
+}
+
+#[test]
+fn frontend_shutdown_under_saturation_keeps_engine_intact_on_both_backends() {
+    for backend in backends() {
+        let kind = backend.kind();
+        let mut engine: Engine<u64> = Engine::new(cfg(2, backend)).unwrap();
+        engine.ingest((0..500u64).collect()).unwrap();
+        // Paused + tiny capacity: saturate the queue, then shut down with
+        // the backlog still parked.
+        let queue =
+            engine.into_frontend(FrontendConfig::new().queue_capacity(2).start_paused(true));
+        let parked: Vec<_> = (0..2).map(|_| queue.submit(Query::Median).unwrap()).collect();
+        match queue.submit(Query::Median) {
+            Err(SubmitError::Saturated { capacity: 2 }) => {}
+            other => panic!("{kind}: expected saturation, got {other:?}"),
+        }
+        let mut engine = queue.shutdown().expect("first shutdown claims the engine");
+        // The parked backlog was drained (closing overrides the pause).
+        for t in parked {
+            assert_eq!(t.wait(), Ok(Answer::Value(249)), "{kind}");
+        }
+        assert_eq!(engine.len(), 500, "{kind}");
+        assert_eq!(engine.execute(&[Query::Median]).unwrap().answers[0], Answer::Value(249));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join-on-drop: no leaked worker threads, even mid-lifecycle.
+// ---------------------------------------------------------------------------
+
+fn live_threads() -> Option<usize> {
+    // Linux-only thread census; fine for CI (ubuntu) and this container.
+    std::fs::read_dir("/proc/self/task").ok().map(|d| d.count())
+}
+
+#[test]
+fn dropping_engine_mid_lifecycle_leaks_no_threads_on_both_backends() {
+    if live_threads().is_none() {
+        eprintln!("no /proc/self/task; skipping thread-leak check");
+        return;
+    }
+    for backend in backends() {
+        let kind = backend.kind();
+        // The census races against sibling tests spawning their own engine
+        // threads, so a single noisy sample may over-count; a genuine leak
+        // (join-on-drop broken) raises the count on *every* attempt.
+        let mut leak = None;
+        for _ in 0..5 {
+            let before = live_threads().unwrap();
+            let mut engine: Engine<u64> =
+                Engine::new(cfg(4, backend.clone()).delta_threshold(10.0)).unwrap();
+            engine.ingest((0..4000u64).collect()).unwrap();
+            engine.execute(&[Query::Median]).unwrap(); // builds the index
+            engine.ingest((0..100u64).collect()).unwrap(); // populates the delta run
+            assert!(
+                engine.index_health().delta_len > 0,
+                "{kind}: drop must land mid-lifecycle, with a non-empty delta run"
+            );
+            drop(engine); // join-on-drop: all worker threads must exit here
+            let after = live_threads().unwrap();
+            if after <= before {
+                leak = None;
+                break;
+            }
+            leak = Some((before, after));
+        }
+        if let Some((before, after)) = leak {
+            panic!("{kind}: dropping the engine leaked worker threads ({before} -> {after})");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random interleavings are byte-identical across backends.
+// ---------------------------------------------------------------------------
+
+mod interleavings {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One deterministic op stream derived from the seeds: interleaved
+    /// ingest / delete / query batches (queries drawn from a small pool so
+    /// histogram fast paths and refinement both engage).
+    fn apply_ops(backend: BackendChoice, seeds: &[u64]) -> (Vec<String>, IndexHealth) {
+        let mut engine: Engine<u64> = Engine::new(cfg(3, backend)).unwrap();
+        let mut resident: Vec<u64> = Vec::new();
+        let mut transcript = Vec::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            match seed % 4 {
+                0 | 3 if !resident.is_empty() => {
+                    // A query batch: two quantiles + a rank derived from the seed.
+                    let n = resident.len() as u64;
+                    let queries = vec![
+                        Query::quantile((seed % 101) as f64 / 100.0),
+                        Query::Median,
+                        Query::Rank(seed % n),
+                    ];
+                    let report = engine.execute(&queries).unwrap();
+                    // "Byte-identical answer sequences": compare the full
+                    // rendered answers, not just values.
+                    transcript
+                        .push(format!("{i}: {:?} ops={}", report.answers, report.collective_ops));
+                }
+                1 | 0 | 3 => {
+                    // Ingest a burst derived from the seed.
+                    let burst: Vec<u64> =
+                        (0..40 + seed % 60).map(|j| (seed.wrapping_mul(j + 1)) % 10_007).collect();
+                    resident.extend(&burst);
+                    engine.ingest(burst).unwrap();
+                    transcript.push(format!("{i}: ingest -> {}", engine.len()));
+                }
+                _ => {
+                    // Delete a value class (possibly absent).
+                    let victim = seed % 10_007;
+                    let rep = engine.delete(&[victim]).unwrap();
+                    resident.retain(|&x| x != victim);
+                    transcript.push(format!("{i}: delete {} -> {}", rep.elements, engine.len()));
+                }
+            }
+            assert_eq!(engine.len(), resident.len() as u64);
+        }
+        (transcript, engine.index_health())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Any interleaving of query/ingest/delete batches produces
+        /// byte-identical answer sequences on LocalSpmd vs ChannelMp, with
+        /// the index health counters (histogram hits, merges, rebuilds) in
+        /// agreement.
+        #[test]
+        fn random_interleavings_agree(
+            seeds in prop::collection::vec(1u64..1_000_000_000, 4..14),
+        ) {
+            let (local_log, local_health) = apply_ops(BackendChoice::LocalSpmd, &seeds);
+            let (mp_log, mp_health) = apply_ops(super::channel_mp(), &seeds);
+            prop_assert_eq!(
+                local_log.join("\n").into_bytes(),
+                mp_log.join("\n").into_bytes(),
+                "backends diverged under interleaving {:?}", seeds
+            );
+            prop_assert_eq!(local_health, mp_health);
+        }
+    }
+}
+
+#[test]
+fn backend_kind_is_reported() {
+    let local: Engine<u64> = Engine::new(cfg(2, BackendChoice::LocalSpmd)).unwrap();
+    assert_eq!(local.backend_kind(), BackendKind::LocalSpmd);
+    assert_eq!(local.backend_kind().to_string(), "local-spmd");
+    let mp: Engine<u64> = Engine::new(cfg(2, channel_mp())).unwrap();
+    assert_eq!(mp.backend_kind(), BackendKind::ChannelMp);
+    assert_eq!(mp.backend_kind().to_string(), "channel-mp");
+}
