@@ -16,18 +16,29 @@
 //! the multi-select runs over candidate buckets borrowed in place, so the
 //! baseline's per-batch full-shard copy + scan is simply absent.
 //!
+//! **Experiment 3 — Query API v2 mixed workloads**
+//! (`results/engine_api_v2.{csv,txt}`): batches mixing forward ranks with
+//! the v2 inverse direction (rank-of-value CDF probes + range counts) on
+//! the indexed engine, per-query vs batched and cold vs histogram-warm,
+//! on both backends — the whole probe batch rides one vectorized Combine
+//! round, and probes the refined splitters bound are served from the
+//! cached histogram with zero collectives.
+//!
 //! Pass `--quick` for a reduced grid. Pass `--check` to exit non-zero
 //! unless the indexed engine uses no more collective ops/query than the
 //! baseline on both workloads *and* at least 2× fewer on the
-//! repeated-quantile workload — the CI perf-smoke regression guard.
+//! repeated-quantile workload, the mixed v2 workload batches at least 2×
+//! fewer ops/query than per-query execution with ChannelMp round-parity,
+//! and the histogram-warm inverse stream costs zero collectives — the CI
+//! perf-smoke regression guard.
 
 use std::time::Instant;
 
 use cgselect_bench::chart::{markdown_table, write_csv, write_text};
 use cgselect_bench::{quick_mode, results_dir};
 use cgselect_engine::{
-    measure_rounds, BackendChoice, ChannelMpTuning, Engine, EngineConfig, ExecutionMode,
-    IndexHealth, Query,
+    measure_rounds, BackendChoice, Bounds, ChannelMpTuning, Engine, EngineConfig, ExecutionMode,
+    IndexHealth, Query, Request, Served,
 };
 use cgselect_workloads::{generate, Distribution};
 
@@ -327,19 +338,262 @@ fn index_experiment(quick: bool, dir: &std::path::Path) -> bool {
     ok
 }
 
+/// One mode × workload measurement of experiment 3.
+struct V2Run {
+    workload: &'static str,
+    mode: &'static str,
+    queries: usize,
+    collective_ops: u64,
+    makespan: f64,
+    wall: f64,
+    histogram_served: u64,
+}
+
+impl V2Run {
+    fn ops_per_query(&self) -> f64 {
+        self.collective_ops as f64 / self.queries as f64
+    }
+}
+
+/// Runs one v2 request stream on a fresh indexed engine, warmed by
+/// `warmup` first; the "per-query" mode executes every request as its own
+/// single-element batch.
+fn drive_v2(
+    workload: &'static str,
+    mode: &'static str,
+    backend: BackendChoice,
+    data: &[u64],
+    p: usize,
+    warmup: &[Request<u64>],
+    batches: &[Vec<Request<u64>>],
+) -> V2Run {
+    let per_request = mode == "per-query";
+    let mut engine: Engine<u64> =
+        Engine::new(EngineConfig::new(p).backend(backend)).expect("engine start");
+    engine.ingest(data.to_vec()).expect("ingest");
+    if !warmup.is_empty() {
+        engine.run(warmup).expect("warmup");
+    }
+    let wall0 = Instant::now();
+    let mut collective_ops = 0u64;
+    let mut makespan = 0.0f64;
+    let mut queries = 0usize;
+    let mut histogram_served = 0u64;
+    for batch in batches {
+        // Per-request mode runs the same stream as 1-element batches; the
+        // measurement body is shared so the two modes can never drift.
+        let chunk = if per_request { 1 } else { batch.len() };
+        for unit in batch.chunks(chunk) {
+            let report = engine.run(unit).expect("run");
+            collective_ops += report.collective_ops;
+            makespan += report.makespan;
+            queries += unit.len();
+            histogram_served +=
+                report.outcomes.iter().filter(|o| o.served == Served::Histogram).count() as u64;
+        }
+    }
+    V2Run {
+        workload,
+        mode,
+        queries,
+        collective_ops,
+        makespan,
+        wall: wall0.elapsed().as_secs_f64(),
+        histogram_served,
+    }
+}
+
+/// Experiment 3: the v2 mixed-kind workload (forward ranks + rank-of +
+/// range counts).
+fn api_v2_experiment(quick: bool, dir: &std::path::Path) -> bool {
+    let p = 8;
+    let n: usize = if quick { 1 << 16 } else { 1 << 19 };
+    let data: Vec<u64> = generate(Distribution::Random, n, p, 13).into_iter().flatten().collect();
+    let total = data.len() as u64;
+    let max = *data.iter().max().expect("nonempty");
+
+    // Mixed-kind batches: fresh ranks, CDF probes and range counts each
+    // batch (nothing for the histogram to have cached).
+    let rounds = if quick { 4u64 } else { 8 };
+    let mixed: Vec<Vec<Request<u64>>> = (0..rounds)
+        .map(|b| {
+            (0..8u64)
+                .flat_map(|i| {
+                    let rank = (i * total / 8 + b * 131 + i) % total;
+                    // Probe values drawn from the data itself (perturbed so
+                    // they sit strictly inside buckets, not on refined
+                    // boundaries): the histogram brackets but cannot bound
+                    // them, so they exercise the collective probe round.
+                    let v = data[((b * 7919 + i * 104_729) as usize) % data.len()] ^ 1;
+                    let w = v.saturating_add(max >> 4);
+                    vec![
+                        Request::rank(rank),
+                        Request::rank_of(v),
+                        Request::count_between(Bounds::closed(v, w)),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+
+    // Warm inverse stream: probes at values the warmup already resolved —
+    // the refined splitters bound every one of them.
+    let warm_quantiles: Vec<Request<u64>> =
+        [0.1, 0.25, 0.5, 0.75, 0.9].into_iter().map(Request::quantile).collect();
+    let warm_probe_batch = |engine_answers: &[u64]| -> Vec<Request<u64>> {
+        engine_answers
+            .iter()
+            .flat_map(|&v| vec![Request::rank_of(v), Request::count_between(Bounds::closed(v, v))])
+            .collect()
+    };
+    // Resolve the warm answer values once, host-side.
+    let warm_values: Vec<u64> = {
+        let mut engine: Engine<u64> = Engine::new(EngineConfig::new(p)).expect("engine start");
+        engine.ingest(data.clone()).expect("ingest");
+        let report = engine.run(&warm_quantiles).expect("warmup answers");
+        report.outcomes.iter().filter_map(|o| o.response.element()).collect()
+    };
+    let warm_batches: Vec<Vec<Request<u64>>> =
+        (0..if quick { 8 } else { 16 }).map(|_| warm_probe_batch(&warm_values)).collect();
+
+    let local = BackendChoice::LocalSpmd;
+    let mp = || BackendChoice::ChannelMp(ChannelMpTuning::default());
+    let runs = vec![
+        drive_v2("mixed-kinds", "per-query", local.clone(), &data, p, &[], &mixed),
+        drive_v2("mixed-kinds", "batched", local.clone(), &data, p, &[], &mixed),
+        drive_v2("mixed-kinds", "batched-mp", mp(), &data, p, &[], &mixed),
+        drive_v2("inverse-warm", "batched", local, &data, p, &warm_quantiles, &warm_batches),
+        drive_v2("inverse-warm", "batched-mp", mp(), &data, p, &warm_quantiles, &warm_batches),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for run in &runs {
+        rows.push(format!(
+            "{},{},{n},{p},{},{},{:.4},{:.6},{:.6},{}",
+            run.workload,
+            run.mode,
+            run.queries,
+            run.collective_ops,
+            run.ops_per_query(),
+            run.makespan,
+            run.wall,
+            run.histogram_served,
+        ));
+        table.push(vec![
+            run.workload.to_string(),
+            run.mode.to_string(),
+            run.queries.to_string(),
+            run.collective_ops.to_string(),
+            format!("{:.2}", run.ops_per_query()),
+            format!("{:.5}", run.makespan),
+            format!("{:.3}", run.wall),
+            run.histogram_served.to_string(),
+        ]);
+        println!(
+            "{:>12} | {:>10}: {:>6} coll. ops over {} queries ({:.2}/query); \
+             virtual {:.5}s; wall {:.3}s; histogram-served {}",
+            run.workload,
+            run.mode,
+            run.collective_ops,
+            run.queries,
+            run.ops_per_query(),
+            run.makespan,
+            run.wall,
+            run.histogram_served
+        );
+    }
+
+    let find = |w: &str, m: &str| {
+        runs.iter().find(|r| r.workload == w && r.mode == m).expect("run recorded")
+    };
+    let batching_ratio = find("mixed-kinds", "per-query").ops_per_query()
+        / find("mixed-kinds", "batched").ops_per_query().max(1e-12);
+    let out = format!(
+        "Query API v2: mixed-kind workloads (ranks + rank-of + range counts)\n\
+         (n = {n}, p = {p}, random resident data, indexed engine; virtual times under\n\
+         the CM-5 model; batched-mp = the same workload on the ChannelMp backend)\n\n{}\n\
+         A batch's value probes share ONE vectorized count-below Combine round and\n\
+         its ranks share one multi-select pass, so batching the mixed workload pays\n\
+         {batching_ratio:.1}x fewer collective ops per query than per-query execution.\n\
+         The warm inverse stream probes values the refined splitters bound, so every\n\
+         answer is served from the cached histogram: zero collectives, zero scans.\n",
+        markdown_table(
+            &[
+                "workload",
+                "mode",
+                "queries",
+                "coll. ops",
+                "ops/query",
+                "virtual s",
+                "wall s",
+                "histogram served"
+            ],
+            &table
+        ),
+    );
+    write_csv(
+        &dir.join("engine_api_v2.csv"),
+        "workload,mode,n,p,queries,collective_ops,ops_per_query,makespan,wall_s,histogram_served",
+        &rows,
+    );
+    write_text(&dir.join("engine_api_v2.txt"), &out);
+    print!("{out}");
+
+    // The regression guard CI asserts on.
+    let mut ok = true;
+    if batching_ratio < 2.0 {
+        eprintln!("PERF REGRESSION: v2 mixed-kind batching ratio {batching_ratio:.2} < 2.0");
+        ok = false;
+    }
+    let (spmd, chan) = (find("mixed-kinds", "batched"), find("mixed-kinds", "batched-mp"));
+    if spmd.collective_ops != chan.collective_ops {
+        eprintln!(
+            "BACKEND REGRESSION: ChannelMp used {} collective ops on the v2 mixed workload, \
+             LocalSpmd used {}",
+            chan.collective_ops, spmd.collective_ops
+        );
+        ok = false;
+    }
+    for mode in ["batched", "batched-mp"] {
+        let warm = find("inverse-warm", mode);
+        if warm.collective_ops != 0 {
+            eprintln!(
+                "PERF REGRESSION: histogram-warm inverse stream ({mode}) started {} \
+                 collectives, expected 0",
+                warm.collective_ops
+            );
+            ok = false;
+        }
+        if warm.histogram_served != warm.queries as u64 {
+            eprintln!(
+                "PERF REGRESSION: only {}/{} warm inverse queries were histogram-served",
+                warm.histogram_served, warm.queries
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 fn main() {
     let quick = quick_mode();
     let dir = results_dir();
     batching_experiment(quick, &dir);
-    let ok = index_experiment(quick, &dir);
-    println!("engine -> {}/engine.{{csv,txt}} + engine_indexed.{{csv,txt}}", dir.display());
-    if check_mode() && !ok {
+    let index_ok = index_experiment(quick, &dir);
+    let v2_ok = api_v2_experiment(quick, &dir);
+    println!(
+        "engine -> {}/engine.{{csv,txt}} + engine_indexed.{{csv,txt}} + engine_api_v2.{{csv,txt}}",
+        dir.display()
+    );
+    if check_mode() && !(index_ok && v2_ok) {
         std::process::exit(1);
     }
     if check_mode() {
         println!(
-            "perf smoke: indexed engine within bounds (distinct <= baseline, repeated >= 2x) \
-             and ChannelMp collective-round counts equal LocalSpmd's"
+            "perf smoke: indexed engine within bounds (distinct <= baseline, repeated >= 2x), \
+             v2 mixed-kind batching >= 2x with zero-collective warm inverse serving, and \
+             ChannelMp collective-round counts equal LocalSpmd's"
         );
     }
 }

@@ -5,8 +5,8 @@
 //! Unlike [`super::LocalSpmd`], where the host ships shared closures into a
 //! [`cgselect_runtime::Session`], here the host holds **no shard state and
 //! no code pointer into the workers**: every verb is encoded as a byte
-//! frame ([`super::wire`]), sent down a per-worker channel, decoded by the
-//! worker, executed against its owned [`super::ops::Shard`], and answered
+//! frame (`super::wire`), sent down a per-worker channel, decoded by the
+//! worker, executed against its owned `super::ops::Shard`, and answered
 //! with another byte frame. Only the per-batch pivot *seed* crosses the
 //! wire per execute; the rest of the selection tuning is deployment
 //! configuration every worker received at spawn. Shard-to-shard
@@ -386,7 +386,7 @@ impl<T: Key> ExecBackend<T> for ChannelMp<T> {
             .collect())
     }
 
-    fn execute(&mut self, plan: &BatchPlan) -> Result<Vec<ShardBatchOutcome<T>>, BackendError> {
+    fn execute(&mut self, plan: &BatchPlan<T>) -> Result<Vec<ShardBatchOutcome<T>>, BackendError> {
         let payloads = self.round_trip(self.broadcast_frames(encode_execute(plan)))?;
         Ok(payloads
             .iter()
@@ -396,11 +396,24 @@ impl<T: Key> ExecBackend<T> for ChannelMp<T> {
                 let exact = (0..exact_len).map(|_| r.opt_key::<T>()).collect();
                 let refines_len = r.usize();
                 let refines = (0..refines_len).map(|_| r.bucket_stats::<T>()).collect();
+                let probe_counts = r.u64s();
                 let sketch_values = r.keys::<T>();
+                let sketch_ranks = r.u64s();
+                let phase_ops =
+                    super::PhaseOps { probes: r.u64(), exact: r.u64(), sketch: r.u64() };
                 let comm = r.comm_stats();
                 let elapsed = r.f64();
                 r.finish();
-                ShardBatchOutcome { exact, refines, sketch_values, comm, elapsed }
+                ShardBatchOutcome {
+                    exact,
+                    refines,
+                    probe_counts,
+                    sketch_values,
+                    sketch_ranks,
+                    phase_ops,
+                    comm,
+                    elapsed,
+                }
             })
             .collect())
     }
@@ -423,15 +436,18 @@ impl<T: Key> Drop for ChannelMp<T> {
 
 /// Serializes one batch plan. Only the per-batch pivot seed crosses the
 /// wire; workers rebuild the full `SelectionConfig` from their deployment
-/// copy.
-fn encode_execute(plan: &BatchPlan) -> Vec<u8> {
+/// copy. The coalesced rank set rides as runs and the value probes as
+/// `(key, inclusive)` pairs.
+fn encode_execute<T: Key>(plan: &BatchPlan<T>) -> Vec<u8> {
     let mut w = Writer::new(CMD_EXECUTE);
     w.u64(plan.selection.seed);
     w.bool(plan.use_index);
     w.u64(plan.full_total);
     w.u64(plan.delta_total);
-    w.u64s(&plan.exact_ranks);
+    w.rank_set(&plan.exact_ranks);
+    w.probes(&plan.value_probes);
     w.u64s(&plan.sketch_targets);
+    w.probes(&plan.sketch_probes);
     w.usize(plan.groups.len());
     for g in plan.groups.iter() {
         w.group(g);
@@ -439,20 +455,24 @@ fn encode_execute(plan: &BatchPlan) -> Vec<u8> {
     w.into_frame()
 }
 
-fn decode_execute(r: &mut Reader<'_>, base: &SelectionConfig) -> BatchPlan {
+fn decode_execute<T: Key>(r: &mut Reader<'_>, base: &SelectionConfig) -> BatchPlan<T> {
     let mut selection = base.clone();
     selection.seed = r.u64();
     let use_index = r.bool();
     let full_total = r.u64();
     let delta_total = r.u64();
-    let exact_ranks = r.u64s();
+    let exact_ranks = r.rank_set();
+    let value_probes = r.probes::<T>();
     let sketch_targets = r.u64s();
+    let sketch_probes = r.probes::<T>();
     let group_count = r.usize();
     let groups = (0..group_count).map(|_| r.group()).collect();
     BatchPlan {
         groups: std::sync::Arc::new(groups),
         exact_ranks: std::sync::Arc::new(exact_ranks),
+        value_probes: std::sync::Arc::new(value_probes),
         sketch_targets: std::sync::Arc::new(sketch_targets),
+        sketch_probes: std::sync::Arc::new(sketch_probes),
         selection,
         use_index,
         full_total,
@@ -560,7 +580,7 @@ fn run_command<T: Key>(
             w.bucket_stats(&ops::merge_delta_shard(proc, shard));
         }
         Some(CMD_EXECUTE) => {
-            let plan = decode_execute(&mut r, &init.selection);
+            let plan = decode_execute::<T>(&mut r, &init.selection);
             r.finish();
             if panic_now {
                 // Mid-batch: enter the batch's opening barrier (so the
@@ -577,7 +597,12 @@ fn run_command<T: Key>(
             for stats in &o.refines {
                 w.bucket_stats(stats);
             }
+            w.u64s(&o.probe_counts);
             w.keys(&o.sketch_values);
+            w.u64s(&o.sketch_ranks);
+            w.u64(o.phase_ops.probes);
+            w.u64(o.phase_ops.exact);
+            w.u64(o.phase_ops.sketch);
             w.comm_stats(&o.comm);
             w.f64(o.elapsed);
         }

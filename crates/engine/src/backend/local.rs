@@ -14,7 +14,7 @@ use super::ops::{self, Shard};
 use super::{BackendError, BackendKind, BatchPlan, ExecBackend, ShardBatchOutcome, ShardDeletion};
 
 /// The in-process backend: a persistent [`Session`] whose worker threads
-/// keep each [`Shard`] resident in their typed `ShardStore`, with programs
+/// keep each `Shard` resident in their typed `ShardStore`, with programs
 /// shipped as shared closures. This is exactly the engine's pre-backend
 /// execution path, so it is the reference implementation the conformance
 /// harness measures [`super::ChannelMp`] against.
@@ -99,7 +99,7 @@ impl<T: Key> ExecBackend<T> for LocalSpmd<T> {
             .run(move |proc, store| ops::merge_delta_shard(proc, Self::shard_mut(store)))?)
     }
 
-    fn execute(&mut self, plan: &BatchPlan) -> Result<Vec<ShardBatchOutcome<T>>, BackendError> {
+    fn execute(&mut self, plan: &BatchPlan<T>) -> Result<Vec<ShardBatchOutcome<T>>, BackendError> {
         let plan = plan.clone();
         Ok(self
             .session

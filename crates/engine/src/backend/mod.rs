@@ -17,12 +17,12 @@
 //! * **[`ChannelMp`]** — message passing: each shard lives on its own
 //!   long-lived worker thread that owns its data outright; every command
 //!   and reply crosses the channel as a **serialized byte frame**
-//!   ([`wire`]), never as a shared pointer — the dress rehearsal for
+//!   (`wire`, private), never as a shared pointer — the dress rehearsal for
 //!   out-of-process/remote shards. It also supports [`Fault`] injection
 //!   (worker panic mid-batch, dropped replies, slow shards) so the typed
 //!   error and poisoning behavior at this boundary is testable.
 //!
-//! Both backends execute the *identical* per-shard code ([`ops`], private)
+//! Both backends execute the *identical* per-shard code (`ops`, private)
 //! over the identical [`cgselect_runtime::Proc`] collectives, which is what
 //! `tests/backend_conformance.rs` exploits: every scenario family must
 //! produce the same answers **and the same collective-round counts** on
@@ -42,6 +42,7 @@ use cgselect_core::SelectionConfig;
 use cgselect_runtime::{CommStats, Key, RunError};
 
 use crate::index::{BucketStats, Group};
+use crate::query::RankSet;
 
 /// Which execution backend an engine runs on (see
 /// [`crate::EngineConfig::backend`]).
@@ -171,14 +172,20 @@ impl BackendError {
 /// backend, which is what makes answers *and collective-round counts*
 /// comparable across backends.
 #[derive(Clone, Debug)]
-pub struct BatchPlan {
+pub struct BatchPlan<T> {
     /// Candidate-window groups routed against the cached histogram (empty
     /// when the index is off or every rank took the histogram fast path).
     pub groups: Arc<Vec<Group>>,
-    /// The batch's sorted, deduplicated global ranks.
-    pub exact_ranks: Arc<Vec<u64>>,
-    /// Target ranks served from the resident sketches.
+    /// The batch's deduplicated global ranks, as contiguous runs.
+    pub exact_ranks: Arc<RankSet>,
+    /// Value probes `(value, inclusive)` the histogram could not bound —
+    /// resolved by ONE vectorized `count_below` Combine round for all of
+    /// them together, no matter how many (sorted, distinct).
+    pub value_probes: Arc<Vec<(T, bool)>>,
+    /// Target ranks served from the resident sketches (forward direction).
     pub sketch_targets: Arc<Vec<u64>>,
+    /// Value probes served from the resident sketches (inverse direction).
+    pub sketch_probes: Arc<Vec<(T, bool)>>,
     /// Selection tuning with the per-batch pivot seed already folded in.
     pub selection: SelectionConfig,
     /// Whether the shards hold a bucket index this batch executes through.
@@ -187,6 +194,19 @@ pub struct BatchPlan {
     pub full_total: u64,
     /// Global unindexed delta-run population.
     pub delta_total: u64,
+}
+
+/// Per-phase collective-operation deltas of one executed batch (identical
+/// on every rank by SPMD discipline) — the measurement behind the
+/// per-query [`crate::CostAttribution`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseOps {
+    /// The value-probe `count_below` Combine round.
+    pub probes: u64,
+    /// The exact multi-select pass (localization, recursion, refinement).
+    pub exact: u64,
+    /// The sketch gather serving approximate queries (both directions).
+    pub sketch: u64,
 }
 
 /// What one shard reports back from one executed batch.
@@ -199,8 +219,15 @@ pub struct ShardBatchOutcome<T> {
     /// Per-group refreshed bucket summaries after answer refinement,
     /// aligned with [`BatchPlan::groups`].
     pub refines: Vec<BucketStats<T>>,
+    /// **Global** prefix counts for [`BatchPlan::value_probes`], in order
+    /// (already Combined — identical on every rank).
+    pub probe_counts: Vec<u64>,
     /// Sketch estimates for [`BatchPlan::sketch_targets`], in order.
     pub sketch_values: Vec<T>,
+    /// Sketch rank estimates for [`BatchPlan::sketch_probes`], in order.
+    pub sketch_ranks: Vec<u64>,
+    /// Collective-op deltas per execution phase.
+    pub phase_ops: PhaseOps,
     /// Communication this shard moved during the batch (a
     /// [`CommStats::since`] delta).
     pub comm: CommStats,
@@ -263,7 +290,8 @@ pub trait ExecBackend<T: Key>: Send {
     fn merge_delta(&mut self) -> Result<Vec<BucketStats<T>>, BackendError>;
 
     /// Executes one coalesced query batch (the
-    /// [`cgselect_core::parallel_multi_select_windows`] dispatch) and
-    /// returns each shard's outcome.
-    fn execute(&mut self, plan: &BatchPlan) -> Result<Vec<ShardBatchOutcome<T>>, BackendError>;
+    /// [`cgselect_core::parallel_multi_select_windows`] dispatch plus the
+    /// vectorized `count_below` probe round) and returns each shard's
+    /// outcome.
+    fn execute(&mut self, plan: &BatchPlan<T>) -> Result<Vec<ShardBatchOutcome<T>>, BackendError>;
 }

@@ -12,7 +12,7 @@
 use cgselect_balance::{rebalance, Balancer};
 use cgselect_core::{parallel_multi_select_windows, RankedWindow};
 use cgselect_runtime::{Key, Proc};
-use cgselect_seqsel::{partition_by_bounds, OpCount};
+use cgselect_seqsel::{bucket_of, partition_by_bounds, OpCount};
 
 use crate::index::{
     bucket_stats, build_shard_index, refined_bounds, splitters_from_samples, BucketStats,
@@ -20,7 +20,7 @@ use crate::index::{
 };
 use crate::sketch::ReservoirSketch;
 
-use super::{BatchPlan, ShardBatchOutcome, ShardDeletion};
+use super::{BatchPlan, PhaseOps, ShardBatchOutcome, ShardDeletion};
 
 /// Per-shard resident data plus its sketch and (optional) bucket index.
 /// Lives wherever the backend keeps shard state: in the worker's
@@ -201,15 +201,65 @@ pub(crate) fn merge_delta_shard<T: Key>(proc: &mut Proc, shard: &mut Shard<T>) -
     dstats
 }
 
-/// Batch execution: the whole per-shard half of [`crate::Engine::execute`]
-/// — delta localization, borrowed candidate windows, the lockstep
-/// multi-select, answer refinement, and the sketch-served estimates. The
-/// measured [`cgselect_runtime::CommStats`] delta and virtual-time makespan
-/// come back in the outcome.
+/// The local prefix count of one value probe over a plain slice, with
+/// measured comparisons.
+fn count_admitted<T: Key>(data: &[T], value: T, inclusive: bool, cmps: &mut u64) -> u64 {
+    *cmps += data.len() as u64;
+    data.iter().filter(|&&x| if inclusive { x <= value } else { x < value }).count() as u64
+}
+
+/// The value-probe phase: local prefix counts for every probe — localized
+/// to the probe's own bucket (plus the delta run) when the shard holds an
+/// index, a full scan otherwise — then **one** vectorized Combine for the
+/// whole probe batch. Runs *before* the multi-select phase, which permutes
+/// the windows and refines the splitters.
+fn count_probes_shard<T: Key>(proc: &mut Proc, shard: &Shard<T>, probes: &[(T, bool)]) -> Vec<u64> {
+    if probes.is_empty() {
+        return Vec::new();
+    }
+    let mut cmps = 0u64;
+    let mut ops = OpCount::new();
+    let local: Vec<u64> = match &shard.index {
+        Some(idx) => {
+            let delta_start = idx.delta_start();
+            probes
+                .iter()
+                .map(|&(v, inclusive)| {
+                    // Every element of a bucket below `b` is strictly below
+                    // the probe value, every element above is strictly
+                    // above: only bucket `b` itself (and the unindexed
+                    // delta run) needs scanning.
+                    let b = bucket_of(&idx.bounds, &v, &mut ops);
+                    idx.offsets[b] as u64
+                        + count_admitted(
+                            &shard.data[idx.offsets[b]..idx.offsets[b + 1]],
+                            v,
+                            inclusive,
+                            &mut cmps,
+                        )
+                        + count_admitted(&shard.data[delta_start..], v, inclusive, &mut cmps)
+                })
+                .collect()
+        }
+        None => probes
+            .iter()
+            .map(|&(v, inclusive)| count_admitted(&shard.data, v, inclusive, &mut cmps))
+            .collect(),
+    };
+    proc.charge_ops(ops.total() + cmps);
+    proc.combine(local, |a, b| a.into_iter().zip(b).map(|(x, y)| x + y).collect::<Vec<u64>>())
+}
+
+/// Batch execution: the whole per-shard half of [`crate::Engine::run`]
+/// — the vectorized value-probe Combine, delta localization, borrowed
+/// candidate windows, the lockstep multi-select, answer refinement, and
+/// the sketch-served estimates (both directions). The measured
+/// [`cgselect_runtime::CommStats`] delta, per-phase collective-op deltas
+/// and virtual-time makespan come back in the outcome.
 pub(crate) fn execute_shard<T: Key>(
     proc: &mut Proc,
     shard: &mut Shard<T>,
-    plan: &BatchPlan,
+    plan: &BatchPlan<T>,
 ) -> ShardBatchOutcome<T> {
     let n_exact = plan.exact_ranks.len();
     let run_full = !plan.use_index && n_exact > 0;
@@ -219,6 +269,10 @@ pub(crate) fn execute_shard<T: Key>(
     proc.barrier();
     let comm0 = proc.comm_stats();
     let t0 = proc.now();
+
+    // Phase 1: value probes — one Combine round for all of them together.
+    let probe_counts = count_probes_shard(proc, shard, &plan.value_probes);
+    let ops_after_probes = proc.comm_stats().collective_ops;
 
     let mut exact: Vec<Option<T>> = vec![None; n_exact];
     let mut refines: Vec<BucketStats<T>> = Vec::new();
@@ -318,7 +372,7 @@ pub(crate) fn execute_shard<T: Key>(
         // borrowed in place — the pre-index full-shard clone is
         // gone on this path too.
         let pairs: Vec<(u64, usize)> =
-            plan.exact_ranks.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+            plan.exact_ranks.iter().enumerate().map(|(i, r)| (r, i)).collect();
         let window = RankedWindow {
             slice: &mut shard.data,
             extra: Vec::new(),
@@ -327,29 +381,48 @@ pub(crate) fn execute_shard<T: Key>(
         };
         exact = parallel_multi_select_windows(proc, vec![window], n_exact, &plan.selection);
     }
+    let ops_after_exact = proc.comm_stats().collective_ops;
 
-    let sketch_values: Vec<T> = if plan.sketch_targets.is_empty() {
-        Vec::new()
-    } else {
+    let mut sketch_values: Vec<T> = Vec::new();
+    let mut sketch_ranks: Vec<u64> = Vec::new();
+    if !plan.sketch_targets.is_empty() || !plan.sketch_probes.is_empty() {
         // The approximate path moves only the sketches: every rank
         // learns all reservoirs + populations and computes the
-        // same deterministic estimates.
+        // same deterministic estimates — forward (rank → element)
+        // and inverse (value → rank) off the same single gather.
         let samples = proc.all_gatherv(shard.sketch.samples().to_vec());
         let pops = proc.all_gather(shard.sketch.population());
         let merged: Vec<(Vec<T>, u64)> = samples.into_iter().zip(pops).collect();
         let sample_count: u64 = merged.iter().map(|(s, _)| s.len() as u64).sum();
         proc.charge_ops(sample_count * (1 + sample_count.max(2).ilog2() as u64));
-        plan.sketch_targets
+        sketch_values = plan
+            .sketch_targets
             .iter()
             .map(|&target| crate::sketch::estimate_rank(&merged, target))
-            .collect()
-    };
+            .collect();
+        sketch_ranks = plan
+            .sketch_probes
+            .iter()
+            .map(|&(v, inclusive)| {
+                crate::sketch::estimate_rank_of(&merged, v, inclusive).min(plan.full_total)
+            })
+            .collect();
+    }
 
+    let comm = proc.comm_stats().since(&comm0);
+    let base = comm0.collective_ops;
     ShardBatchOutcome {
         exact,
         refines,
+        probe_counts,
         sketch_values,
-        comm: proc.comm_stats().since(&comm0),
+        sketch_ranks,
+        phase_ops: PhaseOps {
+            probes: ops_after_probes - base,
+            exact: ops_after_exact - ops_after_probes,
+            sketch: comm.collective_ops - (ops_after_exact - base),
+        },
+        comm,
         elapsed: proc.now() - t0,
     }
 }

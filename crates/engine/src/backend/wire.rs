@@ -15,6 +15,7 @@
 use cgselect_runtime::{CommStats, Key};
 
 use crate::index::{BucketStats, Group};
+use crate::query::RankSet;
 
 /// Builds one wire frame.
 pub(crate) struct Writer {
@@ -112,6 +113,26 @@ impl Writer {
         self.u64(s.msgs_recv);
         self.u64(s.bytes_recv);
         self.u64(s.collective_ops);
+    }
+
+    /// Value probes ride as `(key, inclusive)` pairs.
+    pub(crate) fn probes<T: Key>(&mut self, probes: &[(T, bool)]) {
+        self.usize(probes.len());
+        for &(v, inclusive) in probes {
+            self.key(v);
+            self.bool(inclusive);
+        }
+    }
+
+    /// A rank set rides as its runs — the whole point of the compact
+    /// representation is that `TopK(k)` costs one `(0, k)` pair on the
+    /// wire, not `k` ranks.
+    pub(crate) fn rank_set(&mut self, set: &RankSet) {
+        self.usize(set.num_runs());
+        for (start, len) in set.runs() {
+            self.u64(start);
+            self.u64(len);
+        }
     }
 }
 
@@ -213,6 +234,29 @@ impl<'a> Reader<'a> {
         }
     }
 
+    pub(crate) fn probes<T: Key>(&mut self) -> Vec<(T, bool)> {
+        let len = self.usize();
+        (0..len)
+            .map(|_| {
+                let v = self.key();
+                let inclusive = self.bool();
+                (v, inclusive)
+            })
+            .collect()
+    }
+
+    pub(crate) fn rank_set(&mut self) -> RankSet {
+        let len = self.usize();
+        let runs = (0..len)
+            .map(|_| {
+                let start = self.u64();
+                let l = self.u64();
+                (start, l)
+            })
+            .collect();
+        RankSet::from_runs(runs)
+    }
+
     /// Asserts the frame was consumed exactly — a cheap wire-format check
     /// applied to every decoded command and reply.
     pub(crate) fn finish(self) {
@@ -261,12 +305,16 @@ mod tests {
             bytes_recv: 4,
             collective_ops: 5,
         };
+        let probes: Vec<(u64, bool)> = vec![(5, false), (5, true), (900, false)];
+        let ranks = RankSet::from_runs(vec![(0, 100_000), (500_000, 1), (700_000, 3)]);
         let mut w = Writer::new(0);
         w.keys(&[10u64, 20, 30]);
         w.u64s(&[7, 8]);
         w.bucket_stats(&stats);
         w.group(&group);
         w.comm_stats(&comm);
+        w.probes(&probes);
+        w.rank_set(&ranks);
         let frame = w.into_frame();
         let mut r = Reader::new(&frame);
         assert_eq!(r.keys::<u64>(), vec![10, 20, 30]);
@@ -274,7 +322,18 @@ mod tests {
         assert_eq!(r.bucket_stats::<u64>(), stats);
         assert_eq!(r.group(), group);
         assert_eq!(r.comm_stats(), comm);
+        assert_eq!(r.probes::<u64>(), probes);
+        assert_eq!(r.rank_set(), ranks);
         r.finish();
+    }
+
+    #[test]
+    fn rank_set_wire_size_is_per_run_not_per_rank() {
+        // TopK(100_000) must ride as one run, not 100k ranks.
+        let ranks = RankSet::from_runs(vec![(0, 100_000)]);
+        let mut w = Writer::new(0);
+        w.rank_set(&ranks);
+        assert!(w.into_frame().len() < 64, "a single run must encode in O(1) bytes");
     }
 
     #[test]

@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 use cgselect_runtime::Key;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
-use crate::{Answer, Engine, EngineError, MutationReport, Query};
+use crate::{Answer, Engine, EngineError, MutationReport, Outcome, Query, Request};
 
 /// How long the batcher sleeps between polls while idle or paused, and the
 /// cap on any single in-window wait (so shutdown is observed promptly even
@@ -182,8 +182,12 @@ impl<R> std::fmt::Debug for Ticket<R> {
     }
 }
 
-/// A [`Ticket`] resolving to a query's [`Answer`].
+/// A [`Ticket`] resolving to a v1 query's [`Answer`].
 pub type QueryTicket<T> = Ticket<Answer<T>>;
+
+/// A [`Ticket`] resolving to a v2 request's [`Outcome`] (answer +
+/// provenance + attributed cost).
+pub type OutcomeTicket<T> = Ticket<Outcome<T>>;
 
 /// A [`Ticket`] resolving to an ingest/delete's [`MutationReport`].
 pub type MutationTicket = Ticket<MutationReport>;
@@ -368,9 +372,33 @@ impl<I> Accumulator<I> {
 // Submissions
 // ---------------------------------------------------------------------------
 
+/// Where one pending request's result goes: a v1 ticket (the outcome is
+/// folded back into an [`Answer`]) or a v2 ticket (the typed [`Outcome`]
+/// is delivered as-is).
+enum ReplyTx<T: Key> {
+    Answer(Sender<Result<Answer<T>, AsyncError>>),
+    Outcome(Sender<Result<Outcome<T>, AsyncError>>),
+}
+
+impl<T: Key> ReplyTx<T> {
+    /// Delivers one result, converting to the ticket's surface (the shared
+    /// `answer_from_response` fold for v1 tickets). The ticket may have
+    /// been dropped; a failed send is fine.
+    fn deliver(self, result: Result<Outcome<T>, AsyncError>) {
+        match self {
+            ReplyTx::Outcome(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplyTx::Answer(tx) => {
+                let _ = tx.send(result.map(|o| crate::query::answer_from_response(o.response)));
+            }
+        }
+    }
+}
+
 struct PendingQuery<T: Key> {
-    query: Query,
-    tx: Sender<Result<Answer<T>, AsyncError>>,
+    request: Request<T>,
+    reply: ReplyTx<T>,
     submitted_at: Instant,
 }
 
@@ -386,7 +414,10 @@ struct PendingMutation<T: Key> {
 }
 
 enum Submission<T: Key> {
-    Query(PendingQuery<T>),
+    /// One or more queries admitted together (a [`SubmissionQueue::submit`]
+    /// carries one; a [`SubmissionQueue::submit_many`] carries the whole
+    /// aligned slice in a single queue slot).
+    Queries(Vec<PendingQuery<T>>),
     Mutation(PendingMutation<T>),
 }
 
@@ -465,40 +496,87 @@ impl<T: Key> SubmissionQueue<T> {
         }
     }
 
-    fn admit(&self, sub: Submission<T>) -> Result<(), SubmitError> {
+    fn admit(&self, sub: Submission<T>, queries: u64) -> Result<(), SubmitError> {
         if self.shared.closing.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
         match self.tx.try_send(sub) {
             Ok(()) => {
-                self.shared.submitted.fetch_add(1, Ordering::SeqCst);
+                self.shared.submitted.fetch_add(queries.max(1), Ordering::SeqCst);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
-                self.shared.rejected.fetch_add(1, Ordering::SeqCst);
+                self.shared.rejected.fetch_add(queries.max(1), Ordering::SeqCst);
                 Err(SubmitError::Saturated { capacity: self.capacity })
             }
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
         }
     }
 
-    /// Enqueues one query; the returned ticket resolves to its [`Answer`]
-    /// once the micro-batch it coalesced into has executed.
+    /// Enqueues one v1 query; the returned ticket resolves to its
+    /// [`Answer`] once the micro-batch it coalesced into has executed.
     pub fn submit(&self, query: Query) -> Result<QueryTicket<T>, SubmitError> {
         let (tx, rx) = unbounded();
-        self.admit(Submission::Query(PendingQuery { query, tx, submitted_at: Instant::now() }))?;
+        self.admit(
+            Submission::Queries(vec![PendingQuery {
+                request: query.to_request(),
+                reply: ReplyTx::Answer(tx),
+                submitted_at: Instant::now(),
+            }]),
+            1,
+        )?;
         Ok(Ticket { rx })
+    }
+
+    /// Enqueues one typed v2 [`Request`]; the returned ticket resolves to
+    /// its [`Outcome`] (answer + provenance + attributed cost).
+    pub fn submit_request(&self, request: Request<T>) -> Result<OutcomeTicket<T>, SubmitError> {
+        let mut tickets = self.submit_many(vec![request])?;
+        Ok(tickets.pop().expect("one ticket per request"))
+    }
+
+    /// Enqueues a whole slice of typed v2 [`Request`]s in **one
+    /// admission** — a single bounded-queue slot, accepted or rejected
+    /// atomically — and returns one ticket per request, aligned with the
+    /// input. The requests ride the same micro-batch window as everything
+    /// else (and may split across batches at the
+    /// [`max_batch`](FrontendConfig::max_batch) boundary); each ticket
+    /// resolves independently, so one invalid request fails its own
+    /// ticket, never its neighbors'.
+    pub fn submit_many(
+        &self,
+        requests: Vec<Request<T>>,
+    ) -> Result<Vec<OutcomeTicket<T>>, SubmitError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let now = Instant::now();
+        let count = requests.len() as u64;
+        let mut tickets = Vec::with_capacity(requests.len());
+        let pending: Vec<PendingQuery<T>> = requests
+            .into_iter()
+            .map(|request| {
+                let (tx, rx) = unbounded();
+                tickets.push(Ticket { rx });
+                PendingQuery { request, reply: ReplyTx::Outcome(tx), submitted_at: now }
+            })
+            .collect();
+        self.admit(Submission::Queries(pending), count)?;
+        Ok(tickets)
     }
 
     /// Enqueues an ingest. FIFO with queries: earlier-submitted queries see
     /// the engine without `items`, later ones see it with them.
     pub fn submit_ingest(&self, items: Vec<T>) -> Result<MutationTicket, SubmitError> {
         let (tx, rx) = unbounded();
-        self.admit(Submission::Mutation(PendingMutation {
-            op: MutationOp::Ingest(items),
-            tx,
-            submitted_at: Instant::now(),
-        }))?;
+        self.admit(
+            Submission::Mutation(PendingMutation {
+                op: MutationOp::Ingest(items),
+                tx,
+                submitted_at: Instant::now(),
+            }),
+            1,
+        )?;
         Ok(Ticket { rx })
     }
 
@@ -506,11 +584,14 @@ impl<T: Key> SubmissionQueue<T> {
     /// [`submit_ingest`](Self::submit_ingest).
     pub fn submit_delete(&self, values: Vec<T>) -> Result<MutationTicket, SubmitError> {
         let (tx, rx) = unbounded();
-        self.admit(Submission::Mutation(PendingMutation {
-            op: MutationOp::Delete(values),
-            tx,
-            submitted_at: Instant::now(),
-        }))?;
+        self.admit(
+            Submission::Mutation(PendingMutation {
+                op: MutationOp::Delete(values),
+                tx,
+                submitted_at: Instant::now(),
+            }),
+            1,
+        )?;
         Ok(Ticket { rx })
     }
 
@@ -583,9 +664,11 @@ fn batcher_loop<T: Key>(
         // Idle: wait for the first submission of the next batch.
         match rx.recv_timeout(IDLE_POLL) {
             Ok(sub) => match sub {
-                Submission::Query(pq) => {
-                    for batch in acc.push(pq, now_ns(base)) {
-                        execute_batch(&mut engine, batch, &shared);
+                Submission::Queries(pqs) => {
+                    for pq in pqs {
+                        for batch in acc.push(pq, now_ns(base)) {
+                            execute_batch(&mut engine, batch, &shared);
+                        }
                     }
                 }
                 Submission::Mutation(m) => {
@@ -609,9 +692,11 @@ fn batcher_loop<T: Key>(
             let drain_now = now_ns(base);
             loop {
                 match rx.try_recv() {
-                    Ok(Submission::Query(pq)) => {
-                        for batch in acc.push(pq, drain_now) {
-                            execute_batch(&mut engine, batch, &shared);
+                    Ok(Submission::Queries(pqs)) => {
+                        for pq in pqs {
+                            for batch in acc.push(pq, drain_now) {
+                                execute_batch(&mut engine, batch, &shared);
+                            }
                         }
                     }
                     Ok(Submission::Mutation(m)) => {
@@ -641,9 +726,11 @@ fn batcher_loop<T: Key>(
             // Wait for stragglers, capped so closing is observed promptly.
             let wait = Duration::from_nanos(rem).min(COLLECT_POLL_CAP);
             match rx.recv_timeout(wait) {
-                Ok(Submission::Query(pq)) => {
-                    for batch in acc.push(pq, now_ns(base)) {
-                        execute_batch(&mut engine, batch, &shared);
+                Ok(Submission::Queries(pqs)) => {
+                    for pq in pqs {
+                        for batch in acc.push(pq, now_ns(base)) {
+                            execute_batch(&mut engine, batch, &shared);
+                        }
                     }
                 }
                 Ok(Submission::Mutation(m)) => {
@@ -667,15 +754,15 @@ fn batcher_loop<T: Key>(
     engine
 }
 
-/// An answer (or error) staged for delivery to one ticket after the batch's
-/// stats have been committed.
-type Delivery<T> = (Sender<Result<Answer<T>, AsyncError>>, Result<Answer<T>, AsyncError>);
+/// An outcome (or error) staged for delivery to one ticket after the
+/// batch's stats have been committed.
+type Delivery<T> = (ReplyTx<T>, Result<Outcome<T>, AsyncError>);
 
-/// Executes one coalesced batch: validates each query individually (an
-/// invalid query fails its own ticket, not its neighbors), runs the valid
-/// remainder as one `Engine::execute` pass, updates the stats, and only
-/// then delivers the answers (so a client that saw its answer also sees the
-/// batch in the stats).
+/// Executes one coalesced batch: validates each request individually (an
+/// invalid request fails its own ticket, not its neighbors), runs the
+/// valid remainder as one `Engine::run` pass, updates the stats, and only
+/// then delivers the outcomes (so a client that saw its answer also sees
+/// the batch in the stats).
 fn execute_batch<T: Key>(engine: &mut Engine<T>, batch: Vec<PendingQuery<T>>, shared: &Shared) {
     if batch.is_empty() {
         return;
@@ -689,36 +776,37 @@ fn execute_batch<T: Key>(engine: &mut Engine<T>, batch: Vec<PendingQuery<T>>, sh
         max_wait = max_wait.max(wait);
     }
 
-    let mut valid: Vec<Query> = Vec::with_capacity(batch.len());
-    let mut valid_tx = Vec::with_capacity(batch.len());
+    let mut valid: Vec<Request<T>> = Vec::with_capacity(batch.len());
+    let mut valid_reply = Vec::with_capacity(batch.len());
     let mut deliveries: Vec<Delivery<T>> = Vec::with_capacity(batch.len());
     let mut failures = 0u64;
     for pq in batch {
-        match engine.validate_query(&pq.query) {
+        match engine.validate_request(&pq.request) {
             Ok(()) => {
-                valid.push(pq.query);
-                valid_tx.push(pq.tx);
+                valid.push(pq.request);
+                valid_reply.push(pq.reply);
             }
             Err(e) => {
                 failures += 1;
-                deliveries.push((pq.tx, Err(AsyncError::Engine(e))));
+                deliveries.push((pq.reply, Err(AsyncError::Engine(e))));
             }
         }
     }
 
     let mut executed = None;
     if !valid.is_empty() {
-        match engine.execute(&valid) {
+        match engine.run(&valid) {
             Ok(report) => {
-                for (tx, answer) in valid_tx.into_iter().zip(report.answers.iter().cloned()) {
-                    deliveries.push((tx, Ok(answer)));
+                for (reply, outcome) in valid_reply.into_iter().zip(report.outcomes.iter().cloned())
+                {
+                    deliveries.push((reply, Ok(outcome)));
                 }
                 executed = Some(report);
             }
             Err(e) => {
                 failures += valid.len() as u64;
-                for tx in valid_tx {
-                    deliveries.push((tx, Err(AsyncError::Engine(e.clone()))));
+                for reply in valid_reply {
+                    deliveries.push((reply, Err(AsyncError::Engine(e.clone()))));
                 }
             }
         }
@@ -744,8 +832,8 @@ fn execute_batch<T: Key>(engine: &mut Engine<T>, batch: Vec<PendingQuery<T>>, sh
         }
     }
 
-    for (tx, result) in deliveries {
-        let _ = tx.send(result); // the ticket may have been dropped
+    for (reply, result) in deliveries {
+        reply.deliver(result);
     }
 }
 
@@ -862,6 +950,17 @@ mod tests {
         let stats = queue.stats();
         assert_eq!(stats.failures, 1);
         assert_eq!(stats.queries_executed, 2);
+    }
+
+    #[test]
+    fn empty_submit_many_is_a_no_op() {
+        let mut engine = free_engine(2);
+        engine.ingest(vec![1, 2, 3]).unwrap();
+        let queue = SubmissionQueue::start(engine, FrontendConfig::new());
+        // No admission, no queue slot, no phantom submitted count.
+        assert!(queue.submit_many(Vec::new()).unwrap().is_empty());
+        assert_eq!(queue.stats().submitted, 0);
+        assert_eq!(queue.queue_depth(), 0);
     }
 
     #[test]

@@ -213,16 +213,17 @@ impl<T: Key> GlobalIndex<T> {
         }
     }
 
-    /// Routes the batch's sorted, deduplicated rank list: fast-path ranks
-    /// are answered from the histogram; the rest coalesce into disjoint
-    /// candidate-window groups (overlapping windows merge).
-    pub fn route(&self, ranks: &[u64]) -> Routing<T> {
+    /// Routes the batch's sorted, deduplicated rank sequence (ascending —
+    /// a [`crate::RankSet`] iteration): fast-path ranks are answered from
+    /// the histogram; the rest coalesce into disjoint candidate-window
+    /// groups (overlapping windows merge).
+    pub fn route(&self, ranks: impl Iterator<Item = u64>) -> Routing<T> {
         /// An under-construction group: window bounds plus its
         /// `(global rank, slot)` members, ascending.
         type OpenGroup = (usize, usize, Vec<(u64, usize)>);
         let mut routing = Routing { groups: Vec::new(), fast: Vec::new() };
         let mut open: Vec<OpenGroup> = Vec::new();
-        for (slot, &r) in ranks.iter().enumerate() {
+        for (slot, r) in ranks.enumerate() {
             if let Some(v) = self.fast_value(r) {
                 routing.fast.push((slot, v));
                 continue;
@@ -245,6 +246,57 @@ impl<T: Key> GlobalIndex<T> {
             routing.groups.push(Group { lo, hi, n, ranks, out });
         }
         routing
+    }
+
+    /// Histogram-only *rank-direction* resolution under a loosened
+    /// contract: `Some((value, max_rank_error))` when rank `r`'s window is
+    /// a single bucket with known min/max and no delta elements can shift
+    /// it. A constant bucket yields the exact element (`max_rank_error =
+    /// 0`, the [`fast_value`](Self::fast_value) case); otherwise the
+    /// bucket's minimum is returned with the error bounded by the target's
+    /// offset into the bucket — zero element scans either way.
+    pub fn approx_value(&self, r: u64) -> Option<(T, u64)> {
+        if self.delta_total != 0 || self.counts.is_empty() {
+            return None;
+        }
+        let (lo, hi) = self.window(r);
+        if lo != hi {
+            return None;
+        }
+        match self.minmax[lo] {
+            Some((mn, mx)) if mn == mx => Some((mn, 0)),
+            // `mn`'s first occurrence sits at the bucket's base rank, so
+            // its rank distance to `r` is at most the offset into the
+            // bucket.
+            Some((mn, _)) => Some((mn, r - self.prefix[lo])),
+            None => None,
+        }
+    }
+
+    /// Histogram-only bracket `[lo, hi]` on the prefix count of elements
+    /// admitted by the probe `(v, inclusive)` (`x < v`, or `x ≤ v` when
+    /// inclusive) — zero element scans, zero collectives.
+    ///
+    /// Buckets are value-disjoint under the shared splitters, so at most
+    /// one bucket's contribution is ambiguous, and only when its tracked
+    /// `min`/`max` straddle the probe; refined equality-class buckets
+    /// (`min == max`) always resolve exactly. The bracket is exact
+    /// (`lo == hi`) precisely when every bucket resolves and no unindexed
+    /// delta elements are pending — "the splitters bound the answer".
+    pub fn count_bounds(&self, v: T, inclusive: bool) -> (u64, u64) {
+        let mut below = 0u64;
+        let mut ambiguous = 0u64;
+        for (&count, &mm) in self.counts.iter().zip(&self.minmax) {
+            let Some((mn, mx)) = mm else { continue };
+            let all_below = if inclusive { mx <= v } else { mx < v };
+            let none_below = if inclusive { mn > v } else { mn >= v };
+            if all_below {
+                below += count;
+            } else if !none_below {
+                ambiguous += count;
+            }
+        }
+        (below, below + ambiguous + self.delta_total)
     }
 
     /// Applies one refined window: buckets `lo..=hi` are replaced by the
@@ -383,7 +435,7 @@ mod tests {
     fn route_merges_overlapping_windows_and_splits_fast_ranks() {
         let mut g = idx(&[10, 10, 10], &[1, 2, 3]);
         g.minmax[1] = Some((2, 5)); // middle bucket not constant
-        let routing = g.route(&[0, 12, 15, 25]);
+        let routing = g.route([0, 12, 15, 25].into_iter());
         // Ranks 0 and 25 hit constant singleton buckets -> fast.
         assert_eq!(routing.fast, vec![(0, 1), (3, 3)]);
         // Ranks 12 and 15 share bucket-1's window -> one group.
@@ -392,6 +444,41 @@ mod tests {
         assert_eq!((grp.lo, grp.hi, grp.n), (1, 1, 10));
         assert_eq!(grp.ranks, vec![2, 5]); // relative to prefix[1] = 10
         assert_eq!(grp.out, vec![1, 2]);
+    }
+
+    #[test]
+    fn count_bounds_are_exact_when_splitters_bound_the_probe() {
+        // Buckets: 10×1 | 5 in [3,6] | 4×9.
+        let mut g = idx(&[10, 5, 4], &[1, 0, 9]);
+        g.minmax[1] = Some((3, 6));
+        // Probes resolved by constant buckets alone are exact.
+        assert_eq!(g.count_bounds(1, false), (0, 0));
+        assert_eq!(g.count_bounds(1, true), (10, 10));
+        assert_eq!(g.count_bounds(2, false), (10, 10));
+        assert_eq!(g.count_bounds(9, false), (15, 15));
+        assert_eq!(g.count_bounds(9, true), (19, 19));
+        // A probe inside the straddling bucket brackets by its count.
+        assert_eq!(g.count_bounds(5, false), (10, 15));
+        assert_eq!(g.count_bounds(6, true), (15, 15)); // mx <= v resolves
+        assert_eq!(g.count_bounds(6, false), (10, 15));
+        // A pending delta widens every bracket.
+        g.delta_total = 3;
+        assert_eq!(g.count_bounds(1, true), (10, 13));
+    }
+
+    #[test]
+    fn approx_value_serves_single_bucket_windows() {
+        let mut g = idx(&[4, 6], &[7, 0]);
+        g.minmax[1] = Some((9, 20));
+        // Constant bucket: exact, zero error.
+        assert_eq!(g.approx_value(0), Some((7, 0)));
+        // Straddling bucket: its min, error = offset into the bucket.
+        assert_eq!(g.approx_value(4), Some((9, 0)));
+        assert_eq!(g.approx_value(8), Some((9, 4)));
+        // Delta pending: refuse (the window is no longer a single bucket
+        // in general, and counts are uncertain).
+        g.delta_total = 1;
+        assert_eq!(g.approx_value(0), None);
     }
 
     #[test]

@@ -10,14 +10,27 @@
 //!
 //! What the engine adds over raw `parallel_select`:
 //!
-//! * **Batched execution** — a batch's [`Query::Rank`] / [`Query::Quantile`]
-//!   / [`Query::Median`] / [`Query::TopK`] queries are coalesced into *one*
-//!   sorted, deduplicated rank list and resolved by a single lockstep
+//! * **A typed query surface with inverse queries** — [`Engine::run`]
+//!   takes [`Request`]s: forward rank-direction kinds (ranks, quantiles,
+//!   multi-quantiles, median, min/max, top-k) *and* the inverse direction
+//!   the paper's count-below-pivot primitive makes natural —
+//!   [`QueryKind::RankOf`] (value → rank, a CDF point) and
+//!   [`QueryKind::CountBetween`] (range → count) — each under an explicit
+//!   [`Accuracy`] contract (`Exact` | `WithinRank` | `HistogramOk`).
+//!   Every answer is an [`Outcome`]: the [`Response`] plus **provenance**
+//!   ([`Served::Histogram`] / [`Served::Sketch`] / [`Served::Index`] /
+//!   [`Served::Scan`]) and an attributed collective-op cost. The original
+//!   closed [`Query`] enum still works: [`Engine::execute`] is a thin
+//!   compatibility shim over the same path.
+//! * **Batched execution** — a batch's rank-direction queries are
+//!   coalesced into *one* deduplicated [`RankSet`] (contiguous runs, so
+//!   `TopK(k)` plans in O(1)) and resolved by a single lockstep
 //!   multi-select pass ([`cgselect_core::parallel_multi_select_windows`]):
 //!   `R` rank queries cost `O(log n + R)` pivot rounds instead of
-//!   `O(R·log n)`. Per-batch [`BatchReport`] carries the measured
-//!   [`cgselect_runtime::CommStats`], the collective-operation count and the
-//!   virtual-time makespan.
+//!   `O(R·log n)`. All value probes of a batch share **one** vectorized
+//!   `count_below` Combine round. Per-batch [`BatchReport`] /
+//!   [`RunReport`] carry the measured [`cgselect_runtime::CommStats`], the
+//!   collective-operation count and the virtual-time makespan.
 //! * **A resident bucket index** — each shard keeps its data organized into
 //!   buckets under *shared* sample-derived splitters, and the engine caches
 //!   the global per-bucket histogram. A rank query localizes against the
@@ -27,7 +40,11 @@
 //!   pre-index engine is gone), and windows that collapse to one
 //!   repeated-value bucket are answered from the histogram alone — zero
 //!   element scans, which is the steady state for repeated quantiles
-//!   because resolved answers refine the splitters. Ingest appends to a
+//!   because resolved answers refine the splitters. The same cached
+//!   histogram serves the inverse direction: a value probe the splitters
+//!   bound is answered host-side with zero scans and zero collectives
+//!   (and a batch fully resolved this way never consults the backend at
+//!   all). Ingest appends to a
 //!   small unindexed *delta run* that is merged amortized; rebalance
 //!   rebuilds the splitters. See [`EngineConfig::index_buckets`],
 //!   [`EngineConfig::delta_threshold`] and [`Engine::index_health`].
@@ -80,19 +97,23 @@ pub mod frontend;
 mod index;
 mod measure;
 mod query;
+mod request;
 pub mod sketch;
 
 pub use backend::{
     BackendChoice, BackendError, BackendKind, BatchPlan, ChannelMp, ChannelMpTuning, ExecBackend,
-    Fault, LocalSpmd, ShardBatchOutcome, ShardDeletion,
+    Fault, LocalSpmd, PhaseOps, ShardBatchOutcome, ShardDeletion,
 };
 pub use frontend::{
-    AsyncError, FrontendConfig, FrontendStats, MutationTicket, QueryTicket, SubmissionQueue,
-    SubmitError, Ticket,
+    AsyncError, FrontendConfig, FrontendStats, MutationTicket, OutcomeTicket, QueryTicket,
+    SubmissionQueue, SubmitError, Ticket,
 };
 pub use index::{BucketStats, Group};
 pub use measure::{measure_rounds, ExecutionMode, RoundsMeasurement};
-pub use query::{quantile_rank, Answer, Query};
+pub use query::{quantile_rank, Answer, Query, RankSet};
+pub use request::{
+    Accuracy, Bounds, CostAttribution, Outcome, QueryKind, Request, Response, RunReport, Served,
+};
 pub use sketch::ReservoirSketch;
 
 use std::sync::Arc;
@@ -102,6 +123,7 @@ use cgselect_core::SelectionConfig;
 use cgselect_runtime::{CommStats, Key, MachineModel, RunError};
 
 use index::{merge_stats, GlobalIndex};
+use query::Resolution;
 
 /// Configuration of a persistent engine.
 #[derive(Clone, Debug)]
@@ -551,12 +573,20 @@ impl<T: Key> Engine<T> {
         Ok(MutationReport { elements: removed_total, rebalanced })
     }
 
-    /// Checks one query's domain against the current resident population
-    /// without executing it — exactly the validation [`Engine::execute`]
-    /// applies to a whole batch, exposed per query so the async frontend
-    /// can fail an invalid query's ticket without failing its batch.
+    /// Checks one v1 query's domain against the current resident
+    /// population without executing it — the compatibility twin of
+    /// [`Engine::validate_request`].
     pub fn validate_query(&self, query: &Query) -> Result<(), EngineError> {
         query::validate(query, self.total)
+    }
+
+    /// Checks one v2 request's domain against the current resident
+    /// population without executing it — exactly the validation
+    /// [`Engine::run`] applies to a whole batch, exposed per request so
+    /// the async frontend can fail an invalid request's ticket without
+    /// failing its batch.
+    pub fn validate_request(&self, request: &Request<T>) -> Result<(), EngineError> {
+        query::validate_request(request, self.total)
     }
 
     /// Hands this engine (and its persistent session) to a dedicated
@@ -566,30 +596,93 @@ impl<T: Key> Engine<T> {
         SubmissionQueue::start(self, cfg)
     }
 
-    /// Executes one batch of queries against the resident data.
-    ///
-    /// All rank-type queries (ranks, exact quantiles, medians, top-k) are
-    /// coalesced into one rank list; each rank is localized against the
-    /// cached bucket histogram (answered outright when its candidate window
-    /// is a single repeated-value bucket) and the remainder is resolved by
-    /// a single lockstep multi-select pass over the candidate buckets,
-    /// borrowed in place. Quantiles with a tolerance the sketches can honor
-    /// are answered without touching the full data. Answers are aligned
-    /// with `queries`.
+    /// Executes one batch of v1 [`Query`]s against the resident data —
+    /// a thin compatibility shim over [`Engine::run`]: each query is
+    /// lowered by [`Query::to_request`], the batch runs on the v2 path,
+    /// and the typed [`Outcome`]s are folded back into v1 [`Answer`]s.
+    /// Old callers compile and behave unchanged.
     pub fn execute(&mut self, queries: &[Query]) -> Result<BatchReport<T>, EngineError> {
-        let sketch_bound = if self.cfg.sketch_capacity == 0 {
-            f64::INFINITY
-        } else {
-            let shards: Vec<(usize, u64)> = self
-                .shard_sizes
-                .iter()
-                .map(|&n| (self.cfg.sketch_capacity.min(n as usize), n))
-                .collect();
-            sketch::support_bound(&shards)
-        };
-        let plan = query::plan(queries, self.total, sketch_bound)?;
+        let requests: Vec<Request<T>> = queries.iter().map(Query::to_request).collect();
+        let run = self.run(&requests)?;
+        let answers =
+            run.outcomes.into_iter().map(|o| query::answer_from_response(o.response)).collect();
+        Ok(BatchReport {
+            answers,
+            comm: run.comm,
+            collective_ops: run.collective_ops,
+            makespan: run.makespan,
+            exact_ranks: run.exact_ranks,
+            sketch_answers: run.sketch_answers,
+            histogram_answers: run.histogram_answers,
+            delta_occupancy: run.delta_occupancy,
+        })
+    }
 
-        if self.cfg.index_buckets > 0 && !plan.exact_ranks.is_empty() {
+    /// The smallest fractional rank-error tolerance the resident sketches
+    /// can currently honor (∞ when sketches are disabled).
+    fn sketch_bound(&self) -> f64 {
+        if self.cfg.sketch_capacity == 0 {
+            return f64::INFINITY;
+        }
+        let shards: Vec<(usize, u64)> = self
+            .shard_sizes
+            .iter()
+            .map(|&n| (self.cfg.sketch_capacity.min(n as usize), n))
+            .collect();
+        sketch::support_bound(&shards)
+    }
+
+    /// Executes one batch of typed v2 [`Request`]s against the resident
+    /// data (see [`request`](crate::Request) for the surface).
+    ///
+    /// Rank-direction requests are coalesced into one deduplicated
+    /// [`RankSet`]; each rank localizes against the cached bucket
+    /// histogram (answered outright when its candidate window is a single
+    /// repeated-value bucket) and the remainder resolves in a single
+    /// lockstep multi-select pass over candidate buckets borrowed in
+    /// place. Value-direction requests ([`QueryKind::RankOf`],
+    /// [`QueryKind::CountBetween`]) coalesce their endpoints into one
+    /// probe list: probes the histogram's splitters bound are answered
+    /// host-side with **zero data scans** (provenance
+    /// [`Served::Histogram`]), and the rest cost **one vectorized Combine
+    /// round for the whole probe batch**, no matter how many probes.
+    /// Requests whose [`Accuracy`] contract the sketches can honor are
+    /// served from the sketches without touching the full data. A batch
+    /// fully resolved from the histogram skips the backend entirely (zero
+    /// collectives). Outcomes are aligned with `requests`, each carrying
+    /// its answer, provenance and attributed collective-op cost.
+    ///
+    /// ```
+    /// use cgselect_engine::{Bounds, Engine, EngineConfig, Request, Served};
+    ///
+    /// let mut engine: Engine<u64> = Engine::new(EngineConfig::new(4)).unwrap();
+    /// engine.ingest((0..1000u64).rev().collect()).unwrap();
+    /// let report = engine
+    ///     .run(&[
+    ///         Request::median(),
+    ///         Request::rank_of(250),
+    ///         Request::count_between(Bounds::closed(100, 199)),
+    ///     ])
+    ///     .unwrap();
+    /// assert_eq!(report.outcomes[0].response.element(), Some(499));
+    /// assert_eq!(report.outcomes[1].response.count(), Some(250));
+    /// assert_eq!(report.outcomes[2].response.count(), Some(100));
+    /// assert!(report.outcomes[0].served <= Served::Scan);
+    /// ```
+    pub fn run(&mut self, requests: &[Request<T>]) -> Result<RunReport<T>, EngineError> {
+        let plan = query::plan_requests(requests, self.total, self.sketch_bound())?;
+        // Fail fast on a poisoned backend even when the batch could be
+        // served from the host-side histogram alone: the poisoning
+        // contract (rebuild the engine) must not depend on which cache a
+        // batch happens to hit.
+        if self.backend.is_poisoned() {
+            return Err(EngineError::Backend(BackendError::Poisoned));
+        }
+        let needs_hist_ranks =
+            plan.resolutions.iter().any(|r| matches!(r, Resolution::HistRank { .. }));
+        if self.cfg.index_buckets > 0
+            && (!plan.exact_ranks.is_empty() || !plan.probes.is_empty() || needs_hist_ranks)
+        {
             self.ensure_index()?;
         }
 
@@ -599,33 +692,107 @@ impl<T: Key> Engine<T> {
         sel_cfg.seed ^= (self.batches + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
         self.batches += 1;
 
-        // Host-side routing against the cached histogram: zero collectives.
-        let exact_ranks = plan.exact_ranks.clone();
+        let n = self.total;
+        let use_index = self.index.is_some();
+        let exact_served = if use_index { Served::Index } else { Served::Scan };
+
+        // -- Host-side value-probe routing against the cached histogram:
+        // zero collectives. A probe whose bracket is exact never reaches
+        // any backend; the rest are split per the owning request's
+        // accuracy contract.
+        let probe_brackets: Vec<(u64, u64)> = plan
+            .probes
+            .iter()
+            .map(|&(v, inclusive)| match &self.index {
+                Some(gidx) => gidx.count_bounds(v, inclusive),
+                None => (0, n),
+            })
+            .collect();
+        let probe_exact: Vec<Option<u64>> =
+            probe_brackets.iter().map(|&(lo, hi)| (lo == hi).then_some(lo)).collect();
+
+        let mut probe_backend = vec![false; plan.probes.len()];
+        let mut probe_sketch = vec![false; plan.probes.len()];
+        let mut count_routes: Vec<Option<CountRoute>> = vec![None; plan.resolutions.len()];
+        for (i, res) in plan.resolutions.iter().enumerate() {
+            let Resolution::Count(c) = res else { continue };
+            let endpoints = [c.minuend, c.subtrahend];
+            let route = if c.empty {
+                CountRoute::Empty
+            } else if endpoints.iter().flatten().all(|&p| probe_exact[p].is_some()) {
+                CountRoute::Histogram
+            } else if c.histogram_ok && use_index {
+                CountRoute::HistogramApprox
+            } else if c.sketch_error.is_some() {
+                for p in endpoints.into_iter().flatten() {
+                    probe_sketch[p] |= probe_exact[p].is_none();
+                }
+                CountRoute::Sketch
+            } else {
+                for p in endpoints.into_iter().flatten() {
+                    probe_backend[p] |= probe_exact[p].is_none();
+                }
+                CountRoute::Backend
+            };
+            count_routes[i] = Some(route);
+        }
+        let (value_probes, probe_backend_pos) = sublist(&plan.probes, &probe_backend);
+        let (sketch_probes, probe_sketch_pos) = sublist(&plan.probes, &probe_sketch);
+
+        // -- Histogram-contract rank requests: serve from the cached
+        // histogram when a single bucket bounds the target, fall back to
+        // the exact rank set otherwise.
+        let mut hist_rank_served: Vec<Option<(T, u64)>> = vec![None; plan.resolutions.len()];
+        let mut fallback_ranks: Vec<u64> = Vec::new();
+        for (i, res) in plan.resolutions.iter().enumerate() {
+            let Resolution::HistRank { target_rank } = res else { continue };
+            match self.index.as_ref().and_then(|g| g.approx_value(*target_rank)) {
+                Some(answer) => hist_rank_served[i] = Some(answer),
+                None => fallback_ranks.push(*target_rank),
+            }
+        }
+        fallback_ranks.sort_unstable();
+        fallback_ranks.dedup();
+        let residual = Arc::new(plan.exact_ranks.union_points(&fallback_ranks));
+
+        // -- Rank routing against the cached histogram: zero collectives.
         let (groups, fast): (Arc<Vec<Group>>, Vec<(usize, T)>) = match &self.index {
-            Some(gidx) if !exact_ranks.is_empty() => {
-                let routing = gidx.route(&exact_ranks);
+            Some(gidx) if !residual.is_empty() => {
+                let routing = gidx.route(residual.iter());
                 (Arc::new(routing.groups), routing.fast)
             }
             _ => (Arc::new(Vec::new()), Vec::new()),
         };
-        let use_index = self.index.is_some();
         let delta_total = self.index.as_ref().map_or(0, |g| g.delta_total);
         let delta_occupancy = self.index_health().delta_occupancy;
 
-        // The backend-independent batch plan: the shards' half of the work
-        // (delta localization, borrowed candidate windows, the lockstep
-        // multi-select, answer refinement, sketch estimates) runs wherever
-        // the configured [`ExecBackend`] keeps the shards.
-        let batch_plan = BatchPlan {
-            groups: groups.clone(),
-            exact_ranks,
-            sketch_targets: plan.sketch_targets.clone(),
-            selection: sel_cfg,
-            use_index,
-            full_total: self.total,
-            delta_total,
+        // -- The backend-independent batch plan: the shards' half of the
+        // work (the vectorized probe Combine, delta localization, borrowed
+        // candidate windows, the lockstep multi-select, answer refinement,
+        // sketch estimates) runs wherever the configured [`ExecBackend`]
+        // keeps the shards. A batch fully resolved host-side skips the
+        // backend entirely: zero collectives, zero scans.
+        let backend_needed = !groups.is_empty()
+            || !value_probes.is_empty()
+            || !plan.sketch_targets.is_empty()
+            || !sketch_probes.is_empty()
+            || (!use_index && !residual.is_empty());
+        let outcomes = if backend_needed {
+            let batch_plan = BatchPlan {
+                groups: groups.clone(),
+                exact_ranks: residual.clone(),
+                value_probes: Arc::new(value_probes),
+                sketch_targets: Arc::new(plan.sketch_targets.clone()),
+                sketch_probes: Arc::new(sketch_probes),
+                selection: sel_cfg,
+                use_index,
+                full_total: n,
+                delta_total,
+            };
+            self.backend.execute(&batch_plan)?
+        } else {
+            Vec::new()
         };
-        let outcomes = self.backend.execute(&batch_plan)?;
 
         let mut comm = CommStats::default();
         let mut makespan = 0.0f64;
@@ -649,26 +816,60 @@ impl<T: Key> Engine<T> {
                 self.index_dirty = true;
             }
         }
-        self.histogram_hits += fast.len() as u64;
 
-        let rank0 = &outcomes[0];
-        let mut exact_slots = rank0.exact.clone();
+        // -- Assemble the per-request outcomes.
+        let mut exact_slots: Vec<Option<T>> = match outcomes.first() {
+            Some(rank0) => rank0.exact.clone(),
+            None => vec![None; residual.len()],
+        };
+        let mut slot_fast = vec![false; residual.len()];
         for &(slot, v) in &fast {
             exact_slots[slot] = Some(v);
+            slot_fast[slot] = true;
         }
         let exact_values: Vec<T> = exact_slots
             .into_iter()
             .map(|v| v.expect("every coalesced rank must have been resolved"))
             .collect();
-        let answers = plan.assemble(&exact_values, &rank0.sketch_values);
-        Ok(BatchReport {
-            answers,
+        let assembled = assemble_outcomes(
+            &plan,
+            &AssemblyContext {
+                n,
+                residual: &residual,
+                exact_values: &exact_values,
+                slot_fast: &slot_fast,
+                exact_served,
+                probe_brackets: &probe_brackets,
+                probe_exact: &probe_exact,
+                probe_backend_pos: &probe_backend_pos,
+                probe_sketch_pos: &probe_sketch_pos,
+                count_routes: &count_routes,
+                hist_rank_served: &hist_rank_served,
+                rank0: outcomes.first(),
+            },
+        );
+        let histogram_answers = fast.len()
+            + assembled
+                .outcomes
+                .iter()
+                .zip(&plan.resolutions)
+                .filter(|(o, res)| {
+                    o.served == Served::Histogram
+                        && matches!(res, Resolution::HistRank { .. } | Resolution::Count(_))
+                })
+                .count();
+        self.histogram_hits += histogram_answers as u64;
+
+        let collective_ops = outcomes.first().map_or(0, |o| o.comm.collective_ops);
+        Ok(RunReport {
+            outcomes: assembled.outcomes,
             comm,
-            collective_ops: rank0.comm.collective_ops,
+            collective_ops,
             makespan,
-            exact_ranks: plan.exact_ranks.len(),
-            sketch_answers: plan.sketch_targets.len(),
-            histogram_answers: fast.len(),
+            exact_ranks: residual.len(),
+            sketch_answers: assembled.sketch_answers,
+            histogram_answers,
+            value_probes: probe_backend_pos.iter().flatten().count(),
             delta_occupancy,
         })
     }
@@ -729,6 +930,269 @@ impl<T: Key> Engine<T> {
         self.index_dirty = false;
         self.rebalances += 1;
         Ok(true)
+    }
+}
+
+/// How one value-direction request is served, decided host-side during
+/// probe routing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CountRoute {
+    /// Empty interval: exactly 0, no work at all.
+    Empty,
+    /// Every endpoint probe resolved exactly from the cached histogram.
+    Histogram,
+    /// Bucket-resolution brackets accepted by the contract.
+    HistogramApprox,
+    /// Estimated from the sketches under a `WithinRank` contract.
+    Sketch,
+    /// Exact resolution through the backend's probe Combine round.
+    Backend,
+}
+
+/// Extracts the selected probes as a dense sub-list plus, per original
+/// probe, its position in that sub-list.
+fn sublist<T: Copy>(
+    probes: &[(T, bool)],
+    selected: &[bool],
+) -> (Vec<(T, bool)>, Vec<Option<usize>>) {
+    let mut list = Vec::new();
+    let mut pos = vec![None; probes.len()];
+    for (i, (&p, &sel)) in probes.iter().zip(selected).enumerate() {
+        if sel {
+            pos[i] = Some(list.len());
+            list.push(p);
+        }
+    }
+    (list, pos)
+}
+
+/// Everything [`assemble_outcomes`] needs to turn resolutions into typed
+/// outcomes: the resolved rank slots, the host-side probe routing, and the
+/// backend's (rank-0) shard outcome when one ran.
+struct AssemblyContext<'a, T: Key> {
+    n: u64,
+    residual: &'a RankSet,
+    exact_values: &'a [T],
+    slot_fast: &'a [bool],
+    exact_served: Served,
+    probe_brackets: &'a [(u64, u64)],
+    probe_exact: &'a [Option<u64>],
+    probe_backend_pos: &'a [Option<usize>],
+    probe_sketch_pos: &'a [Option<usize>],
+    count_routes: &'a [Option<CountRoute>],
+    hist_rank_served: &'a [Option<(T, u64)>],
+    rank0: Option<&'a ShardBatchOutcome<T>>,
+}
+
+struct Assembled<T> {
+    outcomes: Vec<Outcome<T>>,
+    sketch_answers: usize,
+}
+
+/// One response before cost attribution: `units` counts this request's
+/// slots per execution phase (`[probes, exact, sketch]`).
+struct Draft<T> {
+    response: Response<T>,
+    served: Served,
+    units: [u64; 3],
+}
+
+/// Turns the plan's resolutions into typed [`Outcome`]s and attributes
+/// each measured phase's collective ops proportionally over the requests
+/// that used the phase (so the per-query costs sum to the batch total).
+fn assemble_outcomes<T: Key>(
+    plan: &query::RequestPlan<T>,
+    cx: &AssemblyContext<'_, T>,
+) -> Assembled<T> {
+    let value_at = |r: u64| -> (T, bool) {
+        let slot = cx.residual.slot_of(r);
+        (cx.exact_values[slot], cx.slot_fast[slot])
+    };
+    let rank_served = |fast: bool| if fast { Served::Histogram } else { cx.exact_served };
+    // One draft for any multi-rank kind (`TopK` runs, `Quantiles` lists):
+    // gather the values, count the slots the multi-select actually paid
+    // for, and label provenance by whether any slot left the histogram.
+    let multi_rank_draft = |ranks: &mut dyn Iterator<Item = u64>| -> Draft<T> {
+        let mut values = Vec::new();
+        let mut slow = 0u64;
+        for r in ranks {
+            let (v, fast) = value_at(r);
+            slow += u64::from(!fast);
+            values.push(v);
+        }
+        Draft {
+            response: Response::Elements(values),
+            served: if slow == 0 { Served::Histogram } else { cx.exact_served },
+            units: [0, slow, 0],
+        }
+    };
+
+    let mut next_sketch = 0usize;
+    let mut sketch_answers = 0usize;
+    let mut drafts: Vec<Draft<T>> = Vec::with_capacity(plan.resolutions.len());
+    for (i, res) in plan.resolutions.iter().enumerate() {
+        let draft = match res {
+            Resolution::Exact(r) => {
+                let (v, fast) = value_at(*r);
+                Draft {
+                    response: Response::Element(v),
+                    served: rank_served(fast),
+                    units: [0, u64::from(!fast), 0],
+                }
+            }
+            Resolution::ExactRun { len } => multi_rank_draft(&mut (0..*len)),
+            Resolution::MultiExact(ranks) => multi_rank_draft(&mut ranks.iter().copied()),
+            Resolution::Sketch { target_rank, max_rank_error } => {
+                let value = cx.rank0.expect("sketch batch executed").sketch_values[next_sketch];
+                next_sketch += 1;
+                sketch_answers += 1;
+                Draft {
+                    response: Response::Approximate {
+                        value,
+                        target_rank: *target_rank,
+                        max_rank_error: *max_rank_error,
+                    },
+                    served: Served::Sketch,
+                    units: [0, 0, 1],
+                }
+            }
+            Resolution::HistRank { target_rank } => match cx.hist_rank_served[i] {
+                Some((v, 0)) => Draft {
+                    response: Response::Element(v),
+                    served: Served::Histogram,
+                    units: [0, 0, 0],
+                },
+                Some((v, err)) => Draft {
+                    response: Response::Approximate {
+                        value: v,
+                        target_rank: *target_rank,
+                        max_rank_error: err,
+                    },
+                    served: Served::Histogram,
+                    units: [0, 0, 0],
+                },
+                None => {
+                    let (v, fast) = value_at(*target_rank);
+                    Draft {
+                        response: Response::Element(v),
+                        served: rank_served(fast),
+                        units: [0, u64::from(!fast), 0],
+                    }
+                }
+            },
+            Resolution::Count(c) => {
+                let route = cx.count_routes[i].expect("count resolution routed");
+                assemble_count(c, route, cx, &mut sketch_answers)
+            }
+        };
+        drafts.push(draft);
+    }
+
+    let phase = cx.rank0.map(|o| o.phase_ops).unwrap_or_default();
+    let phase_ops = [phase.probes, phase.exact, phase.sketch];
+    let mut totals = [0u64; 3];
+    for d in &drafts {
+        for (t, u) in totals.iter_mut().zip(d.units) {
+            *t += u;
+        }
+    }
+    let outcomes = drafts
+        .into_iter()
+        .map(|d| {
+            let mut collective_ops = 0.0f64;
+            for k in 0..3 {
+                if d.units[k] > 0 && totals[k] > 0 {
+                    collective_ops += phase_ops[k] as f64 * d.units[k] as f64 / totals[k] as f64;
+                }
+            }
+            Outcome {
+                response: d.response,
+                served: d.served,
+                cost: CostAttribution { collective_ops },
+            }
+        })
+        .collect();
+    Assembled { outcomes, sketch_answers }
+}
+
+/// Assembles one value-direction count along its decided route.
+fn assemble_count<T: Key>(
+    c: &query::CountResolution,
+    route: CountRoute,
+    cx: &AssemblyContext<'_, T>,
+    sketch_answers: &mut usize,
+) -> Draft<T> {
+    match route {
+        CountRoute::Empty => Draft {
+            response: Response::Count { count: 0, max_error: 0 },
+            served: Served::Histogram,
+            units: [0, 0, 0],
+        },
+        CountRoute::Histogram => {
+            let m = c.minuend.map_or(cx.n, |p| cx.probe_exact[p].expect("histogram-exact probe"));
+            let s = c.subtrahend.map_or(0, |p| cx.probe_exact[p].expect("histogram-exact probe"));
+            Draft {
+                response: Response::Count { count: m.saturating_sub(s), max_error: 0 },
+                served: Served::Histogram,
+                units: [0, 0, 0],
+            }
+        }
+        CountRoute::HistogramApprox => {
+            let (m_lo, m_hi) = c.minuend.map_or((cx.n, cx.n), |p| cx.probe_brackets[p]);
+            let (s_lo, s_hi) = c.subtrahend.map_or((0, 0), |p| cx.probe_brackets[p]);
+            let lo = m_lo.saturating_sub(s_hi);
+            let hi = m_hi.saturating_sub(s_lo);
+            let count = lo + (hi - lo) / 2;
+            Draft {
+                response: Response::Count { count, max_error: hi - count },
+                served: Served::Histogram,
+                units: [0, 0, 0],
+            }
+        }
+        CountRoute::Sketch => {
+            let resolve = |p: usize| {
+                cx.probe_exact[p].unwrap_or_else(|| {
+                    cx.rank0.expect("sketch batch executed").sketch_ranks
+                        [cx.probe_sketch_pos[p].expect("sketch probe listed")]
+                })
+            };
+            let m = c.minuend.map_or(cx.n, resolve);
+            let s = c.subtrahend.map_or(0, resolve);
+            let estimated = [c.minuend, c.subtrahend]
+                .into_iter()
+                .flatten()
+                .filter(|&p| cx.probe_exact[p].is_none())
+                .count() as u64;
+            *sketch_answers += 1;
+            Draft {
+                response: Response::Count {
+                    count: m.saturating_sub(s),
+                    max_error: c.sketch_error.expect("sketch route requires a contract"),
+                },
+                served: Served::Sketch,
+                units: [0, 0, estimated],
+            }
+        }
+        CountRoute::Backend => {
+            let resolve = |p: usize| {
+                cx.probe_exact[p].unwrap_or_else(|| {
+                    cx.rank0.expect("probe batch executed").probe_counts
+                        [cx.probe_backend_pos[p].expect("backend probe listed")]
+                })
+            };
+            let m = c.minuend.map_or(cx.n, resolve);
+            let s = c.subtrahend.map_or(0, resolve);
+            let probed = [c.minuend, c.subtrahend]
+                .into_iter()
+                .flatten()
+                .filter(|&p| cx.probe_exact[p].is_none())
+                .count() as u64;
+            Draft {
+                response: Response::Count { count: m.saturating_sub(s), max_error: 0 },
+                served: cx.exact_served,
+                units: [probed, 0, 0],
+            }
+        }
     }
 }
 

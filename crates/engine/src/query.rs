@@ -1,19 +1,33 @@
 //! The engine's query language and the batch planner.
 //!
-//! Queries arrive in batches. The planner reduces every exact query to a set
-//! of 0-based global ranks and **coalesces the whole batch into one sorted,
-//! deduplicated rank list**, which the engine resolves with a single
-//! [`cgselect_core::parallel_multi_select`] collective pass — this is where
-//! batching wins: R rank queries cost one multi-select recursion
-//! (`O(log n + R)` pivot rounds) instead of R independent selections
-//! (`O(R·log n)` rounds). Quantile queries carrying a rank-error tolerance
-//! the resident sketches can honor are routed to the approximate path
-//! instead and never touch the full data.
+//! Two surfaces share this planner:
+//!
+//! * **v2** — typed [`Request`]s ([`crate::request`]): rank-direction kinds
+//!   plus the inverse direction ([`QueryKind::RankOf`],
+//!   [`QueryKind::CountBetween`]) and explicit [`Accuracy`] contracts.
+//!   [`crate::Engine::run`] plans a batch here, routes it against the
+//!   cached histogram host-side, and lowers the remainder onto the
+//!   collective ops.
+//! * **v1** — the original closed [`Query`] enum, kept as a compatibility
+//!   shim: [`Query::to_request`] lowers each variant onto the v2 surface,
+//!   so old callers compile unchanged through [`crate::Engine::execute`].
+//!
+//! Planning reduces every exact rank-direction query to 0-based global
+//! ranks and **coalesces the whole batch into one deduplicated
+//! [`RankSet`]** — stored as contiguous *runs*, so `TopK(k)` contributes
+//! one `(0, k)` run instead of `k` materialized ranks — which the engine
+//! resolves with a single [`cgselect_core::parallel_multi_select_windows`]
+//! pass: `R` rank queries cost one multi-select recursion (`O(log n + R)`
+//! pivot rounds) instead of `R` independent selections (`O(R·log n)`
+//! rounds). Value-direction queries coalesce their endpoints into one
+//! deduplicated probe list resolved by a single vectorized `count_below`
+//! Combine round. Queries whose [`Accuracy`] the resident sketches can
+//! honor are routed to the approximate path and never touch the full data.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use crate::request::{Accuracy, Bounds, QueryKind, Request};
 
-/// One query against the resident distributed multiset.
+/// One v1 query against the resident distributed multiset (the
+/// compatibility surface; see [`Request`] for the typed v2 surface).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Query {
     /// The element of this 0-based global rank.
@@ -44,9 +58,29 @@ impl Query {
     pub fn quantile_within(q: f64, tolerance: f64) -> Query {
         Query::Quantile { q, tolerance: Some(tolerance) }
     }
+
+    /// Lowers this v1 query onto the typed v2 [`Request`] surface — the
+    /// compatibility mapping [`crate::Engine::execute`] applies per query:
+    ///
+    /// | v1 | v2 |
+    /// |---|---|
+    /// | `Rank(k)` | `Request::rank(k)` |
+    /// | `Quantile { q, tolerance: None }` | `Request::quantile(q)` |
+    /// | `Quantile { q, tolerance: Some(t) }` | `Request::quantile(q).within_rank(t)` |
+    /// | `Median` | `Request::median()` |
+    /// | `TopK(k)` | `Request::top_k(k)` |
+    pub fn to_request<T>(&self) -> Request<T> {
+        match *self {
+            Query::Rank(k) => Request::rank(k),
+            Query::Quantile { q, tolerance: None } => Request::quantile(q),
+            Query::Quantile { q, tolerance: Some(t) } => Request::quantile(q).within_rank(t),
+            Query::Median => Request::median(),
+            Query::TopK(k) => Request::top_k(k),
+        }
+    }
 }
 
-/// One answer, aligned with the submitted query.
+/// One v1 answer, aligned with the submitted query.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Answer<T> {
     /// Exact element (for `Rank`, `Median`, and exact `Quantile`).
@@ -66,11 +100,21 @@ pub enum Answer<T> {
     },
 }
 
-impl<T: Copy> Answer<T> {
-    /// The scalar answer, if this is a `Value` or `Approximate` answer.
-    pub fn value(&self) -> Option<T> {
+impl<T> Answer<T> {
+    /// Borrows the scalar answer, if this is a `Value` or `Approximate`
+    /// answer — no `Copy` bound, so the accessor works for any future
+    /// non-`Copy` key type.
+    pub fn as_value(&self) -> Option<&T> {
         match self {
-            Answer::Value(v) | Answer::Approximate { value: v, .. } => Some(*v),
+            Answer::Value(v) | Answer::Approximate { value: v, .. } => Some(v),
+            Answer::Top(_) => None,
+        }
+    }
+
+    /// Consumes the answer into its scalar value, if any.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            Answer::Value(v) | Answer::Approximate { value: v, .. } => Some(v),
             Answer::Top(_) => None,
         }
     }
@@ -84,6 +128,34 @@ impl<T: Copy> Answer<T> {
     }
 }
 
+impl<T: Copy> Answer<T> {
+    /// The scalar answer by value, if this is a `Value` or `Approximate`
+    /// answer (kept for `Copy` keys; prefer [`as_value`](Self::as_value)
+    /// in generic code).
+    pub fn value(&self) -> Option<T> {
+        self.as_value().copied()
+    }
+}
+
+/// Folds a v2 [`Response`] back into a v1 [`Answer`] — THE compatibility
+/// mapping, shared by [`crate::Engine::execute`] and the async frontend's
+/// v1 tickets so the two paths cannot drift apart.
+///
+/// # Panics
+/// Panics on [`Response::Count`]: [`Query::to_request`] never lowers a v1
+/// query to a count kind, so a count can only reach here through a bug.
+pub(crate) fn answer_from_response<T>(response: crate::request::Response<T>) -> Answer<T> {
+    use crate::request::Response;
+    match response {
+        Response::Element(v) => Answer::Value(v),
+        Response::Elements(vs) => Answer::Top(vs),
+        Response::Approximate { value, target_rank, max_rank_error } => {
+            Answer::Approximate { value, target_rank, max_rank_error }
+        }
+        Response::Count { .. } => unreachable!("v1 queries never lower to count kinds"),
+    }
+}
+
 /// The 0-based rank the engine resolves quantile `q` to over `n` elements
 /// (nearest-rank definition: `round(q·(n−1))`).
 pub fn quantile_rank(q: f64, n: u64) -> u64 {
@@ -91,147 +163,388 @@ pub fn quantile_rank(q: f64, n: u64) -> u64 {
     ((q * (n - 1) as f64).round() as u64).min(n - 1)
 }
 
-/// Checks one query's domain against a resident population of `n` elements
-/// without planning it: the single source of truth for what
-/// [`plan`] accepts, also used by the async frontend to reject an invalid
-/// query individually instead of failing the whole coalesced batch.
-pub(crate) fn validate(query: &Query, n: u64) -> Result<(), crate::EngineError> {
+// ---------------------------------------------------------------------------
+// RankSet: the coalesced rank list, stored as runs.
+// ---------------------------------------------------------------------------
+
+/// A deduplicated set of 0-based global ranks, stored as sorted, disjoint,
+/// maximal **runs** — so a contiguous request like `TopK(100_000)`
+/// contributes one `(0, 100_000)` run instead of `100_000` materialized,
+/// sorted ranks. This is the coalesced rank list a batch's multi-select
+/// pass resolves; it crosses the [`crate::ExecBackend`] boundary inside
+/// [`crate::BatchPlan`], so the wire encoding is per-run too.
+///
+/// Slots: the set defines a flat ascending order over its members;
+/// [`slot_of`](Self::slot_of) maps a member rank to its position, which is
+/// the index of its resolved value in the batch outcome.
+///
+/// ```
+/// use cgselect_engine::RankSet;
+///
+/// // TopK(5) + Rank(3) + Rank(9): one merged run plus a point.
+/// let set = RankSet::from_runs(vec![(0, 5), (3, 1), (9, 1)]);
+/// assert_eq!(set.len(), 6);
+/// assert_eq!(set.num_runs(), 2);
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 9]);
+/// assert_eq!(set.slot_of(9), 5);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RankSet {
+    /// `(start, len, first_slot)` per run; sorted, disjoint, non-adjacent.
+    runs: Vec<(u64, u64, u64)>,
+    total: u64,
+}
+
+impl RankSet {
+    /// Builds the set from arbitrary `(start, len)` runs (unsorted,
+    /// possibly overlapping or adjacent; zero-length runs are dropped).
+    pub fn from_runs(mut raw: Vec<(u64, u64)>) -> Self {
+        raw.retain(|&(_, len)| len > 0);
+        raw.sort_unstable();
+        let mut runs: Vec<(u64, u64, u64)> = Vec::with_capacity(raw.len());
+        for (start, len) in raw {
+            match runs.last_mut() {
+                // Overlapping or exactly adjacent: extend the open run.
+                Some(last) if start <= last.0 + last.1 => {
+                    let end = (start + len).max(last.0 + last.1);
+                    last.1 = end - last.0;
+                }
+                _ => runs.push((start, len, 0)),
+            }
+        }
+        let mut total = 0u64;
+        for run in &mut runs {
+            run.2 = total;
+            total += run.1;
+        }
+        RankSet { runs, total }
+    }
+
+    /// Number of distinct member ranks.
+    #[allow(clippy::len_without_is_empty)] // is_empty provided below
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of maximal runs (the compact representation's size).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The maximal runs, ascending, as `(start, len)`.
+    pub fn runs(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.runs.iter().map(|&(s, l, _)| (s, l))
+    }
+
+    /// Every member rank, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|&(s, l, _)| s..s + l)
+    }
+
+    /// The flat ascending position of member rank `r` (the slot its
+    /// resolved value occupies in a batch outcome).
+    ///
+    /// # Panics
+    /// Panics if `r` is not a member.
+    pub fn slot_of(&self, r: u64) -> usize {
+        let i = self.runs.partition_point(|&(s, l, _)| s + l <= r);
+        match self.runs.get(i) {
+            Some(&(s, _, base)) if s <= r => (base + (r - s)) as usize,
+            _ => panic!("rank {r} is not in the set"),
+        }
+    }
+
+    /// A new set additionally containing the given individual ranks.
+    pub fn union_points(&self, points: &[u64]) -> RankSet {
+        if points.is_empty() {
+            return self.clone();
+        }
+        let mut raw: Vec<(u64, u64)> = self.runs.iter().map(|&(s, l, _)| (s, l)).collect();
+        raw.extend(points.iter().map(|&p| (p, 1)));
+        RankSet::from_runs(raw)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+/// Checks one v2 request's domain against a resident population of `n`
+/// elements without planning it: the single source of truth for what
+/// [`plan_requests`] accepts, also used by the async frontend to reject an
+/// invalid request individually instead of failing its whole coalesced
+/// batch.
+pub(crate) fn validate_request<T>(request: &Request<T>, n: u64) -> Result<(), crate::EngineError> {
     use crate::EngineError;
     if n == 0 {
         return Err(EngineError::Empty);
     }
-    match *query {
-        Query::Rank(k) if k >= n => Err(EngineError::RankOutOfRange { rank: k, n }),
-        Query::Quantile { q, .. } if !(0.0..=1.0).contains(&q) => {
-            Err(EngineError::InvalidQuantile(q))
+    match &request.kind {
+        QueryKind::Rank(k) if *k >= n => {
+            return Err(EngineError::RankOutOfRange { rank: *k, n });
         }
-        // NaN and ±∞ are rejected up front: an infinite tolerance would
-        // otherwise satisfy `t >= sketch_bound` even when the bound is ∞
-        // (sketches disabled) and send the query into an empty-sketch
-        // estimate.
-        Query::Quantile { tolerance: Some(t), .. } if !t.is_finite() || t < 0.0 => {
-            Err(EngineError::InvalidTolerance(t))
+        QueryKind::Quantile(q) if !(0.0..=1.0).contains(q) => {
+            return Err(EngineError::InvalidQuantile(*q));
         }
-        Query::TopK(k) if k > n => Err(EngineError::TopKTooLarge { k, n }),
-        _ => Ok(()),
+        QueryKind::Quantiles(qs) => {
+            if let Some(&q) = qs.iter().find(|q| !(0.0..=1.0).contains(*q)) {
+                return Err(EngineError::InvalidQuantile(q));
+            }
+        }
+        QueryKind::TopK(k) if *k > n => {
+            return Err(EngineError::TopKTooLarge { k: *k, n });
+        }
+        _ => {}
     }
+    // NaN and ±∞ tolerances are rejected up front: an infinite tolerance
+    // would otherwise satisfy `t >= sketch_bound` even when the bound is ∞
+    // (sketches disabled) and send the query into an empty-sketch estimate.
+    if let Accuracy::WithinRank(t) = request.accuracy {
+        if !t.is_finite() || t < 0.0 {
+            return Err(crate::EngineError::InvalidTolerance(t));
+        }
+    }
+    Ok(())
 }
 
-/// How the planner resolved one query.
+/// v1 validation: lowers the query and validates the request.
+pub(crate) fn validate(query: &Query, n: u64) -> Result<(), crate::EngineError> {
+    validate_request(&query.to_request::<u64>(), n)
+}
+
+// ---------------------------------------------------------------------------
+// The batch plan
+// ---------------------------------------------------------------------------
+
+/// How one probe list entry contributes to a count: subtracted terms are
+/// planned as their *complementary* probe so every count is a difference of
+/// two monotone prefix counts.
+#[derive(Clone, Debug)]
+pub(crate) struct CountResolution {
+    /// Probe index whose count is added; `None` means the full population.
+    pub minuend: Option<usize>,
+    /// Probe index whose count is subtracted; `None` means zero.
+    pub subtrahend: Option<usize>,
+    /// `Some(max_error)` when the accuracy contract lets the sketches
+    /// serve this count (the promised absolute error, `⌈t·n⌉`).
+    pub sketch_error: Option<u64>,
+    /// The caller accepts a bucket-resolution histogram answer.
+    pub histogram_ok: bool,
+    /// The interval is empty: the count is exactly 0, no probes needed.
+    pub empty: bool,
+}
+
+/// How the planner resolved one request.
 #[derive(Clone, Debug)]
 pub(crate) enum Resolution {
     /// Answer is the element at this exact rank.
     Exact(u64),
-    /// Answer is the elements at ranks `0..k`, ascending.
-    TopRange(u64),
-    /// Answer from the sketches.
-    Sketch { target_rank: u64, max_rank_error: u64 },
+    /// Answer is the elements at ranks `0..len`, ascending (`TopK`).
+    ExactRun {
+        /// Number of leading ranks.
+        len: u64,
+    },
+    /// Answer is the elements at these ranks, aligned (`Quantiles`).
+    MultiExact(Vec<u64>),
+    /// Answer from the sketches (rank direction).
+    Sketch {
+        /// The exact query's target rank.
+        target_rank: u64,
+        /// The promised absolute rank-error bound.
+        max_rank_error: u64,
+    },
+    /// Rank-direction query whose contract accepts a histogram-resolution
+    /// answer; the engine tries the cached histogram first and falls back
+    /// to the exact rank.
+    HistRank {
+        /// The exact query's target rank.
+        target_rank: u64,
+    },
+    /// Value-direction count (see [`CountResolution`]).
+    Count(CountResolution),
 }
 
-/// A planned batch: per-query resolutions plus the coalesced rank list.
+/// A planned v2 batch: per-request resolutions, the coalesced rank set,
+/// the sketch targets and the coalesced value-probe list.
 ///
-/// The rank lists are built behind `Arc`s here, in the planner, so the
-/// engine can ship them into its SPMD closure without re-cloning the
-/// vectors per batch.
+/// Probes are `(value, inclusive)` prefix counts: `inclusive = false`
+/// counts `x < value`, `true` counts `x ≤ value` — the paper's
+/// count-below-pivot primitive, batched.
 #[derive(Clone, Debug)]
-pub(crate) struct Plan {
+pub(crate) struct RequestPlan<T> {
     pub resolutions: Vec<Resolution>,
-    /// Sorted, deduplicated ranks feeding the single multi-select pass.
-    pub exact_ranks: Arc<Vec<u64>>,
-    /// Target ranks of the sketch-served queries, in resolution order.
-    pub sketch_targets: Arc<Vec<u64>>,
+    /// Deduplicated ranks committed to exact resolution, as runs.
+    pub exact_ranks: RankSet,
+    /// Target ranks of the sketch-served rank-direction queries, in
+    /// resolution order.
+    pub sketch_targets: Vec<u64>,
+    /// Distinct, sorted value probes feeding the single `count_below`
+    /// Combine round (or the histogram / sketch fast paths).
+    pub probes: Vec<(T, bool)>,
 }
 
-/// Plans a batch over `n` resident elements. `sketch_bound` is the smallest
-/// fractional tolerance the resident sketches can honor
-/// ([`crate::sketch::support_bound`]); pass `f64::INFINITY` to disable the
-/// approximate path.
+/// Plans a v2 batch over `n` resident elements. `sketch_bound` is the
+/// smallest fractional rank-error tolerance the resident sketches can
+/// honor ([`crate::sketch::support_bound`]); pass `f64::INFINITY` to
+/// disable the approximate path.
 ///
-/// Fails (via `Err`) on out-of-domain queries so the caller can reject the
-/// batch before any collective work happens.
-pub(crate) fn plan(
-    queries: &[Query],
+/// Fails (via `Err`) on out-of-domain requests so the caller can reject
+/// the batch before any collective work happens.
+pub(crate) fn plan_requests<T: Copy + Ord>(
+    requests: &[Request<T>],
     n: u64,
     sketch_bound: f64,
-) -> Result<Plan, crate::EngineError> {
+) -> Result<RequestPlan<T>, crate::EngineError> {
     if n == 0 {
         return Err(crate::EngineError::Empty);
     }
-    let mut resolutions = Vec::with_capacity(queries.len());
-    let mut exact_ranks = Vec::new();
+    let mut resolutions = Vec::with_capacity(requests.len());
+    let mut rank_runs: Vec<(u64, u64)> = Vec::new();
     let mut sketch_targets = Vec::new();
-    for &query in queries {
-        validate(&query, n)?;
-        let res = match query {
-            Query::Rank(k) => Resolution::Exact(k),
-            Query::Median => Resolution::Exact((n - 1) / 2),
-            Query::Quantile { q, tolerance } => {
-                let target = quantile_rank(q, n);
-                match tolerance {
-                    Some(t) if t >= sketch_bound => {
-                        sketch_targets.push(target);
-                        Resolution::Sketch {
-                            target_rank: target,
-                            max_rank_error: (t * n as f64).ceil() as u64,
-                        }
-                    }
-                    // Tolerance too tight for the sketches: exact fallback.
-                    Some(_) | None => Resolution::Exact(target),
-                }
+    let mut raw_probes: Vec<(T, bool)> = Vec::new();
+
+    // Stage 1: resolve kinds; collect rank runs and raw probe references.
+    for request in requests {
+        validate_request(request, n)?;
+        let res = match &request.kind {
+            QueryKind::Rank(k) => rank_resolution(*k, request.accuracy, n, sketch_bound),
+            QueryKind::Median => rank_resolution((n - 1) / 2, request.accuracy, n, sketch_bound),
+            QueryKind::Min => rank_resolution(0, request.accuracy, n, sketch_bound),
+            QueryKind::Max => rank_resolution(n - 1, request.accuracy, n, sketch_bound),
+            QueryKind::Quantile(q) => {
+                rank_resolution(quantile_rank(*q, n), request.accuracy, n, sketch_bound)
             }
-            Query::TopK(k) => {
-                for r in 0..k {
-                    exact_ranks.push(r);
-                }
-                Resolution::TopRange(k)
+            // Multi-element kinds are always served exactly (serving
+            // better than the contract is allowed).
+            QueryKind::TopK(k) => Resolution::ExactRun { len: *k },
+            QueryKind::Quantiles(qs) => {
+                Resolution::MultiExact(crate::request::quantile_ranks(qs, n))
+            }
+            QueryKind::RankOf(v) => {
+                let minuend = push_probe(&mut raw_probes, (*v, false));
+                Resolution::Count(CountResolution {
+                    minuend: Some(minuend),
+                    subtrahend: None,
+                    sketch_error: count_sketch_error(request.accuracy, 1, n, sketch_bound),
+                    histogram_ok: request.accuracy == Accuracy::HistogramOk,
+                    empty: false,
+                })
+            }
+            QueryKind::CountBetween(bounds) => {
+                plan_count_between(*bounds, request.accuracy, n, sketch_bound, &mut raw_probes)
             }
         };
-        if let Resolution::Exact(r) = res {
-            exact_ranks.push(r);
+        match &res {
+            Resolution::Exact(r) => rank_runs.push((*r, 1)),
+            Resolution::ExactRun { len } => rank_runs.push((0, *len)),
+            Resolution::MultiExact(ranks) => rank_runs.extend(ranks.iter().map(|&r| (r, 1))),
+            Resolution::Sketch { target_rank, .. } => sketch_targets.push(*target_rank),
+            Resolution::HistRank { .. } | Resolution::Count(_) => {}
         }
         resolutions.push(res);
     }
-    exact_ranks.sort_unstable();
-    exact_ranks.dedup();
-    Ok(Plan {
+
+    // Stage 2: canonicalize the probe list (sorted, distinct) and rewrite
+    // every raw probe index onto it.
+    let mut probes = raw_probes.clone();
+    probes.sort_unstable();
+    probes.dedup();
+    let remap = |idx: &mut Option<usize>| {
+        if let Some(i) = idx {
+            *i = probes.binary_search(&raw_probes[*i]).expect("canonical probe present");
+        }
+    };
+    for res in &mut resolutions {
+        if let Resolution::Count(c) = res {
+            remap(&mut c.minuend);
+            remap(&mut c.subtrahend);
+        }
+    }
+
+    Ok(RequestPlan {
         resolutions,
-        exact_ranks: Arc::new(exact_ranks),
-        sketch_targets: Arc::new(sketch_targets),
+        exact_ranks: RankSet::from_runs(rank_runs),
+        sketch_targets,
+        probes,
     })
 }
 
-impl Plan {
-    /// Assembles per-query answers from the multi-select results (aligned
-    /// with `exact_ranks`) and the sketch estimates (aligned with
-    /// `sketch_targets`).
-    pub(crate) fn assemble<T: Copy + std::fmt::Debug>(
-        &self,
-        exact_values: &[T],
-        sketch_values: &[T],
-    ) -> Vec<Answer<T>> {
-        debug_assert_eq!(exact_values.len(), self.exact_ranks.len());
-        debug_assert_eq!(sketch_values.len(), self.sketch_targets.len());
-        let by_rank: HashMap<u64, T> =
-            self.exact_ranks.iter().copied().zip(exact_values.iter().copied()).collect();
-        let mut next_sketch = 0usize;
-        self.resolutions
-            .iter()
-            .map(|res| match *res {
-                Resolution::Exact(r) => Answer::Value(by_rank[&r]),
-                Resolution::TopRange(k) => Answer::Top((0..k).map(|r| by_rank[&r]).collect()),
-                Resolution::Sketch { target_rank, max_rank_error } => {
-                    let value = sketch_values[next_sketch];
-                    next_sketch += 1;
-                    Answer::Approximate { value, target_rank, max_rank_error }
-                }
-            })
-            .collect()
+/// Resolution of a single-rank kind under its accuracy contract.
+fn rank_resolution(target: u64, accuracy: Accuracy, n: u64, sketch_bound: f64) -> Resolution {
+    match accuracy {
+        Accuracy::Exact => Resolution::Exact(target),
+        Accuracy::WithinRank(t) if t >= sketch_bound => {
+            Resolution::Sketch { target_rank: target, max_rank_error: (t * n as f64).ceil() as u64 }
+        }
+        // Tolerance too tight for the sketches: exact fallback.
+        Accuracy::WithinRank(_) => Resolution::Exact(target),
+        Accuracy::HistogramOk => Resolution::HistRank { target_rank: target },
     }
+}
+
+/// `Some(⌈t·n⌉)` when `probes` sketch estimates, each within the sketch
+/// bound, together stay within the `WithinRank(t)` contract.
+fn count_sketch_error(accuracy: Accuracy, probes: u64, n: u64, sketch_bound: f64) -> Option<u64> {
+    match accuracy {
+        Accuracy::WithinRank(t) if probes as f64 * sketch_bound <= t => {
+            Some((t * n as f64).ceil() as u64)
+        }
+        _ => None,
+    }
+}
+
+/// Lowers a `CountBetween` onto (up to) two prefix-count probes:
+/// `count(interval) = count(≤/< hi) − count(</≤ lo)`.
+fn plan_count_between<T: Copy + Ord>(
+    bounds: Bounds<T>,
+    accuracy: Accuracy,
+    n: u64,
+    sketch_bound: f64,
+    raw_probes: &mut Vec<(T, bool)>,
+) -> Resolution {
+    if bounds.is_empty() {
+        return Resolution::Count(CountResolution {
+            minuend: None,
+            subtrahend: None,
+            sketch_error: None,
+            histogram_ok: false,
+            empty: true,
+        });
+    }
+    // Upper endpoint: an inclusive `hi` admits x ≤ hi, an exclusive one
+    // x < hi; unbounded means the whole population.
+    let minuend = bounds.hi.map(|(v, inclusive)| push_probe(raw_probes, (v, inclusive)));
+    // Lower endpoint: an inclusive `lo` *excludes* x < lo (strict probe),
+    // an exclusive one excludes x ≤ lo (inclusive probe).
+    let subtrahend = bounds.lo.map(|(v, inclusive)| push_probe(raw_probes, (v, !inclusive)));
+    let probes = minuend.is_some() as u64 + subtrahend.is_some() as u64;
+    Resolution::Count(CountResolution {
+        minuend,
+        subtrahend,
+        sketch_error: count_sketch_error(accuracy, probes, n, sketch_bound),
+        histogram_ok: accuracy == Accuracy::HistogramOk,
+        empty: false,
+    })
+}
+
+fn push_probe<T>(raw: &mut Vec<(T, bool)>, probe: (T, bool)) -> usize {
+    raw.push(probe);
+    raw.len() - 1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::{Request, Response};
+
+    fn v1(queries: &[Query]) -> Vec<Request<u64>> {
+        queries.iter().map(Query::to_request).collect()
+    }
 
     #[test]
     fn quantile_rank_nearest() {
@@ -242,6 +555,49 @@ mod tests {
     }
 
     #[test]
+    fn rank_set_merges_and_slots() {
+        let s = RankSet::from_runs(vec![(10, 3), (0, 2), (12, 4), (5, 1), (1, 1)]);
+        assert_eq!(s.runs().collect::<Vec<_>>(), vec![(0, 2), (5, 1), (10, 6)]);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 5, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(s.slot_of(0), 0);
+        assert_eq!(s.slot_of(5), 2);
+        assert_eq!(s.slot_of(13), 6);
+        let u = s.union_points(&[4, 13, 100]);
+        assert_eq!(u.len(), 11);
+        assert_eq!(u.slot_of(4), 2);
+        assert_eq!(u.slot_of(100), 10);
+        assert!(RankSet::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 3 is not in the set")]
+    fn slot_of_rejects_gap_ranks_in_release_builds_too() {
+        // The membership check must be a hard panic, not a debug_assert:
+        // a wrapped subtraction would otherwise return a garbage slot.
+        let s = RankSet::from_runs(vec![(0, 2), (5, 1)]);
+        let _ = s.slot_of(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 99 is not in the set")]
+    fn slot_of_rejects_ranks_beyond_every_run() {
+        let s = RankSet::from_runs(vec![(0, 2)]);
+        let _ = s.slot_of(99);
+    }
+
+    #[test]
+    fn top_k_plans_as_one_run_not_k_ranks() {
+        // The satellite fix: TopK(k) must not allocate/sort k individual
+        // ranks in the plan — one contiguous run represents them all.
+        let k = 100_000u64;
+        let plan = plan_requests(&[Request::<u64>::top_k(k)], 1 << 20, f64::INFINITY).unwrap();
+        assert_eq!(plan.exact_ranks.len(), k as usize);
+        assert_eq!(plan.exact_ranks.num_runs(), 1);
+        assert_eq!(plan.exact_ranks.runs().next(), Some((0, k)));
+    }
+
+    #[test]
     fn planner_coalesces_and_dedups() {
         let queries = [
             Query::Rank(5),
@@ -249,23 +605,19 @@ mod tests {
             Query::TopK(3),
             Query::quantile(1.0), // rank 10
         ];
-        let plan = plan(&queries, 11, f64::INFINITY).unwrap();
-        assert_eq!(*plan.exact_ranks, vec![0, 1, 2, 5, 10]);
+        let plan = plan_requests(&v1(&queries), 11, f64::INFINITY).unwrap();
+        assert_eq!(plan.exact_ranks.iter().collect::<Vec<_>>(), vec![0, 1, 2, 5, 10]);
         assert!(plan.sketch_targets.is_empty());
-        let answers = plan.assemble(&[10, 11, 12, 15, 20], &[]);
-        assert_eq!(answers[0], Answer::Value(15));
-        assert_eq!(answers[1], Answer::Value(15));
-        assert_eq!(answers[2], Answer::Top(vec![10, 11, 12]));
-        assert_eq!(answers[3], Answer::Value(20));
+        assert!(plan.probes.is_empty());
     }
 
     #[test]
     fn tolerant_quantiles_route_to_sketch_only_when_supported() {
         let queries = [Query::quantile_within(0.5, 0.05), Query::quantile_within(0.5, 0.001)];
-        let plan = plan(&queries, 1000, 0.01).unwrap();
+        let plan = plan_requests(&v1(&queries), 1000, 0.01).unwrap();
         // 0.05 >= bound 0.01 -> sketch; 0.001 < bound -> exact fallback.
-        assert_eq!(*plan.sketch_targets, vec![500]);
-        assert_eq!(*plan.exact_ranks, vec![500]);
+        assert_eq!(plan.sketch_targets, vec![500]);
+        assert_eq!(plan.exact_ranks.iter().collect::<Vec<_>>(), vec![500]);
         match plan.resolutions[0] {
             Resolution::Sketch { target_rank: 500, max_rank_error: 50 } => {}
             ref other => panic!("unexpected resolution {other:?}"),
@@ -280,7 +632,7 @@ mod tests {
             let queries = [Query::quantile_within(0.5, bad)];
             assert!(
                 matches!(
-                    plan(&queries, 100, f64::INFINITY),
+                    plan_requests(&v1(&queries), 100, f64::INFINITY),
                     Err(crate::EngineError::InvalidTolerance(_))
                 ),
                 "tolerance {bad} must be rejected"
@@ -291,17 +643,124 @@ mod tests {
     #[test]
     fn domain_errors_reject_the_batch() {
         assert!(matches!(
-            plan(&[Query::Rank(10)], 10, f64::INFINITY),
+            plan_requests(&v1(&[Query::Rank(10)]), 10, f64::INFINITY),
             Err(crate::EngineError::RankOutOfRange { rank: 10, n: 10 })
         ));
         assert!(matches!(
-            plan(&[Query::quantile(1.5)], 10, f64::INFINITY),
+            plan_requests(&v1(&[Query::quantile(1.5)]), 10, f64::INFINITY),
             Err(crate::EngineError::InvalidQuantile(_))
         ));
         assert!(matches!(
-            plan(&[Query::TopK(11)], 10, f64::INFINITY),
+            plan_requests(&v1(&[Query::TopK(11)]), 10, f64::INFINITY),
             Err(crate::EngineError::TopKTooLarge { k: 11, n: 10 })
         ));
-        assert!(matches!(plan(&[Query::Median], 0, f64::INFINITY), Err(crate::EngineError::Empty)));
+        assert!(matches!(
+            plan_requests(&v1(&[Query::Median]), 0, f64::INFINITY),
+            Err(crate::EngineError::Empty)
+        ));
+        assert!(matches!(
+            plan_requests(&[Request::<u64>::quantiles([0.5, 2.0])], 10, f64::INFINITY),
+            Err(crate::EngineError::InvalidQuantile(_))
+        ));
+    }
+
+    #[test]
+    fn inverse_queries_coalesce_probes() {
+        use crate::request::Bounds;
+        let requests = [
+            Request::rank_of(50u64),
+            Request::count_between(Bounds::closed(10, 50)),
+            Request::count_between(Bounds::below(50)),
+            Request::count_between(Bounds::at_least(10)),
+        ];
+        let plan = plan_requests(&requests, 1000, f64::INFINITY).unwrap();
+        // RankOf(50) -> (50, lt); closed(10,50) -> (50, le) − (10, lt);
+        // below(50) -> (50, lt); at_least(10) -> n − (10, lt):
+        // three distinct probes after coalescing.
+        assert_eq!(plan.probes, vec![(10, false), (50, false), (50, true)]);
+        assert!(plan.exact_ranks.is_empty());
+        match &plan.resolutions[1] {
+            Resolution::Count(c) => {
+                assert_eq!(plan.probes[c.minuend.unwrap()], (50, true));
+                assert_eq!(plan.probes[c.subtrahend.unwrap()], (10, false));
+            }
+            other => panic!("unexpected resolution {other:?}"),
+        }
+        match &plan.resolutions[3] {
+            Resolution::Count(c) => {
+                assert_eq!(c.minuend, None, "unbounded above = full population");
+                assert_eq!(plan.probes[c.subtrahend.unwrap()], (10, false));
+            }
+            other => panic!("unexpected resolution {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_interval_counts_zero_without_probes() {
+        use crate::request::Bounds;
+        let plan =
+            plan_requests(&[Request::count_between(Bounds::open(5u64, 5))], 100, f64::INFINITY)
+                .unwrap();
+        assert!(plan.probes.is_empty());
+        assert!(matches!(&plan.resolutions[0], Resolution::Count(c) if c.empty));
+    }
+
+    #[test]
+    fn count_sketch_eligibility_scales_with_probe_count() {
+        use crate::request::Bounds;
+        // bound 0.01: RankOf (1 probe) eligible at t=0.015, CountBetween
+        // with two endpoints (2 probes) is not; at t=0.02 both are.
+        let reqs = [
+            Request::rank_of(7u64).within_rank(0.015),
+            Request::count_between(Bounds::closed(1u64, 9)).within_rank(0.015),
+            Request::count_between(Bounds::closed(1u64, 9)).within_rank(0.02),
+        ];
+        let plan = plan_requests(&reqs, 1000, 0.01).unwrap();
+        let sketch_err = |i: usize| match &plan.resolutions[i] {
+            Resolution::Count(c) => c.sketch_error,
+            other => panic!("unexpected resolution {other:?}"),
+        };
+        assert_eq!(sketch_err(0), Some(15));
+        assert_eq!(sketch_err(1), None);
+        assert_eq!(sketch_err(2), Some(20));
+    }
+
+    #[test]
+    fn histogram_ok_routes_rank_and_count_kinds() {
+        let reqs =
+            [Request::<u64>::quantile(0.5).histogram_ok(), Request::rank_of(7u64).histogram_ok()];
+        let plan = plan_requests(&reqs, 101, f64::INFINITY).unwrap();
+        assert!(matches!(plan.resolutions[0], Resolution::HistRank { target_rank: 50 }));
+        assert!(matches!(&plan.resolutions[1], Resolution::Count(c) if c.histogram_ok));
+        // HistRank targets are NOT pre-committed to the exact rank set —
+        // the engine adds them back only if the histogram cannot serve.
+        assert!(plan.exact_ranks.is_empty());
+    }
+
+    #[test]
+    fn quantiles_kind_plans_aligned_ranks() {
+        let plan =
+            plan_requests(&[Request::<u64>::quantiles([0.0, 0.5, 0.5, 1.0])], 101, f64::INFINITY)
+                .unwrap();
+        match &plan.resolutions[0] {
+            Resolution::MultiExact(ranks) => assert_eq!(ranks, &vec![0, 50, 50, 100]),
+            other => panic!("unexpected resolution {other:?}"),
+        }
+        assert_eq!(plan.exact_ranks.iter().collect::<Vec<_>>(), vec![0, 50, 100]);
+    }
+
+    #[test]
+    fn v1_conversion_is_the_documented_table() {
+        assert_eq!(Query::Rank(7).to_request::<u64>(), Request::rank(7));
+        assert_eq!(Query::Median.to_request::<u64>(), Request::median());
+        assert_eq!(Query::TopK(3).to_request::<u64>(), Request::top_k(3));
+        assert_eq!(Query::quantile(0.9).to_request::<u64>(), Request::quantile(0.9));
+        assert_eq!(
+            Query::quantile_within(0.9, 0.05).to_request::<u64>(),
+            Request::quantile(0.9).within_rank(0.05)
+        );
+        // And the response side: a Count can never come back for them.
+        let r: Response<u64> = Response::Element(4);
+        assert_eq!(r.count(), None);
     }
 }

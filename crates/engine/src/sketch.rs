@@ -124,6 +124,25 @@ pub fn estimate_rank<T: Key>(shards: &[(Vec<T>, u64)], target: u64) -> T {
     weighted.last().expect("nonempty").0
 }
 
+/// Estimates the number of resident elements admitted by the probe
+/// `(value, inclusive)` (`x < value`, or `x ≤ value` when inclusive) from
+/// per-shard `(samples, population)` pairs — the *inverse* direction of
+/// [`estimate_rank`], weighting each admitted sample by `nᵢ/mᵢ`. Exact
+/// whenever every shard's sketch is lossless.
+pub fn estimate_rank_of<T: Key>(shards: &[(Vec<T>, u64)], value: T, inclusive: bool) -> u64 {
+    let mut estimate = 0.0f64;
+    for (samples, n) in shards {
+        if samples.is_empty() {
+            continue;
+        }
+        let weight = *n as f64 / samples.len() as f64;
+        let admitted =
+            samples.iter().filter(|&&x| if inclusive { x <= value } else { x < value }).count();
+        estimate += admitted as f64 * weight;
+    }
+    estimate.round() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +227,42 @@ mod tests {
                 err <= bound,
                 "q={q}: estimate {est} vs target {target}, err {err:.5} > bound {bound:.5}"
             );
+        }
+    }
+
+    #[test]
+    fn rank_of_estimate_is_exact_on_lossless_sketches() {
+        let a: Vec<u64> = (0..50).map(|i| i * 2).collect(); // evens
+        let b: Vec<u64> = (0..50).map(|i| i * 2 + 1).collect(); // odds
+        let shards = vec![(a, 50u64), (b, 50u64)];
+        // 0..100 resident: rank-of(v) strict = v, inclusive = v + 1.
+        for v in [0u64, 1, 37, 99] {
+            assert_eq!(estimate_rank_of(&shards, v, false), v, "strict rank-of {v}");
+            assert_eq!(estimate_rank_of(&shards, v, true), v + 1, "inclusive rank-of {v}");
+        }
+        assert_eq!(estimate_rank_of(&shards, 1000, false), 100);
+    }
+
+    #[test]
+    fn rank_of_estimate_error_within_bound_on_sampled_shards() {
+        let per = 50_000u64;
+        let shards: Vec<(Vec<u64>, u64)> = (0..4)
+            .map(|r| {
+                let mut s = ReservoirSketch::new(1024, r);
+                for i in 0..per {
+                    s.offer(i * 4 + r); // global multiset = 0..200k
+                }
+                (s.samples().to_vec(), s.population())
+            })
+            .collect();
+        let n = 4 * per;
+        let sizes: Vec<(usize, u64)> = shards.iter().map(|(s, n)| (s.len(), *n)).collect();
+        let bound = support_bound(&sizes);
+        for v in [20_000u64, 100_000, 180_000] {
+            // The data is 0..n, so the strict rank of v IS v.
+            let est = estimate_rank_of(&shards, v, false);
+            let err = est.abs_diff(v) as f64 / n as f64;
+            assert!(err <= bound, "v={v}: estimate {est}, err {err:.5} > bound {bound:.5}");
         }
     }
 

@@ -263,7 +263,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length bounds for [`vec`]; build from a `Range<usize>` or an exact
+    /// Length bounds for [`vec()`]; build from a `Range<usize>` or an exact
     /// `usize`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
@@ -290,7 +290,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -33,10 +33,14 @@
 //! ## Serving queries instead of running one selection
 //!
 //! For the one-shot paper experiments use [`select_on_machine`]; to keep
-//! data resident across many queries use the [`Engine`]:
+//! data resident across many queries use the [`Engine`]. Its typed v2
+//! surface ([`Engine::run`]) covers both directions — rank → element and
+//! the inverse element → rank / range → count — with per-answer
+//! provenance; the original [`Query`] enum keeps working through the
+//! [`Engine::execute`] compatibility shim:
 //!
 //! ```
-//! use cgselect::{Answer, Engine, EngineConfig, Query};
+//! use cgselect::{Answer, Bounds, Engine, EngineConfig, Query, Request};
 //!
 //! let mut engine: Engine<u64> = Engine::new(EngineConfig::new(4)).unwrap();
 //! engine.ingest((0..10_000u64).rev().collect()).unwrap();
@@ -45,6 +49,16 @@
 //!     .unwrap();
 //! assert_eq!(report.answers[0], Answer::Value(4_999));
 //! assert_eq!(report.answers[2], Answer::Top(vec![0, 1, 2]));
+//!
+//! // v2: inverse queries with provenance and accuracy contracts.
+//! let run = engine
+//!     .run(&[
+//!         Request::rank_of(2_500),
+//!         Request::count_between(Bounds::closed(1_000, 1_999)),
+//!     ])
+//!     .unwrap();
+//! assert_eq!(run.outcomes[0].response.count(), Some(2_500));
+//! assert_eq!(run.outcomes[1].response.count(), Some(1_000));
 //! ```
 //!
 //! For concurrent clients, hand the engine to the async frontend: each
@@ -117,10 +131,12 @@ pub use cgselect_core::{
     SelectionConfig, SelectionOutcome, Weighted,
 };
 pub use cgselect_engine::{
-    measure_rounds, quantile_rank, Answer, AsyncError, BackendChoice, BackendError, BackendKind,
-    BatchReport, ChannelMp, ChannelMpTuning, Engine, EngineConfig, EngineError, ExecBackend,
-    ExecutionMode, Fault, FrontendConfig, FrontendStats, IndexHealth, LocalSpmd, MutationReport,
-    MutationTicket, Query, QueryTicket, RoundsMeasurement, SubmissionQueue, SubmitError, Ticket,
+    measure_rounds, quantile_rank, Accuracy, Answer, AsyncError, BackendChoice, BackendError,
+    BackendKind, BatchReport, Bounds, ChannelMp, ChannelMpTuning, CostAttribution, Engine,
+    EngineConfig, EngineError, ExecBackend, ExecutionMode, Fault, FrontendConfig, FrontendStats,
+    IndexHealth, LocalSpmd, MutationReport, MutationTicket, Outcome, OutcomeTicket, PhaseOps,
+    Query, QueryKind, QueryTicket, RankSet, Request, Response, RoundsMeasurement, RunReport,
+    Served, SubmissionQueue, SubmitError, Ticket,
 };
 pub use cgselect_runtime::{
     CommStats, Key, Machine, MachineModel, OrdF64, Proc, RunError, Session, ShardStore,

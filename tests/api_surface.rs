@@ -1,0 +1,148 @@
+//! Public-API surface snapshot: future drift must be deliberate.
+//!
+//! A lightweight, offline stand-in for `cargo public-api`: every `pub`
+//! item declaration in the facade (`src/lib.rs`) and the engine crate
+//! (`crates/engine/src/**.rs`, the surface this repository evolves
+//! fastest) is extracted and compared against the golden file
+//! `results/public_api.txt`. CI runs this test, so adding, removing or
+//! renaming a public item fails the build until the snapshot is
+//! regenerated — run with `UPDATE_API_SNAPSHOT=1` to accept the new
+//! surface and commit the diff alongside the code change.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const GOLDEN: &str = "results/public_api.txt";
+
+/// Files whose public declarations constitute the tracked surface.
+fn tracked_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![root.join("src/lib.rs")];
+    let engine = root.join("crates/engine/src");
+    let mut stack = vec![engine];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Extracts the declaration lines of public items from one source file:
+/// the first line of anything starting with `pub fn|struct|enum|...`,
+/// outside `#[cfg(test)]` modules, trimmed. Public *fields* and enum
+/// variants ride with their item (a change inside an item body does not
+/// show here — the snapshot tracks the item list, not full signatures of
+/// every field).
+fn public_items(path: &Path) -> Vec<String> {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let mut items = Vec::new();
+    let mut depth_at_test_mod: Option<usize> = None;
+    let mut depth: usize = 0;
+    let mut pending_test_attr = false;
+    for raw in src.lines() {
+        let line = raw.trim();
+        // Depth tracking must not count braces in comment prose (the
+        // common way an unbalanced brace sneaks into source text), or the
+        // cfg(test) exclusion would silently desynchronize. String
+        // literals are rustfmt'd onto code lines whose braces pair up, so
+        // comment stripping covers the realistic drift cases.
+        let code = line.split("//").next().unwrap_or(line);
+        // Track `#[cfg(test)] mod …` regions so test-only helpers stay out.
+        if line.starts_with("#[cfg(test)]") {
+            pending_test_attr = true;
+        } else if pending_test_attr && line.starts_with("mod ") {
+            depth_at_test_mod = Some(depth);
+            pending_test_attr = false;
+        } else if !line.starts_with("#[") && !line.is_empty() {
+            pending_test_attr = false;
+        }
+        let inside_test = depth_at_test_mod.is_some();
+        if !inside_test {
+            let decl = line.strip_prefix("pub ").map(|rest| {
+                rest.starts_with("fn ")
+                    || rest.starts_with("struct ")
+                    || rest.starts_with("enum ")
+                    || rest.starts_with("trait ")
+                    || rest.starts_with("type ")
+                    || rest.starts_with("const ")
+                    || rest.starts_with("mod ")
+                    || rest.starts_with("use ")
+            });
+            if decl == Some(true) {
+                let first = line
+                    .split(" where")
+                    .next()
+                    .unwrap_or(line)
+                    .trim_end_matches([' ', '{', '('])
+                    .trim_end();
+                items.push(first.to_string());
+            }
+        }
+        depth += code.matches('{').count();
+        depth = depth.saturating_sub(code.matches('}').count());
+        if let Some(d) = depth_at_test_mod {
+            if depth <= d {
+                depth_at_test_mod = None;
+            }
+        }
+    }
+    items
+}
+
+fn snapshot(root: &Path) -> String {
+    let mut out = String::from(
+        "# Public API surface (facade + engine crate). Regenerate with\n\
+         # UPDATE_API_SNAPSHOT=1 cargo test --test api_surface\n",
+    );
+    for file in tracked_files(root) {
+        let rel = file.strip_prefix(root).expect("tracked file under root");
+        let items = public_items(&file);
+        if items.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "\n[{}]", rel.display());
+        for item in items {
+            let _ = writeln!(out, "{item}");
+        }
+    }
+    out
+}
+
+#[test]
+fn public_api_surface_matches_the_golden_snapshot() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let current = snapshot(&root);
+    let golden_path = root.join(GOLDEN);
+    if std::env::var_os("UPDATE_API_SNAPSHOT").is_some() {
+        std::fs::write(&golden_path, &current).expect("write golden snapshot");
+        eprintln!("api_surface: regenerated {GOLDEN}");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!("{GOLDEN} missing ({e}); regenerate with UPDATE_API_SNAPSHOT=1")
+    });
+    if golden != current {
+        let diff: Vec<String> = {
+            let old: std::collections::BTreeSet<&str> = golden.lines().collect();
+            let new: std::collections::BTreeSet<&str> = current.lines().collect();
+            old.symmetric_difference(&new)
+                .map(|l| if new.contains(l) { format!("+ {l}") } else { format!("- {l}") })
+                .collect()
+        };
+        panic!(
+            "public API surface drifted from {GOLDEN} — if deliberate, regenerate with \
+             UPDATE_API_SNAPSHOT=1 cargo test --test api_surface and commit the diff:\n{}",
+            diff.join("\n")
+        );
+    }
+}

@@ -199,8 +199,120 @@ fn backends_agree_on_answers_and_collective_rounds() {
 }
 
 // ---------------------------------------------------------------------------
-// Fault injection: typed errors and poisoning at the ExecBackend boundary.
+// The v2 inverse op (`count_below` probe Combine): equal answers and equal
+// round counts on both backends, through the mutation lifecycle.
 // ---------------------------------------------------------------------------
+
+/// Drives inverse-query batches (rank-of + range counts) through
+/// ingest-burst / delete phases on one backend, oracle-checking every
+/// answer and recording the per-batch collective-round counts.
+fn run_inverse_lifecycle(backend: BackendChoice, dist: Distribution) -> Vec<(Vec<u64>, u64)> {
+    use cgselect::{Bounds, Request};
+    let p = 4;
+    let n = 3000usize;
+    let data: Vec<u64> = cgselect::generate(dist, n, p, 41).into_iter().flatten().collect();
+    let mut engine: Engine<u64> = Engine::new(cfg(p, backend)).unwrap();
+    let mut all: Vec<u64> = Vec::new();
+    let mut steps: Vec<(Vec<u64>, u64)> = Vec::new();
+
+    let mut check = |engine: &mut Engine<u64>, all: &[u64], label: &str| {
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        let lo = sorted[sorted.len() / 4];
+        let hi = sorted[(3 * sorted.len()) / 4];
+        let requests = vec![
+            Request::rank_of(sorted[sorted.len() / 2]),
+            Request::rank_of(hi.saturating_add(1)),
+            Request::count_between(Bounds::closed(lo, hi)),
+            Request::count_between(Bounds::below(lo)),
+            Request::count_between(Bounds::at_least(hi)),
+        ];
+        let report = engine.run(&requests).unwrap();
+        let counts: Vec<u64> =
+            report.outcomes.iter().map(|o| o.response.count().expect("count answer")).collect();
+        let oracle = |v: u64, incl: bool| {
+            if incl {
+                sorted.partition_point(|&x| x <= v) as u64
+            } else {
+                sorted.partition_point(|&x| x < v) as u64
+            }
+        };
+        let expect = vec![
+            oracle(sorted[sorted.len() / 2], false),
+            oracle(hi.saturating_add(1), false),
+            oracle(hi, true) - oracle(lo, false),
+            oracle(lo, false),
+            sorted.len() as u64 - oracle(hi, false),
+        ];
+        assert_eq!(
+            counts,
+            expect,
+            "{} diverged from the inverse oracle at step {label} ({dist:?})",
+            engine.backend_kind()
+        );
+        steps.push((counts, report.collective_ops));
+    };
+
+    // Bulk ingest, then an exact batch to build (and refine) the index.
+    let (bulk, tail) = data.split_at(2 * n / 3);
+    all.extend_from_slice(bulk);
+    engine.ingest(bulk.to_vec()).unwrap();
+    engine.execute(&[Query::Median]).unwrap();
+    check(&mut engine, &all, "bulk");
+    // A burst rides the delta run: probes must fold it in exactly.
+    all.extend_from_slice(tail);
+    engine.ingest(tail.to_vec()).unwrap();
+    check(&mut engine, &all, "delta");
+    // Delete a value class through the index.
+    if all.iter().any(|&x| x != all[0]) {
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        let victim = sorted[n / 3];
+        engine.delete(&[victim]).unwrap();
+        all.retain(|&x| x != victim);
+        check(&mut engine, &all, "delete");
+    }
+    steps
+}
+
+#[test]
+fn inverse_ops_agree_on_answers_and_rounds_across_backends() {
+    for dist in ALL_DISTRIBUTIONS {
+        let local = run_inverse_lifecycle(BackendChoice::LocalSpmd, dist);
+        let mp = run_inverse_lifecycle(channel_mp(), dist);
+        assert_eq!(
+            local, mp,
+            "{dist:?}: backends must agree on inverse answers and collective-round counts"
+        );
+    }
+}
+
+#[test]
+fn probe_round_count_is_independent_of_probe_batch_size_on_both_backends() {
+    use cgselect::Request;
+    // The acceptance bar for the new op: the whole probe batch rides ONE
+    // vectorized Combine, so 12 probes cost exactly the rounds of 1 — on
+    // both backends, with identical counts.
+    let data: Vec<u64> = (0..20_000u64).map(|i| i.wrapping_mul(48271) % 1_000_003).collect();
+    let mut measured = Vec::new();
+    for backend in backends() {
+        let mut engine: Engine<u64> = Engine::new(cfg(4, backend)).unwrap();
+        engine.ingest(data.clone()).unwrap();
+        engine.execute(&[Query::Median]).unwrap(); // builds the index
+        let one = engine.run(&[Request::rank_of(500_001)]).unwrap();
+        let batch: Vec<Request<u64>> =
+            (0..12u64).map(|i| Request::rank_of(500_003 + i * 39_119)).collect();
+        let many = engine.run(&batch).unwrap();
+        assert_eq!(
+            one.collective_ops,
+            many.collective_ops,
+            "{}: probe batches must share one Combine round",
+            engine.backend_kind()
+        );
+        measured.push((one.collective_ops, many.collective_ops));
+    }
+    assert_eq!(measured[0], measured[1], "backends must agree on probe round counts");
+}
 
 /// Short timeouts so injected faults resolve in milliseconds, not the 30 s
 /// production defaults.
