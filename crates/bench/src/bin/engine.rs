@@ -24,12 +24,21 @@
 //! round, and probes the refined splitters bound are served from the
 //! cached histogram with zero collectives.
 //!
+//! **Experiment 4 — observability** (`results/engine_slo.txt`): the same
+//! request stream on twin engines, one observing and one not, on both
+//! backends. The obs-off twin is the overhead guard — observation must
+//! not change a single answer, collective-round count or virtual
+//! makespan — and the obs-on twin's `SloAccumulator` emits the SLO line
+//! (host-served fraction, max rank error, rounds/query) that
+//! `SloPolicy` gates in CI.
+//!
 //! Pass `--quick` for a reduced grid. Pass `--check` to exit non-zero
 //! unless the indexed engine uses no more collective ops/query than the
 //! baseline on both workloads *and* at least 2× fewer on the
 //! repeated-quantile workload, the mixed v2 workload batches at least 2×
 //! fewer ops/query than per-query execution with ChannelMp round-parity,
-//! and the histogram-warm inverse stream costs zero collectives — the CI
+//! the histogram-warm inverse stream costs zero collectives, and the
+//! observability twin-run and SLO thresholds above hold — the CI
 //! perf-smoke regression guard.
 
 use std::time::Instant;
@@ -38,7 +47,7 @@ use cgselect_bench::chart::{markdown_table, write_csv, write_text};
 use cgselect_bench::{quick_mode, results_dir};
 use cgselect_engine::{
     measure_rounds, BackendChoice, Bounds, ChannelMpTuning, Engine, EngineConfig, ExecutionMode,
-    IndexHealth, Query, Request, Served,
+    IndexHealth, Query, Request, Served, SloAccumulator, SloPolicy,
 };
 use cgselect_workloads::{generate, Distribution};
 
@@ -576,24 +585,128 @@ fn api_v2_experiment(quick: bool, dir: &std::path::Path) -> bool {
     ok
 }
 
+/// Experiment 4: the observability twin-run and SLO gate.
+fn obs_experiment(quick: bool, dir: &std::path::Path) -> bool {
+    let p = 8;
+    let n: usize = if quick { 1 << 16 } else { 1 << 19 };
+    let data: Vec<u64> = generate(Distribution::Random, n, p, 17).into_iter().flatten().collect();
+    let total = data.len() as u64;
+
+    // The measured stream: mixed forward/inverse batches that exercise the
+    // backend, then a repeated-quantile tail the refined splitters serve
+    // host-side — the SLO's host-served fraction comes from there.
+    let quantiles: Vec<Request<u64>> =
+        [0.05, 0.25, 0.5, 0.75, 0.95].into_iter().map(Request::quantile).collect();
+    let mut batches: Vec<Vec<Request<u64>>> = (0..if quick { 4u64 } else { 8 })
+        .map(|i| {
+            (0..6u64)
+                .flat_map(|j| {
+                    let rank = (j * total / 6 + i * 211 + j) % total;
+                    let v = data[((i * 6361 + j * 9973) as usize) % data.len()];
+                    vec![
+                        Request::rank(rank),
+                        Request::rank_of(v ^ 1),
+                        Request::count_between(Bounds::closed(v, v.saturating_add(1 << 20))),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    batches.extend((0..if quick { 8 } else { 16 }).map(|_| quantiles.clone()));
+
+    let mut ok = true;
+    let mut lines = Vec::new();
+    for backend in [BackendChoice::LocalSpmd, BackendChoice::ChannelMp(ChannelMpTuning::default())]
+    {
+        let mut plain: Engine<u64> =
+            Engine::new(EngineConfig::new(p).backend(backend.clone())).expect("engine start");
+        let mut observed: Engine<u64> =
+            Engine::new(EngineConfig::new(p).backend(backend).observe(true)).expect("engine start");
+        let kind = observed.backend_kind();
+        plain.ingest(data.clone()).expect("ingest");
+        observed.ingest(data.clone()).expect("ingest");
+
+        let mut slo = SloAccumulator::new();
+        let wall0 = Instant::now();
+        for batch in &batches {
+            let a = plain.run(batch).expect("run");
+            let b = observed.run(batch).expect("run");
+            slo.observe(&b);
+            // The zero-cost guard: observation may not perturb execution —
+            // not one answer, round or virtual second.
+            let same_answers = a
+                .outcomes
+                .iter()
+                .zip(&b.outcomes)
+                .all(|(x, y)| x.response == y.response && x.served == y.served);
+            if !same_answers || a.collective_ops != b.collective_ops || a.makespan != b.makespan {
+                eprintln!("OBS REGRESSION: observability perturbed execution on {kind}");
+                ok = false;
+            }
+            if b.span.is_none() {
+                eprintln!("OBS REGRESSION: observing run on {kind} carried no span");
+                ok = false;
+            }
+        }
+        let wall = wall0.elapsed().as_secs_f64();
+
+        let report = slo.report();
+        let line = format!("{kind} {}", report.render_line());
+        println!("{line}  (twin-run wall {wall:.3}s)");
+        lines.push(line);
+
+        // The CI contract: thresholds the steady-state engine must hold.
+        let policy = SloPolicy {
+            min_host_served_fraction: 0.25,
+            max_rank_error: 0,
+            max_rounds_per_query: 16.0,
+        };
+        for v in policy.evaluate(&report) {
+            eprintln!("SLO REGRESSION ({kind}): {v}");
+            ok = false;
+        }
+
+        // The registry must have self-served a latency percentile per batch.
+        let snap = observed.metrics().expect("observing engine").snapshot();
+        if !snap.latencies.iter().any(|l| l.name == "batch_wall" && l.count == batches.len() as u64)
+        {
+            eprintln!("OBS REGRESSION: batch_wall latency track incomplete on {kind}");
+            ok = false;
+        }
+    }
+
+    write_text(
+        &dir.join("engine_slo.txt"),
+        &format!(
+            "SLO report: twin-run (observed vs unobserved) engine, n = {n}, p = {p}\n\
+             policy: host_served >= 0.25, max_rank_error = 0, rounds_per_query <= 16\n\n{}\n",
+            lines.join("\n")
+        ),
+    );
+    ok
+}
+
 fn main() {
     let quick = quick_mode();
     let dir = results_dir();
     batching_experiment(quick, &dir);
     let index_ok = index_experiment(quick, &dir);
     let v2_ok = api_v2_experiment(quick, &dir);
+    let obs_ok = obs_experiment(quick, &dir);
     println!(
-        "engine -> {}/engine.{{csv,txt}} + engine_indexed.{{csv,txt}} + engine_api_v2.{{csv,txt}}",
+        "engine -> {}/engine.{{csv,txt}} + engine_indexed.{{csv,txt}} + engine_api_v2.{{csv,txt}} \
+         + engine_slo.txt",
         dir.display()
     );
-    if check_mode() && !(index_ok && v2_ok) {
+    if check_mode() && !(index_ok && v2_ok && obs_ok) {
         std::process::exit(1);
     }
     if check_mode() {
         println!(
             "perf smoke: indexed engine within bounds (distinct <= baseline, repeated >= 2x), \
-             v2 mixed-kind batching >= 2x with zero-collective warm inverse serving, and \
-             ChannelMp collective-round counts equal LocalSpmd's"
+             v2 mixed-kind batching >= 2x with zero-collective warm inverse serving, \
+             ChannelMp collective-round counts equal LocalSpmd's, observability zero-cost \
+             (identical answers, rounds and makespan) and SLO thresholds held"
         );
     }
 }

@@ -403,6 +403,7 @@ impl<T: Key> ExecBackend<T> for ChannelMp<T> {
                     super::PhaseOps { probes: r.u64(), exact: r.u64(), sketch: r.u64() };
                 let comm = r.comm_stats();
                 let elapsed = r.f64();
+                let spans = r.phase_spans();
                 r.finish();
                 ShardBatchOutcome {
                     exact,
@@ -413,6 +414,7 @@ impl<T: Key> ExecBackend<T> for ChannelMp<T> {
                     phase_ops,
                     comm,
                     elapsed,
+                    spans,
                 }
             })
             .collect())
@@ -452,6 +454,7 @@ fn encode_execute<T: Key>(plan: &BatchPlan<T>) -> Vec<u8> {
     for g in plan.groups.iter() {
         w.group(g);
     }
+    w.trace_context(&plan.trace);
     w.into_frame()
 }
 
@@ -467,6 +470,7 @@ fn decode_execute<T: Key>(r: &mut Reader<'_>, base: &SelectionConfig) -> BatchPl
     let sketch_probes = r.probes::<T>();
     let group_count = r.usize();
     let groups = (0..group_count).map(|_| r.group()).collect();
+    let trace = r.trace_context();
     BatchPlan {
         groups: std::sync::Arc::new(groups),
         exact_ranks: std::sync::Arc::new(exact_ranks),
@@ -477,6 +481,7 @@ fn decode_execute<T: Key>(r: &mut Reader<'_>, base: &SelectionConfig) -> BatchPl
         use_index,
         full_total,
         delta_total,
+        trace,
     }
 }
 
@@ -605,6 +610,7 @@ fn run_command<T: Key>(
             w.u64(o.phase_ops.sketch);
             w.comm_stats(&o.comm);
             w.f64(o.elapsed);
+            w.phase_spans(&o.spans);
         }
         other => panic!("unknown command tag {other:?}"),
     }

@@ -42,6 +42,7 @@ use cgselect_core::SelectionConfig;
 use cgselect_runtime::{CommStats, Key, RunError};
 
 use crate::index::{BucketStats, Group};
+use crate::obs::{PhaseSpan, TraceContext};
 use crate::query::RankSet;
 
 /// Which execution backend an engine runs on (see
@@ -194,6 +195,11 @@ pub struct BatchPlan<T> {
     pub full_total: u64,
     /// Global unindexed delta-run population.
     pub delta_total: u64,
+    /// The batch's trace context when observability is on — its presence
+    /// asks the shards to bracket execution phases and measure
+    /// [`PhaseSpan`]s; `None` keeps execution span-free (and byte-for-byte
+    /// identical in collective structure either way).
+    pub trace: Option<TraceContext>,
 }
 
 /// Per-phase collective-operation deltas of one executed batch (identical
@@ -233,6 +239,9 @@ pub struct ShardBatchOutcome<T> {
     pub comm: CommStats,
     /// Virtual time this shard spent in the batch.
     pub elapsed: f64,
+    /// Per-phase measurements, in [`crate::obs::Phase::ALL`] order — empty
+    /// unless the plan carried a [`TraceContext`].
+    pub spans: Vec<PhaseSpan>,
 }
 
 /// What one shard reports back from one delete pass.

@@ -18,6 +18,7 @@ use crate::index::{
     bucket_stats, build_shard_index, refined_bounds, splitters_from_samples, BucketStats,
     ShardIndex,
 };
+use crate::obs::{Phase, PhaseSpan};
 use crate::sketch::ReservoirSketch;
 
 use super::{BatchPlan, PhaseOps, ShardBatchOutcome, ShardDeletion};
@@ -264,6 +265,11 @@ pub(crate) fn execute_shard<T: Key>(
     let n_exact = plan.exact_ranks.len();
     let run_full = !plan.use_index && n_exact > 0;
     let delta_total = plan.delta_total;
+    // Span measurement rides on snapshots that were already taken for the
+    // per-phase op deltas; the begin/end brackets charge no time and no
+    // collectives, so execution with spans on is indistinguishable — in
+    // answers, comm counts, and makespan — from execution with spans off.
+    let observe = plan.trace.is_some();
 
     // Synchronize clocks so the elapsed virtual time is a makespan.
     proc.barrier();
@@ -271,8 +277,20 @@ pub(crate) fn execute_shard<T: Key>(
     let t0 = proc.now();
 
     // Phase 1: value probes — one Combine round for all of them together.
+    if observe {
+        proc.phase_begin(Phase::Probes.as_str());
+    }
     let probe_counts = count_probes_shard(proc, shard, &plan.value_probes);
-    let ops_after_probes = proc.comm_stats().collective_ops;
+    if observe {
+        proc.phase_end(Phase::Probes.as_str());
+    }
+    let comm_after_probes = proc.comm_stats();
+    let t_after_probes = proc.now();
+    let ops_after_probes = comm_after_probes.collective_ops;
+
+    if observe {
+        proc.phase_begin(Phase::Exact.as_str());
+    }
 
     let mut exact: Vec<Option<T>> = vec![None; n_exact];
     let mut refines: Vec<BucketStats<T>> = Vec::new();
@@ -381,8 +399,16 @@ pub(crate) fn execute_shard<T: Key>(
         };
         exact = parallel_multi_select_windows(proc, vec![window], n_exact, &plan.selection);
     }
-    let ops_after_exact = proc.comm_stats().collective_ops;
+    if observe {
+        proc.phase_end(Phase::Exact.as_str());
+    }
+    let comm_after_exact = proc.comm_stats();
+    let t_after_exact = proc.now();
+    let ops_after_exact = comm_after_exact.collective_ops;
 
+    if observe {
+        proc.phase_begin(Phase::Sketch.as_str());
+    }
     let mut sketch_values: Vec<T> = Vec::new();
     let mut sketch_ranks: Vec<u64> = Vec::new();
     if !plan.sketch_targets.is_empty() || !plan.sketch_probes.is_empty() {
@@ -408,9 +434,35 @@ pub(crate) fn execute_shard<T: Key>(
             })
             .collect();
     }
+    if observe {
+        proc.phase_end(Phase::Sketch.as_str());
+    }
 
-    let comm = proc.comm_stats().since(&comm0);
+    let comm_end = proc.comm_stats();
+    let t_end = proc.now();
+    let comm = comm_end.since(&comm0);
     let base = comm0.collective_ops;
+    let spans = if observe {
+        vec![
+            PhaseSpan {
+                phase: Phase::Probes,
+                time: t_after_probes - t0,
+                comm: comm_after_probes.since(&comm0),
+            },
+            PhaseSpan {
+                phase: Phase::Exact,
+                time: t_after_exact - t_after_probes,
+                comm: comm_after_exact.since(&comm_after_probes),
+            },
+            PhaseSpan {
+                phase: Phase::Sketch,
+                time: t_end - t_after_exact,
+                comm: comm_end.since(&comm_after_exact),
+            },
+        ]
+    } else {
+        Vec::new()
+    };
     ShardBatchOutcome {
         exact,
         refines,
@@ -423,7 +475,8 @@ pub(crate) fn execute_shard<T: Key>(
             sketch: comm.collective_ops - (ops_after_exact - base),
         },
         comm,
-        elapsed: proc.now() - t0,
+        elapsed: t_end - t0,
+        spans,
     }
 }
 

@@ -15,6 +15,7 @@
 use cgselect_runtime::{CommStats, Key};
 
 use crate::index::{BucketStats, Group};
+use crate::obs::{Phase, PhaseSpan, TraceContext, TraceId};
 use crate::query::RankSet;
 
 /// Builds one wire frame.
@@ -132,6 +133,29 @@ impl Writer {
         for (start, len) in set.runs() {
             self.u64(start);
             self.u64(len);
+        }
+    }
+
+    /// The batch trace context rides in execute command frames — this is
+    /// how request-scoped observability crosses the host/worker boundary.
+    pub(crate) fn trace_context(&mut self, ctx: &Option<TraceContext>) {
+        match ctx {
+            Some(c) => {
+                self.bool(true);
+                self.u64(c.batch);
+                self.u64(c.root.0);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Per-phase span measurements ride back in execute reply frames.
+    pub(crate) fn phase_spans(&mut self, spans: &[PhaseSpan]) {
+        self.usize(spans.len());
+        for s in spans {
+            self.buf.push(s.phase.as_u8());
+            self.f64(s.time);
+            self.comm_stats(&s.comm);
         }
     }
 }
@@ -257,6 +281,26 @@ impl<'a> Reader<'a> {
         RankSet::from_runs(runs)
     }
 
+    pub(crate) fn trace_context(&mut self) -> Option<TraceContext> {
+        self.bool().then(|| {
+            let batch = self.u64();
+            let root = TraceId(self.u64());
+            TraceContext { batch, root }
+        })
+    }
+
+    pub(crate) fn phase_spans(&mut self) -> Vec<PhaseSpan> {
+        let len = self.usize();
+        (0..len)
+            .map(|_| {
+                let phase = Phase::from_u8(self.u8()).expect("unknown phase byte on the wire");
+                let time = self.f64();
+                let comm = self.comm_stats();
+                PhaseSpan { phase, time, comm }
+            })
+            .collect()
+    }
+
     /// Asserts the frame was consumed exactly — a cheap wire-format check
     /// applied to every decoded command and reply.
     pub(crate) fn finish(self) {
@@ -325,6 +369,68 @@ mod tests {
         assert_eq!(r.probes::<u64>(), probes);
         assert_eq!(r.rank_set(), ranks);
         r.finish();
+    }
+
+    #[test]
+    fn trace_context_round_trips() {
+        let ctx = Some(TraceContext { batch: 42, root: TraceId(u64::MAX - 1) });
+        let mut w = Writer::new(0);
+        w.trace_context(&ctx);
+        w.trace_context(&None);
+        let frame = w.into_frame();
+        let mut r = Reader::new(&frame);
+        assert_eq!(r.trace_context(), ctx);
+        assert_eq!(r.trace_context(), None);
+        r.finish();
+        // The disabled encoding is one byte: observability off must not
+        // inflate command frames.
+        let mut w = Writer::new(0);
+        w.trace_context(&None);
+        assert_eq!(w.into_frame().len(), 2, "tag byte + disabled flag");
+    }
+
+    #[test]
+    fn phase_spans_round_trip() {
+        let spans = vec![
+            PhaseSpan { phase: Phase::Probes, time: 1.5e-6, comm: CommStats::default() },
+            PhaseSpan {
+                phase: Phase::Exact,
+                time: 0.25,
+                comm: CommStats {
+                    msgs_sent: 9,
+                    bytes_sent: 144,
+                    msgs_recv: 9,
+                    bytes_recv: 144,
+                    collective_ops: 7,
+                },
+            },
+            PhaseSpan { phase: Phase::Sketch, time: 0.0, comm: CommStats::default() },
+        ];
+        let mut w = Writer::new(0);
+        w.phase_spans(&spans);
+        w.phase_spans(&[]);
+        let frame = w.into_frame();
+        let mut r = Reader::new(&frame);
+        // f64 rides as raw bits, so the roundtrip is exact — required for
+        // the cross-backend span-equality conformance check.
+        assert_eq!(r.phase_spans(), spans);
+        assert_eq!(r.phase_spans(), Vec::new());
+        r.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown phase byte")]
+    fn unknown_phase_bytes_are_rejected() {
+        let frame = {
+            let mut w = Writer::new(0);
+            w.usize(1);
+            w.into_frame()
+        };
+        let mut frame = frame;
+        frame.push(9); // not a Phase discriminant
+        frame.extend_from_slice(&[0u8; 48]); // time + comm payload
+        let mut r = Reader::new(&frame);
+        let _ = r.phase_spans();
     }
 
     #[test]

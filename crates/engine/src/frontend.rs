@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 use cgselect_runtime::Key;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
+use crate::obs::{MetricsRegistry, TraceId};
 use crate::{Answer, Engine, EngineError, MutationReport, Outcome, Query, Request};
 
 /// How long the batcher sleeps between polls while idle or paused, and the
@@ -456,6 +457,9 @@ pub struct SubmissionQueue<T: Key> {
     shared: Arc<Shared>,
     capacity: usize,
     inner: Arc<Inner<T>>,
+    /// The engine's metrics registry, captured before the hand-off — its
+    /// presence is also the "stamp trace IDs at admission" signal.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<T: Key> Clone for SubmissionQueue<T> {
@@ -465,6 +469,7 @@ impl<T: Key> Clone for SubmissionQueue<T> {
             shared: self.shared.clone(),
             capacity: self.capacity,
             inner: self.inner.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -474,6 +479,7 @@ impl<T: Key> SubmissionQueue<T> {
     /// worker threads now answer to the batcher thread) and starts serving.
     pub fn start(engine: Engine<T>, cfg: FrontendConfig) -> Self {
         cfg.validate();
+        let metrics = engine.metrics();
         let (tx, rx) = bounded::<Submission<T>>(cfg.queue_capacity);
         let shared = Arc::new(Shared {
             paused: AtomicBool::new(cfg.start_paused),
@@ -493,7 +499,17 @@ impl<T: Key> SubmissionQueue<T> {
             shared: shared.clone(),
             capacity: cfg.queue_capacity,
             inner: Arc::new(Inner { handle: Mutex::new(Some(handle)), shared }),
+            metrics,
         }
+    }
+
+    /// Stamps a trace ID at admission when the engine observes, so the
+    /// request's span covers its whole journey through the queue.
+    fn stamp(&self, mut request: Request<T>) -> Request<T> {
+        if self.metrics.is_some() && request.trace.is_none() {
+            request.trace = Some(TraceId::next());
+        }
+        request
     }
 
     fn admit(&self, sub: Submission<T>, queries: u64) -> Result<(), SubmitError> {
@@ -503,6 +519,9 @@ impl<T: Key> SubmissionQueue<T> {
         match self.tx.try_send(sub) {
             Ok(()) => {
                 self.shared.submitted.fetch_add(queries.max(1), Ordering::SeqCst);
+                if let Some(m) = &self.metrics {
+                    m.gauge_set("queue_depth", self.tx.len() as f64);
+                }
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
@@ -519,7 +538,7 @@ impl<T: Key> SubmissionQueue<T> {
         let (tx, rx) = unbounded();
         self.admit(
             Submission::Queries(vec![PendingQuery {
-                request: query.to_request(),
+                request: self.stamp(query.to_request()),
                 reply: ReplyTx::Answer(tx),
                 submitted_at: Instant::now(),
             }]),
@@ -558,7 +577,11 @@ impl<T: Key> SubmissionQueue<T> {
             .map(|request| {
                 let (tx, rx) = unbounded();
                 tickets.push(Ticket { rx });
-                PendingQuery { request, reply: ReplyTx::Outcome(tx), submitted_at: now }
+                PendingQuery {
+                    request: self.stamp(request),
+                    reply: ReplyTx::Outcome(tx),
+                    submitted_at: now,
+                }
             })
             .collect();
         self.admit(Submission::Queries(pending), count)?;
@@ -778,6 +801,7 @@ fn execute_batch<T: Key>(engine: &mut Engine<T>, batch: Vec<PendingQuery<T>>, sh
 
     let mut valid: Vec<Request<T>> = Vec::with_capacity(batch.len());
     let mut valid_reply = Vec::with_capacity(batch.len());
+    let mut valid_submitted = Vec::with_capacity(batch.len());
     let mut deliveries: Vec<Delivery<T>> = Vec::with_capacity(batch.len());
     let mut failures = 0u64;
     for pq in batch {
@@ -785,6 +809,7 @@ fn execute_batch<T: Key>(engine: &mut Engine<T>, batch: Vec<PendingQuery<T>>, sh
             Ok(()) => {
                 valid.push(pq.request);
                 valid_reply.push(pq.reply);
+                valid_submitted.push(pq.submitted_at);
             }
             Err(e) => {
                 failures += 1;
@@ -797,6 +822,13 @@ fn execute_batch<T: Key>(engine: &mut Engine<T>, batch: Vec<PendingQuery<T>>, sh
     if !valid.is_empty() {
         match engine.run(&valid) {
             Ok(report) => {
+                if let Some(m) = engine.metrics() {
+                    let done = Instant::now();
+                    for submitted_at in &valid_submitted {
+                        let wall = done.saturating_duration_since(*submitted_at);
+                        m.latency_observe("request_wall", wall.as_nanos() as u64);
+                    }
+                }
                 for (reply, outcome) in valid_reply.into_iter().zip(report.outcomes.iter().cloned())
                 {
                     deliveries.push((reply, Ok(outcome)));

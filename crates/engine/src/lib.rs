@@ -96,6 +96,7 @@ pub mod backend;
 pub mod frontend;
 mod index;
 mod measure;
+pub mod obs;
 mod query;
 mod request;
 pub mod sketch;
@@ -110,6 +111,10 @@ pub use frontend::{
 };
 pub use index::{BucketStats, Group};
 pub use measure::{measure_rounds, ExecutionMode, RoundsMeasurement};
+pub use obs::{
+    BatchSpan, MetricsRegistry, MetricsSnapshot, Phase, PhaseSpan, PhaseSummary, RequestSpan,
+    SloAccumulator, SloPolicy, SloReport, TraceContext, TraceId,
+};
 pub use query::{quantile_rank, Answer, Query, RankSet};
 pub use request::{
     Accuracy, Bounds, CostAttribution, Outcome, QueryKind, Request, Response, RunReport, Served,
@@ -156,6 +161,11 @@ pub struct EngineConfig {
     /// (see [`backend`]): the in-process [`LocalSpmd`] session (default)
     /// or the message-passing [`ChannelMp`] worker ring.
     pub backend: BackendChoice,
+    /// Enables end-to-end observability (see [`obs`]): request-scoped
+    /// spans in every [`RunReport`], and a [`MetricsRegistry`] fed per
+    /// batch. Off by default; when off the engine takes one branch per
+    /// batch and records nothing.
+    pub observe: bool,
 }
 
 impl EngineConfig {
@@ -173,6 +183,7 @@ impl EngineConfig {
             index_buckets: 64,
             delta_threshold: 0.05,
             backend: BackendChoice::LocalSpmd,
+            observe: false,
         }
     }
 
@@ -223,6 +234,12 @@ impl EngineConfig {
     /// default tuning.
     pub fn channel_mp(self) -> Self {
         self.backend(BackendChoice::ChannelMp(ChannelMpTuning::default()))
+    }
+
+    /// Builder-style observability switch (see [`obs`]).
+    pub fn observe(mut self, enabled: bool) -> Self {
+        self.observe = enabled;
+        self
     }
 
     fn validate(&self) {
@@ -394,6 +411,9 @@ pub struct Engine<T: Key> {
     index_rebuilds: u64,
     delta_merges: u64,
     histogram_hits: u64,
+    /// Live only when `cfg.observe` is set: the metrics registry every
+    /// batch reports into, shared with the frontend's batcher thread.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// An [`Engine`] is `Send` no matter the backend: the async frontend hands
@@ -427,9 +447,17 @@ impl<T: Key> Engine<T> {
             index_rebuilds: 0,
             delta_merges: 0,
             histogram_hits: 0,
+            metrics: cfg.observe.then(|| Arc::new(MetricsRegistry::new())),
             backend,
             cfg,
         })
+    }
+
+    /// The engine's metrics registry — `Some` only when the engine was
+    /// configured with [`EngineConfig::observe`]. Cloning the `Arc` lets
+    /// frontends and exporters read snapshots while the engine runs.
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.clone()
     }
 
     /// Which execution backend this engine runs on.
@@ -692,6 +720,17 @@ impl<T: Key> Engine<T> {
         sel_cfg.seed ^= (self.batches + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
         self.batches += 1;
 
+        // Observability admission: every request keeps its stamped trace ID
+        // or is assigned one here, and the batch context flows into the
+        // plan (and, on the message-passing backend, across the wire).
+        let wall_start = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let trace_ctx = self.metrics.is_some().then(|| {
+            let ids: Vec<TraceId> =
+                requests.iter().map(|r| r.trace.unwrap_or_else(TraceId::next)).collect();
+            let root = ids.first().copied().unwrap_or_else(TraceId::next);
+            (TraceContext { batch: self.batches, root }, ids)
+        });
+
         let n = self.total;
         let use_index = self.index.is_some();
         let exact_served = if use_index { Served::Index } else { Served::Scan };
@@ -788,6 +827,7 @@ impl<T: Key> Engine<T> {
                 use_index,
                 full_total: n,
                 delta_total,
+                trace: trace_ctx.as_ref().map(|(ctx, _)| *ctx),
             };
             self.backend.execute(&batch_plan)?
         } else {
@@ -861,6 +901,60 @@ impl<T: Key> Engine<T> {
         self.histogram_hits += histogram_answers as u64;
 
         let collective_ops = outcomes.first().map_or(0, |o| o.comm.collective_ops);
+
+        // -- Span assembly + metrics: link each outcome back to the phases
+        // it paid for, and feed the registry. All of it is behind the one
+        // `observe` branch; a non-observing engine does none of this work.
+        let span = trace_ctx.map(|(ctx, ids)| {
+            let shard_spans: Vec<Vec<PhaseSpan>> =
+                outcomes.iter().map(|o| o.spans.clone()).collect();
+            let request_spans = ids
+                .into_iter()
+                .zip(requests)
+                .zip(assembled.outcomes.iter().zip(&assembled.units))
+                .map(|((trace, req), (outcome, units))| RequestSpan {
+                    trace,
+                    kind: req.kind.label(),
+                    served: outcome.served,
+                    phases: Phase::ALL
+                        .into_iter()
+                        .zip(units)
+                        .filter(|&(_, u)| *u > 0)
+                        .map(|(p, _)| p)
+                        .collect(),
+                    collective_ops: outcome.cost.collective_ops,
+                })
+                .collect();
+            BatchSpan {
+                batch: ctx.batch,
+                root: ctx.root,
+                requests: request_spans,
+                phases: obs::summarize_phases(&shard_spans),
+            }
+        });
+        if let Some(m) = &self.metrics {
+            m.counter_add("requests_total", requests.len() as u64);
+            m.counter_add("batches_total", 1);
+            m.counter_add("collective_ops_total", collective_ops);
+            for o in &assembled.outcomes {
+                m.counter_add(
+                    match o.served {
+                        Served::Histogram => "served_histogram",
+                        Served::Sketch => "served_sketch",
+                        Served::Index => "served_index",
+                        Served::Scan => "served_scan",
+                    },
+                    1,
+                );
+            }
+            m.histogram_observe("batch_occupancy", requests.len() as u64);
+            m.gauge_set("delta_occupancy", delta_occupancy);
+            m.latency_observe("batch_virtual", (makespan * 1e9) as u64);
+            if let Some(t0) = wall_start {
+                m.latency_observe("batch_wall", t0.elapsed().as_nanos() as u64);
+            }
+        }
+
         Ok(RunReport {
             outcomes: assembled.outcomes,
             comm,
@@ -871,6 +965,7 @@ impl<T: Key> Engine<T> {
             histogram_answers,
             value_probes: probe_backend_pos.iter().flatten().count(),
             delta_occupancy,
+            span,
         })
     }
 
@@ -987,6 +1082,10 @@ struct AssemblyContext<'a, T: Key> {
 struct Assembled<T> {
     outcomes: Vec<Outcome<T>>,
     sketch_answers: usize,
+    /// Per-request phase slot counts (`[probes, exact, sketch]`), aligned
+    /// with `outcomes` — the span builder reads a request's phase
+    /// participation off these.
+    units: Vec<[u64; 3]>,
 }
 
 /// One response before cost attribution: `units` counts this request's
@@ -1096,6 +1195,7 @@ fn assemble_outcomes<T: Key>(
             *t += u;
         }
     }
+    let units: Vec<[u64; 3]> = drafts.iter().map(|d| d.units).collect();
     let outcomes = drafts
         .into_iter()
         .map(|d| {
@@ -1112,7 +1212,7 @@ fn assemble_outcomes<T: Key>(
             }
         })
         .collect();
-    Assembled { outcomes, sketch_answers }
+    Assembled { outcomes, sketch_answers, units }
 }
 
 /// Assembles one value-direction count along its decided route.

@@ -27,6 +27,7 @@
 //! [`crate::Engine::execute`] is now a thin compatibility shim that lowers
 //! the old [`crate::Query`] enum onto this surface.
 
+use crate::obs::{BatchSpan, TraceId};
 use crate::query::quantile_rank;
 
 /// What a v2 query asks for (the kind half of a [`Request`]).
@@ -67,6 +68,23 @@ pub enum QueryKind<T> {
     RankOf(T),
     /// The number of resident elements inside the interval.
     CountBetween(Bounds<T>),
+}
+
+impl<T> QueryKind<T> {
+    /// Stable lower-case label of the kind (for spans, logs, metrics).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryKind::Rank(_) => "rank",
+            QueryKind::Quantile(_) => "quantile",
+            QueryKind::Quantiles(_) => "quantiles",
+            QueryKind::Median => "median",
+            QueryKind::Min => "min",
+            QueryKind::Max => "max",
+            QueryKind::TopK(_) => "top_k",
+            QueryKind::RankOf(_) => "rank_of",
+            QueryKind::CountBetween(_) => "count_between",
+        }
+    }
 }
 
 /// A value interval for [`QueryKind::CountBetween`], built from the
@@ -180,12 +198,16 @@ pub struct Request<T> {
     pub kind: QueryKind<T>,
     /// The loosest acceptable answer.
     pub accuracy: Accuracy,
+    /// Request-scoped trace identity. `None` (the default) lets the engine
+    /// assign one when observability is on; the frontend stamps admitted
+    /// requests so spans tie back to submission.
+    pub trace: Option<TraceId>,
 }
 
 impl<T> Request<T> {
     /// An exact request of the given kind.
     pub fn new(kind: QueryKind<T>) -> Self {
-        Request { kind, accuracy: Accuracy::Exact }
+        Request { kind, accuracy: Accuracy::Exact, trace: None }
     }
 
     /// The element of 0-based rank `k`.
@@ -244,6 +266,13 @@ impl<T> Request<T> {
     /// Loosens the contract to [`Accuracy::HistogramOk`].
     pub fn histogram_ok(mut self) -> Self {
         self.accuracy = Accuracy::HistogramOk;
+        self
+    }
+
+    /// Attaches an explicit trace ID (normally stamped at frontend
+    /// admission via [`TraceId::next`]).
+    pub fn traced(mut self, id: TraceId) -> Self {
+        self.trace = Some(id);
         self
     }
 }
@@ -459,6 +488,9 @@ pub struct RunReport<T> {
     /// Fraction of the resident population in the unindexed delta run when
     /// the batch executed.
     pub delta_occupancy: f64,
+    /// The batch's span tree — `Some` only when the engine runs with
+    /// observability enabled (`EngineConfig::observe`).
+    pub span: Option<BatchSpan>,
 }
 
 /// Maps a quantile list to its target ranks over `n` elements (the

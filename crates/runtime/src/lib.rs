@@ -72,7 +72,10 @@ pub use model::{MachineModel, Topology};
 pub use process::Proc;
 pub use session::{Session, ShardStore};
 pub use stats::{CommStats, PhaseTimer};
-pub use trace::{render_timeline, Trace, TraceEvent, TraceEventKind};
+pub use trace::{
+    aggregate_phases, render_phase_summary, render_timeline, PhaseAggregate, Trace, TraceEvent,
+    TraceEventKind,
+};
 
 /// Phase label used by the selection algorithms for the time they spend
 /// redistributing data (needed to regenerate the paper's Figures 5 and 6).

@@ -125,6 +125,7 @@ impl Proc {
     #[inline]
     pub(crate) fn note_collective_op(&mut self) {
         self.stats.collective_ops += 1;
+        self.trace_event(TraceEventKind::Collective);
     }
 
     /// Advances the virtual clock by `n` elementary operations

@@ -23,13 +23,26 @@ pub struct CommStats {
 impl CommStats {
     /// Component-wise difference `self - earlier`; useful for measuring a
     /// single algorithm phase: snapshot before, subtract after.
+    ///
+    /// A mismatched pair (an `earlier` snapshot that is actually *later*)
+    /// is a caller bug, flagged by a `debug_assert`; release builds
+    /// saturate to zero instead of underflow-panicking, so telemetry paths
+    /// degrade to a zeroed delta rather than taking the process down.
     pub fn since(&self, earlier: &CommStats) -> CommStats {
+        debug_assert!(
+            self.msgs_sent >= earlier.msgs_sent
+                && self.bytes_sent >= earlier.bytes_sent
+                && self.msgs_recv >= earlier.msgs_recv
+                && self.bytes_recv >= earlier.bytes_recv
+                && self.collective_ops >= earlier.collective_ops,
+            "CommStats::since with a snapshot pair out of order: {self:?} since {earlier:?}"
+        );
         CommStats {
-            msgs_sent: self.msgs_sent - earlier.msgs_sent,
-            bytes_sent: self.bytes_sent - earlier.bytes_sent,
-            msgs_recv: self.msgs_recv - earlier.msgs_recv,
-            bytes_recv: self.bytes_recv - earlier.bytes_recv,
-            collective_ops: self.collective_ops - earlier.collective_ops,
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            msgs_recv: self.msgs_recv.saturating_sub(earlier.msgs_recv),
+            bytes_recv: self.bytes_recv.saturating_sub(earlier.bytes_recv),
+            collective_ops: self.collective_ops.saturating_sub(earlier.collective_ops),
         }
     }
 
@@ -131,6 +144,17 @@ mod tests {
         assert_eq!(d.collective_ops, 3);
         let m = d.merged(&b);
         assert_eq!(m, a);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "snapshot pair out of order"))]
+    fn since_saturates_on_mismatched_snapshots_in_release() {
+        // A swapped snapshot pair must not underflow-wrap in release
+        // telemetry paths; debug builds flag the caller bug loudly.
+        let earlier = CommStats { msgs_sent: 1, ..CommStats::default() };
+        let later = CommStats { msgs_sent: 5, bytes_sent: 10, ..CommStats::default() };
+        let d = earlier.since(&later);
+        assert_eq!(d, CommStats::default());
     }
 
     #[test]

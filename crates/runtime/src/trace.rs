@@ -4,8 +4,32 @@
 //!
 //! Tracing is off by default (zero overhead beyond a branch); enable it
 //! per processor with [`crate::Proc::trace_enable`]. Collect each
-//! processor's [`Trace`] as part of the SPMD closure's return value and
-//! render a combined timeline with [`render_timeline`].
+//! processor's [`Trace`] and render a combined timeline with
+//! [`render_timeline`], or fold the phase structure into per-phase totals
+//! (virtual time + collective ops) with [`aggregate_phases`] /
+//! [`render_phase_summary`].
+//!
+//! # Engine-level usage
+//!
+//! Most callers never write raw SPMD closures: the phases they care about
+//! are the ones the *engine* opens around its batch-execution stages
+//! (`"probes"`, `"exact"`, `"sketch"`) when observability is on — see the
+//! engine crate's `obs` module, whose per-phase spans are built from
+//! exactly the [`crate::Proc::phase_begin`] / [`crate::Proc::phase_end`]
+//! brackets recorded here. A rendered phase summary of one engine batch
+//! looks like:
+//!
+//! ```text
+//! phase        time(µs)  collective_ops
+//! probes          112.4               8
+//! exact          2381.0             168
+//! sketch           95.1              16
+//! ```
+//!
+//! The raw-closure route remains available for custom SPMD programs:
+//! enable tracing inside the closure, return `proc.take_trace()`, and feed
+//! the collected traces to the functions below (see the tests for
+//! end-to-end examples).
 
 /// One traced event.
 #[derive(Clone, Debug, PartialEq)]
@@ -46,6 +70,10 @@ pub enum TraceEventKind {
         /// Elementary operations charged.
         ops: u64,
     },
+    /// This processor started a collective operation (barrier, broadcast,
+    /// reduce, scan, gather/scatter variant, all-to-all, or a `fresh_tag`
+    /// draw) — the trace-level twin of `CommStats::collective_ops`.
+    Collective,
 }
 
 /// A processor's event log.
@@ -102,6 +130,7 @@ pub fn render_timeline(traces: &[Trace]) -> String {
                 TraceEventKind::PhaseBegin(l) => format!("P{} phase {l} {{", t.rank),
                 TraceEventKind::PhaseEnd(l) => format!("P{} }} phase {l}", t.rank),
                 TraceEventKind::Compute { ops } => format!("P{} compute {ops} ops", t.rank),
+                TraceEventKind::Collective => format!("P{} collective", t.rank),
             };
             lines.push((e.at, desc));
         }
@@ -110,6 +139,84 @@ pub fn render_timeline(traces: &[Trace]) -> String {
     let mut out = String::new();
     for (at, desc) in lines {
         out.push_str(&format!("{:>12.3}µs  {desc}\n", at * 1e6));
+    }
+    out
+}
+
+/// Totals for one named phase, folded over a set of traces by
+/// [`aggregate_phases`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseAggregate {
+    /// Phase label as passed to `Proc::phase_begin`.
+    pub label: &'static str,
+    /// Inclusive virtual seconds spent inside the phase, summed over every
+    /// begin/end bracket in every trace.
+    pub time: f64,
+    /// Collective operations started while the phase was open, summed over
+    /// all traces. Under SPMD discipline every processor starts the same
+    /// collectives, so with `p` traces this is `p ×` the per-processor
+    /// round count.
+    pub collective_ops: u64,
+}
+
+/// Folds per-event traces into per-phase totals: inclusive virtual time and
+/// collective-op counts for each named phase, in first-seen order.
+///
+/// Nested phases are inclusive, matching `PhaseTimer`: an inner phase's time
+/// and collectives also count toward every enclosing phase. Collectives
+/// outside any open phase are dropped (they still show in the raw timeline).
+/// Traces recorded without tracing enabled contribute nothing.
+pub fn aggregate_phases(traces: &[Trace]) -> Vec<PhaseAggregate> {
+    let mut acc: Vec<PhaseAggregate> = Vec::new();
+    fn entry<'a>(acc: &'a mut Vec<PhaseAggregate>, label: &'static str) -> &'a mut PhaseAggregate {
+        if let Some(i) = acc.iter().position(|a| a.label == label) {
+            &mut acc[i]
+        } else {
+            acc.push(PhaseAggregate { label, time: 0.0, collective_ops: 0 });
+            acc.last_mut().expect("just pushed")
+        }
+    }
+    for t in traces {
+        let mut open: Vec<(&'static str, f64)> = Vec::new();
+        for e in &t.events {
+            match e.kind {
+                TraceEventKind::PhaseBegin(label) => open.push((label, e.at)),
+                TraceEventKind::PhaseEnd(label) => {
+                    let (begun, start) = open
+                        .pop()
+                        .unwrap_or_else(|| panic!("PhaseEnd({label:?}) with no open phase"));
+                    assert_eq!(begun, label, "mis-nested phase events in trace");
+                    entry(&mut acc, label).time += e.at - start;
+                }
+                TraceEventKind::Collective => {
+                    for &(label, _) in &open {
+                        entry(&mut acc, label).collective_ops += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    acc
+}
+
+/// Renders [`aggregate_phases`] output as an aligned text table — the
+/// per-phase companion view to the per-event [`render_timeline`]:
+///
+/// ```text
+/// phase        time(µs)  collective_ops
+/// probes          112.4               8
+/// exact          2381.0             168
+/// ```
+pub fn render_phase_summary(traces: &[Trace]) -> String {
+    let mut out = String::from("phase        time(µs)  collective_ops\n");
+    for a in aggregate_phases(traces) {
+        out.push_str(&format!(
+            "{:<10} {:>10.1}  {:>14}\n",
+            a.label,
+            a.time * 1e6,
+            a.collective_ops
+        ));
     }
     out
 }
@@ -164,6 +271,44 @@ mod tests {
             .map(|l| l.trim().split("µs").next().unwrap().trim().parse::<f64>().unwrap())
             .collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]), "{timeline}");
+    }
+
+    #[test]
+    fn phase_aggregation_totals_time_and_collectives() {
+        let traces = Machine::with_model(4, MachineModel::cm5())
+            .run(|proc| {
+                proc.trace_enable();
+                proc.phase_begin("route");
+                let _ = proc.combine(proc.rank() as u64, |a, b| a + b);
+                proc.phase_begin("inner");
+                proc.barrier();
+                proc.phase_end("inner");
+                proc.phase_end("route");
+                // A collective outside any phase is not attributed.
+                proc.barrier();
+                proc.phase_begin("refine");
+                proc.charge_ops(100);
+                proc.phase_end("refine");
+                proc.take_trace()
+            })
+            .unwrap();
+        let agg = aggregate_phases(&traces);
+        let labels: Vec<&str> = agg.iter().map(|a| a.label).collect();
+        assert_eq!(labels, ["route", "inner", "refine"], "first-seen order");
+        let get = |l: &str| agg.iter().find(|a| a.label == l).unwrap();
+        // Nesting is inclusive: the barrier inside "inner" also counts for
+        // "route". combine may itself be built from several collective
+        // rounds, so assert relative structure, not a constant.
+        assert!(get("route").collective_ops >= get("inner").collective_ops + 4);
+        assert_eq!(get("inner").collective_ops % 4, 0, "same count on each of 4 procs");
+        assert_eq!(get("refine").collective_ops, 0);
+        assert!(get("route").time >= get("inner").time);
+        assert!(get("refine").time > 0.0, "compute charge advances the clock");
+        let table = render_phase_summary(&traces);
+        assert!(table.starts_with("phase"), "{table}");
+        for l in ["route", "inner", "refine"] {
+            assert!(table.contains(l), "{table}");
+        }
     }
 
     #[test]

@@ -132,11 +132,12 @@ pub use cgselect_core::{
 };
 pub use cgselect_engine::{
     measure_rounds, quantile_rank, Accuracy, Answer, AsyncError, BackendChoice, BackendError,
-    BackendKind, BatchReport, Bounds, ChannelMp, ChannelMpTuning, CostAttribution, Engine,
-    EngineConfig, EngineError, ExecBackend, ExecutionMode, Fault, FrontendConfig, FrontendStats,
-    IndexHealth, LocalSpmd, MutationReport, MutationTicket, Outcome, OutcomeTicket, PhaseOps,
-    Query, QueryKind, QueryTicket, RankSet, Request, Response, RoundsMeasurement, RunReport,
-    Served, SubmissionQueue, SubmitError, Ticket,
+    BackendKind, BatchReport, BatchSpan, Bounds, ChannelMp, ChannelMpTuning, CostAttribution,
+    Engine, EngineConfig, EngineError, ExecBackend, ExecutionMode, Fault, FrontendConfig,
+    FrontendStats, IndexHealth, LocalSpmd, MetricsRegistry, MetricsSnapshot, MutationReport,
+    MutationTicket, Outcome, OutcomeTicket, Phase, PhaseOps, PhaseSpan, PhaseSummary, Query,
+    QueryKind, QueryTicket, RankSet, Request, RequestSpan, Response, RoundsMeasurement, RunReport,
+    Served, SloAccumulator, SloPolicy, SloReport, SubmissionQueue, SubmitError, Ticket, TraceId,
 };
 pub use cgselect_runtime::{
     CommStats, Key, Machine, MachineModel, OrdF64, Proc, RunError, Session, ShardStore,

@@ -571,6 +571,81 @@ mod interleavings {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Observability: span trees are part of the conformance surface.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn span_trees_agree_across_backends() {
+    use cgselect::{Bounds, Request};
+    // Phase brackets ride the deterministic virtual clock and the comm
+    // counters, so with observability on, both backends must produce the
+    // SAME span tree: same phases in the same order, same per-phase
+    // collective counts, comm volumes and virtual times. Trace IDs are
+    // process-global and excluded from the comparison by stamping them.
+    let data: Vec<u64> = (0..6000u64).map(|i| i.wrapping_mul(48271) % 99_991).collect();
+    let mut trees = Vec::new();
+    for backend in backends() {
+        let mut engine: Engine<u64> = Engine::new(cfg(4, backend).observe(true)).unwrap();
+        engine.ingest(data.clone()).unwrap();
+        engine.execute(&[Query::Median]).unwrap(); // builds the index
+        let requests: Vec<Request<u64>> = vec![
+            Query::quantile(0.25).to_request(),
+            Query::Rank(17).to_request(),
+            Request::rank_of(50_000),
+            Request::count_between(Bounds::closed(10_000, 20_000)),
+            Query::TopK(3).to_request(),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.traced(cgselect::TraceId(100 + i as u64)))
+        .collect();
+        let report = engine.run(&requests).unwrap();
+        let span = report.span.expect("observing engines must attach a batch span");
+        assert_eq!(span.requests.len(), requests.len());
+        for (req_span, req) in span.requests.iter().zip(&requests) {
+            assert_eq!(Some(req_span.trace), req.trace, "spans must link back to their request");
+        }
+        trees.push((span.requests, span.phases));
+    }
+    assert_eq!(
+        trees[0], trees[1],
+        "backends must agree on the span tree: phases, collective counts, comm, virtual time"
+    );
+}
+
+#[test]
+fn observing_engines_answer_identically_with_identical_rounds() {
+    // The zero-cost contract: observability must not perturb execution.
+    // Same data, same batch — obs-on and obs-off engines must agree on
+    // every answer AND every collective-round count, on both backends.
+    let data: Vec<u64> = (0..4000u64).map(|i| i.wrapping_mul(2654435761) % 65_521).collect();
+    for backend in backends() {
+        let kind = backend.kind();
+        let mut plain: Engine<u64> = Engine::new(cfg(4, backend.clone())).unwrap();
+        let mut observed: Engine<u64> = Engine::new(cfg(4, backend).observe(true)).unwrap();
+        plain.ingest(data.clone()).unwrap();
+        observed.ingest(data.clone()).unwrap();
+        let requests: Vec<cgselect::Request<u64>> =
+            mixed_batch(data.len() as u64).iter().map(Query::to_request).collect();
+        for label in ["build", "steady"] {
+            let a = plain.run(&requests).unwrap();
+            let b = observed.run(&requests).unwrap();
+            let (va, vb): (Vec<_>, Vec<_>) = (
+                a.outcomes.iter().map(|o| &o.response).collect(),
+                b.outcomes.iter().map(|o| &o.response).collect(),
+            );
+            assert_eq!(va, vb, "{kind}/{label}: observability changed answers");
+            assert_eq!(
+                a.collective_ops, b.collective_ops,
+                "{kind}/{label}: observability changed the collective-round count"
+            );
+            assert_eq!(a.makespan, b.makespan, "{kind}/{label}: observability charged time");
+            assert!(a.span.is_none() && b.span.is_some());
+        }
+    }
+}
+
 #[test]
 fn backend_kind_is_reported() {
     let local: Engine<u64> = Engine::new(cfg(2, BackendChoice::LocalSpmd)).unwrap();
