@@ -47,7 +47,7 @@ use cgselect_bench::chart::{markdown_table, write_csv, write_text};
 use cgselect_bench::{quick_mode, results_dir};
 use cgselect_engine::{
     measure_rounds, BackendChoice, Bounds, ChannelMpTuning, Engine, EngineConfig, ExecutionMode,
-    IndexHealth, Query, Request, Served, SloAccumulator, SloPolicy,
+    IndexHealth, Query, Request, Served, SloAccumulator, SloPolicy, SocketMpTuning,
 };
 use cgselect_workloads::{generate, Distribution};
 
@@ -225,13 +225,16 @@ fn index_experiment(quick: bool, dir: &std::path::Path) -> bool {
 
     let local = BackendChoice::LocalSpmd;
     let mp = || BackendChoice::ChannelMp(ChannelMpTuning::default());
+    let sock = || BackendChoice::SocketMp(SocketMpTuning::default());
     let runs = vec![
         drive("distinct-ranks", "baseline", 0, local.clone(), &data, p, &distinct_batches),
         drive("distinct-ranks", "indexed", 64, local.clone(), &data, p, &distinct_batches),
         drive("distinct-ranks", "indexed-mp", 64, mp(), &data, p, &distinct_batches),
+        drive("distinct-ranks", "indexed-sock", 64, sock(), &data, p, &distinct_batches),
         drive("repeated-quantiles", "baseline", 0, local.clone(), &data, p, &repeated_batches),
         drive("repeated-quantiles", "indexed", 64, local, &data, p, &repeated_batches),
         drive("repeated-quantiles", "indexed-mp", 64, mp(), &data, p, &repeated_batches),
+        drive("repeated-quantiles", "indexed-sock", 64, sock(), &data, p, &repeated_batches),
     ];
 
     let mut rows = Vec::new();
@@ -284,7 +287,8 @@ fn index_experiment(quick: bool, dir: &std::path::Path) -> bool {
     let out = format!(
         "Resident bucket index vs the batched baseline\n\
          (n = {n}, p = {p}, random resident data; virtual times under the CM-5 model;\n\
-         indexed-mp = the same indexed engine on the message-passing ChannelMp backend)\n\n{}\n\
+         indexed-mp = the same indexed engine on the message-passing ChannelMp backend;\n\
+         indexed-sock = on SocketMp, shard workers as child processes over Unix sockets)\n\n{}\n\
          Localization against the cached per-bucket histogram confines each\n\
          rank to a candidate-bucket window (borrowed in place — the baseline's\n\
          per-batch full-shard clone does not exist on the indexed path), and\n\
@@ -333,6 +337,18 @@ fn index_experiment(quick: bool, dir: &std::path::Path) -> bool {
                 "BACKEND REGRESSION: ChannelMp used {} collective ops on {w}, \
                  LocalSpmd used {}",
                 chan.collective_ops, spmd.collective_ops
+            );
+            ok = false;
+        }
+        // The same pin for the out-of-process workers: modeled message
+        // sizes are computed before wire encoding, so crossing a real
+        // socket must cost identical collective rounds.
+        let sock = find(w, "indexed-sock");
+        if sock.collective_ops != chan.collective_ops {
+            eprintln!(
+                "BACKEND REGRESSION: SocketMp used {} collective ops on {w}, \
+                 ChannelMp used {}",
+                sock.collective_ops, chan.collective_ops
             );
             ok = false;
         }
@@ -705,8 +721,9 @@ fn main() {
         println!(
             "perf smoke: indexed engine within bounds (distinct <= baseline, repeated >= 2x), \
              v2 mixed-kind batching >= 2x with zero-collective warm inverse serving, \
-             ChannelMp collective-round counts equal LocalSpmd's, observability zero-cost \
-             (identical answers, rounds and makespan) and SLO thresholds held"
+             ChannelMp and SocketMp collective-round counts equal LocalSpmd's, \
+             observability zero-cost (identical answers, rounds and makespan) and SLO \
+             thresholds held"
         );
     }
 }

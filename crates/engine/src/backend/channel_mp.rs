@@ -1,73 +1,63 @@
-//! The message-passing backend: one long-lived worker thread per shard,
-//! commands and replies as serialized byte frames.
+//! The in-process message-passing backend: one long-lived worker thread per
+//! shard, commands and replies as serialized byte frames.
 //!
 //! [`ChannelMp`] is the dress rehearsal for out-of-process/remote shards.
 //! Unlike [`super::LocalSpmd`], where the host ships shared closures into a
 //! [`cgselect_runtime::Session`], here the host holds **no shard state and
 //! no code pointer into the workers**: every verb is encoded as a byte
-//! frame (`super::wire`), sent down a per-worker channel, decoded by the
-//! worker, executed against its owned `super::ops::Shard`, and answered
-//! with another byte frame. Only the per-batch pivot *seed* crosses the
-//! wire per execute; the rest of the selection tuning is deployment
-//! configuration every worker received at spawn. Shard-to-shard
-//! collectives ride the same in-process [`cgselect_runtime::Proc`] fabric
-//! as `LocalSpmd` (obtained via [`cgselect_runtime::Machine::procs`]),
-//! which is precisely what keeps collective-round counts identical across
-//! backends; swapping that fabric for a socket transport is the ROADMAP
-//! follow-up.
+//! frame in the shared host↔worker protocol (`super::protocol` — versioned,
+//! batch-sequence-numbered framing over the `super::wire` codec), sent down
+//! a per-worker channel, decoded by the worker, executed against its owned
+//! `super::ops::Shard`, and answered with another byte frame. Only the
+//! per-batch pivot *seed* crosses the wire per execute; the rest of the
+//! selection tuning is deployment configuration every worker received at
+//! spawn. Shard-to-shard collectives ride the same in-process
+//! [`cgselect_runtime::Proc`] fabric as `LocalSpmd` (obtained via
+//! [`cgselect_runtime::Machine::procs`]), which is precisely what keeps
+//! collective-round counts identical across backends; [`super::SocketMp`]
+//! speaks the same protocol with real child processes and a socket fabric.
 //!
 //! Failure semantics mirror session poisoning, surfaced as typed
 //! [`BackendError`]s: a worker that panics mid-program reports the panic in
 //! its reply frame (its peers fail shortly after with receive timeouts,
 //! triaged as secondary fallout); a worker that never replies within
 //! [`ChannelMpTuning::reply_timeout`] is reported as
-//! [`BackendError::WorkerUnresponsive`]. Either way the backend is
-//! poisoned and every later call fails fast with
-//! [`BackendError::Poisoned`]. [`Fault`] injection exists so the
-//! conformance harness can force each of these paths deterministically.
+//! [`BackendError::WorkerUnresponsive`]. The reply deadline is **shared
+//! across the whole collect loop** — p stragglers stall the host for one
+//! `reply_timeout`, not p of them — and replies carry the round's sequence
+//! number, so a slow worker's late reply can never be mistaken for an
+//! answer to a later round. Either way the backend is poisoned and every
+//! later call fails fast with [`BackendError::Poisoned`]. [`Fault`]
+//! injection exists so the conformance harness can force each of these
+//! paths deterministically.
 
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cgselect_balance::Balancer;
-use cgselect_core::SelectionConfig;
-use cgselect_runtime::{panic_message, Key, Machine, Proc, RunError};
+use cgselect_runtime::{panic_message, Key, Machine, Proc};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::index::BucketStats;
 use crate::EngineConfig;
 
 use super::ops::{self, Shard};
-use super::wire::{Reader, Writer};
+use super::protocol::{self, WorkerConfig, CMD_EXECUTE, CMD_EXIT, REPLY_OK};
+use super::wire::Writer;
 use super::{BackendError, BackendKind, BatchPlan, ExecBackend, ShardBatchOutcome, ShardDeletion};
-
-// Command frame tags (host -> worker).
-const CMD_EXIT: u8 = 0;
-const CMD_INGEST: u8 = 1;
-const CMD_DELETE: u8 = 2;
-const CMD_REBALANCE: u8 = 3;
-const CMD_BUILD_INDEX: u8 = 4;
-const CMD_MERGE_DELTA: u8 = 5;
-const CMD_EXECUTE: u8 = 6;
-
-// Reply frame status bytes (worker -> host).
-const REPLY_OK: u8 = 0;
-const REPLY_PANICKED: u8 = 1;
-const REPLY_PENDING_MESSAGES: u8 = 2;
-const REPLY_UNBALANCED_PHASES: u8 = 3;
 
 /// Tuning (and test instrumentation) of the [`ChannelMp`] backend.
 #[derive(Clone, Debug)]
 pub struct ChannelMpTuning {
-    /// How long the host waits for each worker's reply frame before
-    /// declaring it [`BackendError::WorkerUnresponsive`] and poisoning the
-    /// backend. Keep comfortably **above** `proc_timeout`: when a worker
-    /// dies mid-collective its surviving peers only report (as secondary
+    /// How long the host waits for the round's reply frames before
+    /// declaring the silent workers [`BackendError::WorkerUnresponsive`]
+    /// and poisoning the backend. One deadline covers the whole collect
+    /// loop. Keep comfortably **above** `proc_timeout`: when a worker dies
+    /// mid-collective its surviving peers only report (as secondary
     /// timeout panics) after `proc_timeout` has elapsed, and those reports
-    /// must reach the host before its own reply deadline fires or typed
-    /// root causes degrade to spurious `WorkerUnresponsive`.
+    /// must reach the host before the reply deadline fires or typed root
+    /// causes degrade to spurious `WorkerUnresponsive`.
     pub reply_timeout: Duration,
     /// The workers' collective receive timeout (how long a shard blocked in
     /// a collective waits for a dead peer before failing itself).
@@ -149,10 +139,7 @@ pub enum Fault {
 /// configuration, moved (not serialized) into the thread exactly as argv
 /// and config files reach a remote shard process out of band.
 struct WorkerInit {
-    rank: usize,
-    sketch_capacity: usize,
-    selection: SelectionConfig,
-    balancer: Balancer,
+    cfg: WorkerConfig,
     faults: Vec<Fault>,
 }
 
@@ -162,10 +149,12 @@ struct WorkerLink {
     handle: Option<JoinHandle<()>>,
 }
 
-/// The message-passing execution backend (see the [module docs](self)).
+/// The in-process message-passing execution backend (see the
+/// [module docs](self)).
 pub struct ChannelMp<T: Key> {
     workers: Vec<WorkerLink>,
     reply_timeout: Duration,
+    next_seq: u64,
     poisoned: bool,
     _marker: PhantomData<fn(T)>,
 }
@@ -182,10 +171,12 @@ impl<T: Key> ChannelMp<T> {
                 let (cmd_tx, cmd_rx) = unbounded::<Vec<u8>>();
                 let (reply_tx, reply_rx) = unbounded::<Vec<u8>>();
                 let init = WorkerInit {
-                    rank,
-                    sketch_capacity: cfg.sketch_capacity,
-                    selection: cfg.selection.clone(),
-                    balancer: cfg.balancer,
+                    cfg: WorkerConfig {
+                        rank,
+                        sketch_capacity: cfg.sketch_capacity,
+                        selection: cfg.selection.clone(),
+                        balancer: cfg.balancer,
+                    },
                     faults: tuning.faults.clone(),
                 };
                 let handle = std::thread::Builder::new()
@@ -198,97 +189,77 @@ impl<T: Key> ChannelMp<T> {
         ChannelMp {
             workers,
             reply_timeout: tuning.reply_timeout,
+            next_seq: 1,
             poisoned: false,
             _marker: PhantomData,
         }
     }
 
-    /// Sends one frame per worker and collects one reply payload per
+    /// Sends one command body per worker and collects one reply payload per
     /// worker, applying the session-style root-cause triage and poisoning
-    /// on any failure.
-    fn round_trip(&mut self, frames: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, BackendError> {
+    /// on any failure. The round's sequence number stamps every frame; the
+    /// reply deadline is shared across the whole collect loop.
+    fn round_trip(&mut self, bodies: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, BackendError> {
         if self.poisoned {
             return Err(BackendError::Poisoned);
         }
-        debug_assert_eq!(frames.len(), self.workers.len());
-        for (rank, (w, frame)) in self.workers.iter().zip(frames).enumerate() {
-            if w.cmd.send(frame).is_err() {
+        debug_assert_eq!(bodies.len(), self.workers.len());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for (rank, (w, body)) in self.workers.iter().zip(bodies).enumerate() {
+            if w.cmd.send(protocol::encode_framed(seq, &body)).is_err() {
                 self.poisoned = true;
                 return Err(BackendError::WorkerUnresponsive { rank });
             }
         }
+        let deadline = Instant::now() + self.reply_timeout;
         let mut payloads = Vec::with_capacity(self.workers.len());
         let mut failures: Vec<BackendError> = Vec::new();
         for (rank, w) in self.workers.iter().enumerate() {
-            match w.reply.recv_timeout(self.reply_timeout) {
-                Ok(frame) => match decode_reply_status(rank, frame) {
-                    Ok(payload) => payloads.push(payload),
-                    Err(e) => failures.push(e),
-                },
-                // Timeout or disconnect: the reply was lost or the worker
-                // died without reporting.
-                Err(_) => failures.push(BackendError::WorkerUnresponsive { rank }),
+            match protocol::collect_frame(&w.reply, deadline, seq, rank)
+                .and_then(|body| protocol::decode_reply_status(rank, body))
+            {
+                Ok(payload) => payloads.push(payload),
+                Err(e) => failures.push(e),
             }
         }
         if failures.is_empty() {
             return Ok(payloads);
         }
         self.poisoned = true;
-        Err(triage(failures))
+        Err(protocol::triage(failures))
     }
 
-    /// The same serialized frame for every worker.
-    fn broadcast_frames(&self, frame: Vec<u8>) -> Vec<Vec<u8>> {
+    /// The same serialized body for every worker.
+    fn broadcast_frames(&self, body: Vec<u8>) -> Vec<Vec<u8>> {
         let p = self.workers.len();
-        let mut frames = Vec::with_capacity(p);
+        let mut bodies = Vec::with_capacity(p);
         for _ in 1..p {
-            frames.push(frame.clone());
+            bodies.push(body.clone());
         }
-        frames.push(frame);
-        frames
+        bodies.push(body);
+        bodies
     }
-}
 
-/// Root-cause triage over all failed ranks of one round trip: a failure a
-/// worker *reported* (panic, protocol violation) beats a silent rank —
-/// silence is usually fallout of someone else's death racing the reply
-/// deadline, and must never mask the reported root cause no matter which
-/// rank the host happened to poll first. Within the reported failures,
-/// non-secondary beats timeout/disconnect fallout; a silent rank beats
-/// pure secondary fallout (a dropped reply can itself be the root cause).
-fn triage(failures: Vec<BackendError>) -> BackendError {
-    debug_assert!(!failures.is_empty());
-    let reported = failures
-        .iter()
-        .find(|e| !e.is_secondary() && !matches!(e, BackendError::WorkerUnresponsive { .. }));
-    let unresponsive =
-        failures.iter().find(|e| matches!(e, BackendError::WorkerUnresponsive { .. }));
-    reported.or(unresponsive).or_else(|| failures.first()).cloned().expect("failures is non-empty")
-}
-
-/// Splits a reply frame into its ok-payload or typed error.
-fn decode_reply_status(rank: usize, frame: Vec<u8>) -> Result<Vec<u8>, BackendError> {
-    match frame.first().copied() {
-        Some(REPLY_OK) => Ok(frame),
-        Some(REPLY_PANICKED) => {
-            let mut r = Reader::new(&frame);
-            let message = r.str();
-            r.finish();
-            Err(BackendError::WorkerPanicked { rank, message })
+    /// Decodes every rank's reply payload, poisoning the backend on the
+    /// first malformed frame (a worker that writes garbage is as gone as
+    /// one that panicked).
+    fn decode_all<R>(
+        &mut self,
+        payloads: Vec<Vec<u8>>,
+        decode: impl Fn(usize, &[u8]) -> Result<R, BackendError>,
+    ) -> Result<Vec<R>, BackendError> {
+        let mut out = Vec::with_capacity(payloads.len());
+        for (rank, body) in payloads.iter().enumerate() {
+            match decode(rank, body) {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            }
         }
-        Some(REPLY_PENDING_MESSAGES) => {
-            let mut r = Reader::new(&frame);
-            let detail = r.str();
-            r.finish();
-            Err(BackendError::Runtime(RunError::PendingMessages { rank, detail }))
-        }
-        Some(REPLY_UNBALANCED_PHASES) => {
-            Err(BackendError::Runtime(RunError::UnbalancedPhases { rank }))
-        }
-        other => Err(BackendError::WorkerPanicked {
-            rank,
-            message: format!("malformed reply frame (status {other:?})"),
-        }),
+        Ok(out)
     }
 }
 
@@ -307,117 +278,38 @@ impl<T: Key> ExecBackend<T> for ChannelMp<T> {
 
     fn ingest(&mut self, chunks: Vec<Vec<T>>) -> Result<Vec<u64>, BackendError> {
         assert_eq!(chunks.len(), self.workers.len(), "one ingest chunk per shard");
-        let frames = chunks
-            .into_iter()
-            .map(|chunk| {
-                let mut w = Writer::new(CMD_INGEST);
-                w.keys(&chunk);
-                w.into_frame()
-            })
-            .collect();
-        let payloads = self.round_trip(frames)?;
-        Ok(payloads
-            .iter()
-            .map(|frame| {
-                let mut r = Reader::new(frame);
-                let size = r.u64();
-                r.finish();
-                size
-            })
-            .collect())
+        let bodies = chunks.iter().map(|chunk| protocol::encode_ingest(chunk)).collect();
+        let payloads = self.round_trip(bodies)?;
+        self.decode_all(payloads, protocol::decode_u64_reply)
     }
 
     fn delete(&mut self, values: Vec<T>) -> Result<Vec<ShardDeletion>, BackendError> {
-        let mut w = Writer::new(CMD_DELETE);
-        w.keys(&values);
-        let payloads = self.round_trip(self.broadcast_frames(w.into_frame()))?;
-        Ok(payloads
-            .iter()
-            .map(|frame| {
-                let mut r = Reader::new(frame);
-                let remaining = r.u64();
-                let removed = r.u64s();
-                r.finish();
-                ShardDeletion { remaining, removed }
-            })
-            .collect())
+        let payloads = self.round_trip(self.broadcast_frames(protocol::encode_delete(&values)))?;
+        self.decode_all(payloads, protocol::decode_deletion_reply)
     }
 
     fn rebalance(&mut self) -> Result<Vec<u64>, BackendError> {
-        let payloads =
-            self.round_trip(self.broadcast_frames(Writer::new(CMD_REBALANCE).into_frame()))?;
-        Ok(payloads
-            .iter()
-            .map(|frame| {
-                let mut r = Reader::new(frame);
-                let size = r.u64();
-                r.finish();
-                size
-            })
-            .collect())
+        let payloads = self
+            .round_trip(self.broadcast_frames(Writer::new(protocol::CMD_REBALANCE).into_frame()))?;
+        self.decode_all(payloads, protocol::decode_u64_reply)
     }
 
     fn build_index(&mut self, buckets: usize) -> Result<Vec<BucketStats<T>>, BackendError> {
-        let mut w = Writer::new(CMD_BUILD_INDEX);
-        w.usize(buckets);
-        let payloads = self.round_trip(self.broadcast_frames(w.into_frame()))?;
-        Ok(payloads
-            .iter()
-            .map(|frame| {
-                let mut r = Reader::new(frame);
-                let stats = r.bucket_stats::<T>();
-                r.finish();
-                stats
-            })
-            .collect())
+        let payloads =
+            self.round_trip(self.broadcast_frames(protocol::encode_build_index(buckets)))?;
+        self.decode_all(payloads, protocol::decode_bucket_stats_reply::<T>)
     }
 
     fn merge_delta(&mut self) -> Result<Vec<BucketStats<T>>, BackendError> {
-        let payloads =
-            self.round_trip(self.broadcast_frames(Writer::new(CMD_MERGE_DELTA).into_frame()))?;
-        Ok(payloads
-            .iter()
-            .map(|frame| {
-                let mut r = Reader::new(frame);
-                let stats = r.bucket_stats::<T>();
-                r.finish();
-                stats
-            })
-            .collect())
+        let payloads = self.round_trip(
+            self.broadcast_frames(Writer::new(protocol::CMD_MERGE_DELTA).into_frame()),
+        )?;
+        self.decode_all(payloads, protocol::decode_bucket_stats_reply::<T>)
     }
 
     fn execute(&mut self, plan: &BatchPlan<T>) -> Result<Vec<ShardBatchOutcome<T>>, BackendError> {
-        let payloads = self.round_trip(self.broadcast_frames(encode_execute(plan)))?;
-        Ok(payloads
-            .iter()
-            .map(|frame| {
-                let mut r = Reader::new(frame);
-                let exact_len = r.usize();
-                let exact = (0..exact_len).map(|_| r.opt_key::<T>()).collect();
-                let refines_len = r.usize();
-                let refines = (0..refines_len).map(|_| r.bucket_stats::<T>()).collect();
-                let probe_counts = r.u64s();
-                let sketch_values = r.keys::<T>();
-                let sketch_ranks = r.u64s();
-                let phase_ops =
-                    super::PhaseOps { probes: r.u64(), exact: r.u64(), sketch: r.u64() };
-                let comm = r.comm_stats();
-                let elapsed = r.f64();
-                let spans = r.phase_spans();
-                r.finish();
-                ShardBatchOutcome {
-                    exact,
-                    refines,
-                    probe_counts,
-                    sketch_values,
-                    sketch_ranks,
-                    phase_ops,
-                    comm,
-                    elapsed,
-                    spans,
-                }
-            })
-            .collect())
+        let payloads = self.round_trip(self.broadcast_frames(protocol::encode_execute(plan)))?;
+        self.decode_all(payloads, protocol::decode_outcome::<T>)
     }
 }
 
@@ -426,7 +318,7 @@ impl<T: Key> Drop for ChannelMp<T> {
         // Join-on-drop, mirroring `Session`: tell every worker to exit and
         // wait for it, so dropping an engine never leaks shard threads.
         for w in &self.workers {
-            let _ = w.cmd.send(vec![CMD_EXIT]);
+            let _ = w.cmd.send(protocol::encode_framed(self.next_seq, &[CMD_EXIT]));
         }
         for w in &mut self.workers {
             if let Some(h) = w.handle.take() {
@@ -436,80 +328,39 @@ impl<T: Key> Drop for ChannelMp<T> {
     }
 }
 
-/// Serializes one batch plan. Only the per-batch pivot seed crosses the
-/// wire; workers rebuild the full `SelectionConfig` from their deployment
-/// copy. The coalesced rank set rides as runs and the value probes as
-/// `(key, inclusive)` pairs.
-fn encode_execute<T: Key>(plan: &BatchPlan<T>) -> Vec<u8> {
-    let mut w = Writer::new(CMD_EXECUTE);
-    w.u64(plan.selection.seed);
-    w.bool(plan.use_index);
-    w.u64(plan.full_total);
-    w.u64(plan.delta_total);
-    w.rank_set(&plan.exact_ranks);
-    w.probes(&plan.value_probes);
-    w.u64s(&plan.sketch_targets);
-    w.probes(&plan.sketch_probes);
-    w.usize(plan.groups.len());
-    for g in plan.groups.iter() {
-        w.group(g);
-    }
-    w.trace_context(&plan.trace);
-    w.into_frame()
-}
-
-fn decode_execute<T: Key>(r: &mut Reader<'_>, base: &SelectionConfig) -> BatchPlan<T> {
-    let mut selection = base.clone();
-    selection.seed = r.u64();
-    let use_index = r.bool();
-    let full_total = r.u64();
-    let delta_total = r.u64();
-    let exact_ranks = r.rank_set();
-    let value_probes = r.probes::<T>();
-    let sketch_targets = r.u64s();
-    let sketch_probes = r.probes::<T>();
-    let group_count = r.usize();
-    let groups = (0..group_count).map(|_| r.group()).collect();
-    let trace = r.trace_context();
-    BatchPlan {
-        groups: std::sync::Arc::new(groups),
-        exact_ranks: std::sync::Arc::new(exact_ranks),
-        value_probes: std::sync::Arc::new(value_probes),
-        sketch_targets: std::sync::Arc::new(sketch_targets),
-        sketch_probes: std::sync::Arc::new(sketch_probes),
-        selection,
-        use_index,
-        full_total,
-        delta_total,
-        trace,
-    }
-}
-
-/// The shard worker's command loop: decode, execute against the owned
-/// shard, run the end-of-program protocol, reply. A panic (injected or
-/// real) or protocol violation is reported in the reply frame and ends the
-/// loop, exactly as a `Session` worker stops serving after a failure.
+/// The shard worker's command loop: unframe, decode, execute against the
+/// owned shard, run the end-of-program protocol, reply under the command's
+/// sequence number. A panic (injected or real) or protocol violation is
+/// reported in the reply frame and ends the loop, exactly as a `Session`
+/// worker stops serving after a failure.
 fn worker_loop<T: Key>(
     mut proc: Proc,
     init: WorkerInit,
     commands: Receiver<Vec<u8>>,
     replies: Sender<Vec<u8>>,
 ) {
-    let rank = init.rank;
-    let mut shard: Shard<T> = ops::init_shard(rank, init.sketch_capacity, init.selection.seed);
+    let rank = init.cfg.rank;
+    let mut shard: Shard<T> =
+        ops::init_shard(rank, init.cfg.sketch_capacity, init.cfg.selection.seed);
     let slow_delay = init.faults.iter().find_map(|f| match f {
         Fault::SlowShard { rank: r, delay } if *r == rank => Some(*delay),
         _ => None,
     });
     let mut executes_served = 0u64;
     while let Ok(frame) = commands.recv() {
-        if frame.first() == Some(&CMD_EXIT) {
+        let (seq, body) = match protocol::split_framed(&frame) {
+            Ok(parts) => parts,
+            // An unframeable command cannot be answered under a matching
+            // sequence number; stop serving and let the host time out.
+            Err(_) => break,
+        };
+        if body.first() == Some(&CMD_EXIT) {
             break;
         }
         if let Some(delay) = slow_delay {
             std::thread::sleep(delay);
         }
-        let (panic_now, drop_reply) = if frame.first() == Some(&CMD_EXECUTE) {
+        let (panic_now, drop_reply) = if body.first() == Some(&CMD_EXECUTE) {
             let nth = executes_served;
             executes_served += 1;
             (
@@ -524,13 +375,13 @@ fn worker_loop<T: Key>(
             (false, false)
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_command::<T>(&mut proc, &mut shard, &init, &frame, panic_now)
+            protocol::run_command::<T>(&mut proc, &mut shard, &init.cfg, body, panic_now)
         }));
         let reply = match outcome {
             Ok(Ok(payload)) => payload,
-            Ok(Err(protocol_err)) => encode_protocol_error(&protocol_err),
+            Ok(Err(protocol_err)) => protocol::encode_protocol_error(&protocol_err),
             Err(payload) => {
-                let mut w = Writer::new(REPLY_PANICKED);
+                let mut w = Writer::new(protocol::REPLY_PANICKED);
                 w.str(&panic_message(payload));
                 w.into_frame()
             }
@@ -541,7 +392,7 @@ fn worker_loop<T: Key>(
             // hears about it. Keep serving (the host will poison itself).
             continue;
         }
-        if replies.send(reply).is_err() || failed {
+        if replies.send(protocol::encode_framed(seq, &reply)).is_err() || failed {
             // Host gone mid-run, or this program failed: this worker's Proc
             // state can no longer be trusted — stop serving.
             break;
@@ -549,137 +400,10 @@ fn worker_loop<T: Key>(
     }
 }
 
-fn run_command<T: Key>(
-    proc: &mut Proc,
-    shard: &mut Shard<T>,
-    init: &WorkerInit,
-    frame: &[u8],
-    panic_now: bool,
-) -> Result<Vec<u8>, RunError> {
-    let mut r = Reader::new(frame);
-    let mut w = Writer::new(REPLY_OK);
-    match frame.first().copied() {
-        Some(CMD_INGEST) => {
-            let items = r.keys::<T>();
-            r.finish();
-            w.u64(ops::ingest_shard(proc, shard, items));
-        }
-        Some(CMD_DELETE) => {
-            let values = r.keys::<T>();
-            r.finish();
-            let d = ops::delete_shard(proc, shard, &values);
-            w.u64(d.remaining);
-            w.u64s(&d.removed);
-        }
-        Some(CMD_REBALANCE) => {
-            r.finish();
-            w.u64(ops::rebalance_shard(proc, shard, init.balancer));
-        }
-        Some(CMD_BUILD_INDEX) => {
-            let buckets = r.usize();
-            r.finish();
-            w.bucket_stats(&ops::build_index_shard(proc, shard, buckets));
-        }
-        Some(CMD_MERGE_DELTA) => {
-            r.finish();
-            w.bucket_stats(&ops::merge_delta_shard(proc, shard));
-        }
-        Some(CMD_EXECUTE) => {
-            let plan = decode_execute::<T>(&mut r, &init.selection);
-            r.finish();
-            if panic_now {
-                // Mid-batch: enter the batch's opening barrier (so the
-                // peers are committed to the collective pass), then die.
-                proc.barrier();
-                panic!("injected fault: shard worker {} panicked mid-batch", init.rank);
-            }
-            let o = ops::execute_shard(proc, shard, &plan);
-            w.usize(o.exact.len());
-            for v in &o.exact {
-                w.opt_key(*v);
-            }
-            w.usize(o.refines.len());
-            for stats in &o.refines {
-                w.bucket_stats(stats);
-            }
-            w.u64s(&o.probe_counts);
-            w.keys(&o.sketch_values);
-            w.u64s(&o.sketch_ranks);
-            w.u64(o.phase_ops.probes);
-            w.u64(o.phase_ops.exact);
-            w.u64(o.phase_ops.sketch);
-            w.comm_stats(&o.comm);
-            w.f64(o.elapsed);
-            w.phase_spans(&o.spans);
-        }
-        other => panic!("unknown command tag {other:?}"),
-    }
-    proc.finish_program()?;
-    Ok(w.into_frame())
-}
-
-fn encode_protocol_error(err: &RunError) -> Vec<u8> {
-    match err {
-        RunError::PendingMessages { detail, .. } => {
-            let mut w = Writer::new(REPLY_PENDING_MESSAGES);
-            w.str(detail);
-            w.into_frame()
-        }
-        RunError::UnbalancedPhases { .. } => Writer::new(REPLY_UNBALANCED_PHASES).into_frame(),
-        // finish_program only produces the two protocol variants above.
-        other => {
-            let mut w = Writer::new(REPLY_PANICKED);
-            w.str(&format!("unexpected protocol error: {other}"));
-            w.into_frame()
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn panicked(rank: usize, message: &str) -> BackendError {
-        BackendError::WorkerPanicked { rank, message: message.into() }
-    }
-
-    #[test]
-    fn triage_prefers_reported_root_cause_over_silence() {
-        // The regression shape: a lower rank's reply misses the deadline
-        // (silence) while a higher rank's genuine panic sits queued — the
-        // panic must win regardless of the host's rank-order polling.
-        let err = triage(vec![
-            BackendError::WorkerUnresponsive { rank: 0 },
-            panicked(1, "proc 1 timed out after 30s waiting for (src=2, tag=0x1)"),
-            panicked(2, "injected fault: shard worker 2 panicked mid-batch"),
-        ]);
-        assert_eq!(err, panicked(2, "injected fault: shard worker 2 panicked mid-batch"));
-    }
-
-    #[test]
-    fn triage_prefers_silence_over_pure_secondary_fallout() {
-        // Only timeout fallout + a silent rank: the dropped reply is the
-        // best root-cause candidate available.
-        let err = triage(vec![
-            panicked(0, "proc 0 timed out after 1s waiting for (src=2, tag=0x1)"),
-            BackendError::WorkerUnresponsive { rank: 2 },
-        ]);
-        assert_eq!(err, BackendError::WorkerUnresponsive { rank: 2 });
-    }
-
-    #[test]
-    fn triage_falls_back_to_secondary_fallout() {
-        let secondary = panicked(1, "all senders disconnected");
-        assert_eq!(triage(vec![secondary.clone()]), secondary);
-    }
-
-    #[test]
-    fn triage_prefers_protocol_errors_over_silence() {
-        let protocol =
-            BackendError::Runtime(RunError::PendingMessages { rank: 1, detail: "x".into() });
-        let err = triage(vec![BackendError::WorkerUnresponsive { rank: 0 }, protocol.clone()]);
-        assert_eq!(err, protocol);
-    }
+    use cgselect_runtime::MachineModel;
 
     #[test]
     fn default_tuning_gives_reply_deadline_headroom() {
@@ -688,5 +412,36 @@ mod tests {
         // WorkerUnresponsive.
         let t = ChannelMpTuning::default();
         assert!(t.reply_timeout >= t.proc_timeout + t.proc_timeout / 2);
+    }
+
+    #[test]
+    fn straggler_timeouts_share_one_deadline() {
+        // Two stragglers sleep far past the reply deadline. With a shared
+        // deadline the host stalls ~one reply_timeout total; the old
+        // per-worker sequential timeouts would stall ~2x. The margin
+        // asserted here (< 2 full timeouts) fails on the sequential shape
+        // even under scheduler noise.
+        let cfg = EngineConfig::new(3).model(MachineModel::free());
+        let tuning = ChannelMpTuning::new()
+            .reply_timeout(Duration::from_millis(700))
+            .proc_timeout(Duration::from_millis(200))
+            .fault(Fault::SlowShard { rank: 0, delay: Duration::from_secs(2) })
+            .fault(Fault::SlowShard { rank: 1, delay: Duration::from_secs(2) });
+        let mut backend = ChannelMp::<u64>::start(&cfg, tuning);
+        let start = Instant::now();
+        let err = backend.ingest(vec![vec![1], vec![2], vec![3]]).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(
+                err,
+                BackendError::WorkerUnresponsive { .. } | BackendError::WorkerPanicked { .. }
+            ),
+            "{err:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(1300),
+            "collect loop must share one deadline across stragglers, stalled {elapsed:?}"
+        );
+        assert!(backend.is_poisoned());
     }
 }

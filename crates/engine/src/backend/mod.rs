@@ -9,7 +9,7 @@
 //! communication accounting) sits behind the [`ExecBackend`] trait, chosen
 //! per engine via [`crate::EngineConfig::backend`].
 //!
-//! Two backends ship:
+//! Three backends ship:
 //!
 //! * **[`LocalSpmd`]** — the original in-process
 //!   [`cgselect_runtime::Session`]: shard state lives in each persistent
@@ -21,20 +21,30 @@
 //!   out-of-process/remote shards. It also supports [`Fault`] injection
 //!   (worker panic mid-batch, dropped replies, slow shards) so the typed
 //!   error and poisoning behavior at this boundary is testable.
+//! * **[`socket_mp::SocketMp`]** — the rehearsal made real: each shard is a
+//!   separate `cgselect-shard-worker` **process**, commands and the
+//!   shard-to-shard collective fabric both ride Unix-domain sockets, and
+//!   membership is dynamic — workers [`ExecBackend::join_worker`] /
+//!   [`ExecBackend::retire_worker`] at runtime, shards migrate between
+//!   processes ([`ExecBackend::replace_worker`]), and a killed worker is
+//!   detected and re-sharded around ([`ExecBackend::recover`]).
 //!
-//! Both backends execute the *identical* per-shard code (`ops`, private)
+//! All backends execute the *identical* per-shard code (`ops`, private)
 //! over the identical [`cgselect_runtime::Proc`] collectives, which is what
 //! `tests/backend_conformance.rs` exploits: every scenario family must
 //! produce the same answers **and the same collective-round counts** on
-//! both, differentially against the sequential oracle.
+//! all of them, differentially against the sequential oracle.
 
 pub mod channel_mp;
 mod local;
 pub(crate) mod ops;
+pub(crate) mod protocol;
+pub mod socket_mp;
 pub(crate) mod wire;
 
 pub use channel_mp::{ChannelMp, ChannelMpTuning, Fault};
 pub use local::LocalSpmd;
+pub use socket_mp::{SocketMp, SocketMpTuning};
 
 use std::sync::Arc;
 
@@ -55,6 +65,11 @@ pub enum BackendChoice {
     /// Message passing over per-shard worker threads with serialized
     /// command/reply frames, tuned by the carried [`ChannelMpTuning`].
     ChannelMp(ChannelMpTuning),
+    /// Message passing over per-shard worker **processes** and Unix-domain
+    /// sockets, tuned by the carried [`SocketMpTuning`]. Requires the
+    /// `cgselect-shard-worker` binary (see
+    /// [`crate::EngineConfig::socket_mp`]).
+    SocketMp(SocketMpTuning),
 }
 
 impl BackendChoice {
@@ -63,6 +78,7 @@ impl BackendChoice {
         match self {
             BackendChoice::LocalSpmd => BackendKind::LocalSpmd,
             BackendChoice::ChannelMp(_) => BackendKind::ChannelMp,
+            BackendChoice::SocketMp(_) => BackendKind::SocketMp,
         }
     }
 }
@@ -75,6 +91,8 @@ pub enum BackendKind {
     LocalSpmd,
     /// [`ChannelMp`].
     ChannelMp,
+    /// [`SocketMp`].
+    SocketMp,
 }
 
 impl BackendKind {
@@ -83,6 +101,7 @@ impl BackendKind {
         match self {
             BackendKind::LocalSpmd => "local-spmd",
             BackendKind::ChannelMp => "channel-mp",
+            BackendKind::SocketMp => "socket-mp",
         }
     }
 }
@@ -119,6 +138,19 @@ pub enum BackendError {
     },
     /// The backend refused to run because an earlier program failed.
     Poisoned,
+    /// A worker process could not be spawned or initialized.
+    Spawn {
+        /// Rank the worker was meant to serve.
+        rank: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The backend does not implement the named verb (e.g. membership
+    /// operations on an in-process backend).
+    Unsupported {
+        /// The refused verb.
+        verb: &'static str,
+    },
 }
 
 impl std::fmt::Display for BackendError {
@@ -133,6 +165,12 @@ impl std::fmt::Display for BackendError {
             }
             BackendError::Poisoned => {
                 write!(f, "backend poisoned by an earlier failed program")
+            }
+            BackendError::Spawn { rank, detail } => {
+                write!(f, "spawning shard worker {rank} failed: {detail}")
+            }
+            BackendError::Unsupported { verb } => {
+                write!(f, "this backend does not support {verb}")
             }
         }
     }
@@ -161,9 +199,22 @@ impl BackendError {
             BackendError::WorkerPanicked { rank, message } => {
                 RunError::ProcPanicked { rank: *rank, message: message.clone() }.is_secondary()
             }
-            BackendError::WorkerUnresponsive { .. } | BackendError::Poisoned => false,
+            BackendError::WorkerUnresponsive { .. }
+            | BackendError::Poisoned
+            | BackendError::Spawn { .. }
+            | BackendError::Unsupported { .. } => false,
         }
     }
+}
+
+/// What [`ExecBackend::recover`] did to bring a backend back to serving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Ranks whose worker processes were found dead and respawned empty
+    /// (their shard data is lost; the surviving multiset stays exact).
+    pub replaced: Vec<usize>,
+    /// Per-shard sizes after recovery, indexed by rank.
+    pub sizes: Vec<u64>,
 }
 
 /// Everything a backend's shards need to execute one coalesced query batch.
@@ -303,4 +354,55 @@ pub trait ExecBackend<T: Key>: Send {
     /// vectorized `count_below` probe round) and returns each shard's
     /// outcome.
     fn execute(&mut self, plan: &BatchPlan<T>) -> Result<Vec<ShardBatchOutcome<T>>, BackendError>;
+
+    // --- Dynamic membership (optional capability) ---------------------
+    //
+    // In-process backends have a fixed worker ring, so every verb below
+    // defaults to [`BackendError::Unsupported`]. [`SocketMp`] overrides
+    // all of them: its shard workers are processes and its collective
+    // fabric is rebuilt per membership epoch.
+
+    /// True when this backend implements the membership verbs below.
+    fn supports_membership(&self) -> bool {
+        false
+    }
+
+    /// OS process ids of the shard workers, indexed by rank — empty for
+    /// in-process backends. (For tests and operational tooling; killing a
+    /// pid and calling [`ExecBackend::recover`] is the crash drill.)
+    fn worker_pids(&self) -> Vec<u32> {
+        vec![]
+    }
+
+    /// **Shard migration**: moves shard `rank` to a freshly spawned worker
+    /// process — full state (data, bucket runs, mid-stream sketch) is
+    /// exported, imported exactly, and the fabric re-wired — then returns
+    /// the per-shard sizes. The shard is bit-identical after the move, so
+    /// host-side caches (e.g. the histogram) stay valid.
+    fn replace_worker(&mut self, rank: usize) -> Result<Vec<u64>, BackendError> {
+        let _ = rank;
+        Err(BackendError::Unsupported { verb: "replace_worker" })
+    }
+
+    /// Adds one empty shard worker at rank `nprocs`, re-wires the fabric,
+    /// and returns the new per-shard sizes (length `nprocs + 1`).
+    fn join_worker(&mut self) -> Result<Vec<u64>, BackendError> {
+        Err(BackendError::Unsupported { verb: "join_worker" })
+    }
+
+    /// Removes the worker at `rank`, merging its shard into a survivor,
+    /// and returns the new per-shard sizes (length `nprocs − 1`). Ranks
+    /// above the retiree shift down by one.
+    fn retire_worker(&mut self, rank: usize) -> Result<Vec<u64>, BackendError> {
+        let _ = rank;
+        Err(BackendError::Unsupported { verb: "retire_worker" })
+    }
+
+    /// "Detect, re-shard, keep serving": pings every worker, respawns the
+    /// dead ones with empty shards, resets the survivors' bucket indexes,
+    /// rebuilds the fabric and clears the poisoned state. The dead shards'
+    /// data is lost; the surviving multiset remains exact.
+    fn recover(&mut self) -> Result<RecoveryReport, BackendError> {
+        Err(BackendError::Unsupported { verb: "recover" })
+    }
 }

@@ -7,12 +7,14 @@
 //! little-endian bytes (element values ride on the [`Key`] wire encoding),
 //! so the exact same protocol could be written to a socket.
 //!
-//! Frames are only ever produced and consumed by this crate, so decoding
-//! panics on malformed input instead of threading errors through every
-//! call site; inside a worker the panic is caught by the command loop and
-//! surfaced as a typed backend error.
+//! Decoding is **fallible**: a truncated or corrupt frame — e.g. a
+//! half-written reply from a dying worker process — surfaces as a typed
+//! [`WireMsgError`] that callers convert into
+//! [`RunError::WireProtocol`](cgselect_runtime::RunError) and ultimately
+//! [`BackendError::Runtime`](super::BackendError), never as an abort of the
+//! process that happened to read the frame.
 
-use cgselect_runtime::{CommStats, Key};
+use cgselect_runtime::{CommStats, Key, WireMsgError};
 
 use crate::index::{BucketStats, Group};
 use crate::obs::{Phase, PhaseSpan, TraceContext, TraceId};
@@ -32,8 +34,18 @@ impl Writer {
         self.buf
     }
 
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
     pub(crate) fn bool(&mut self, v: bool) {
         self.buf.push(u8::from(v));
+    }
+
+    /// Splices pre-encoded wire bytes (e.g. an exported shard snapshot
+    /// being forwarded into an import command) into the frame verbatim.
+    pub(crate) fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
 
     pub(crate) fn u64(&mut self, v: u64) {
@@ -160,6 +172,9 @@ impl Writer {
     }
 }
 
+/// Result of decoding one field from a wire frame.
+pub(crate) type WireResult<T> = Result<T, WireMsgError>;
+
 /// Consumes one wire frame.
 pub(crate) struct Reader<'a> {
     buf: &'a [u8],
@@ -173,138 +188,164 @@ impl<'a> Reader<'a> {
         Reader { buf: frame, pos: 1 }
     }
 
-    fn take(&mut self, n: usize) -> &'a [u8] {
-        let end = self.pos.checked_add(n).expect("wire frame length overflow");
-        let slice = self.buf.get(self.pos..end).expect("wire frame truncated");
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| WireMsgError::new("wire frame length overflow"))?;
+        let slice = self.buf.get(self.pos..end).ok_or_else(|| {
+            WireMsgError::new(format!(
+                "wire frame truncated: wanted {n} bytes at offset {}, frame holds {}",
+                self.pos,
+                self.buf.len()
+            ))
+        })?;
         self.pos = end;
-        slice
+        Ok(slice)
     }
 
-    pub(crate) fn u8(&mut self) -> u8 {
-        self.take(1)[0]
+    pub(crate) fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn bool(&mut self) -> bool {
-        self.u8() != 0
+    pub(crate) fn bool(&mut self) -> WireResult<bool> {
+        Ok(self.u8()? != 0)
     }
 
-    pub(crate) fn u64(&mut self) -> u64 {
-        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes taken"))
+    pub(crate) fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes taken")))
     }
 
-    pub(crate) fn usize(&mut self) -> usize {
-        self.u64() as usize
+    pub(crate) fn usize(&mut self) -> WireResult<usize> {
+        Ok(self.u64()? as usize)
     }
 
-    pub(crate) fn f64(&mut self) -> f64 {
-        f64::from_bits(self.u64())
+    pub(crate) fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
     }
 
-    pub(crate) fn str(&mut self) -> String {
-        let len = self.usize();
-        String::from_utf8_lossy(self.take(len)).into_owned()
+    pub(crate) fn str(&mut self) -> WireResult<String> {
+        let len = self.usize()?;
+        Ok(String::from_utf8_lossy(self.take(len)?).into_owned())
     }
 
-    pub(crate) fn key<T: Key>(&mut self) -> T {
-        T::wire_read(self.take(T::WIRE_BYTES))
+    pub(crate) fn key<T: Key>(&mut self) -> WireResult<T> {
+        Ok(T::wire_read(self.take(T::WIRE_BYTES)?))
     }
 
-    pub(crate) fn keys<T: Key>(&mut self) -> Vec<T> {
-        let len = self.usize();
+    pub(crate) fn keys<T: Key>(&mut self) -> WireResult<Vec<T>> {
+        let len = self.usize()?;
         (0..len).map(|_| self.key()).collect()
     }
 
-    pub(crate) fn u64s(&mut self) -> Vec<u64> {
-        let len = self.usize();
+    pub(crate) fn u64s(&mut self) -> WireResult<Vec<u64>> {
+        let len = self.usize()?;
         (0..len).map(|_| self.u64()).collect()
     }
 
-    pub(crate) fn opt_key<T: Key>(&mut self) -> Option<T> {
-        self.bool().then(|| self.key())
-    }
-
-    pub(crate) fn bucket_stats<T: Key>(&mut self) -> BucketStats<T> {
-        let len = self.usize();
-        (0..len)
-            .map(|_| {
-                let count = self.u64();
-                let mm = self.bool().then(|| {
-                    let lo = self.key();
-                    let hi = self.key();
-                    (lo, hi)
-                });
-                (count, mm)
-            })
-            .collect()
-    }
-
-    pub(crate) fn group(&mut self) -> Group {
-        let lo = self.usize();
-        let hi = self.usize();
-        let n = self.u64();
-        let ranks = self.u64s();
-        let out_len = self.usize();
-        let out = (0..out_len).map(|_| self.usize()).collect();
-        Group { lo, hi, n, ranks, out }
-    }
-
-    pub(crate) fn comm_stats(&mut self) -> CommStats {
-        CommStats {
-            msgs_sent: self.u64(),
-            bytes_sent: self.u64(),
-            msgs_recv: self.u64(),
-            bytes_recv: self.u64(),
-            collective_ops: self.u64(),
+    pub(crate) fn opt_key<T: Key>(&mut self) -> WireResult<Option<T>> {
+        if self.bool()? {
+            Ok(Some(self.key()?))
+        } else {
+            Ok(None)
         }
     }
 
-    pub(crate) fn probes<T: Key>(&mut self) -> Vec<(T, bool)> {
-        let len = self.usize();
+    pub(crate) fn bucket_stats<T: Key>(&mut self) -> WireResult<BucketStats<T>> {
+        let len = self.usize()?;
         (0..len)
             .map(|_| {
-                let v = self.key();
-                let inclusive = self.bool();
-                (v, inclusive)
+                let count = self.u64()?;
+                let mm = if self.bool()? {
+                    let lo = self.key()?;
+                    let hi = self.key()?;
+                    Some((lo, hi))
+                } else {
+                    None
+                };
+                Ok((count, mm))
             })
             .collect()
     }
 
-    pub(crate) fn rank_set(&mut self) -> RankSet {
-        let len = self.usize();
-        let runs = (0..len)
-            .map(|_| {
-                let start = self.u64();
-                let l = self.u64();
-                (start, l)
-            })
-            .collect();
-        RankSet::from_runs(runs)
+    pub(crate) fn group(&mut self) -> WireResult<Group> {
+        let lo = self.usize()?;
+        let hi = self.usize()?;
+        let n = self.u64()?;
+        let ranks = self.u64s()?;
+        let out_len = self.usize()?;
+        let out = (0..out_len).map(|_| self.usize()).collect::<WireResult<_>>()?;
+        Ok(Group { lo, hi, n, ranks, out })
     }
 
-    pub(crate) fn trace_context(&mut self) -> Option<TraceContext> {
-        self.bool().then(|| {
-            let batch = self.u64();
-            let root = TraceId(self.u64());
-            TraceContext { batch, root }
+    pub(crate) fn comm_stats(&mut self) -> WireResult<CommStats> {
+        Ok(CommStats {
+            msgs_sent: self.u64()?,
+            bytes_sent: self.u64()?,
+            msgs_recv: self.u64()?,
+            bytes_recv: self.u64()?,
+            collective_ops: self.u64()?,
         })
     }
 
-    pub(crate) fn phase_spans(&mut self) -> Vec<PhaseSpan> {
-        let len = self.usize();
+    pub(crate) fn probes<T: Key>(&mut self) -> WireResult<Vec<(T, bool)>> {
+        let len = self.usize()?;
         (0..len)
             .map(|_| {
-                let phase = Phase::from_u8(self.u8()).expect("unknown phase byte on the wire");
-                let time = self.f64();
-                let comm = self.comm_stats();
-                PhaseSpan { phase, time, comm }
+                let v = self.key()?;
+                let inclusive = self.bool()?;
+                Ok((v, inclusive))
             })
             .collect()
     }
 
-    /// Asserts the frame was consumed exactly — a cheap wire-format check
+    pub(crate) fn rank_set(&mut self) -> WireResult<RankSet> {
+        let len = self.usize()?;
+        let runs = (0..len)
+            .map(|_| {
+                let start = self.u64()?;
+                let l = self.u64()?;
+                Ok((start, l))
+            })
+            .collect::<WireResult<_>>()?;
+        Ok(RankSet::from_runs(runs))
+    }
+
+    pub(crate) fn trace_context(&mut self) -> WireResult<Option<TraceContext>> {
+        if self.bool()? {
+            let batch = self.u64()?;
+            let root = TraceId(self.u64()?);
+            Ok(Some(TraceContext { batch, root }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    pub(crate) fn phase_spans(&mut self) -> WireResult<Vec<PhaseSpan>> {
+        let len = self.usize()?;
+        (0..len)
+            .map(|_| {
+                let byte = self.u8()?;
+                let phase = Phase::from_u8(byte).ok_or_else(|| {
+                    WireMsgError::new(format!("unknown phase byte {byte:#x} on the wire"))
+                })?;
+                let time = self.f64()?;
+                let comm = self.comm_stats()?;
+                Ok(PhaseSpan { phase, time, comm })
+            })
+            .collect()
+    }
+
+    /// Checks the frame was consumed exactly — a cheap wire-format check
     /// applied to every decoded command and reply.
-    pub(crate) fn finish(self) {
-        assert_eq!(self.pos, self.buf.len(), "wire frame has trailing bytes");
+    pub(crate) fn finish(self) -> WireResult<()> {
+        if self.pos != self.buf.len() {
+            return Err(WireMsgError::new(format!(
+                "wire frame has {} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -327,15 +368,15 @@ mod tests {
         let frame = w.into_frame();
         assert_eq!(frame[0], 7);
         let mut r = Reader::new(&frame);
-        assert!(r.bool());
-        assert_eq!(r.u64(), u64::MAX - 5);
-        assert_eq!(r.usize(), 12345);
-        assert_eq!(r.f64(), -0.125);
-        assert_eq!(r.str(), "hello wire");
-        assert_eq!(r.key::<OrdF64>(), OrdF64(2.5));
-        assert_eq!(r.opt_key::<u64>(), None);
-        assert_eq!(r.opt_key::<u64>(), Some(99));
-        r.finish();
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u64().unwrap(), u64::MAX - 5);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert_eq!(r.str().unwrap(), "hello wire");
+        assert_eq!(r.key::<OrdF64>().unwrap(), OrdF64(2.5));
+        assert_eq!(r.opt_key::<u64>().unwrap(), None);
+        assert_eq!(r.opt_key::<u64>().unwrap(), Some(99));
+        r.finish().unwrap();
     }
 
     #[test]
@@ -361,14 +402,14 @@ mod tests {
         w.rank_set(&ranks);
         let frame = w.into_frame();
         let mut r = Reader::new(&frame);
-        assert_eq!(r.keys::<u64>(), vec![10, 20, 30]);
-        assert_eq!(r.u64s(), vec![7, 8]);
-        assert_eq!(r.bucket_stats::<u64>(), stats);
-        assert_eq!(r.group(), group);
-        assert_eq!(r.comm_stats(), comm);
-        assert_eq!(r.probes::<u64>(), probes);
-        assert_eq!(r.rank_set(), ranks);
-        r.finish();
+        assert_eq!(r.keys::<u64>().unwrap(), vec![10, 20, 30]);
+        assert_eq!(r.u64s().unwrap(), vec![7, 8]);
+        assert_eq!(r.bucket_stats::<u64>().unwrap(), stats);
+        assert_eq!(r.group().unwrap(), group);
+        assert_eq!(r.comm_stats().unwrap(), comm);
+        assert_eq!(r.probes::<u64>().unwrap(), probes);
+        assert_eq!(r.rank_set().unwrap(), ranks);
+        r.finish().unwrap();
     }
 
     #[test]
@@ -379,9 +420,9 @@ mod tests {
         w.trace_context(&None);
         let frame = w.into_frame();
         let mut r = Reader::new(&frame);
-        assert_eq!(r.trace_context(), ctx);
-        assert_eq!(r.trace_context(), None);
-        r.finish();
+        assert_eq!(r.trace_context().unwrap(), ctx);
+        assert_eq!(r.trace_context().unwrap(), None);
+        r.finish().unwrap();
         // The disabled encoding is one byte: observability off must not
         // inflate command frames.
         let mut w = Writer::new(0);
@@ -413,14 +454,13 @@ mod tests {
         let mut r = Reader::new(&frame);
         // f64 rides as raw bits, so the roundtrip is exact — required for
         // the cross-backend span-equality conformance check.
-        assert_eq!(r.phase_spans(), spans);
-        assert_eq!(r.phase_spans(), Vec::new());
-        r.finish();
+        assert_eq!(r.phase_spans().unwrap(), spans);
+        assert_eq!(r.phase_spans().unwrap(), Vec::new());
+        r.finish().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "unknown phase byte")]
-    fn unknown_phase_bytes_are_rejected() {
+    fn unknown_phase_bytes_are_a_typed_error() {
         let frame = {
             let mut w = Writer::new(0);
             w.usize(1);
@@ -430,7 +470,8 @@ mod tests {
         frame.push(9); // not a Phase discriminant
         frame.extend_from_slice(&[0u8; 48]); // time + comm payload
         let mut r = Reader::new(&frame);
-        let _ = r.phase_spans();
+        let err = r.phase_spans().unwrap_err();
+        assert!(err.detail.contains("unknown phase byte"), "{err}");
     }
 
     #[test]
@@ -443,13 +484,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "wire frame truncated")]
-    fn truncated_frames_are_rejected() {
+    fn truncated_frames_are_a_typed_error() {
+        // A half-written frame from a dying peer must surface as a decode
+        // error the host can convert into `BackendError::Runtime`, never as
+        // a panic that aborts the reader.
         let mut w = Writer::new(0);
         w.u64(1);
         let mut frame = w.into_frame();
         frame.pop();
         let mut r = Reader::new(&frame);
-        let _ = r.u64();
+        let err = r.u64().unwrap_err();
+        assert!(err.detail.contains("wire frame truncated"), "{err}");
+    }
+
+    #[test]
+    fn truncation_mid_aggregate_is_a_typed_error() {
+        // Truncation inside a length-prefixed aggregate (the realistic
+        // half-written-reply shape) errors too, at whatever field the bytes
+        // run out.
+        let mut w = Writer::new(0);
+        w.keys(&[10u64, 20, 30]);
+        let frame = w.into_frame();
+        for cut in 1..frame.len() {
+            let mut r = Reader::new(&frame[..cut]);
+            assert!(r.keys::<u64>().is_err(), "cut at {cut} must fail to decode");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_typed_error() {
+        let mut w = Writer::new(0);
+        w.u64(7);
+        let mut frame = w.into_frame();
+        frame.push(0xEE);
+        let mut r = Reader::new(&frame);
+        r.u64().unwrap();
+        let err = r.finish().unwrap_err();
+        assert!(err.detail.contains("trailing"), "{err}");
     }
 }

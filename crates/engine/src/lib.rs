@@ -103,7 +103,8 @@ pub mod sketch;
 
 pub use backend::{
     BackendChoice, BackendError, BackendKind, BatchPlan, ChannelMp, ChannelMpTuning, ExecBackend,
-    Fault, LocalSpmd, PhaseOps, ShardBatchOutcome, ShardDeletion,
+    Fault, LocalSpmd, PhaseOps, RecoveryReport, ShardBatchOutcome, ShardDeletion, SocketMp,
+    SocketMpTuning,
 };
 pub use frontend::{
     AsyncError, FrontendConfig, FrontendStats, MutationTicket, OutcomeTicket, QueryTicket,
@@ -166,6 +167,13 @@ pub struct EngineConfig {
     /// batch. Off by default; when off the engine takes one branch per
     /// batch and records nothing.
     pub observe: bool,
+    /// When set (and the backend supports membership, i.e. [`SocketMp`]),
+    /// a failed [`Engine::run`] triggers one [`Engine::recover`] —
+    /// respawning dead shard workers, re-wiring the fabric — and retries
+    /// the batch once, so a killed worker means degraded data, not a dead
+    /// engine. Off by default: the poisoning contract (rebuild the engine)
+    /// stays strict unless explicitly opted into.
+    pub self_heal: bool,
 }
 
 impl EngineConfig {
@@ -184,6 +192,7 @@ impl EngineConfig {
             delta_threshold: 0.05,
             backend: BackendChoice::LocalSpmd,
             observe: false,
+            self_heal: false,
         }
     }
 
@@ -234,6 +243,21 @@ impl EngineConfig {
     /// default tuning.
     pub fn channel_mp(self) -> Self {
         self.backend(BackendChoice::ChannelMp(ChannelMpTuning::default()))
+    }
+
+    /// Shorthand: run on the out-of-process [`SocketMp`] backend with
+    /// default tuning (requires the `cgselect-shard-worker` binary on
+    /// disk — built with the crate's bin targets — or the
+    /// `CGSELECT_WORKER_BIN` environment variable naming it).
+    pub fn socket_mp(self) -> Self {
+        self.backend(BackendChoice::SocketMp(SocketMpTuning::default()))
+    }
+
+    /// Builder-style self-healing switch (see
+    /// [`EngineConfig::self_heal`]).
+    pub fn self_heal(mut self, enabled: bool) -> Self {
+        self.self_heal = enabled;
+        self
     }
 
     /// Builder-style observability switch (see [`obs`]).
@@ -434,6 +458,9 @@ impl<T: Key> Engine<T> {
             BackendChoice::LocalSpmd => Box::new(LocalSpmd::<T>::start(&cfg)?),
             BackendChoice::ChannelMp(tuning) => {
                 Box::new(ChannelMp::<T>::start(&cfg, tuning.clone()))
+            }
+            BackendChoice::SocketMp(tuning) => {
+                Box::new(SocketMp::<T>::start(&cfg, tuning.clone())?)
             }
         };
         Ok(Engine {
@@ -697,7 +724,28 @@ impl<T: Key> Engine<T> {
     /// assert_eq!(report.outcomes[2].response.count(), Some(100));
     /// assert!(report.outcomes[0].served <= Served::Scan);
     /// ```
+    ///
+    /// With [`EngineConfig::self_heal`] set on a membership-capable
+    /// backend, a batch that fails at the execution boundary triggers one
+    /// [`Engine::recover`] and retries once; request-validation errors
+    /// never trigger recovery.
     pub fn run(&mut self, requests: &[Request<T>]) -> Result<RunReport<T>, EngineError> {
+        match self.run_once(requests) {
+            Err(e @ (EngineError::Backend(_) | EngineError::Runtime(_)))
+                if self.cfg.self_heal && self.backend.supports_membership() =>
+            {
+                if self.recover().is_err() {
+                    return Err(e);
+                }
+                self.run_once(requests)
+            }
+            other => other,
+        }
+    }
+
+    /// One batch attempt (the whole pipeline documented on
+    /// [`Engine::run`], without the self-healing retry).
+    fn run_once(&mut self, requests: &[Request<T>]) -> Result<RunReport<T>, EngineError> {
         let plan = query::plan_requests(requests, self.total, self.sketch_bound())?;
         // Fail fast on a poisoned backend even when the batch could be
         // served from the host-side histogram alone: the poisoning
@@ -1006,6 +1054,77 @@ impl<T: Key> Engine<T> {
     fn set_sizes(&mut self, sizes: Vec<u64>) {
         self.total = sizes.iter().sum();
         self.shard_sizes = sizes;
+    }
+
+    // --- Dynamic membership (SocketMp only; see [`ExecBackend`]) -------
+
+    /// True when the engine's backend supports the membership verbs below
+    /// (worker processes joining/leaving at runtime, shard migration,
+    /// crash recovery).
+    pub fn supports_membership(&self) -> bool {
+        self.backend.supports_membership()
+    }
+
+    /// OS process ids of the shard workers, indexed by rank (empty on
+    /// in-process backends).
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.backend.worker_pids()
+    }
+
+    /// Migrates shard `rank` onto a freshly spawned worker process; the
+    /// shard's state moves exactly (data, bucket runs, mid-stream sketch),
+    /// so the cached histogram stays warm through the move and subsequent
+    /// batches are bit-identical to an engine that never migrated.
+    pub fn migrate_shard(&mut self, rank: usize) -> Result<(), EngineError> {
+        let sizes = self.backend.replace_worker(rank)?;
+        self.set_sizes(sizes);
+        if let Some(m) = &self.metrics {
+            m.counter_add("migrations_total", 1);
+        }
+        Ok(())
+    }
+
+    /// Adds one empty shard worker at the top rank and returns the new
+    /// shard count. New ingests spread over the grown ring; the bucket
+    /// index is rebuilt lazily on the next exact batch.
+    pub fn join_worker(&mut self) -> Result<usize, EngineError> {
+        let sizes = self.backend.join_worker()?;
+        self.cfg.nprocs = sizes.len();
+        self.set_sizes(sizes);
+        self.index = None;
+        self.index_dirty = false;
+        self.ingest_cursor %= self.cfg.nprocs;
+        Ok(self.cfg.nprocs)
+    }
+
+    /// Retires the worker at `rank`, merging its shard into a survivor
+    /// (no data is lost), and returns the new shard count. Refuses to
+    /// retire the last shard.
+    pub fn retire_worker(&mut self, rank: usize) -> Result<usize, EngineError> {
+        let sizes = self.backend.retire_worker(rank)?;
+        self.cfg.nprocs = sizes.len();
+        self.set_sizes(sizes);
+        self.index = None;
+        self.index_dirty = false;
+        self.ingest_cursor %= self.cfg.nprocs;
+        Ok(self.cfg.nprocs)
+    }
+
+    /// "Detect, re-shard, keep serving": asks the backend to ping its
+    /// workers, respawn the dead ones empty, re-wire the collective fabric
+    /// and clear the poisoned state (see [`ExecBackend::recover`]). The
+    /// dead shards' data is lost; the surviving multiset remains exact and
+    /// the engine serves again. Called automatically by [`Engine::run`]
+    /// under [`EngineConfig::self_heal`].
+    pub fn recover(&mut self) -> Result<RecoveryReport, EngineError> {
+        let report = self.backend.recover()?;
+        self.set_sizes(report.sizes.clone());
+        self.index = None;
+        self.index_dirty = false;
+        if let Some(m) = &self.metrics {
+            m.counter_add("recoveries_total", 1);
+        }
+        Ok(report)
     }
 
     /// Runs the configured balancer if the watermark is exceeded. A

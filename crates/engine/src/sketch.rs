@@ -76,6 +76,19 @@ impl<T: Key> ReservoirSketch<T> {
     pub fn is_exact(&self) -> bool {
         self.seen as usize <= self.capacity
     }
+
+    /// Captures the full sketch state for shard migration:
+    /// `(capacity, seen, samples, rng_state)`. [`ReservoirSketch::restore`]
+    /// on another host continues the exact sample stream, so a migrated
+    /// shard sketches identically to one that never moved.
+    pub fn snapshot(&self) -> (usize, u64, Vec<T>, u64) {
+        (self.capacity, self.seen, self.samples.clone(), self.rng.state())
+    }
+
+    /// Rebuilds a sketch mid-stream from a [`ReservoirSketch::snapshot`].
+    pub fn restore(capacity: usize, seen: u64, samples: Vec<T>, rng_state: u64) -> Self {
+        ReservoirSketch { capacity, seen, samples, rng: KernelRng::from_state(rng_state) }
+    }
 }
 
 /// The smallest fractional rank-error tolerance the merged sketches can
@@ -186,6 +199,27 @@ mod tests {
         }
         let mean = grand_total / reps as f64;
         assert!((mean - 999.5).abs() < 60.0, "reservoir mean {mean:.1} far from stream mean 999.5");
+    }
+
+    #[test]
+    fn snapshot_restore_continues_the_exact_stream() {
+        // A migrated sketch must be indistinguishable from one that never
+        // moved: same samples after the same continued stream.
+        let mut original = ReservoirSketch::new(32, 99);
+        let mut migrated: Option<ReservoirSketch<u64>> = None;
+        for x in 0..5000u64 {
+            if x == 2500 {
+                let (cap, seen, samples, rng_state) = original.snapshot();
+                migrated = Some(ReservoirSketch::restore(cap, seen, samples, rng_state));
+            }
+            original.offer(x);
+            if let Some(m) = migrated.as_mut() {
+                m.offer(x);
+            }
+        }
+        let migrated = migrated.unwrap();
+        assert_eq!(migrated.population(), original.population());
+        assert_eq!(migrated.samples(), original.samples());
     }
 
     #[test]

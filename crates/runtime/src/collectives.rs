@@ -13,6 +13,7 @@
 //! user tags and back-to-back collectives never collide.
 
 use crate::process::Proc;
+use crate::wiremsg::WireMsg;
 
 /// Base for internal collective tags (bit 63 set; user tags are < 2^32).
 const COLLECTIVE_BASE: u64 = 1 << 63;
@@ -39,23 +40,23 @@ impl Proc {
 
     /// Sends under a tag obtained from [`fresh_tag`](Proc::fresh_tag)
     /// (user-facing [`send`](Proc::send) rejects reserved tags).
-    pub fn send_tagged<T: Send + 'static>(&mut self, dst: usize, tag: u64, value: T) {
+    pub fn send_tagged<T: WireMsg>(&mut self, dst: usize, tag: u64, value: T) {
         self.isend(dst, tag, value);
     }
 
     /// Vector variant of [`send_tagged`](Proc::send_tagged).
-    pub fn send_vec_tagged<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) {
+    pub fn send_vec_tagged<T: WireMsg>(&mut self, dst: usize, tag: u64, data: Vec<T>) {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.isend_sized(dst, tag, bytes, data);
     }
 
     /// Receives under a tag obtained from [`fresh_tag`](Proc::fresh_tag).
-    pub fn recv_tagged<T: 'static>(&mut self, src: usize, tag: u64) -> T {
+    pub fn recv_tagged<T: WireMsg>(&mut self, src: usize, tag: u64) -> T {
         self.irecv(src, tag)
     }
 
     /// Vector variant of [`recv_tagged`](Proc::recv_tagged).
-    pub fn recv_vec_tagged<T: 'static>(&mut self, src: usize, tag: u64) -> Vec<T> {
+    pub fn recv_vec_tagged<T: WireMsg>(&mut self, src: usize, tag: u64) -> Vec<T> {
         self.irecv(src, tag)
     }
 
@@ -87,7 +88,7 @@ impl Proc {
     ///
     /// # Panics
     /// Panics if the root passes `None` or a non-root passes `Some`.
-    pub fn broadcast<T: Clone + Send + 'static>(&mut self, root: usize, value: Option<T>) -> T {
+    pub fn broadcast<T: Clone + WireMsg>(&mut self, root: usize, value: Option<T>) -> T {
         let p = self.nprocs();
         let rank = self.rank();
         assert!(root < p, "broadcast root {root} out of range (p = {p})");
@@ -126,7 +127,7 @@ impl Proc {
     /// (the combination order is the tree order, as in the paper).
     pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
     where
-        T: Send + 'static,
+        T: WireMsg,
         F: Fn(T, T) -> T,
     {
         let p = self.nprocs();
@@ -159,7 +160,7 @@ impl Proc {
     /// `O((τ + μ) log p)` total.
     pub fn combine<T, F>(&mut self, value: T, op: F) -> T
     where
-        T: Clone + Send + 'static,
+        T: Clone + WireMsg,
         F: Fn(T, T) -> T,
     {
         let reduced = self.reduce(0, value, op);
@@ -171,7 +172,7 @@ impl Proc {
     /// `O((τ + μ) log p)`.
     pub fn scan<T, F>(&mut self, value: T, op: F) -> T
     where
-        T: Clone + Send + 'static,
+        T: Clone + WireMsg,
         F: Fn(T, T) -> T,
     {
         let p = self.nprocs();
@@ -205,7 +206,7 @@ impl Proc {
     /// Gather (paper primitive 4): collects one value per processor on
     /// `root`, ordered by rank. Binomial tree, `O(τ log p + μ p m)`.
     /// Returns `Some` on the root, `None` elsewhere.
-    pub fn gather<T: Send + 'static>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+    pub fn gather<T: WireMsg>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
         let p = self.nprocs();
         let rank = self.rank();
         assert!(root < p, "gather root {root} out of range (p = {p})");
@@ -237,7 +238,7 @@ impl Proc {
     /// Variable-size gather: collects each processor's vector on `root`,
     /// indexed by source rank. Same tree and cost shape as
     /// [`gather`](Proc::gather) with `m` the per-processor payload.
-    pub fn gatherv<T: Send + 'static>(&mut self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+    pub fn gatherv<T: WireMsg>(&mut self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
         let p = self.nprocs();
         let rank = self.rank();
         assert!(root < p, "gatherv root {root} out of range (p = {p})");
@@ -268,7 +269,7 @@ impl Proc {
 
     /// Gathers every processor's vector on `root` and concatenates them in
     /// rank order. The concatenation copy is charged to the root's clock.
-    pub fn gather_flat<T: Send + 'static>(&mut self, root: usize, data: Vec<T>) -> Option<Vec<T>> {
+    pub fn gather_flat<T: WireMsg>(&mut self, root: usize, data: Vec<T>) -> Option<Vec<T>> {
         let parts = self.gatherv(root, data)?;
         let total: usize = parts.iter().map(Vec::len).sum();
         self.charge_ops(total as u64);
@@ -282,13 +283,13 @@ impl Proc {
     /// Global Concatenate (paper primitive 5): like [`gather`](Proc::gather)
     /// but the result is stored on all processors. Gather + broadcast,
     /// `O(τ log p + μ p m)`.
-    pub fn all_gather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
+    pub fn all_gather<T: Clone + WireMsg>(&mut self, value: T) -> Vec<T> {
         let gathered = self.gather(0, value);
         self.broadcast(0, gathered)
     }
 
     /// Variable-size Global Concatenate, indexed by source rank.
-    pub fn all_gatherv<T: Clone + Send + 'static>(&mut self, data: Vec<T>) -> Vec<Vec<T>> {
+    pub fn all_gatherv<T: Clone + WireMsg>(&mut self, data: Vec<T>) -> Vec<Vec<T>> {
         let gathered = self.gatherv(0, data);
         self.broadcast(0, gathered)
     }
@@ -301,7 +302,7 @@ impl Proc {
     /// # Panics
     /// Panics unless exactly the root passes `Some(values)` with
     /// `values.len() == p`.
-    pub fn scatter<T: Send + 'static>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
+    pub fn scatter<T: WireMsg>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
         let mut v = self.scatterv(root, values.map(|vs| vs.into_iter().map(|x| vec![x]).collect()));
         assert_eq!(v.len(), 1, "scatter delivers exactly one value per processor");
         v.pop().expect("length checked above")
@@ -313,11 +314,7 @@ impl Proc {
     /// # Panics
     /// Panics unless exactly the root passes `Some(chunks)` with
     /// `chunks.len() == p`.
-    pub fn scatterv<T: Send + 'static>(
-        &mut self,
-        root: usize,
-        chunks: Option<Vec<Vec<T>>>,
-    ) -> Vec<T> {
+    pub fn scatterv<T: WireMsg>(&mut self, root: usize, chunks: Option<Vec<Vec<T>>>) -> Vec<T> {
         let p = self.nprocs();
         let rank = self.rank();
         assert!(root < p, "scatterv root {root} out of range (p = {p})");
@@ -400,7 +397,7 @@ impl Proc {
     ///
     /// # Panics
     /// Panics if `outgoing.len() != p`.
-    pub fn all_to_allv<T: Send + 'static>(&mut self, mut outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn all_to_allv<T: WireMsg>(&mut self, mut outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let p = self.nprocs();
         let rank = self.rank();
         assert_eq!(
@@ -430,7 +427,7 @@ impl Proc {
     /// # Panics
     /// Panics (on every processor) unless exactly one processor supplied a
     /// value.
-    pub fn bcast_from_owner<T: Clone + Send + 'static>(&mut self, value: Option<T>) -> T {
+    pub fn bcast_from_owner<T: Clone + WireMsg>(&mut self, value: Option<T>) -> T {
         let mine = u64::from(value.is_some());
         let (v, owners) = self.combine((value, mine), |(a, ca), (b, cb)| (a.or(b), ca + cb));
         assert_eq!(owners, 1, "bcast_from_owner requires exactly one owner, found {owners}");

@@ -6,6 +6,14 @@ use std::any::Any;
 /// reserved for the runtime's collectives.
 pub(crate) const USER_TAG_LIMIT: u64 = 1 << 32;
 
+/// A payload in flight: boxed in-process values on the channel transport,
+/// encoded bytes on an out-of-process fabric. The receive path downcasts or
+/// decodes respectively; either way the caller names the expected type.
+pub(crate) enum Payload {
+    Local(Box<dyn Any + Send>),
+    Wire(Vec<u8>),
+}
+
 /// A message in flight between two virtual processors.
 ///
 /// `sent_at` is the sender's virtual time at the moment the send started and
@@ -17,7 +25,7 @@ pub(crate) struct Envelope {
     pub tag: u64,
     pub sent_at: f64,
     pub bytes: u64,
-    pub payload: Box<dyn Any + Send>,
+    pub payload: Payload,
 }
 
 impl std::fmt::Debug for Envelope {

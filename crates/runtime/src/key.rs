@@ -1,5 +1,7 @@
 //! The element type abstraction shared by the whole stack.
 
+use crate::wiremsg::WireMsg;
+
 /// An orderable, copyable element that can ride in messages.
 ///
 /// All selection and load-balancing code is generic over `Key`. The sentinel
@@ -11,13 +13,21 @@
 /// little-endian byte layout that message-passing execution backends use to
 /// move elements across shard boundaries as serialized frames instead of
 /// in-process values — the encoding a real out-of-process shard would speak.
-pub trait Key: Copy + Ord + Send + Sync + std::fmt::Debug + 'static {
+/// [`WireMsg`] is a supertrait, so every `Key` (and every tuple / `Option` /
+/// `Vec` composition of keys) can also ride an out-of-process collective
+/// fabric; [`WIRE_TAG`](Key::WIRE_TAG) names the concrete type on the wire so
+/// a worker *process* can instantiate the right monomorphized shard.
+pub trait Key: Copy + Ord + Send + Sync + std::fmt::Debug + 'static + WireMsg {
     /// A value ordered ≤ every value of the type.
     const MIN_SENTINEL: Self;
     /// A value ordered ≥ every value of the type.
     const MAX_SENTINEL: Self;
     /// Exact size of this type's wire encoding, in bytes.
     const WIRE_BYTES: usize;
+    /// Stable one-byte identifier of this key type, carried in worker
+    /// handshakes so both sides of a process boundary agree on the element
+    /// type before any data frame flows.
+    const WIRE_TAG: u8;
 
     /// Appends this value's canonical little-endian wire encoding
     /// (exactly [`WIRE_BYTES`](Key::WIRE_BYTES) bytes).
@@ -32,11 +42,12 @@ pub trait Key: Copy + Ord + Send + Sync + std::fmt::Debug + 'static {
 }
 
 macro_rules! impl_key_for_int {
-    ($($t:ty),*) => {
+    ($($t:ty => $tag:literal),*) => {
         $(impl Key for $t {
             const MIN_SENTINEL: Self = <$t>::MIN;
             const MAX_SENTINEL: Self = <$t>::MAX;
             const WIRE_BYTES: usize = std::mem::size_of::<$t>();
+            const WIRE_TAG: u8 = $tag;
 
             fn wire_write(self, out: &mut Vec<u8>) {
                 out.extend_from_slice(&self.to_le_bytes());
@@ -49,7 +60,10 @@ macro_rules! impl_key_for_int {
     };
 }
 
-impl_key_for_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+impl_key_for_int!(
+    u8 => 1, u16 => 2, u32 => 3, u64 => 4, u128 => 5, usize => 6,
+    i8 => 7, i16 => 8, i32 => 9, i64 => 10, i128 => 11, isize => 12
+);
 
 /// A totally ordered `f64` (ordered by `f64::total_cmp`), so floating-point
 /// data can be used as selection keys.
@@ -98,6 +112,7 @@ impl Key for OrdF64 {
     const MIN_SENTINEL: Self = OrdF64(f64::from_bits(0xFFFF_FFFF_FFFF_FFFF));
     const MAX_SENTINEL: Self = OrdF64(f64::from_bits(0x7FFF_FFFF_FFFF_FFFF));
     const WIRE_BYTES: usize = 8;
+    const WIRE_TAG: u8 = 13;
 
     // Bit-pattern encoding: round-trips every float exactly, NaN payloads
     // and signed zeros included (a value-level encoding would not).

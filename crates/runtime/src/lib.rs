@@ -58,6 +58,7 @@
 
 mod collectives;
 mod envelope;
+pub mod fabric;
 mod key;
 mod machine;
 mod model;
@@ -65,7 +66,9 @@ mod process;
 mod session;
 mod stats;
 pub mod trace;
+pub mod wiremsg;
 
+pub use fabric::{FabricLink, FabricPoll, FabricRecvError, WireEnvelope};
 pub use key::{Key, OrdF64};
 pub use machine::{panic_message, Machine, RunError};
 pub use model::{MachineModel, Topology};
@@ -76,6 +79,7 @@ pub use trace::{
     aggregate_phases, render_phase_summary, render_timeline, PhaseAggregate, Trace, TraceEvent,
     TraceEventKind,
 };
+pub use wiremsg::{WireMsg, WireMsgError, WireReader};
 
 /// Phase label used by the selection algorithms for the time they spend
 /// redistributing data (needed to regenerate the paper's Figures 5 and 6).

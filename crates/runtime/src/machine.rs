@@ -53,6 +53,15 @@ pub enum RunError {
     /// The persistent [`crate::Session`] refused to run because an earlier
     /// program in it failed, leaving worker state untrustworthy.
     SessionPoisoned,
+    /// A frame crossing a process boundary failed to decode (truncated,
+    /// version-mismatched, or corrupt) — raised by out-of-process execution
+    /// backends instead of aborting on a half-written frame.
+    WireProtocol {
+        /// Rank (worker) whose frame failed to decode.
+        rank: usize,
+        /// Human-readable description of the decode failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -69,6 +78,9 @@ impl std::fmt::Display for RunError {
             }
             RunError::SessionPoisoned => {
                 write!(f, "session poisoned by an earlier failed program")
+            }
+            RunError::WireProtocol { rank, detail } => {
+                write!(f, "worker {rank} wire protocol error: {detail}")
             }
         }
     }
@@ -227,6 +239,28 @@ impl Machine {
                 Proc::new(rank, self.p, self.model, txs.clone(), rx, self.recv_timeout)
             })
             .collect()
+    }
+
+    /// Builds the [`Proc`] handle for one rank of this machine over an
+    /// out-of-process transport: the caller supplies a
+    /// [`crate::fabric::FabricLink`] carrying encoded frames between the
+    /// peers (e.g. Unix-domain sockets between shard worker processes),
+    /// and the runtime layers its virtual clock, `(src, tag)` matching and
+    /// collectives on top.
+    ///
+    /// Each of the machine's `p` ranks must be constructed exactly once
+    /// (typically one per process) against links that are wired to each
+    /// other; the SPMD discipline and the per-program
+    /// [`Proc::finish_program`] protocol are the same as for
+    /// [`Machine::procs`]. Because modeled message sizes are computed before
+    /// encoding, a program run over a fabric produces bit-identical virtual
+    /// times and collective counts to the same program run in process.
+    ///
+    /// # Panics
+    /// Panics if `rank >= p`.
+    pub fn fabric_proc(&self, rank: usize, link: Box<dyn crate::fabric::FabricLink>) -> Proc {
+        assert!(rank < self.p, "fabric rank {rank} out of range (p = {})", self.p);
+        Proc::new_fabric(rank, self.p, self.model, link, self.recv_timeout)
     }
 
     /// Runs an SPMD program where each processor starts from its slice of

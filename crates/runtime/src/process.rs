@@ -1,15 +1,32 @@
 //! The per-processor handle: point-to-point messaging and the virtual clock.
 
-use std::any::Any;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
-use crate::envelope::{Envelope, USER_TAG_LIMIT};
+use crate::envelope::{Envelope, Payload, USER_TAG_LIMIT};
+use crate::fabric::{FabricLink, FabricPoll, FabricRecvError, WireEnvelope};
 use crate::machine::RunError;
 use crate::model::MachineModel;
 use crate::stats::{CommStats, PhaseTimer};
 use crate::trace::{Trace, TraceEvent, TraceEventKind};
+use crate::wiremsg::{decode_frame, WireMsg};
+
+/// The transport a [`Proc`] sends and receives through: in-process channels
+/// (the [`crate::Machine::procs`] crossbar) or an out-of-process
+/// [`FabricLink`]. The virtual-clock accounting above this seam is identical
+/// for both, which is what keeps virtual time transport-invariant.
+enum Link {
+    Local {
+        peers: Vec<Sender<Envelope>>,
+        rx: Receiver<Envelope>,
+    },
+    Fabric {
+        link: Box<dyn FabricLink>,
+        /// Peers whose stream has ended (their `PeerDown` marker was seen).
+        down: Vec<bool>,
+    },
+}
 
 /// Handle to one virtual processor inside a [`crate::Machine::run`] region.
 ///
@@ -28,8 +45,7 @@ pub struct Proc {
     p: usize,
     model: MachineModel,
     now: f64,
-    peers: Vec<Sender<Envelope>>,
-    rx: Receiver<Envelope>,
+    link: Link,
     stash: Vec<Envelope>,
     pub(crate) epoch: u64,
     timeout: Duration,
@@ -49,13 +65,32 @@ impl Proc {
         rx: Receiver<Envelope>,
         timeout: Duration,
     ) -> Self {
+        Self::with_link(rank, p, model, Link::Local { peers, rx }, timeout)
+    }
+
+    pub(crate) fn new_fabric(
+        rank: usize,
+        p: usize,
+        model: MachineModel,
+        link: Box<dyn FabricLink>,
+        timeout: Duration,
+    ) -> Self {
+        Self::with_link(rank, p, model, Link::Fabric { link, down: vec![false; p] }, timeout)
+    }
+
+    fn with_link(
+        rank: usize,
+        p: usize,
+        model: MachineModel,
+        link: Link,
+        timeout: Duration,
+    ) -> Self {
         Proc {
             rank,
             p,
             model,
             now: 0.0,
-            peers,
-            rx,
+            link,
             stash: Vec::new(),
             epoch: 0,
             timeout,
@@ -157,19 +192,21 @@ impl Proc {
 
     /// Sends a single value to `dst` under `tag`.
     ///
-    /// The modeled message size is `size_of::<T>()`. User tags must be below
-    /// `2^32`; higher tags are reserved for the runtime's collectives.
-    pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u64, value: T) {
+    /// The modeled message size is `size_of::<T>()` — computed *before* any
+    /// wire encoding, so virtual time is identical on every transport. User
+    /// tags must be below `2^32`; higher tags are reserved for the runtime's
+    /// collectives.
+    pub fn send<T: WireMsg>(&mut self, dst: usize, tag: u64, value: T) {
         assert!(tag < USER_TAG_LIMIT, "user tags must be < 2^32, got {tag:#x}");
-        self.send_raw(dst, tag, std::mem::size_of::<T>() as u64, Box::new(value));
+        self.send_msg(dst, tag, std::mem::size_of::<T>() as u64, value);
     }
 
     /// Sends a vector of values to `dst` under `tag`; the modeled size is
     /// `len × size_of::<T>()`.
-    pub fn send_vec<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) {
+    pub fn send_vec<T: WireMsg>(&mut self, dst: usize, tag: u64, data: Vec<T>) {
         assert!(tag < USER_TAG_LIMIT, "user tags must be < 2^32, got {tag:#x}");
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-        self.send_raw(dst, tag, bytes, Box::new(data));
+        self.send_msg(dst, tag, bytes, data);
     }
 
     /// Receives the value sent by `src` under `tag`, blocking until it
@@ -178,50 +215,62 @@ impl Proc {
     /// # Panics
     /// Panics if the payload type differs from `T`, or on timeout (which
     /// almost always indicates mismatched SPMD communication).
-    pub fn recv<T: 'static>(&mut self, src: usize, tag: u64) -> T {
+    pub fn recv<T: WireMsg>(&mut self, src: usize, tag: u64) -> T {
         assert!(tag < USER_TAG_LIMIT, "user tags must be < 2^32, got {tag:#x}");
         self.recv_raw(src, tag)
     }
 
     /// Receives a vector sent with [`send_vec`](Proc::send_vec).
-    pub fn recv_vec<T: 'static>(&mut self, src: usize, tag: u64) -> Vec<T> {
+    pub fn recv_vec<T: WireMsg>(&mut self, src: usize, tag: u64) -> Vec<T> {
         self.recv::<Vec<T>>(src, tag)
     }
 
     // Internal (collective) variants: no user-tag validation.
 
-    pub(crate) fn isend<T: Send + 'static>(&mut self, dst: usize, tag: u64, value: T) {
-        self.send_raw(dst, tag, std::mem::size_of::<T>() as u64, Box::new(value));
+    pub(crate) fn isend<T: WireMsg>(&mut self, dst: usize, tag: u64, value: T) {
+        self.send_msg(dst, tag, std::mem::size_of::<T>() as u64, value);
     }
 
-    pub(crate) fn isend_sized<T: Send + 'static>(
-        &mut self,
-        dst: usize,
-        tag: u64,
-        bytes: u64,
-        value: T,
-    ) {
-        self.send_raw(dst, tag, bytes, Box::new(value));
+    pub(crate) fn isend_sized<T: WireMsg>(&mut self, dst: usize, tag: u64, bytes: u64, value: T) {
+        self.send_msg(dst, tag, bytes, value);
     }
 
-    pub(crate) fn irecv<T: 'static>(&mut self, src: usize, tag: u64) -> T {
+    pub(crate) fn irecv<T: WireMsg>(&mut self, src: usize, tag: u64) -> T {
         self.recv_raw(src, tag)
     }
 
-    fn send_raw(&mut self, dst: usize, tag: u64, bytes: u64, payload: Box<dyn Any + Send>) {
+    fn send_msg<T: WireMsg>(&mut self, dst: usize, tag: u64, bytes: u64, value: T) {
         assert!(dst < self.p, "proc {} attempted to send to {} but p = {}", self.rank, dst, self.p);
         let sent_at = self.now;
         self.now += self.model.send_cost(bytes);
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes;
         self.trace_event(TraceEventKind::Send { to: dst, tag, bytes });
-        let env = Envelope { src: self.rank, tag, sent_at, bytes, payload };
-        self.peers[dst]
-            .send(env)
-            .unwrap_or_else(|_| panic!("proc {} -> {}: receiver hung up", self.rank, dst));
+        let rank = self.rank;
+        match &mut self.link {
+            Link::Local { peers, .. } => {
+                let env = Envelope {
+                    src: rank,
+                    tag,
+                    sent_at,
+                    bytes,
+                    payload: Payload::Local(Box::new(value)),
+                };
+                peers[dst]
+                    .send(env)
+                    .unwrap_or_else(|_| panic!("proc {rank} -> {dst}: receiver hung up"));
+            }
+            Link::Fabric { link, .. } => {
+                let mut payload = Vec::new();
+                value.wire_encode(&mut payload);
+                let env = WireEnvelope { src: rank, tag, sent_at, bytes, payload };
+                link.deliver(dst, env)
+                    .unwrap_or_else(|e| panic!("proc {rank} -> {dst}: receiver hung up ({e})"));
+            }
+        }
     }
 
-    fn recv_raw<T: 'static>(&mut self, src: usize, tag: u64) -> T {
+    fn recv_raw<T: WireMsg>(&mut self, src: usize, tag: u64) -> T {
         let env = self.recv_envelope(src, tag);
         let arrival = env.sent_at
             + self.model.send_cost(env.bytes)
@@ -230,14 +279,24 @@ impl Proc {
         self.stats.msgs_recv += 1;
         self.stats.bytes_recv += env.bytes;
         self.trace_event(TraceEventKind::Recv { from: src, tag, bytes: env.bytes });
-        match env.payload.downcast::<T>() {
-            Ok(v) => *v,
-            Err(_) => panic!(
-                "proc {} received (src={src}, tag={tag:#x}) with unexpected payload type; \
-                 expected {}",
-                self.rank,
-                std::any::type_name::<T>()
-            ),
+        match env.payload {
+            Payload::Local(payload) => match payload.downcast::<T>() {
+                Ok(v) => *v,
+                Err(_) => panic!(
+                    "proc {} received (src={src}, tag={tag:#x}) with unexpected payload type; \
+                     expected {}",
+                    self.rank,
+                    std::any::type_name::<T>()
+                ),
+            },
+            Payload::Wire(bytes) => decode_frame::<T>(&bytes).unwrap_or_else(|e| {
+                panic!(
+                    "proc {} received (src={src}, tag={tag:#x}) with unexpected payload type; \
+                     expected {} but decoding failed: {e}",
+                    self.rank,
+                    std::any::type_name::<T>()
+                )
+            }),
         }
     }
 
@@ -245,35 +304,46 @@ impl Proc {
         if let Some(pos) = self.stash.iter().position(|e| e.src == src && e.tag == tag) {
             return self.stash.swap_remove(pos);
         }
-        loop {
-            match self.rx.recv_timeout(self.timeout) {
-                Ok(e) if e.src == src && e.tag == tag => return e,
-                Ok(e) => self.stash.push(e),
-                Err(RecvTimeoutError::Timeout) => {
-                    let stashed: Vec<String> = self
-                        .stash
-                        .iter()
-                        .map(|e| format!("(src={}, tag={:#x})", e.src, e.tag))
-                        .collect();
-                    panic!(
-                        "proc {} timed out after {:?} waiting for (src={src}, tag={tag:#x}); \
-                         virtual time {:.6}s; stashed messages: [{}] — this usually means \
-                         mismatched SPMD communication (a peer never sent, or sent under a \
-                         different tag)",
-                        self.rank,
-                        self.timeout,
-                        self.now,
-                        stashed.join(", ")
-                    );
+        let rank = self.rank;
+        let timeout = self.timeout;
+        match &mut self.link {
+            Link::Local { rx, .. } => loop {
+                match rx.recv_timeout(timeout) {
+                    Ok(e) if e.src == src && e.tag == tag => return e,
+                    Ok(e) => self.stash.push(e),
+                    Err(RecvTimeoutError::Timeout) => {
+                        panic_recv_timeout(rank, src, tag, timeout, self.now, &self.stash)
+                    }
+                    Err(RecvTimeoutError::Disconnected) => panic_recv_disconnected(rank, src, tag),
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!(
-                        "proc {} waiting for (src={src}, tag={tag:#x}) but all senders \
-                         disconnected (a peer likely panicked)",
-                        self.rank
-                    );
+            },
+            Link::Fabric { link, down } => loop {
+                // A dead peer can never satisfy this receive (per-peer FIFO:
+                // its last envelopes were surfaced before the Down marker).
+                if down[src] {
+                    panic_recv_disconnected(rank, src, tag);
                 }
-            }
+                match link.poll(timeout) {
+                    Ok(FabricPoll::Message(w)) => {
+                        let e = Envelope {
+                            src: w.src,
+                            tag: w.tag,
+                            sent_at: w.sent_at,
+                            bytes: w.bytes,
+                            payload: Payload::Wire(w.payload),
+                        };
+                        if e.src == src && e.tag == tag {
+                            return e;
+                        }
+                        self.stash.push(e);
+                    }
+                    Ok(FabricPoll::PeerDown(peer)) => down[peer] = true,
+                    Err(FabricRecvError::Timeout) => {
+                        panic_recv_timeout(rank, src, tag, timeout, self.now, &self.stash)
+                    }
+                    Err(FabricRecvError::Closed) => panic_recv_disconnected(rank, src, tag),
+                }
+            },
         }
     }
 
@@ -304,17 +374,30 @@ impl Proc {
     /// True if no unconsumed messages remain (stash and channel empty).
     /// Used by the machine's end-of-run protocol check.
     pub(crate) fn no_pending_messages(&self) -> bool {
-        self.stash.is_empty() && self.rx.is_empty()
+        self.stash.is_empty()
+            && match &self.link {
+                Link::Local { rx, .. } => rx.is_empty(),
+                Link::Fabric { link, .. } => link.pending() == 0,
+            }
     }
 
-    pub(crate) fn pending_summary(&self) -> String {
+    pub(crate) fn pending_summary(&mut self) -> String {
         let mut parts: Vec<String> = self
             .stash
             .iter()
             .map(|e| format!("stashed (src={}, tag={:#x})", e.src, e.tag))
             .collect();
-        while let Ok(e) = self.rx.try_recv() {
-            parts.push(format!("queued (src={}, tag={:#x})", e.src, e.tag));
+        match &mut self.link {
+            Link::Local { rx, .. } => {
+                while let Ok(e) = rx.try_recv() {
+                    parts.push(format!("queued (src={}, tag={:#x})", e.src, e.tag));
+                }
+            }
+            Link::Fabric { link, .. } => {
+                for (src, tag) in link.drain_pending() {
+                    parts.push(format!("queued (src={src}, tag={tag:#x})"));
+                }
+            }
         }
         parts.join(", ")
     }
@@ -351,6 +434,32 @@ impl Proc {
     pub(crate) fn phases_balanced(&self) -> bool {
         self.phases.balanced()
     }
+}
+
+fn panic_recv_timeout(
+    rank: usize,
+    src: usize,
+    tag: u64,
+    timeout: Duration,
+    now: f64,
+    stash: &[Envelope],
+) -> ! {
+    let stashed: Vec<String> =
+        stash.iter().map(|e| format!("(src={}, tag={:#x})", e.src, e.tag)).collect();
+    panic!(
+        "proc {rank} timed out after {timeout:?} waiting for (src={src}, tag={tag:#x}); \
+         virtual time {now:.6}s; stashed messages: [{}] — this usually means \
+         mismatched SPMD communication (a peer never sent, or sent under a \
+         different tag)",
+        stashed.join(", ")
+    );
+}
+
+fn panic_recv_disconnected(rank: usize, src: usize, tag: u64) -> ! {
+    panic!(
+        "proc {rank} waiting for (src={src}, tag={tag:#x}) but all senders \
+         disconnected (a peer likely panicked)"
+    );
 }
 
 impl std::fmt::Debug for Proc {

@@ -30,6 +30,21 @@ impl KernelRng {
         Self::new(seed ^ stream_id.wrapping_mul(0xA076_1D64_78BD_642F))
     }
 
+    /// The raw generator state — with [`KernelRng::from_state`], lets a
+    /// checkpoint or shard migration resume a stream mid-flight.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a state captured by [`KernelRng::state`],
+    /// continuing the exact stream (unlike [`KernelRng::new`], which mixes
+    /// its argument as a fresh seed).
+    pub fn from_state(state: u64) -> Self {
+        // xorshift state must never be 0; a captured state can't be 0 either,
+        // but guard against hand-rolled values.
+        Self { state: if state == 0 { 0x1234_5678_9ABC_DEF1 } else { state } }
+    }
+
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

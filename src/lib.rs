@@ -136,8 +136,9 @@ pub use cgselect_engine::{
     Engine, EngineConfig, EngineError, ExecBackend, ExecutionMode, Fault, FrontendConfig,
     FrontendStats, IndexHealth, LocalSpmd, MetricsRegistry, MetricsSnapshot, MutationReport,
     MutationTicket, Outcome, OutcomeTicket, Phase, PhaseOps, PhaseSpan, PhaseSummary, Query,
-    QueryKind, QueryTicket, RankSet, Request, RequestSpan, Response, RoundsMeasurement, RunReport,
-    Served, SloAccumulator, SloPolicy, SloReport, SubmissionQueue, SubmitError, Ticket, TraceId,
+    QueryKind, QueryTicket, RankSet, RecoveryReport, Request, RequestSpan, Response,
+    RoundsMeasurement, RunReport, Served, SloAccumulator, SloPolicy, SloReport, SocketMp,
+    SocketMpTuning, SubmissionQueue, SubmitError, Ticket, TraceId,
 };
 pub use cgselect_runtime::{
     CommStats, Key, Machine, MachineModel, OrdF64, Proc, RunError, Session, ShardStore,

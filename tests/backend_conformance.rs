@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use cgselect::{
     quantile_rank, Answer, BackendChoice, BackendError, BackendKind, ChannelMpTuning, Distribution,
     Engine, EngineConfig, EngineError, Fault, FrontendConfig, IndexHealth, MachineModel, Query,
-    SubmitError,
+    SocketMpTuning, SubmitError,
 };
 
 const ALL_DISTRIBUTIONS: [Distribution; 8] = [
@@ -654,4 +654,298 @@ fn backend_kind_is_reported() {
     let mp: Engine<u64> = Engine::new(cfg(2, channel_mp())).unwrap();
     assert_eq!(mp.backend_kind(), BackendKind::ChannelMp);
     assert_eq!(mp.backend_kind().to_string(), "channel-mp");
+}
+
+// ---------------------------------------------------------------------------
+// SocketMp: shard workers as real child processes over Unix-domain sockets.
+// Same conformance bar (oracle answers + collective-round parity), plus the
+// process-only contracts: SIGKILL surfaces typed errors, drop reaps every
+// child, and membership moves (migrate / join / retire / recover) keep the
+// engine serving exact answers.
+// ---------------------------------------------------------------------------
+
+/// Builds the worker binary once if this test target was invoked without it
+/// (e.g. `cargo test --test backend_conformance`, which only builds hashed
+/// `deps/` artifacts). No-op when `target/<profile>/cgselect-shard-worker`
+/// already exists — the CI socket-mp leg builds it explicitly.
+fn ensure_worker_bin() {
+    use std::sync::Once;
+    static BUILD: Once = Once::new();
+    BUILD.call_once(|| {
+        let exe = std::env::current_exe().expect("current_exe");
+        let profile_dir = exe
+            .parent()
+            .and_then(|deps| deps.parent())
+            .expect("test executable must live under target/<profile>/deps");
+        if profile_dir.join("cgselect-shard-worker").is_file() {
+            return;
+        }
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut cmd = std::process::Command::new(cargo);
+        cmd.args(["build", "-p", "cgselect-engine", "--bin", "cgselect-shard-worker"]);
+        if profile_dir.file_name().and_then(|n| n.to_str()) == Some("release") {
+            cmd.arg("--release");
+        }
+        let status = cmd.status().expect("spawn cargo to build the shard worker");
+        assert!(status.success(), "building cgselect-shard-worker failed");
+    });
+}
+
+fn socket_mp() -> BackendChoice {
+    ensure_worker_bin();
+    BackendChoice::SocketMp(SocketMpTuning::default())
+}
+
+/// Short proc timeout so survivors of a killed peer self-release in
+/// milliseconds (production default: 30 s), with a generous reply window
+/// above it so slow CI machines never misreport a healthy worker.
+fn socket_mp_faulty() -> BackendChoice {
+    ensure_worker_bin();
+    BackendChoice::SocketMp(
+        SocketMpTuning::new()
+            .reply_timeout(Duration::from_secs(10))
+            .proc_timeout(Duration::from_millis(500)),
+    )
+}
+
+fn process_alive(pid: u32) -> bool {
+    std::path::Path::new(&format!("/proc/{pid}")).exists()
+}
+
+fn kill9(pid: u32) {
+    let status = std::process::Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success(), "kill -9 {pid} failed");
+}
+
+#[test]
+fn conformance_socket_mp_all_distributions_with_in_process_round_parity() {
+    for dist in ALL_DISTRIBUTIONS {
+        let sock = run_lifecycle(socket_mp(), dist);
+        assert!(sock.len() >= 5, "{dist:?}: lifecycle must cover every phase");
+        // The process boundary must be unobservable: identical answers,
+        // collective-round counts and index health, step for step, against
+        // both in-process backends.
+        let local = run_lifecycle(BackendChoice::LocalSpmd, dist);
+        let mp = run_lifecycle(channel_mp(), dist);
+        assert_eq!(sock, local, "{dist:?}: socket workers diverged from LocalSpmd");
+        assert_eq!(sock, mp, "{dist:?}: socket workers diverged from ChannelMp");
+    }
+}
+
+#[test]
+fn socket_mp_inverse_ops_match_in_process_answers_and_rounds() {
+    for dist in [Distribution::Random, Distribution::Zipf, Distribution::AllEqual] {
+        let local = run_inverse_lifecycle(BackendChoice::LocalSpmd, dist);
+        let sock = run_inverse_lifecycle(socket_mp(), dist);
+        assert_eq!(
+            local, sock,
+            "{dist:?}: inverse answers / round counts must survive the process boundary"
+        );
+    }
+}
+
+#[test]
+fn socket_mp_sigkill_mid_batch_surfaces_typed_error_and_poisons() {
+    let mut engine: Engine<u64> = Engine::new(cfg(3, socket_mp_faulty())).unwrap();
+    engine.ingest((0..3000u64).map(|i| i.wrapping_mul(2654435761)).collect()).unwrap();
+    engine.execute(&[Query::Median]).unwrap();
+
+    let pids = engine.worker_pids();
+    assert_eq!(pids.len(), 3, "one OS process per shard");
+    kill9(pids[1]);
+    // SIGKILL closes rank 1's sockets; the next batch's collective wedges on
+    // the dead peer and must resolve to a *typed* error on the killed rank —
+    // never a hang (survivors self-release via the proc timeout, and their
+    // disconnect fallout is triaged as secondary).
+    let t0 = Instant::now();
+    let err = engine.execute(&mixed_batch(3000)).unwrap_err();
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "a killed worker must fail the batch fast, took {:?}",
+        t0.elapsed()
+    );
+    match err {
+        EngineError::Backend(BackendError::WorkerUnresponsive { rank })
+        | EngineError::Backend(BackendError::WorkerPanicked { rank, .. }) => {
+            assert_eq!(rank, 1, "the killed rank must be reported, got {err:?}");
+        }
+        other => panic!("expected a typed rank-1 worker failure, got {other:?}"),
+    }
+
+    // Poisoned: subsequent work is rejected without touching the ring.
+    let t0 = Instant::now();
+    let err = engine.execute(&[Query::Median]).unwrap_err();
+    assert_eq!(err, EngineError::Backend(BackendError::Poisoned));
+    assert!(t0.elapsed() < Duration::from_millis(100), "poisoned rejection must be fast");
+    drop(engine); // must still reap the two survivors (checked below)
+}
+
+#[test]
+fn socket_mp_drop_reaps_every_worker_process() {
+    let mut engine: Engine<u64> = Engine::new(cfg(4, socket_mp())).unwrap();
+    engine.ingest((0..1000u64).rev().collect()).unwrap();
+    engine.execute(&[Query::Median]).unwrap();
+    let pids = engine.worker_pids();
+    assert_eq!(pids.len(), 4);
+    for &pid in &pids {
+        assert!(process_alive(pid), "worker {pid} should be running");
+    }
+    drop(engine);
+    // Drop sends EXIT and waits on every child: no orphans, no zombies (a
+    // zombie still has a /proc entry, so this catches unreaped children too).
+    for &pid in &pids {
+        assert!(!process_alive(pid), "worker {pid} leaked past engine drop");
+    }
+}
+
+#[test]
+fn socket_mp_migration_mid_query_stream_is_invisible() {
+    let p = 4;
+    let n = 3000usize;
+    let data: Vec<u64> =
+        cgselect::generate(Distribution::Zipf, n, p, 77).into_iter().flatten().collect();
+    let mut migrating: Engine<u64> = Engine::new(cfg(p, socket_mp())).unwrap();
+    let mut reference: Engine<u64> = Engine::new(cfg(p, socket_mp())).unwrap();
+    let mut all: Vec<u64> = Vec::new();
+
+    let check = |migrating: &mut Engine<u64>,
+                 reference: &mut Engine<u64>,
+                 all: &[u64],
+                 label: &str| {
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        let queries = mixed_batch(sorted.len() as u64);
+        let a = migrating.execute(&queries).unwrap();
+        let b = reference.execute(&queries).unwrap();
+        assert_eq!(a.answers, oracle_answers(&sorted, &queries), "{label}: oracle divergence");
+        assert_eq!(a.answers, b.answers, "{label}: migration changed answers");
+        assert_eq!(a.collective_ops, b.collective_ops, "{label}: migration changed round counts");
+        assert_eq!(
+            migrating.index_health(),
+            reference.index_health(),
+            "{label}: migration must keep the histogram warm (no extra rebuilds/merges)"
+        );
+    };
+
+    // Build the index, then migrate two shards mid-stream and keep serving.
+    let (bulk, tail) = data.split_at(2 * n / 3);
+    all.extend_from_slice(bulk);
+    migrating.ingest(bulk.to_vec()).unwrap();
+    reference.ingest(bulk.to_vec()).unwrap();
+    check(&mut migrating, &mut reference, &all, "before migration");
+
+    let before = migrating.worker_pids();
+    migrating.migrate_shard(1).unwrap();
+    migrating.migrate_shard(3).unwrap();
+    let after = migrating.worker_pids();
+    assert_ne!(before[1], after[1], "migration must move the shard to a fresh process");
+    assert_ne!(before[3], after[3], "migration must move the shard to a fresh process");
+    assert_eq!(before[0], after[0], "unmigrated shards must keep their process");
+    assert!(!process_alive(before[1]), "the migrated-away worker must be reaped");
+    check(&mut migrating, &mut reference, &all, "after migration");
+
+    // The rest of the stream rides the delta run and a delete, still in step.
+    all.extend_from_slice(tail);
+    migrating.ingest(tail.to_vec()).unwrap();
+    reference.ingest(tail.to_vec()).unwrap();
+    check(&mut migrating, &mut reference, &all, "delta after migration");
+    let victim = {
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted[n / 3]
+    };
+    migrating.delete(&[victim]).unwrap();
+    reference.delete(&[victim]).unwrap();
+    all.retain(|&x| x != victim);
+    check(&mut migrating, &mut reference, &all, "delete after migration");
+}
+
+#[test]
+fn socket_mp_join_and_retire_keep_serving_exact_answers() {
+    let mut engine: Engine<u64> = Engine::new(cfg(3, socket_mp())).unwrap();
+    let mut all: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(48271) % 100_003).collect();
+    engine.ingest(all.clone()).unwrap();
+
+    let check = |engine: &mut Engine<u64>, all: &[u64], label: &str| {
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        let queries = mixed_batch(sorted.len() as u64);
+        let report = engine.execute(&queries).unwrap();
+        assert_eq!(report.answers, oracle_answers(&sorted, &queries), "{label}: wrong answers");
+        assert_eq!(engine.len(), all.len() as u64, "{label}: population drifted");
+    };
+    check(&mut engine, &all, "initial p=3");
+
+    // Grow: a fresh empty worker joins at the top rank.
+    assert_eq!(engine.join_worker().unwrap(), 4);
+    assert_eq!(engine.worker_pids().len(), 4);
+    check(&mut engine, &all, "after join");
+    let burst: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(69621) % 99_991).collect();
+    all.extend_from_slice(&burst);
+    engine.ingest(burst).unwrap();
+    check(&mut engine, &all, "ingest over the grown ring");
+
+    // Shrink: retiring merges the leaver's shard into a survivor — no data
+    // is lost, ranks above shift down, and the ring keeps serving all the
+    // way to a single worker (the degenerate one-process fabric).
+    assert_eq!(engine.retire_worker(0).unwrap(), 3);
+    check(&mut engine, &all, "after retiring rank 0");
+    assert_eq!(engine.retire_worker(1).unwrap(), 2);
+    assert_eq!(engine.retire_worker(0).unwrap(), 1);
+    assert_eq!(engine.worker_pids().len(), 1);
+    check(&mut engine, &all, "single surviving worker");
+
+    // The last shard refuses to retire.
+    let err = engine.retire_worker(0).unwrap_err();
+    assert!(
+        matches!(err, EngineError::Backend(BackendError::Unsupported { .. })),
+        "retiring the last shard must be a typed refusal, got {err:?}"
+    );
+    check(&mut engine, &all, "still serving after the refusal");
+}
+
+#[test]
+fn socket_mp_self_heal_replaces_killed_worker_and_serves_survivors() {
+    use cgselect::{Bounds, Request};
+    let p = 4;
+    let mut engine: Engine<u64> = Engine::new(cfg(p, socket_mp_faulty()).self_heal(true)).unwrap();
+    let data: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_003).collect();
+    engine.ingest(data.clone()).unwrap();
+    engine.execute(&[Query::Median]).unwrap();
+
+    // One ingest from a fresh engine round-robins element i onto shard
+    // i % p, so the post-crash surviving multiset is computable exactly.
+    let killed = 2usize;
+    let pids = engine.worker_pids();
+    kill9(pids[killed]);
+    let mut surviving: Vec<u64> =
+        data.iter().enumerate().filter_map(|(i, &x)| (i % p != killed).then_some(x)).collect();
+    surviving.sort_unstable();
+
+    // "Detect, re-shard, keep serving": the run hits the dead worker,
+    // recovers (respawn empty + fabric rewire + size resync) and retries —
+    // the caller sees zero failed queries.
+    let median = surviving[surviving.len() / 2];
+    let lo = surviving[surviving.len() / 4];
+    let hi = surviving[(3 * surviving.len()) / 4];
+    let requests = vec![Request::rank_of(median), Request::count_between(Bounds::closed(lo, hi))];
+    let report = engine.run(&requests).unwrap();
+    let counts: Vec<u64> =
+        report.outcomes.iter().map(|o| o.response.count().expect("count answer")).collect();
+    let below = |v: u64| surviving.partition_point(|&x| x < v) as u64;
+    let through = |v: u64| surviving.partition_point(|&x| x <= v) as u64;
+    assert_eq!(counts, vec![below(median), through(hi) - below(lo)]);
+    assert_eq!(engine.len(), surviving.len() as u64, "survivors' population must be exact");
+
+    // The dead rank runs in a fresh process; the ring is back to full width
+    // and exact batches serve the surviving multiset.
+    let after = engine.worker_pids();
+    assert_eq!(after.len(), p);
+    assert_ne!(after[killed], pids[killed], "the killed rank must have been respawned");
+    let queries = mixed_batch(surviving.len() as u64);
+    let exact = engine.execute(&queries).unwrap();
+    assert_eq!(exact.answers, oracle_answers(&surviving, &queries));
 }
