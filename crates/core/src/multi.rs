@@ -26,7 +26,10 @@
 //!   `O(log(max window))` collective rounds, not `R` times that.
 
 use cgselect_runtime::{Key, Proc, PHASE_FINISH};
-use cgselect_seqsel::{partition3, KernelRng, OpCount};
+use cgselect_seqsel::{
+    floyd_rivest_multi_select, partition3, partition3_kernel, scalar_reference_mode, KernelRng,
+    OpCount,
+};
 
 use crate::SelectionConfig;
 
@@ -220,13 +223,25 @@ pub fn parallel_multi_select_windows<T: Key>(
             .collect();
 
         // Local three-way partitions, then one vectorized count Combine.
+        // The branchless kernel reproduces `partition3`'s permutation and
+        // charges exactly (pivot choices index physical positions, so the
+        // permutation is part of the cross-backend contract); the scalar
+        // original stays reachable as the wall-clock reference baseline.
+        let reference = scalar_reference_mode();
         let mut ops = OpCount::new();
+        let p3 = |data: &mut [T], pivot: T, ops: &mut OpCount| {
+            if reference {
+                partition3(data, pivot, pivot, ops)
+            } else {
+                partition3_kernel(data, pivot, pivot, ops)
+            }
+        };
         let splits: Vec<(usize, usize, usize, usize)> = big
             .iter_mut()
             .zip(&pivots)
             .map(|(seg, &pivot)| {
-                let (a1, b1) = partition3(seg.slice, pivot, pivot, &mut ops);
-                let (a2, b2) = partition3(&mut seg.extra, pivot, pivot, &mut ops);
+                let (a1, b1) = p3(seg.slice, pivot, &mut ops);
+                let (a2, b2) = p3(&mut seg.extra, pivot, &mut ops);
                 (a1, b1, a2, b2)
             })
             .collect();
@@ -313,22 +328,41 @@ fn solve_finishers<T: Key>(proc: &mut Proc, segs: Vec<Segment<'_, T>>, out: &mut
     };
     let answers: Option<Vec<T>> = gathered.map(|mut per| {
         let mut res = Vec::new();
-        let mut cmps = 0u64;
-        let mut moved = 0u64;
+        let mut local = OpCount::new();
+        let reference = scalar_reference_mode();
         for (seg, bucket) in segs.iter().zip(&mut per) {
-            moved += bucket.len() as u64;
+            local.moves += bucket.len() as u64;
             debug_assert_eq!(
                 bucket.len() as u64,
                 seg.n,
                 "caller-supplied window population disagrees with the gathered count"
             );
-            bucket.sort_unstable_by(|a, b| {
-                cmps += 1;
-                a.cmp(b)
-            });
-            res.extend(seg.ranks.iter().map(|&(r, _)| bucket[r as usize]));
+            debug_assert!(
+                seg.ranks.windows(2).all(|w| w[0].0 <= w[1].0),
+                "finisher ranks must stay ascending through segment splits"
+            );
+            // Floyd–Rivest finisher: R successive selects cost expected
+            // O(R·n) comparisons against the sort's n·log2(n), so for a
+            // sparse rank set in a sizeable window (2R < log2 n, with the
+            // factor 2 as noise margin) the gathered bucket is finished by
+            // selection instead of sorting. Charges are measured either
+            // way; the scalar-reference switch pins the sort path as the
+            // pre-kernel baseline.
+            let distinct = 1 + seg.ranks.windows(2).filter(|w| w[0].0 != w[1].0).count() as u64;
+            let use_fr =
+                !reference && bucket.len() > 1 && 2 * distinct < u64::from(bucket.len().ilog2());
+            if use_fr {
+                let ranks: Vec<usize> = seg.ranks.iter().map(|&(r, _)| r as usize).collect();
+                res.extend(floyd_rivest_multi_select(bucket, &ranks, &mut local));
+            } else {
+                bucket.sort_unstable_by(|a, b| {
+                    local.cmps += 1;
+                    a.cmp(b)
+                });
+                res.extend(seg.ranks.iter().map(|&(r, _)| bucket[r as usize]));
+            }
         }
-        proc.charge_ops(cmps + moved);
+        proc.charge_ops(local.total());
         res
     });
     let answers = proc.broadcast(0, answers);
@@ -562,6 +596,42 @@ mod tests {
             shared < 2 * single,
             "two lockstep windows ({shared} collective ops) must beat two passes (2×{single})"
         );
+    }
+
+    #[test]
+    fn reference_mode_changes_neither_answers_nor_rounds() {
+        // The wall-clock contract: branchless kernels and the Floyd–Rivest
+        // finisher may change only wall time — answers and the collective
+        // sequence must be bit-identical to the scalar reference path. A
+        // sparse rank set over a large window drives the FR finisher;
+        // the dense set drives the sort path; both must agree.
+        let p = 4;
+        let parts: Vec<Vec<u64>> = (0..p)
+            .map(|r| (0..2000).map(|i| ((i * 29 + r * 13) % 7919) as u64).collect())
+            .collect();
+        let n = (p * 2000) as u64;
+        let rank_sets: Vec<Vec<u64>> =
+            vec![vec![n / 2], vec![0, n / 4, n / 2, n - 1], (0..40).map(|i| i * n / 40).collect()];
+        for ranks in rank_sets {
+            let run = |reference: bool| {
+                cgselect_seqsel::set_scalar_reference_mode(reference);
+                let out = cgselect_runtime::Machine::with_model(p, MachineModel::free())
+                    .run(|proc| {
+                        let c0 = proc.comm_stats().collective_ops;
+                        let got =
+                            parallel_multi_select(proc, parts[proc.rank()].clone(), &ranks, &cfg());
+                        (got, proc.comm_stats().collective_ops - c0)
+                    })
+                    .unwrap();
+                cgselect_seqsel::set_scalar_reference_mode(false);
+                out.into_iter().next().expect("p >= 1")
+            };
+            let (kernel_ans, kernel_rounds) = run(false);
+            let (ref_ans, ref_rounds) = run(true);
+            assert_eq!(kernel_ans, ref_ans, "answers must not depend on the kernel path");
+            assert_eq!(kernel_rounds, ref_rounds, "rounds must not depend on the kernel path");
+            assert_eq!(kernel_ans, oracle(&parts, &ranks));
+        }
     }
 
     #[test]

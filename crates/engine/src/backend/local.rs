@@ -21,6 +21,10 @@ use super::{BackendError, BackendKind, BatchPlan, ExecBackend, ShardBatchOutcome
 pub struct LocalSpmd<T: Key> {
     session: Session,
     balancer: Balancer,
+    /// Intra-shard scan fan-out ([`EngineConfig::scan_threads`]); only this
+    /// in-process backend honors it — the message-passing backends keep
+    /// their workers single-threaded.
+    scan_threads: usize,
     _marker: PhantomData<fn(T)>,
 }
 
@@ -33,7 +37,12 @@ impl<T: Key> LocalSpmd<T> {
         session.run(move |proc, store| {
             store.insert(ops::init_shard::<T>(proc.rank(), capacity, seed));
         })?;
-        Ok(LocalSpmd { session, balancer: cfg.balancer, _marker: PhantomData })
+        Ok(LocalSpmd {
+            session,
+            balancer: cfg.balancer,
+            scan_threads: cfg.scan_threads,
+            _marker: PhantomData,
+        })
     }
 
     /// The shard installed at construction; its absence means the store was
@@ -101,8 +110,9 @@ impl<T: Key> ExecBackend<T> for LocalSpmd<T> {
 
     fn execute(&mut self, plan: &BatchPlan<T>) -> Result<Vec<ShardBatchOutcome<T>>, BackendError> {
         let plan = plan.clone();
-        Ok(self
-            .session
-            .run(move |proc, store| ops::execute_shard(proc, Self::shard_mut(store), &plan))?)
+        let scan_threads = self.scan_threads;
+        Ok(self.session.run(move |proc, store| {
+            ops::execute_shard(proc, Self::shard_mut(store), &plan, scan_threads)
+        })?)
     }
 }

@@ -12,7 +12,10 @@
 use cgselect_balance::{rebalance, Balancer};
 use cgselect_core::{parallel_multi_select_windows, RankedWindow};
 use cgselect_runtime::{Key, Proc};
-use cgselect_seqsel::{bucket_of, partition_by_bounds, OpCount};
+use cgselect_seqsel::{
+    bucket_of, bucket_search_cmps, count_below_kernel, count_below_reference, partition_by_bounds,
+    scalar_reference_mode, OpCount,
+};
 
 use crate::index::{
     bucket_stats, build_shard_index, refined_bounds, splitters_from_samples, BucketStats,
@@ -202,11 +205,51 @@ pub(crate) fn merge_delta_shard<T: Key>(proc: &mut Proc, shard: &mut Shard<T>) -
     dstats
 }
 
+/// Slices shorter than this are never worth fanning out over scoped
+/// threads: the spawn/join overhead of a scope dwarfs the scan itself.
+const PAR_SCAN_MIN: usize = 1 << 15;
+
 /// The local prefix count of one value probe over a plain slice, with
-/// measured comparisons.
-fn count_admitted<T: Key>(data: &[T], value: T, inclusive: bool, cmps: &mut u64) -> u64 {
-    *cmps += data.len() as u64;
-    data.iter().filter(|&&x| if inclusive { x <= value } else { x < value }).count() as u64
+/// measured comparisons. Dispatches to the branchless counting kernel —
+/// fanned out over `scan_threads` scoped workers in deterministic
+/// chunk order when the slice is large enough — or to the scalar
+/// reference loop under `set_scalar_reference_mode`. Every path charges
+/// exactly one comparison per element, so modeled ops never depend on the
+/// kernel or the thread count.
+fn count_admitted<T: Key>(
+    data: &[T],
+    value: T,
+    inclusive: bool,
+    cmps: &mut u64,
+    scan_threads: usize,
+) -> u64 {
+    if scalar_reference_mode() {
+        return count_below_reference(data, value, inclusive, cmps);
+    }
+    if scan_threads > 1 && data.len() >= PAR_SCAN_MIN {
+        *cmps += data.len() as u64;
+        let chunk = data.len().div_ceil(scan_threads);
+        let partials = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(chunk)
+                .map(|c| {
+                    s.spawn(move || {
+                        let mut uncharged = 0u64;
+                        count_below_kernel(c, value, inclusive, &mut uncharged)
+                    })
+                })
+                .collect();
+            // Joined in spawn order: the reduction is a fixed left fold
+            // over chunk partials, identical for every thread schedule.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect::<Vec<u64>>()
+        })
+        .expect("scan scope failed");
+        return partials.into_iter().sum();
+    }
+    count_below_kernel(data, value, inclusive, cmps)
 }
 
 /// The value-probe phase: local prefix counts for every probe — localized
@@ -214,7 +257,12 @@ fn count_admitted<T: Key>(data: &[T], value: T, inclusive: bool, cmps: &mut u64)
 /// index, a full scan otherwise — then **one** vectorized Combine for the
 /// whole probe batch. Runs *before* the multi-select phase, which permutes
 /// the windows and refines the splitters.
-fn count_probes_shard<T: Key>(proc: &mut Proc, shard: &Shard<T>, probes: &[(T, bool)]) -> Vec<u64> {
+fn count_probes_shard<T: Key>(
+    proc: &mut Proc,
+    shard: &Shard<T>,
+    probes: &[(T, bool)],
+    scan_threads: usize,
+) -> Vec<u64> {
     if probes.is_empty() {
         return Vec::new();
     }
@@ -223,6 +271,16 @@ fn count_probes_shard<T: Key>(proc: &mut Proc, shard: &Shard<T>, probes: &[(T, b
     let local: Vec<u64> = match &shard.index {
         Some(idx) => {
             let delta_start = idx.delta_start();
+            // Probe batches arrive sorted and deduplicated by value (the
+            // planner builds them that way), so one forward merge against
+            // the sorted bounds replaces a fresh O(log B) binary search per
+            // probe: O(P + B) total. The charge per probe stays exactly
+            // what `bucket_of` would have measured (`bucket_search_cmps`
+            // is grid-pinned to it), so modeled ops are unchanged. The
+            // per-probe search survives as the reference baseline and as
+            // the fallback for unsorted batches.
+            let merge = !scalar_reference_mode() && probes.windows(2).all(|w| w[0].0 <= w[1].0);
+            let mut next = 0usize;
             probes
                 .iter()
                 .map(|&(v, inclusive)| {
@@ -230,21 +288,40 @@ fn count_probes_shard<T: Key>(proc: &mut Proc, shard: &Shard<T>, probes: &[(T, b
                     // the probe value, every element above is strictly
                     // above: only bucket `b` itself (and the unindexed
                     // delta run) needs scanning.
-                    let b = bucket_of(&idx.bounds, &v, &mut ops);
+                    let b = if merge {
+                        // First bound admitting `v`; monotone in `v`, so the
+                        // cursor never rewinds across the sorted batch.
+                        while next < idx.bounds.len() && !idx.bounds[next].admits(&v) {
+                            next += 1;
+                        }
+                        ops.cmps += bucket_search_cmps(idx.bounds.len());
+                        next
+                    } else {
+                        bucket_of(&idx.bounds, &v, &mut ops)
+                    };
                     idx.offsets[b] as u64
                         + count_admitted(
                             &shard.data[idx.offsets[b]..idx.offsets[b + 1]],
                             v,
                             inclusive,
                             &mut cmps,
+                            scan_threads,
                         )
-                        + count_admitted(&shard.data[delta_start..], v, inclusive, &mut cmps)
+                        + count_admitted(
+                            &shard.data[delta_start..],
+                            v,
+                            inclusive,
+                            &mut cmps,
+                            scan_threads,
+                        )
                 })
                 .collect()
         }
         None => probes
             .iter()
-            .map(|&(v, inclusive)| count_admitted(&shard.data, v, inclusive, &mut cmps))
+            .map(|&(v, inclusive)| {
+                count_admitted(&shard.data, v, inclusive, &mut cmps, scan_threads)
+            })
             .collect(),
     };
     proc.charge_ops(ops.total() + cmps);
@@ -261,6 +338,7 @@ pub(crate) fn execute_shard<T: Key>(
     proc: &mut Proc,
     shard: &mut Shard<T>,
     plan: &BatchPlan<T>,
+    scan_threads: usize,
 ) -> ShardBatchOutcome<T> {
     let n_exact = plan.exact_ranks.len();
     let run_full = !plan.use_index && n_exact > 0;
@@ -280,7 +358,7 @@ pub(crate) fn execute_shard<T: Key>(
     if observe {
         proc.phase_begin(Phase::Probes.as_str());
     }
-    let probe_counts = count_probes_shard(proc, shard, &plan.value_probes);
+    let probe_counts = count_probes_shard(proc, shard, &plan.value_probes, scan_threads);
     if observe {
         proc.phase_end(Phase::Probes.as_str());
     }

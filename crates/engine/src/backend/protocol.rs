@@ -414,7 +414,10 @@ pub(crate) fn run_command<T: Key>(
                 proc.barrier();
                 panic!("injected fault: shard worker {} panicked mid-batch", cfg.rank);
             }
-            let o = ops::execute_shard(proc, shard, &plan);
+            // Message-passing workers stay single-threaded: scan fan-out is
+            // a LocalSpmd-only knob (counts are thread-count-independent,
+            // so conformance across backends is unaffected).
+            let o = ops::execute_shard(proc, shard, &plan, 1);
             encode_outcome(&mut w, &o);
         }
         other => {

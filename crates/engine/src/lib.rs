@@ -174,6 +174,15 @@ pub struct EngineConfig {
     /// engine. Off by default: the poisoning contract (rebuild the engine)
     /// stays strict unless explicitly opted into.
     pub self_heal: bool,
+    /// Intra-shard scan fan-out: large per-shard scans split into this
+    /// many chunks executed on scoped threads with a deterministic
+    /// chunk-order reduction, so answers and modeled ops are independent
+    /// of the setting (pinned by a twin-run test). Default 1 = fully
+    /// sequential (the pre-knob behavior). Honored by the in-process
+    /// [`LocalSpmd`] backend only; message-passing shard workers stay
+    /// single-threaded. Recorded in every [`RunReport::scan_threads`] so
+    /// SLO lines from differently-tuned engines stay comparable.
+    pub scan_threads: usize,
 }
 
 impl EngineConfig {
@@ -193,6 +202,7 @@ impl EngineConfig {
             backend: BackendChoice::LocalSpmd,
             observe: false,
             self_heal: false,
+            scan_threads: 1,
         }
     }
 
@@ -266,8 +276,16 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style intra-shard scan fan-out (see
+    /// [`EngineConfig::scan_threads`]).
+    pub fn scan_threads(mut self, threads: usize) -> Self {
+        self.scan_threads = threads;
+        self
+    }
+
     fn validate(&self) {
         assert!(self.nprocs >= 1, "an engine needs at least one shard");
+        assert!(self.scan_threads >= 1, "scan_threads must be >= 1 (1 = sequential scans)");
         assert!(
             self.imbalance_watermark >= 1.0,
             "imbalance watermark must be >= 1.0 (max/mean ratio), got {}",
@@ -1013,6 +1031,7 @@ impl<T: Key> Engine<T> {
             histogram_answers,
             value_probes: probe_backend_pos.iter().flatten().count(),
             delta_occupancy,
+            scan_threads: self.cfg.scan_threads,
             span,
         })
     }

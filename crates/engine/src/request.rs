@@ -488,6 +488,12 @@ pub struct RunReport<T> {
     /// Fraction of the resident population in the unindexed delta run when
     /// the batch executed.
     pub delta_occupancy: f64,
+    /// The intra-shard scan fan-out the engine ran with
+    /// ([`crate::EngineConfig::scan_threads`]); part of the cost
+    /// attribution so SLO lines from differently-tuned engines stay
+    /// comparable. Modeled ops and answers never depend on it — only wall
+    /// time does.
+    pub scan_threads: usize,
     /// The batch's span tree — `Some` only when the engine runs with
     /// observability enabled (`EngineConfig::observe`).
     pub span: Option<BatchSpan>,

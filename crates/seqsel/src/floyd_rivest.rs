@@ -92,6 +92,43 @@ fn fr<T: Copy + Ord>(a: &mut [T], mut left: isize, mut right: isize, k: isize, o
     }
 }
 
+/// Selects every 0-based rank in ascending `ranks` with one pass of
+/// successive Floyd–Rivest selects over shrinking suffixes.
+///
+/// Each `floyd_rivest_select(&mut data[base..], k - base, …)` call leaves
+/// `data[base..k] ≤ data[k] ≤ data[k+1..]`, so the next (larger) rank only
+/// has to search the suffix past the previous answer. For the small handful
+/// of ranks a multi-select *finisher* window carries, this does far less
+/// work than sorting the window — expected `O(n + Σ gap)` comparisons
+/// instead of `O(n log n)` — which is exactly the dual-heap observation:
+/// the final rounds' windows are cheap to finish locally.
+///
+/// Returns the selected values, one per rank, in the order given.
+///
+/// # Panics
+/// Panics if `ranks` is not ascending or any rank is out of range.
+pub fn floyd_rivest_multi_select<T: Copy + Ord>(
+    data: &mut [T],
+    ranks: &[usize],
+    ops: &mut OpCount,
+) -> Vec<T> {
+    assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "ranks must be ascending");
+    let mut out = Vec::with_capacity(ranks.len());
+    let mut base = 0usize;
+    let mut prev: Option<usize> = None;
+    for &k in ranks {
+        if prev == Some(k) {
+            out.push(data[k]);
+            continue;
+        }
+        let _ = floyd_rivest_select(&mut data[base..], k - base, ops);
+        out.push(data[k]);
+        prev = Some(k);
+        base = k + 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +198,54 @@ mod tests {
         let mut v = vec![1, 2];
         let mut ops = OpCount::new();
         let _ = floyd_rivest_select(&mut v, 2, &mut ops);
+    }
+
+    #[test]
+    fn multi_select_matches_sorted_oracle() {
+        let mut rng = KernelRng::new(77);
+        for n in [1usize, 2, 10, 1000, 5000] {
+            let base: Vec<i64> = (0..n).map(|_| (rng.next_u64() % 97) as i64).collect();
+            let mut sorted = base.clone();
+            sorted.sort_unstable();
+            for ranks in [
+                vec![0],
+                vec![n - 1],
+                vec![0, n / 2, n - 1],
+                vec![n / 4, n / 4, n / 2],
+                (0..n.min(8)).collect::<Vec<_>>(),
+            ] {
+                let mut v = base.clone();
+                let mut ops = OpCount::new();
+                let got = floyd_rivest_multi_select(&mut v, &ranks, &mut ops);
+                let want: Vec<i64> = ranks.iter().map(|&k| sorted[k]).collect();
+                assert_eq!(got, want, "n={n} ranks={ranks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_select_beats_sorting_on_sparse_ranks() {
+        // The finisher's rationale: a few ranks out of a large window cost
+        // roughly linear work, not the window's full sort.
+        let mut rng = KernelRng::new(53);
+        let n = 1usize << 14;
+        let base: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let mut v = base.clone();
+        let mut ops = OpCount::new();
+        let _ = floyd_rivest_multi_select(&mut v, &[n / 8, n / 2, 7 * n / 8], &mut ops);
+        let sort_floor = (n as u64) * (n as u64).ilog2() as u64;
+        assert!(
+            ops.total() < sort_floor,
+            "multi-select did {} ops, sorting would need ~{sort_floor} cmps",
+            ops.total()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn multi_select_rejects_unsorted_ranks() {
+        let mut v = vec![3, 1, 2];
+        let mut ops = OpCount::new();
+        let _ = floyd_rivest_multi_select(&mut v, &[2, 0], &mut ops);
     }
 }

@@ -29,6 +29,7 @@ mod buckets;
 mod floyd_rivest;
 mod heap_select;
 mod introselect;
+mod kernels;
 mod median_of_medians;
 mod ops;
 mod partition;
@@ -39,16 +40,20 @@ mod splitters;
 mod weighted_median;
 
 pub use buckets::Buckets;
-pub use floyd_rivest::floyd_rivest_select;
+pub use floyd_rivest::{floyd_rivest_multi_select, floyd_rivest_select};
 pub use heap_select::heap_select;
 pub use introselect::introselect;
+pub use kernels::{
+    count_below_kernel, count_below_reference, partition3_kernel, partition_bound_kernel,
+    partition_bound_reference, scalar_reference_mode, set_scalar_reference_mode,
+};
 pub use median_of_medians::median_of_medians_select;
 pub use ops::OpCount;
 pub use partition::{insertion_sort, partition3, partition_le};
 pub use quickselect::quickselect;
 pub use rng::KernelRng;
 pub use sort_select::sort_select;
-pub use splitters::{bucket_of, partition_by_bounds, SepBound};
+pub use splitters::{bucket_of, bucket_search_cmps, partition_by_bounds, SepBound};
 pub use weighted_median::weighted_median;
 
 /// 0-based rank of the paper's median (1-based rank ⌈N/2⌉) among `n` items.

@@ -17,6 +17,7 @@
 //! element scan. Because both bounds mention only the shared value `v`,
 //! every shard splits identically and the global histogram stays valid.
 
+use crate::kernels::{partition_bound_kernel, partition_bound_reference, scalar_reference_mode};
 use crate::ops::OpCount;
 
 /// An upper bucket boundary: admits `x ≤ value` (inclusive) or `x < value`
@@ -69,37 +70,26 @@ pub fn bucket_of<T: Copy + Ord>(bounds: &[SepBound<T>], x: &T, ops: &mut OpCount
     idx
 }
 
-/// Partitions `data` in place by a single bound: `[admitted | rejected]`,
-/// returning the number of admitted elements. Same scan discipline (and
-/// measured costs) as [`crate::partition_le`].
-fn partition_bound<T: Copy + Ord>(data: &mut [T], bound: SepBound<T>, ops: &mut OpCount) -> usize {
-    let mut i = 0usize;
-    let mut j = data.len();
-    loop {
-        while i < j {
-            ops.cmps += 1;
-            if bound.admits(&data[i]) {
-                i += 1;
-            } else {
-                break;
-            }
-        }
-        while i < j {
-            ops.cmps += 1;
-            if !bound.admits(&data[j - 1]) {
-                j -= 1;
-            } else {
-                break;
-            }
-        }
-        if i >= j {
-            return i;
-        }
-        data.swap(i, j - 1);
-        ops.moves += 3;
-        i += 1;
-        j -= 1;
+/// Number of comparisons [`bucket_of`] charges for one lookup among `len`
+/// sorted bounds. The standard library's `partition_point` runs a
+/// branchless size-halving bisection that probes exactly
+/// `⌈log₂ len⌉ + 1` times regardless of where the target lands (replayed
+/// here as the same size-halving loop), and `bucket_of` floors the charge
+/// at 1. This lets a batch merge charge exactly what the per-probe binary
+/// searches it replaces would have charged, without performing them. A
+/// grid test pins it against the real [`bucket_of`] so any change to the
+/// standard library's bisection schedule is caught immediately.
+pub fn bucket_search_cmps(len: usize) -> u64 {
+    let mut size = len;
+    let mut cmps = 0u64;
+    while size > 1 {
+        size -= size / 2;
+        cmps += 1;
     }
+    if len > 0 {
+        cmps += 1;
+    }
+    cmps.max(1)
 }
 
 /// Multiway in-place partition of `data` by strictly increasing `bounds`:
@@ -107,8 +97,12 @@ fn partition_bound<T: Copy + Ord>(data: &mut [T], bound: SepBound<T>, ops: &mut 
 ///
 /// Returns the bucket offsets — `bounds.len() + 2` entries, first `0`, last
 /// `data.len()`, non-decreasing (empty buckets are allowed, unlike the
-/// local [`crate::Buckets`] structure). Recursive halving over the bound
-/// vector: `O(n log B)` measured comparisons.
+/// local [`crate::Buckets`] structure). Iterative halving over the bound
+/// vector (an explicit worklist, safe for worker-thread stacks at any
+/// bound-set size): `O(n log B)` measured comparisons. Each halving step
+/// runs the branchless [`crate::partition_bound_kernel`] — or the scalar
+/// reference walk under [`crate::set_scalar_reference_mode`] — both of
+/// which charge identical measured costs.
 ///
 /// # Panics
 /// Panics (debug builds) if `bounds` is not strictly increasing.
@@ -120,29 +114,29 @@ pub fn partition_by_bounds<T: Copy + Ord>(
     debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
     let mut offsets = vec![0usize; bounds.len() + 2];
     *offsets.last_mut().expect("non-empty") = data.len();
-    rec(data, 0, bounds, 0, &mut offsets, ops);
-    offsets
-}
-
-fn rec<T: Copy + Ord>(
-    data: &mut [T],
-    base: usize,
-    bounds: &[SepBound<T>],
-    first_bucket: usize,
-    offsets: &mut [usize],
-    ops: &mut OpCount,
-) {
-    if bounds.is_empty() {
-        return;
+    let reference = scalar_reference_mode();
+    // Worklist entries (dlo, dhi, blo, bhi): partition data[dlo..dhi] by
+    // bounds[blo..bhi]. Children are pushed right-then-left so pops replay
+    // the old recursion's depth-first order exactly.
+    let mut work = vec![(0usize, data.len(), 0usize, bounds.len())];
+    while let Some((dlo, dhi, blo, bhi)) = work.pop() {
+        if blo == bhi {
+            continue;
+        }
+        let mid = blo + (bhi - blo) / 2;
+        let seg = &mut data[dlo..dhi];
+        let cut = if reference {
+            partition_bound_reference(seg, bounds[mid], ops)
+        } else {
+            partition_bound_kernel(seg, bounds[mid], ops)
+        };
+        // Everything in seg[..cut] falls at or below bounds[mid]; the
+        // bucket starting after bounds[mid] therefore begins at dlo + cut.
+        offsets[mid + 1] = dlo + cut;
+        work.push((dlo + cut, dhi, mid + 1, bhi));
+        work.push((dlo, dlo + cut, blo, mid));
     }
-    let mid = bounds.len() / 2;
-    let cut = partition_bound(data, bounds[mid], ops);
-    // Everything in data[..cut] falls at or below bounds[mid]; the bucket
-    // starting after bounds[mid] therefore begins at base + cut.
-    offsets[first_bucket + mid + 1] = base + cut;
-    let (lo, hi) = data.split_at_mut(cut);
-    rec(lo, base, &bounds[..mid], first_bucket, offsets, ops);
-    rec(hi, base + cut, &bounds[mid + 1..], first_bucket + mid + 1, offsets, ops);
+    offsets
 }
 
 #[cfg(test)]
@@ -208,6 +202,58 @@ mod tests {
         b.sort_unstable();
         assert_eq!(a, b);
         assert!(ops.cmps > 0);
+    }
+
+    #[test]
+    fn bucket_search_cmps_matches_bucket_of_charges() {
+        // Pin the integer replay against the real binary search over every
+        // (bound count, landing bucket) pair on a grid — if the standard
+        // library ever changes its bisection schedule, this fails loudly.
+        for len in 0..=33usize {
+            let bounds: Vec<SepBound<u64>> =
+                (0..len as u64).map(|i| SepBound::le(10 * i)).collect();
+            for bucket in 0..=len {
+                let x = if bucket == 0 { 0 } else { 10 * (bucket as u64 - 1) + 5 };
+                let mut ops = OpCount::new();
+                assert_eq!(bucket_of(&bounds, &x, &mut ops), bucket);
+                assert_eq!(ops.cmps, bucket_search_cmps(len), "len={len} bucket={bucket}");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_and_kernel_partitions_agree() {
+        let bounds: Vec<SepBound<u64>> =
+            vec![SepBound::le(100), SepBound::lt(300), SepBound::le(300), SepBound::le(550)];
+        let mut rng = crate::KernelRng::new(42);
+        let data: Vec<u64> = (0..700).map(|_| rng.next_u64() % 800).collect();
+        let mut kernel = data.clone();
+        let mut reference = data;
+        let mut ops_k = OpCount::new();
+        let mut ops_r = OpCount::new();
+        let off_k = partition_by_bounds(&mut kernel, &bounds, &mut ops_k);
+        crate::set_scalar_reference_mode(true);
+        let off_r = partition_by_bounds(&mut reference, &bounds, &mut ops_r);
+        crate::set_scalar_reference_mode(false);
+        assert_eq!(off_k, off_r);
+        assert_eq!(kernel, reference, "same permutation either way");
+        assert_eq!(ops_k, ops_r, "same measured charges either way");
+    }
+
+    #[test]
+    fn degenerate_bound_chain_runs_iteratively() {
+        // A strictly increasing bound per key value — the worklist must
+        // handle arbitrarily large bound sets without deep native stacks.
+        let n = 1usize << 14;
+        let bounds: Vec<SepBound<u64>> = (0..n as u64).map(SepBound::le).collect();
+        let mut data: Vec<u64> = (0..n as u64).rev().collect();
+        let mut ops = OpCount::new();
+        let off = partition_by_bounds(&mut data, &bounds, &mut ops);
+        assert_eq!(off.len(), n + 2);
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u64);
+            assert_eq!((off[i], off[i + 1]), (i, i + 1));
+        }
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! Iteration count: `CRITERION_SHIM_ITERS` env var if set; otherwise 1 when
 //! invoked with `--test` (what `cargo test` passes to `harness = false`
 //! targets), else 10.
+//!
+//! **Registry swap note.** Mirrors `criterion` 0.5: `Criterion`,
+//! `benchmark_group`, `bench_with_input`/`bench_function`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. The
+//! real crate is a drop-in at these call sites and upgrades the output to
+//! full statistical analysis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,14 +5,63 @@
 //! `cgselect-engine` actually use: unbounded and bounded MPSC channels with
 //! cloneable senders, timeout-aware receives, non-blocking `try_send`
 //! (admission control for the engine's submission queue) and disconnect
-//! detection. It is implemented on `std::sync` primitives
-//! (`Mutex` + `Condvar`); semantics match `crossbeam-channel` for this
-//! surface, throughput is merely adequate (the runtime's virtual processors
-//! block on `recv_timeout`, so the channel is never the bottleneck in the
-//! modeled-time experiments).
+//! detection, plus scoped thread spawning for the engine's parallel
+//! intra-shard scans. It is implemented on `std::sync`/`std::thread`
+//! primitives; throughput is merely adequate (the runtime's virtual
+//! processors block on `recv_timeout`, so the channel is never the
+//! bottleneck in the modeled-time experiments).
+//!
+//! **Registry swap note.** [`channel`] mirrors `crossbeam-channel` 0.5
+//! (`crossbeam::channel`): `unbounded`/`bounded` constructors, the
+//! `Sender`/`Receiver` methods used here, and the same error enums.
+//! [`thread`] mirrors `crossbeam-utils` 0.8's `thread::scope`
+//! (`crossbeam::thread::scope`): same `scope(|s| …) -> Result<R>` shape,
+//! implemented on `std::thread::scope` (one documented difference: a
+//! panicking child propagates at join instead of surfacing as `Err`).
+//! When a registry is reachable, point `[workspace.dependencies]` at the
+//! real crates and delete this shim.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Scoped threads: spawn borrowing workers that are guaranteed joined when
+/// the scope closes. Mirrors `crossbeam::thread::scope`, delegating to
+/// `std::thread::scope` (std has offered the same structured-concurrency
+/// shape since 1.63).
+pub mod thread {
+    /// Runs `f` with a scope in which borrowed threads can be spawned; all
+    /// spawned threads are joined before `scope` returns.
+    ///
+    /// Matches `crossbeam_utils::thread::scope`'s `Result`-returning shape
+    /// so call sites survive the eventual registry swap unchanged. One
+    /// documented semantic difference: under `std::thread::scope` a panic
+    /// in an unjoined child re-raises in the parent at scope exit, so this
+    /// shim never actually returns `Err` — real crossbeam would instead
+    /// yield `Err` carrying the panic payloads.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let mut partials = vec![0u64; 2];
+            let ok = super::scope(|s| {
+                let (lo, hi) = data.split_at(2);
+                let (p0, p1) = partials.split_at_mut(1);
+                s.spawn(move || p0[0] = lo.iter().sum());
+                s.spawn(move || p1[0] = hi.iter().sum());
+            });
+            assert!(ok.is_ok());
+            assert_eq!(partials, vec![3, 7]);
+        }
+    }
+}
 
 /// Multi-producer single-consumer unbounded and bounded channels.
 pub mod channel {

@@ -14,6 +14,12 @@
 //!   failures reproduce exactly across runs and machines;
 //! * rejection sampling (`prop_filter` / `prop_assume!`) retries the whole
 //!   case, with a global cap.
+//!
+//! **Registry swap note.** Mirrors `proptest` 1.x: the `proptest!` macro
+//! with `#![proptest_config(ProptestConfig { cases, .. })]`, `any::<T>()`,
+//! range strategies, `collection::vec`, `sample::select`,
+//! `prop_map`/`prop_filter`, and `prop_assert*`/`prop_assume!`. The real
+//! crate is a drop-in at these call sites and adds shrinking for free.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -10,6 +10,12 @@
 //! Determinism contract: the exact output stream is part of this shim, so
 //! workload generation stays reproducible in `(distribution, n, p, seed)`
 //! as `cgselect-workloads` promises.
+//!
+//! **Registry swap note.** Mirrors `rand` 0.9: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::random`/`random_range`. Swapping in
+//! the real crate changes the generated streams (real `StdRng` is ChaCha12,
+//! not xoshiro256**), so seed-pinned experiment fixtures must be
+//! regenerated at that point.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
