@@ -32,14 +32,25 @@
 //! (host-served fraction, max rank error, rounds/query) that
 //! `SloPolicy` gates in CI.
 //!
+//! **Experiment 5 — the ε-sketch serving rung**
+//! (`results/engine_sketch.{csv,txt}`): a mixed million-request stream
+//! (full mode) that is overwhelmingly `WithinRank`-tolerant, over data
+//! whose values equal their ranks so every answer's true error is
+//! directly observable. Measures the fraction of the tolerant stream
+//! served from the host-global deterministic sketch, pins the sketch
+//! rung's attributed collective cost to zero, and checks every sketch
+//! answer's *measured* error against the *guarantee* it reported.
+//!
 //! Pass `--quick` for a reduced grid. Pass `--check` to exit non-zero
 //! unless the indexed engine uses no more collective ops/query than the
 //! baseline on both workloads *and* at least 2× fewer on the
 //! repeated-quantile workload, the mixed v2 workload batches at least 2×
 //! fewer ops/query than per-query execution with ChannelMp round-parity,
-//! the histogram-warm inverse stream costs zero collectives, and the
-//! observability twin-run and SLO thresholds above hold — the CI
-//! perf-smoke regression guard.
+//! the histogram-warm inverse stream costs zero collectives, the
+//! observability twin-run and SLO thresholds above hold, and the sketch
+//! rung serves >= 90% of the tolerant stream at zero collectives with
+//! measured error within every reported guarantee — the CI perf-smoke
+//! regression guard.
 
 use std::time::Instant;
 
@@ -674,6 +685,7 @@ fn obs_experiment(quick: bool, dir: &std::path::Path) -> bool {
         // The CI contract: thresholds the steady-state engine must hold.
         let policy = SloPolicy {
             min_host_served_fraction: 0.25,
+            min_sketch_served_fraction: 0.0, // this stream has no tolerant queries
             max_rank_error: 0,
             max_rounds_per_query: 16.0,
         };
@@ -695,7 +707,176 @@ fn obs_experiment(quick: bool, dir: &std::path::Path) -> bool {
         &dir.join("engine_slo.txt"),
         &format!(
             "SLO report: twin-run (observed vs unobserved) engine, n = {n}, p = {p}\n\
-             policy: host_served >= 0.25, max_rank_error = 0, rounds_per_query <= 16\n\n{}\n",
+             policy: host_served >= 0.25, sketch_served >= 0 (no tolerant queries in this\n\
+             stream), max_rank_error = 0, rounds_per_query <= 16\n\n{}\n",
+            lines.join("\n")
+        ),
+    );
+    ok
+}
+
+/// Experiment 5: the deterministic ε-sketch serving rung under a
+/// tolerant-dominated mixed stream.
+fn sketch_experiment(quick: bool, dir: &std::path::Path) -> bool {
+    let p = 8;
+    let n: usize = if quick { 1 << 17 } else { 1 << 20 };
+    let tol = 0.01;
+    // Distinct values equal to their ranks: the true rank of any answered
+    // element — and the true count below any probe — is the value itself,
+    // so the measured error of every sketch answer is directly observable.
+    let data: Vec<u64> = (0..n as u64).rev().collect();
+    let total = n as u64;
+    let batch_count: usize = if quick { 200 } else { 10_000 };
+    let per_batch = 100u64;
+    let budget = (tol * total as f64).ceil() as u64;
+
+    let mut rows = Vec::new();
+    let mut lines = Vec::new();
+    let mut ok = true;
+    for backend in [BackendChoice::LocalSpmd, BackendChoice::ChannelMp(ChannelMpTuning::default())]
+    {
+        // Capacity 4096 keeps the count guarantee comfortably inside the
+        // two-probe range-count budget at n = 2^20.
+        let mut engine: Engine<u64> =
+            Engine::new(EngineConfig::new(p).backend(backend).sketch_capacity(4096))
+                .expect("engine start");
+        engine.ingest(data.clone()).expect("ingest");
+        let kind = engine.backend_kind();
+
+        let mut slo = SloAccumulator::new();
+        let mut tolerant = 0u64;
+        let mut sketch_served = 0u64;
+        let mut sketch_cost = 0.0f64;
+        let mut max_guarantee = 0u64;
+        let mut max_measured = 0u64;
+        let mut violations = 0u64;
+        let wall0 = Instant::now();
+        for b in 0..batch_count as u64 {
+            let mut requests: Vec<Request<u64>> = Vec::with_capacity(per_batch as usize);
+            // The exact oracle for each tolerant request (None = exact
+            // minority request, not part of the sketch measurement).
+            let mut truths: Vec<Option<u64>> = Vec::with_capacity(per_batch as usize);
+            for i in 0..per_batch {
+                let x = (b.wrapping_mul(104_729) + i.wrapping_mul(7919)) % total;
+                if b % 10 == 0 && i < 10 {
+                    // The exact minority (~1% of the stream): keeps the
+                    // stream mixed and the backend path exercised.
+                    requests.push(Request::rank(x));
+                    truths.push(None);
+                    continue;
+                }
+                tolerant += 1;
+                match i % 3 {
+                    0 => {
+                        let q = (x % 1000) as f64 / 999.0;
+                        requests.push(Request::<u64>::quantile(q).within_rank(tol));
+                        truths.push(Some(cgselect_engine::quantile_rank(q, total)));
+                    }
+                    1 => {
+                        requests.push(Request::rank_of(x).within_rank(tol));
+                        truths.push(Some(x));
+                    }
+                    _ => {
+                        let lo = x.min(total - 1);
+                        let hi = (lo + total / 50).min(total - 1);
+                        requests
+                            .push(Request::count_between(Bounds::closed(lo, hi)).within_rank(tol));
+                        truths.push(Some(hi - lo + 1));
+                    }
+                }
+            }
+            let report = engine.run(&requests).expect("run");
+            slo.observe(&report);
+            for (outcome, truth) in report.outcomes.iter().zip(&truths) {
+                let Some(truth) = *truth else { continue };
+                if outcome.served != Served::Sketch {
+                    continue;
+                }
+                sketch_served += 1;
+                sketch_cost += outcome.cost.collective_ops;
+                let guarantee = outcome.response.max_error();
+                let answer = outcome
+                    .response
+                    .element()
+                    .or_else(|| outcome.response.count())
+                    .expect("sketch answers carry a value or a count");
+                let measured = answer.abs_diff(truth);
+                max_guarantee = max_guarantee.max(guarantee);
+                max_measured = max_measured.max(measured);
+                if measured > guarantee || guarantee > budget {
+                    violations += 1;
+                }
+            }
+        }
+        let wall = wall0.elapsed().as_secs_f64();
+        let report = slo.report();
+        let frac = sketch_served as f64 / tolerant.max(1) as f64;
+
+        let line = format!(
+            "{kind} {} | tolerant {tolerant}, sketch-served {sketch_served} ({:.4}), \
+             max measured error {max_measured} <= max guarantee {max_guarantee} \
+             (budget {budget}), wall {wall:.3}s",
+            report.render_line(),
+            frac
+        );
+        println!("{line}");
+        lines.push(line);
+        rows.push(format!(
+            "{kind},{n},{p},{},{tolerant},{sketch_served},{:.6},{max_guarantee},{max_measured},\
+             {violations},{},{:.6},{:.6}",
+            report.queries, frac, report.max_rank_error, report.rounds_per_query, wall,
+        ));
+
+        // The regression guard CI asserts on.
+        if frac < 0.9 {
+            eprintln!(
+                "SKETCH REGRESSION ({kind}): only {:.4} of the tolerant stream rode the \
+                 sketch rung (floor 0.9)",
+                frac
+            );
+            ok = false;
+        }
+        if violations > 0 {
+            eprintln!(
+                "SKETCH REGRESSION ({kind}): {violations} answers exceeded their reported \
+                 guarantee (or a guarantee exceeded the {budget} budget)"
+            );
+            ok = false;
+        }
+        if sketch_cost != 0.0 {
+            eprintln!(
+                "SKETCH REGRESSION ({kind}): sketch-served answers were attributed \
+                 {sketch_cost} collective ops, expected 0"
+            );
+            ok = false;
+        }
+        let policy = SloPolicy {
+            min_host_served_fraction: 0.9,
+            min_sketch_served_fraction: 0.85,
+            max_rank_error: budget,
+            max_rounds_per_query: 4.0,
+        };
+        for v in policy.evaluate(&report) {
+            eprintln!("SKETCH SLO REGRESSION ({kind}): {v}");
+            ok = false;
+        }
+    }
+
+    write_csv(
+        &dir.join("engine_sketch.csv"),
+        "backend,n,p,queries,tolerant,sketch_served,sketch_fraction,max_guarantee,\
+         max_measured_error,violations,slo_max_rank_error,rounds_per_query,wall_s",
+        &rows,
+    );
+    write_text(
+        &dir.join("engine_sketch.txt"),
+        &format!(
+            "Deterministic ε-sketch serving rung: tolerant-dominated mixed stream\n\
+             (n = {n}, p = {p}, values equal ranks so measured error is exact;\n\
+             tolerance {tol} -> rank budget {budget}; sketch capacity 4096;\n\
+             policy: host_served >= 0.9, sketch_served >= 0.85, max_rank_error <= budget,\n\
+             rounds_per_query <= 4; gate: sketch serves >= 90% of the tolerant stream at\n\
+             zero attributed collectives, every measured error within its guarantee)\n\n{}\n",
             lines.join("\n")
         ),
     );
@@ -709,12 +890,13 @@ fn main() {
     let index_ok = index_experiment(quick, &dir);
     let v2_ok = api_v2_experiment(quick, &dir);
     let obs_ok = obs_experiment(quick, &dir);
+    let sketch_ok = sketch_experiment(quick, &dir);
     println!(
         "engine -> {}/engine.{{csv,txt}} + engine_indexed.{{csv,txt}} + engine_api_v2.{{csv,txt}} \
-         + engine_slo.txt",
+         + engine_slo.txt + engine_sketch.{{csv,txt}}",
         dir.display()
     );
-    if check_mode() && !(index_ok && v2_ok && obs_ok) {
+    if check_mode() && !(index_ok && v2_ok && obs_ok && sketch_ok) {
         std::process::exit(1);
     }
     if check_mode() {
@@ -722,8 +904,9 @@ fn main() {
             "perf smoke: indexed engine within bounds (distinct <= baseline, repeated >= 2x), \
              v2 mixed-kind batching >= 2x with zero-collective warm inverse serving, \
              ChannelMp and SocketMp collective-round counts equal LocalSpmd's, \
-             observability zero-cost (identical answers, rounds and makespan) and SLO \
-             thresholds held"
+             observability zero-cost (identical answers, rounds and makespan), SLO \
+             thresholds held, and the sketch rung served >= 90% of the tolerant stream \
+             at zero collectives within every reported guarantee"
         );
     }
 }

@@ -311,6 +311,11 @@ impl<T: Key> ExecBackend<T> for ChannelMp<T> {
         let payloads = self.round_trip(self.broadcast_frames(protocol::encode_execute(plan)))?;
         self.decode_all(payloads, protocol::decode_outcome::<T>)
     }
+
+    fn export_sketches(&mut self) -> Result<Vec<crate::sketch::EpsSketch<T>>, BackendError> {
+        let payloads = self.round_trip(self.broadcast_frames(protocol::encode_export_sketch()))?;
+        self.decode_all(payloads, protocol::decode_sketch_reply::<T>)
+    }
 }
 
 impl<T: Key> Drop for ChannelMp<T> {
@@ -340,8 +345,7 @@ fn worker_loop<T: Key>(
     replies: Sender<Vec<u8>>,
 ) {
     let rank = init.cfg.rank;
-    let mut shard: Shard<T> =
-        ops::init_shard(rank, init.cfg.sketch_capacity, init.cfg.selection.seed);
+    let mut shard: Shard<T> = ops::init_shard(init.cfg.sketch_capacity);
     let slow_delay = init.faults.iter().find_map(|f| match f {
         Fault::SlowShard { rank: r, delay } if *r == rank => Some(*delay),
         _ => None,

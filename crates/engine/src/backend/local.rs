@@ -33,9 +33,8 @@ impl<T: Key> LocalSpmd<T> {
     pub(crate) fn start(cfg: &EngineConfig) -> Result<Self, BackendError> {
         let mut session = Session::with_model(cfg.nprocs, cfg.model);
         let capacity = cfg.sketch_capacity;
-        let seed = cfg.selection.seed;
-        session.run(move |proc, store| {
-            store.insert(ops::init_shard::<T>(proc.rank(), capacity, seed));
+        session.run(move |_proc, store| {
+            store.insert(ops::init_shard::<T>(capacity));
         })?;
         Ok(LocalSpmd {
             session,
@@ -114,5 +113,9 @@ impl<T: Key> ExecBackend<T> for LocalSpmd<T> {
         Ok(self.session.run(move |proc, store| {
             ops::execute_shard(proc, Self::shard_mut(store), &plan, scan_threads)
         })?)
+    }
+
+    fn export_sketches(&mut self) -> Result<Vec<crate::sketch::EpsSketch<T>>, BackendError> {
+        Ok(self.session.run(move |_proc, store| Self::shard_mut(store).sketch.clone())?)
     }
 }

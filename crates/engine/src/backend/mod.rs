@@ -234,10 +234,6 @@ pub struct BatchPlan<T> {
     /// resolved by ONE vectorized `count_below` Combine round for all of
     /// them together, no matter how many (sorted, distinct).
     pub value_probes: Arc<Vec<(T, bool)>>,
-    /// Target ranks served from the resident sketches (forward direction).
-    pub sketch_targets: Arc<Vec<u64>>,
-    /// Value probes served from the resident sketches (inverse direction).
-    pub sketch_probes: Arc<Vec<(T, bool)>>,
     /// Selection tuning with the per-batch pivot seed already folded in.
     pub selection: SelectionConfig,
     /// Whether the shards hold a bucket index this batch executes through.
@@ -262,7 +258,9 @@ pub struct PhaseOps {
     pub probes: u64,
     /// The exact multi-select pass (localization, recursion, refinement).
     pub exact: u64,
-    /// The sketch gather serving approximate queries (both directions).
+    /// The sketch phase — pinned at zero since sketch contracts are served
+    /// host-side off the global ε-sketch; kept so the span schema (and the
+    /// per-query [`crate::CostAttribution`] shape) stays stable.
     pub sketch: u64,
 }
 
@@ -279,10 +277,6 @@ pub struct ShardBatchOutcome<T> {
     /// **Global** prefix counts for [`BatchPlan::value_probes`], in order
     /// (already Combined — identical on every rank).
     pub probe_counts: Vec<u64>,
-    /// Sketch estimates for [`BatchPlan::sketch_targets`], in order.
-    pub sketch_values: Vec<T>,
-    /// Sketch rank estimates for [`BatchPlan::sketch_probes`], in order.
-    pub sketch_ranks: Vec<u64>,
     /// Collective-op deltas per execution phase.
     pub phase_ops: PhaseOps,
     /// Communication this shard moved during the batch (a
@@ -354,6 +348,12 @@ pub trait ExecBackend<T: Key>: Send {
     /// vectorized `count_below` probe round) and returns each shard's
     /// outcome.
     fn execute(&mut self, plan: &BatchPlan<T>) -> Result<Vec<ShardBatchOutcome<T>>, BackendError>;
+
+    /// Exports each shard's resident ε-sketch, indexed by rank. The host
+    /// merges them ([`crate::EpsSketch::merge`] is closed under the error
+    /// bound) to rebuild its global sketch after operations that change
+    /// the multiset outside ingest (delete, crash recovery).
+    fn export_sketches(&mut self) -> Result<Vec<crate::sketch::EpsSketch<T>>, BackendError>;
 
     // --- Dynamic membership (optional capability) ---------------------
     //

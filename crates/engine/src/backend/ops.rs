@@ -22,7 +22,7 @@ use crate::index::{
     ShardIndex,
 };
 use crate::obs::{Phase, PhaseSpan};
-use crate::sketch::ReservoirSketch;
+use crate::sketch::EpsSketch;
 
 use super::{BatchPlan, PhaseOps, ShardBatchOutcome, ShardDeletion};
 
@@ -32,19 +32,15 @@ use super::{BatchPlan, PhaseOps, ShardBatchOutcome, ShardDeletion};
 /// worker thread for [`super::ChannelMp`].
 pub(crate) struct Shard<T> {
     pub(crate) data: Vec<T>,
-    pub(crate) sketch: ReservoirSketch<T>,
+    pub(crate) sketch: EpsSketch<T>,
     pub(crate) index: Option<ShardIndex<T>>,
 }
 
-/// The empty shard every backend installs at construction; the sketch seed
-/// is decorrelated per rank exactly as the pre-backend engine did it.
-pub(crate) fn init_shard<T: Key>(rank: usize, sketch_capacity: usize, seed: u64) -> Shard<T> {
-    let shard_seed = seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    Shard {
-        data: Vec::new(),
-        sketch: ReservoirSketch::new(sketch_capacity, shard_seed),
-        index: None,
-    }
+/// The empty shard every backend installs at construction. The sketch is
+/// deterministic (no RNG), so every rank builds an identical empty state —
+/// no per-rank seed decorrelation needed anymore.
+pub(crate) fn init_shard<T: Key>(sketch_capacity: usize) -> Shard<T> {
+    Shard { data: Vec::new(), sketch: EpsSketch::new(sketch_capacity), index: None }
 }
 
 /// Ingest: appends this shard's chunk past the indexed prefix (so the new
@@ -154,15 +150,16 @@ pub(crate) fn build_index_shard<T: Key>(
     shard: &mut Shard<T>,
     nb: usize,
 ) -> BucketStats<T> {
-    // Sample source: the resident sketch (maintained on ingest); a strided
-    // data sample when sketches are disabled.
-    let samples: Vec<T> = if shard.sketch.samples().is_empty() {
-        let want = (4 * nb).max(1);
+    // Sample source: evenly rank-spaced quantile points drawn from the
+    // resident ε-sketch (maintained on ingest), so the pooled splitters
+    // inherit the sketch's deterministic rank spread; a strided data
+    // sample when sketches are disabled.
+    let want = (4 * nb).max(1);
+    let mut samples: Vec<T> = shard.sketch.quantile_points(want);
+    if samples.is_empty() {
         let stride = (shard.data.len() / want).max(1);
-        shard.data.iter().copied().step_by(stride).take(want).collect()
-    } else {
-        shard.sketch.samples().to_vec()
-    };
+        samples = shard.data.iter().copied().step_by(stride).take(want).collect();
+    }
     proc.charge_ops(samples.len() as u64);
     let mut pool: Vec<T> = proc.all_gatherv(samples).into_iter().flatten().collect();
     let m = pool.len() as u64;
@@ -330,8 +327,10 @@ fn count_probes_shard<T: Key>(
 
 /// Batch execution: the whole per-shard half of [`crate::Engine::run`]
 /// — the vectorized value-probe Combine, delta localization, borrowed
-/// candidate windows, the lockstep multi-select, answer refinement, and
-/// the sketch-served estimates (both directions). The measured
+/// candidate windows, the lockstep multi-select, and answer refinement.
+/// (Sketch-served answers are computed host-side off the global ε-sketch
+/// and never reach the backend; the sketch phase bracket survives only so
+/// the span schema stays stable, always at zero collectives.) The measured
 /// [`cgselect_runtime::CommStats`] delta, per-phase collective-op deltas
 /// and virtual-time makespan come back in the outcome.
 pub(crate) fn execute_shard<T: Key>(
@@ -484,35 +483,11 @@ pub(crate) fn execute_shard<T: Key>(
     let t_after_exact = proc.now();
     let ops_after_exact = comm_after_exact.collective_ops;
 
+    // Sketch-contract answers moved host-side (global ε-sketch, zero
+    // collectives); the phase bracket stays so span-schema consumers see
+    // the same three phases, with the sketch span pinned at zero ops.
     if observe {
         proc.phase_begin(Phase::Sketch.as_str());
-    }
-    let mut sketch_values: Vec<T> = Vec::new();
-    let mut sketch_ranks: Vec<u64> = Vec::new();
-    if !plan.sketch_targets.is_empty() || !plan.sketch_probes.is_empty() {
-        // The approximate path moves only the sketches: every rank
-        // learns all reservoirs + populations and computes the
-        // same deterministic estimates — forward (rank → element)
-        // and inverse (value → rank) off the same single gather.
-        let samples = proc.all_gatherv(shard.sketch.samples().to_vec());
-        let pops = proc.all_gather(shard.sketch.population());
-        let merged: Vec<(Vec<T>, u64)> = samples.into_iter().zip(pops).collect();
-        let sample_count: u64 = merged.iter().map(|(s, _)| s.len() as u64).sum();
-        proc.charge_ops(sample_count * (1 + sample_count.max(2).ilog2() as u64));
-        sketch_values = plan
-            .sketch_targets
-            .iter()
-            .map(|&target| crate::sketch::estimate_rank(&merged, target))
-            .collect();
-        sketch_ranks = plan
-            .sketch_probes
-            .iter()
-            .map(|&(v, inclusive)| {
-                crate::sketch::estimate_rank_of(&merged, v, inclusive).min(plan.full_total)
-            })
-            .collect();
-    }
-    if observe {
         proc.phase_end(Phase::Sketch.as_str());
     }
 
@@ -545,8 +520,6 @@ pub(crate) fn execute_shard<T: Key>(
         exact,
         refines,
         probe_counts,
-        sketch_values,
-        sketch_ranks,
         phase_ops: PhaseOps {
             probes: ops_after_probes - base,
             exact: ops_after_exact - ops_after_probes,

@@ -57,6 +57,7 @@ pub(crate) const CMD_REBALANCE: u8 = 3;
 pub(crate) const CMD_BUILD_INDEX: u8 = 4;
 pub(crate) const CMD_MERGE_DELTA: u8 = 5;
 pub(crate) const CMD_EXECUTE: u8 = 6;
+pub(crate) const CMD_EXPORT_SKETCH: u8 = 7;
 pub(crate) const CMD_FABRIC_BIND: u8 = 16;
 pub(crate) const CMD_FABRIC_CONNECT: u8 = 17;
 pub(crate) const CMD_EXPORT: u8 = 18;
@@ -213,6 +214,23 @@ pub(crate) fn encode_build_index(buckets: usize) -> Vec<u8> {
     w.into_frame()
 }
 
+pub(crate) fn encode_export_sketch() -> Vec<u8> {
+    Writer::new(CMD_EXPORT_SKETCH).into_frame()
+}
+
+pub(crate) fn decode_sketch_reply<T: Key>(
+    rank: usize,
+    body: &[u8],
+) -> Result<crate::sketch::EpsSketch<T>, BackendError> {
+    (|| {
+        let mut r = Reader::new(body);
+        let sketch = r.eps_sketch::<T>()?;
+        r.finish()?;
+        Ok(sketch)
+    })()
+    .map_err(|e| wire_protocol_error(rank, e))
+}
+
 pub(crate) fn decode_u64_reply(rank: usize, body: &[u8]) -> Result<u64, BackendError> {
     (|| {
         let mut r = Reader::new(body);
@@ -262,8 +280,6 @@ pub(crate) fn encode_execute<T: Key>(plan: &BatchPlan<T>) -> Vec<u8> {
     w.u64(plan.delta_total);
     w.rank_set(&plan.exact_ranks);
     w.probes(&plan.value_probes);
-    w.u64s(&plan.sketch_targets);
-    w.probes(&plan.sketch_probes);
     w.usize(plan.groups.len());
     for g in plan.groups.iter() {
         w.group(g);
@@ -283,8 +299,6 @@ pub(crate) fn decode_execute<T: Key>(
     let delta_total = r.u64()?;
     let exact_ranks = r.rank_set()?;
     let value_probes = r.probes::<T>()?;
-    let sketch_targets = r.u64s()?;
-    let sketch_probes = r.probes::<T>()?;
     let group_count = r.usize()?;
     let groups = (0..group_count).map(|_| r.group()).collect::<WireResult<_>>()?;
     let trace = r.trace_context()?;
@@ -292,8 +306,6 @@ pub(crate) fn decode_execute<T: Key>(
         groups: std::sync::Arc::new(groups),
         exact_ranks: std::sync::Arc::new(exact_ranks),
         value_probes: std::sync::Arc::new(value_probes),
-        sketch_targets: std::sync::Arc::new(sketch_targets),
-        sketch_probes: std::sync::Arc::new(sketch_probes),
         selection,
         use_index,
         full_total,
@@ -312,8 +324,6 @@ pub(crate) fn encode_outcome<T: Key>(w: &mut Writer, o: &ShardBatchOutcome<T>) {
         w.bucket_stats(stats);
     }
     w.u64s(&o.probe_counts);
-    w.keys(&o.sketch_values);
-    w.u64s(&o.sketch_ranks);
     w.u64(o.phase_ops.probes);
     w.u64(o.phase_ops.exact);
     w.u64(o.phase_ops.sketch);
@@ -333,24 +343,12 @@ pub(crate) fn decode_outcome<T: Key>(
         let refines_len = r.usize()?;
         let refines = (0..refines_len).map(|_| r.bucket_stats::<T>()).collect::<WireResult<_>>()?;
         let probe_counts = r.u64s()?;
-        let sketch_values = r.keys::<T>()?;
-        let sketch_ranks = r.u64s()?;
         let phase_ops = PhaseOps { probes: r.u64()?, exact: r.u64()?, sketch: r.u64()? };
         let comm = r.comm_stats()?;
         let elapsed = r.f64()?;
         let spans = r.phase_spans()?;
         r.finish()?;
-        Ok(ShardBatchOutcome {
-            exact,
-            refines,
-            probe_counts,
-            sketch_values,
-            sketch_ranks,
-            phase_ops,
-            comm,
-            elapsed,
-            spans,
-        })
+        Ok(ShardBatchOutcome { exact, refines, probe_counts, phase_ops, comm, elapsed, spans })
     })()
     .map_err(|e| wire_protocol_error(rank, e))
 }
@@ -404,6 +402,12 @@ pub(crate) fn run_command<T: Key>(
         Some(CMD_MERGE_DELTA) => {
             r.finish().map_err(wire)?;
             w.bucket_stats(&ops::merge_delta_shard(proc, shard));
+        }
+        Some(CMD_EXPORT_SKETCH) => {
+            // Pure local read: the shard ships its ε-sketch bytes and no
+            // collective fires — the host merges exports by itself.
+            r.finish().map_err(wire)?;
+            w.eps_sketch(&shard.sketch);
         }
         Some(CMD_EXECUTE) => {
             let plan = decode_execute::<T>(&mut r, &cfg.selection).map_err(wire)?;

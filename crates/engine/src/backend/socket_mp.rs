@@ -24,13 +24,15 @@
 //! shard membership a runtime operation:
 //!
 //! * [`SocketMp::replace_worker`] — bucket-granular **shard migration**:
-//!   export the shard's full state (data, bucket runs, sketch with its RNG
-//!   mid-stream), spawn a fresh process, import the snapshot exactly, splice
-//!   the newcomer into the fabric and retire the old process. The shard is
-//!   bit-identical after the move, so the host's cached histogram stays
-//!   warm.
+//!   export the shard's full state (data, bucket runs, the deterministic
+//!   ε-sketch mid-stream), spawn a fresh process, import the snapshot
+//!   exactly, splice the newcomer into the fabric and retire the old
+//!   process. The shard is bit-identical after the move, so the host's
+//!   cached histogram stays warm.
 //! * [`SocketMp::join_worker`] / [`SocketMp::retire_worker`] — grow or
-//!   shrink the ring; a retiring shard's data merges into a survivor.
+//!   shrink the ring; a retiring shard's data merges into a survivor, and
+//!   its ε-sketch merges too ([`EpsSketch::merge`] is closed under the
+//!   error bound, so the union sketch keeps a provable guarantee).
 //! * [`SocketMp::recover`] — "detect, re-shard, keep serving": ping every
 //!   worker, respawn the dead ones empty, reset the survivors' indexes,
 //!   rebuild the fabric and clear the poison so the engine serves again
@@ -61,7 +63,7 @@ use cgselect_seqsel::{LocalKernel, SepBound};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::index::{BucketStats, ShardIndex};
-use crate::sketch::ReservoirSketch;
+use crate::sketch::EpsSketch;
 use crate::EngineConfig;
 
 use super::ops::{self, Shard};
@@ -363,11 +365,9 @@ fn encode_snapshot<T: Key>(w: &mut Writer, shard: &Shard<T>) {
         }
         None => w.bool(false),
     }
-    let (capacity, seen, samples, rng_state) = shard.sketch.snapshot();
-    w.usize(capacity);
-    w.u64(seen);
-    w.keys(&samples);
-    w.u64(rng_state);
+    // The ε-sketch rides its canonical byte encoding mid-stream: the
+    // restored sketch is bit-identical, accumulated error bound included.
+    w.eps_sketch(&shard.sketch);
 }
 
 fn decode_snapshot<T: Key>(r: &mut Reader<'_>) -> WireResult<Shard<T>> {
@@ -383,23 +383,18 @@ fn decode_snapshot<T: Key>(r: &mut Reader<'_>) -> WireResult<Shard<T>> {
     } else {
         None
     };
-    let capacity = r.usize()?;
-    let seen = r.u64()?;
-    let samples = r.keys::<T>()?;
-    let rng_state = r.u64()?;
-    Ok(Shard { data, index, sketch: ReservoirSketch::restore(capacity, seen, samples, rng_state) })
+    let sketch = r.eps_sketch::<T>()?;
+    Ok(Shard { data, index, sketch })
 }
 
-/// The empty snapshot used to *reset* a surviving shard's index and sketch
-/// during [`SocketMp::recover`] (import in merge mode with nothing to add).
+/// The empty snapshot used to *reset* a surviving shard's index during
+/// [`SocketMp::recover`] (import in merge mode with nothing to add; merging
+/// an empty ε-sketch is the identity, so the survivor's sketch — still a
+/// valid summary of its unchanged multiset — is kept as is).
 fn empty_snapshot_import<T: Key>() -> Vec<u8> {
     let mut w = Writer::new(CMD_IMPORT);
     w.u8(1); // merge mode
-    let empty: Shard<T> = Shard {
-        data: Vec::new(),
-        index: None,
-        sketch: ReservoirSketch::restore(0, 0, Vec::new(), 0),
-    };
+    let empty: Shard<T> = Shard { data: Vec::new(), index: None, sketch: EpsSketch::new(0) };
     encode_snapshot(&mut w, &empty);
     w.into_frame()
 }
@@ -744,6 +739,11 @@ impl<T: Key> ExecBackend<T> for SocketMp<T> {
         self.decode_all(payloads, protocol::decode_outcome::<T>)
     }
 
+    fn export_sketches(&mut self) -> Result<Vec<crate::sketch::EpsSketch<T>>, BackendError> {
+        let payloads = self.round_trip(self.broadcast_frames(protocol::encode_export_sketch()))?;
+        self.decode_all(payloads, protocol::decode_sketch_reply::<T>)
+    }
+
     fn supports_membership(&self) -> bool {
         true
     }
@@ -754,8 +754,8 @@ impl<T: Key> ExecBackend<T> for SocketMp<T> {
 
     fn replace_worker(&mut self, rank: usize) -> Result<Vec<u64>, BackendError> {
         assert!(rank < self.workers.len(), "shard {rank} out of range");
-        // Export the shard's full state: data, bucket runs, sketch with its
-        // RNG stream captured mid-flight.
+        // Export the shard's full state: data, bucket runs, and the
+        // ε-sketch's mid-stream compactor levels, bit-exactly.
         let snap = self.control_one(rank, &Writer::new(CMD_EXPORT).into_frame())?;
         let mut fresh = self.spawn_worker(rank)?;
         let mut import = Writer::new(CMD_IMPORT);
@@ -794,7 +794,7 @@ impl<T: Key> ExecBackend<T> for SocketMp<T> {
         self.rebuild_fabric()?;
         let dst = rank % self.workers.len();
         let mut import = Writer::new(CMD_IMPORT);
-        import.u8(1); // merge mode: append data, drop index, rebuild sketch
+        import.u8(1); // merge mode: append data, drop index, merge sketches
         import.raw(&snap[1..]);
         self.control_one(dst, &import.into_frame())?;
         self.sizes_round()
@@ -808,8 +808,10 @@ impl<T: Key> ExecBackend<T> for SocketMp<T> {
             results.iter().enumerate().filter_map(|(rank, r)| r.is_err().then_some(rank)).collect();
         // Re-shard: respawn the dead ranks with empty shards (their data is
         // lost — the surviving multiset stays exact), reset every
-        // survivor's index and sketch (a shard index abandoned mid-batch is
-        // not trustworthy; the next exact batch rebuilds it).
+        // survivor's index (a shard index abandoned mid-batch is not
+        // trustworthy; the next exact batch rebuilds it). The survivors'
+        // ε-sketches stay: execution permutes but never changes the
+        // multiset, so each remains a valid bounded-error summary.
         for &rank in &dead {
             let _ = self.workers[rank].child.kill();
             let fresh = self.spawn_worker(rank)?;
@@ -1064,7 +1066,7 @@ fn serve<T: Key>(mut stream: UnixStream, init_body: &[u8]) -> i32 {
             return 2;
         }
     };
-    let mut shard: Shard<T> = ops::init_shard(dep.rank, dep.sketch_capacity, dep.selection.seed);
+    let mut shard: Shard<T> = ops::init_shard(dep.sketch_capacity);
     let mut proc: Option<Proc> = None;
     let mut pending_fabric: Option<PendingFabric> = None;
     let wire_error = |detail: String| {
@@ -1171,14 +1173,14 @@ fn serve<T: Key>(mut stream: UnixStream, init_body: &[u8]) -> i32 {
                     Writer::new(REPLY_OK).into_frame()
                 }
                 Ok((1, snap)) => {
-                    // Merge: absorb the data; the bucket runs and the
-                    // incremental sketch stream no longer describe the
-                    // union, so drop the index and resample.
+                    // Merge: absorb the data and *merge* the ε-sketches —
+                    // EpsSketch::merge is closed under the error bound, so
+                    // the union sketch keeps a provable guarantee without
+                    // re-reading the data. The bucket runs no longer
+                    // describe the union, so drop the index.
                     shard.data.extend(snap.data);
                     shard.index = None;
-                    let data = std::mem::take(&mut shard.data);
-                    shard.sketch.rebuild(&data);
-                    shard.data = data;
+                    shard.sketch.merge(&snap.sketch);
                     Writer::new(REPLY_OK).into_frame()
                 }
                 Ok((mode, _)) => wire_error(format!("unknown import mode {mode}")),
@@ -1283,7 +1285,7 @@ mod tests {
 
     #[test]
     fn shard_snapshot_round_trips_exactly() {
-        let mut shard: Shard<u64> = ops::init_shard(2, 8, 42);
+        let mut shard: Shard<u64> = ops::init_shard(8);
         for x in [5u64, 1, 9, 7, 3, 3, 8, 2, 6, 4, 0, 11, 13, 12] {
             shard.sketch.offer(x);
             shard.data.push(x);
@@ -1306,7 +1308,8 @@ mod tests {
         let orig = shard.index.as_ref().unwrap();
         assert_eq!(idx.bounds, orig.bounds);
         assert_eq!(idx.offsets, orig.offsets);
-        assert_eq!(restored.sketch.snapshot(), shard.sketch.snapshot());
+        assert_eq!(restored.sketch, shard.sketch);
+        assert_eq!(restored.sketch.to_bytes(), shard.sketch.to_bytes());
     }
 
     #[test]

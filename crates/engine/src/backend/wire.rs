@@ -19,6 +19,7 @@ use cgselect_runtime::{CommStats, Key, WireMsgError};
 use crate::index::{BucketStats, Group};
 use crate::obs::{Phase, PhaseSpan, TraceContext, TraceId};
 use crate::query::RankSet;
+use crate::sketch::EpsSketch;
 
 /// Builds one wire frame.
 pub(crate) struct Writer {
@@ -159,6 +160,15 @@ impl Writer {
             }
             None => self.bool(false),
         }
+    }
+
+    /// An ε-sketch rides as its own length-prefixed byte encoding
+    /// ([`EpsSketch::to_bytes`]) so snapshot and export frames share one
+    /// canonical codec with the host-side persistence path.
+    pub(crate) fn eps_sketch<T: Key>(&mut self, s: &EpsSketch<T>) {
+        let bytes = s.to_bytes();
+        self.usize(bytes.len());
+        self.raw(&bytes);
     }
 
     /// Per-phase span measurements ride back in execute reply frames.
@@ -321,6 +331,13 @@ impl<'a> Reader<'a> {
         }
     }
 
+    pub(crate) fn eps_sketch<T: Key>(&mut self) -> WireResult<EpsSketch<T>> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        EpsSketch::from_bytes(bytes)
+            .ok_or_else(|| WireMsgError::new("malformed ε-sketch payload on the wire"))
+    }
+
     pub(crate) fn phase_spans(&mut self) -> WireResult<Vec<PhaseSpan>> {
         let len = self.usize()?;
         (0..len)
@@ -457,6 +474,25 @@ mod tests {
         assert_eq!(r.phase_spans().unwrap(), spans);
         assert_eq!(r.phase_spans().unwrap(), Vec::new());
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn eps_sketch_rides_the_wire_bit_identically() {
+        let mut s = EpsSketch::new(8);
+        for x in 0..500u64 {
+            s.offer(x.wrapping_mul(0x9E37_79B9) % 1000);
+        }
+        let mut w = Writer::new(0);
+        w.eps_sketch(&s);
+        let frame = w.into_frame();
+        let mut r = Reader::new(&frame);
+        let got: EpsSketch<u64> = r.eps_sketch().unwrap();
+        r.finish().unwrap();
+        assert_eq!(got, s);
+        assert_eq!(got.to_bytes(), s.to_bytes());
+        // A truncated sketch payload is a typed error, not a panic.
+        let mut r = Reader::new(&frame[..frame.len() - 1]);
+        assert!(r.eps_sketch::<u64>().is_err());
     }
 
     #[test]

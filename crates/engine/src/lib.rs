@@ -120,7 +120,7 @@ pub use query::{quantile_rank, Answer, Query, RankSet};
 pub use request::{
     Accuracy, Bounds, CostAttribution, Outcome, QueryKind, Request, Response, RunReport, Served,
 };
-pub use sketch::ReservoirSketch;
+pub use sketch::{EpsSketch, ReservoirSketch};
 
 use std::sync::Arc;
 
@@ -145,8 +145,10 @@ pub struct EngineConfig {
     pub balancer: Balancer,
     /// Re-balance when `max(shard)/mean(shard)` exceeds this (≥ 1.0).
     pub imbalance_watermark: f64,
-    /// Per-shard reservoir capacity for the approximate path (0 disables
-    /// the sketches, forcing every quantile to the exact path).
+    /// Compactor capacity of the deterministic ε-sketches (host-global and
+    /// per-shard; 0 disables them, forcing every quantile to the exact
+    /// path). Larger capacities tighten the provable rank-error bound —
+    /// roughly `(n/k)·log₂(n/k)` — at proportional memory cost.
     pub sketch_capacity: usize,
     /// Target bucket count of the resident bucket index (0 disables the
     /// index: every exact batch scans the full resident data, as the
@@ -453,6 +455,11 @@ pub struct Engine<T: Key> {
     index_rebuilds: u64,
     delta_merges: u64,
     histogram_hits: u64,
+    /// Host-global deterministic ε-sketch over the resident multiset: fed
+    /// incrementally at ingest, rebuilt by merging the shards' exports
+    /// after any operation that removes elements (delete, recovery). Every
+    /// sketch-rung answer is served from it with zero collectives.
+    sketch: EpsSketch<T>,
     /// Live only when `cfg.observe` is set: the metrics registry every
     /// batch reports into, shared with the frontend's batcher thread.
     metrics: Option<Arc<MetricsRegistry>>,
@@ -493,6 +500,7 @@ impl<T: Key> Engine<T> {
             delta_merges: 0,
             histogram_hits: 0,
             metrics: cfg.observe.then(|| Arc::new(MetricsRegistry::new())),
+            sketch: EpsSketch::new(cfg.sketch_capacity),
             backend,
             cfg,
         })
@@ -605,6 +613,14 @@ impl<T: Key> Engine<T> {
 
     fn ingest_chunks(&mut self, chunks: Vec<Vec<T>>) -> Result<MutationReport, EngineError> {
         let added: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        // The host-global ε-sketch sees every element before the chunks
+        // move to the shards, so sketch-rung batches never need a
+        // collective to stay current.
+        for chunk in &chunks {
+            for &x in chunk {
+                self.sketch.offer(x);
+            }
+        }
         // Appends land past the indexed prefix, so they *are* the delta
         // run; no index restructuring happens here.
         let sizes = self.backend.ingest(chunks)?;
@@ -642,6 +658,9 @@ impl<T: Key> Engine<T> {
             gidx.apply_removals(&removed);
         }
         let removed_total = before - self.total;
+        if removed_total > 0 {
+            self.refresh_sketch()?;
+        }
         let rebalanced = self.maybe_rebalance()?;
         Ok(MutationReport { elements: removed_total, rebalanced })
     }
@@ -691,18 +710,28 @@ impl<T: Key> Engine<T> {
         })
     }
 
-    /// The smallest fractional rank-error tolerance the resident sketches
-    /// can currently honor (∞ when sketches are disabled).
-    fn sketch_bound(&self) -> f64 {
-        if self.cfg.sketch_capacity == 0 {
-            return f64::INFINITY;
+    /// The deterministic error guarantees the resident host-global
+    /// ε-sketch can currently honor (`None` when sketches are disabled).
+    /// The planner routes a `WithinRank(t)` request to the sketch rung iff
+    /// `rank ≤ ⌈t·n⌉` — the served answer then carries `rank` as its
+    /// *guaranteed* maximum rank error.
+    fn sketch_guarantee(&self) -> Option<query::SketchErr> {
+        (self.cfg.sketch_capacity > 0).then(|| query::SketchErr {
+            rank: self.sketch.rank_error_bound(),
+            count: self.sketch.count_error_bound(),
+        })
+    }
+
+    /// Rebuilds the host-global ε-sketch by merging every shard's resident
+    /// sketch ([`EpsSketch::merge`] is closed under the error bound), after
+    /// an operation that removed elements from the multiset.
+    fn refresh_sketch(&mut self) -> Result<(), EngineError> {
+        let mut merged = EpsSketch::new(self.cfg.sketch_capacity);
+        for shard in self.backend.export_sketches()? {
+            merged.merge(&shard);
         }
-        let shards: Vec<(usize, u64)> = self
-            .shard_sizes
-            .iter()
-            .map(|&n| (self.cfg.sketch_capacity.min(n as usize), n))
-            .collect();
-        sketch::support_bound(&shards)
+        self.sketch = merged;
+        Ok(())
     }
 
     /// Executes one batch of typed v2 [`Request`]s against the resident
@@ -764,7 +793,7 @@ impl<T: Key> Engine<T> {
     /// One batch attempt (the whole pipeline documented on
     /// [`Engine::run`], without the self-healing retry).
     fn run_once(&mut self, requests: &[Request<T>]) -> Result<RunReport<T>, EngineError> {
-        let plan = query::plan_requests(requests, self.total, self.sketch_bound())?;
+        let plan = query::plan_requests(requests, self.total, self.sketch_guarantee())?;
         // Fail fast on a poisoned backend even when the batch could be
         // served from the host-side histogram alone: the poisoning
         // contract (rebuild the engine) must not depend on which cache a
@@ -844,6 +873,15 @@ impl<T: Key> Engine<T> {
         let (value_probes, probe_backend_pos) = sublist(&plan.probes, &probe_backend);
         let (sketch_probes, probe_sketch_pos) = sublist(&plan.probes, &probe_sketch);
 
+        // -- ε-sketch serving, entirely host-side: rank targets and probe
+        // estimates come straight off the resident global sketch, so the
+        // sketch rung costs zero collectives no matter the backend. The
+        // planner already checked the guarantee against each contract.
+        let sketch_values: Vec<T> =
+            plan.sketch_targets.iter().map(|&r| self.sketch.query_rank(r)).collect();
+        let sketch_ranks: Vec<u64> =
+            sketch_probes.iter().map(|&(v, inclusive)| self.sketch.rank_of(v, inclusive)).collect();
+
         // -- Histogram-contract rank requests: serve from the cached
         // histogram when a single bucket bounds the target, fall back to
         // the exact rank set otherwise.
@@ -873,22 +911,18 @@ impl<T: Key> Engine<T> {
 
         // -- The backend-independent batch plan: the shards' half of the
         // work (the vectorized probe Combine, delta localization, borrowed
-        // candidate windows, the lockstep multi-select, answer refinement,
-        // sketch estimates) runs wherever the configured [`ExecBackend`]
-        // keeps the shards. A batch fully resolved host-side skips the
-        // backend entirely: zero collectives, zero scans.
-        let backend_needed = !groups.is_empty()
-            || !value_probes.is_empty()
-            || !plan.sketch_targets.is_empty()
-            || !sketch_probes.is_empty()
-            || (!use_index && !residual.is_empty());
+        // candidate windows, the lockstep multi-select, answer refinement)
+        // runs wherever the configured [`ExecBackend`] keeps the shards. A
+        // batch fully resolved host-side — histogram hits and the whole
+        // sketch rung — skips the backend entirely: zero collectives, zero
+        // scans.
+        let backend_needed =
+            !groups.is_empty() || !value_probes.is_empty() || (!use_index && !residual.is_empty());
         let outcomes = if backend_needed {
             let batch_plan = BatchPlan {
                 groups: groups.clone(),
                 exact_ranks: residual.clone(),
                 value_probes: Arc::new(value_probes),
-                sketch_targets: Arc::new(plan.sketch_targets.clone()),
-                sketch_probes: Arc::new(sketch_probes),
                 selection: sel_cfg,
                 use_index,
                 full_total: n,
@@ -951,6 +985,8 @@ impl<T: Key> Engine<T> {
                 probe_sketch_pos: &probe_sketch_pos,
                 count_routes: &count_routes,
                 hist_rank_served: &hist_rank_served,
+                sketch_values: &sketch_values,
+                sketch_ranks: &sketch_ranks,
                 rank0: outcomes.first(),
             },
         );
@@ -1140,6 +1176,11 @@ impl<T: Key> Engine<T> {
         self.set_sizes(report.sizes.clone());
         self.index = None;
         self.index_dirty = false;
+        // The dead shards' elements left the multiset, so the host-global
+        // ε-sketch is re-derived from the survivors' exports. Membership
+        // moves (migrate/join/retire) never touch it: they permute the
+        // multiset without changing it.
+        self.refresh_sketch()?;
         if let Some(m) = &self.metrics {
             m.counter_add("recoveries_total", 1);
         }
@@ -1214,6 +1255,10 @@ struct AssemblyContext<'a, T: Key> {
     probe_sketch_pos: &'a [Option<usize>],
     count_routes: &'a [Option<CountRoute>],
     hist_rank_served: &'a [Option<(T, u64)>],
+    /// Host-computed ε-sketch answers, aligned with the plan's sketch
+    /// targets / the sketch-probe sub-list. No backend involvement.
+    sketch_values: &'a [T],
+    sketch_ranks: &'a [u64],
     rank0: Option<&'a ShardBatchOutcome<T>>,
 }
 
@@ -1280,7 +1325,7 @@ fn assemble_outcomes<T: Key>(
             Resolution::ExactRun { len } => multi_rank_draft(&mut (0..*len)),
             Resolution::MultiExact(ranks) => multi_rank_draft(&mut ranks.iter().copied()),
             Resolution::Sketch { target_rank, max_rank_error } => {
-                let value = cx.rank0.expect("sketch batch executed").sketch_values[next_sketch];
+                let value = cx.sketch_values[next_sketch];
                 next_sketch += 1;
                 sketch_answers += 1;
                 Draft {
@@ -1390,8 +1435,7 @@ fn assemble_count<T: Key>(
         CountRoute::Sketch => {
             let resolve = |p: usize| {
                 cx.probe_exact[p].unwrap_or_else(|| {
-                    cx.rank0.expect("sketch batch executed").sketch_ranks
-                        [cx.probe_sketch_pos[p].expect("sketch probe listed")]
+                    cx.sketch_ranks[cx.probe_sketch_pos[p].expect("sketch probe listed")]
                 })
             };
             let m = c.minuend.map_or(cx.n, resolve);
@@ -1627,11 +1671,19 @@ mod tests {
             .unwrap();
         assert_eq!(report.sketch_answers, 2);
         assert_eq!(report.exact_ranks, 0);
+        // The whole rung is served from the host-global ε-sketch.
+        assert_eq!(report.collective_ops, 0);
         for (answer, q) in report.answers.iter().zip([0.5, 0.9]) {
             match *answer {
                 Answer::Approximate { value, target_rank, max_rank_error } => {
                     assert_eq!(target_rank, quantile_rank(q, n));
-                    assert_eq!(max_rank_error, (tol * n as f64).ceil() as u64);
+                    // The reported error is the sketch's *guarantee*, which
+                    // must honor (and usually beats) the ⌈t·n⌉ contract.
+                    assert!(
+                        max_rank_error <= (tol * n as f64).ceil() as u64,
+                        "guarantee {max_rank_error} exceeds the contract"
+                    );
+                    assert!(max_rank_error > 0, "a compacted sketch is not exact");
                     let err = value.abs_diff(target_rank);
                     assert!(
                         err <= max_rank_error,

@@ -87,15 +87,16 @@ pub enum Answer<T> {
     Value(T),
     /// The k smallest elements in ascending order (for `TopK`).
     Top(Vec<T>),
-    /// Sketch-served quantile: `value`'s true rank is within
-    /// `max_rank_error` of `target_rank` (with the sketch's confidence;
-    /// see `cgselect_engine::sketch`).
+    /// Sketch-served quantile: `value`'s true rank is **guaranteed** to be
+    /// within `max_rank_error` of `target_rank` (the deterministic
+    /// ε-sketch's provable bound; see [`crate::EpsSketch`]).
     Approximate {
         /// The estimated element.
         value: T,
         /// The exact query's 0-based target rank.
         target_rank: u64,
-        /// The promised absolute rank-error bound (`⌈tolerance·n⌉`).
+        /// The guaranteed absolute rank-error bound — the sketch's current
+        /// provable error, which is at most the contract's `⌈tolerance·n⌉`.
         max_rank_error: u64,
     },
 }
@@ -301,9 +302,9 @@ pub(crate) fn validate_request<T>(request: &Request<T>, n: u64) -> Result<(), cr
         }
         _ => {}
     }
-    // NaN and ±∞ tolerances are rejected up front: an infinite tolerance
-    // would otherwise satisfy `t >= sketch_bound` even when the bound is ∞
-    // (sketches disabled) and send the query into an empty-sketch estimate.
+    // NaN and ±∞ tolerances are rejected up front: the rank budget ⌈t·n⌉
+    // of a non-finite tolerance is meaningless, and an infinite one would
+    // admit every sketch route regardless of the resident guarantee.
     if let Accuracy::WithinRank(t) = request.accuracy {
         if !t.is_finite() || t < 0.0 {
             return Err(crate::EngineError::InvalidTolerance(t));
@@ -330,8 +331,9 @@ pub(crate) struct CountResolution {
     pub minuend: Option<usize>,
     /// Probe index whose count is subtracted; `None` means zero.
     pub subtrahend: Option<usize>,
-    /// `Some(max_error)` when the accuracy contract lets the sketches
-    /// serve this count (the promised absolute error, `⌈t·n⌉`).
+    /// `Some(max_error)` when the accuracy contract lets the resident
+    /// ε-sketch serve this count — the *guaranteed* absolute error (the
+    /// per-probe guarantee summed over the probes), at most `⌈t·n⌉`.
     pub sketch_error: Option<u64>,
     /// The caller accepts a bucket-resolution histogram answer.
     pub histogram_ok: bool,
@@ -351,11 +353,12 @@ pub(crate) enum Resolution {
     },
     /// Answer is the elements at these ranks, aligned (`Quantiles`).
     MultiExact(Vec<u64>),
-    /// Answer from the sketches (rank direction).
+    /// Answer from the host-global ε-sketch (rank direction).
     Sketch {
         /// The exact query's target rank.
         target_rank: u64,
-        /// The promised absolute rank-error bound.
+        /// The guaranteed absolute rank-error bound (the sketch's current
+        /// provable error, not the looser `⌈t·n⌉` contract).
         max_rank_error: u64,
     },
     /// Rank-direction query whose contract accepts a histogram-resolution
@@ -388,17 +391,37 @@ pub(crate) struct RequestPlan<T> {
     pub probes: Vec<(T, bool)>,
 }
 
-/// Plans a v2 batch over `n` resident elements. `sketch_bound` is the
-/// smallest fractional rank-error tolerance the resident sketches can
-/// honor ([`crate::sketch::support_bound`]); pass `f64::INFINITY` to
-/// disable the approximate path.
+/// The deterministic error guarantees of the resident host-global
+/// ε-sketch, as the planner consumes them: integer absolute bounds, not
+/// fractions, so routing decisions are exact arithmetic with no float
+/// rounding at the contract boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SketchErr {
+    /// Provable bound on `|true_rank(answer) − target_rank|` for a rank
+    /// query served from the sketch.
+    pub rank: u64,
+    /// Provable bound on the error of one prefix-count estimate.
+    pub count: u64,
+}
+
+/// A `WithinRank(t)` contract's absolute rank budget over `n` elements.
+fn rank_budget(t: f64, n: u64) -> u64 {
+    (t * n as f64).ceil() as u64
+}
+
+/// Plans a v2 batch over `n` resident elements. `sketch` carries the
+/// resident ε-sketch's current guarantees ([`crate::Engine`] derives them
+/// from the host-global sketch); `None` disables the approximate path. A
+/// `WithinRank(t)` request routes to the sketch rung iff the guarantee
+/// fits the `⌈t·n⌉` budget — the answer then reports the guarantee itself
+/// as its maximum error.
 ///
 /// Fails (via `Err`) on out-of-domain requests so the caller can reject
 /// the batch before any collective work happens.
 pub(crate) fn plan_requests<T: Copy + Ord>(
     requests: &[Request<T>],
     n: u64,
-    sketch_bound: f64,
+    sketch: Option<SketchErr>,
 ) -> Result<RequestPlan<T>, crate::EngineError> {
     if n == 0 {
         return Err(crate::EngineError::Empty);
@@ -412,12 +435,12 @@ pub(crate) fn plan_requests<T: Copy + Ord>(
     for request in requests {
         validate_request(request, n)?;
         let res = match &request.kind {
-            QueryKind::Rank(k) => rank_resolution(*k, request.accuracy, n, sketch_bound),
-            QueryKind::Median => rank_resolution((n - 1) / 2, request.accuracy, n, sketch_bound),
-            QueryKind::Min => rank_resolution(0, request.accuracy, n, sketch_bound),
-            QueryKind::Max => rank_resolution(n - 1, request.accuracy, n, sketch_bound),
+            QueryKind::Rank(k) => rank_resolution(*k, request.accuracy, n, sketch),
+            QueryKind::Median => rank_resolution((n - 1) / 2, request.accuracy, n, sketch),
+            QueryKind::Min => rank_resolution(0, request.accuracy, n, sketch),
+            QueryKind::Max => rank_resolution(n - 1, request.accuracy, n, sketch),
             QueryKind::Quantile(q) => {
-                rank_resolution(quantile_rank(*q, n), request.accuracy, n, sketch_bound)
+                rank_resolution(quantile_rank(*q, n), request.accuracy, n, sketch)
             }
             // Multi-element kinds are always served exactly (serving
             // better than the contract is allowed).
@@ -430,13 +453,13 @@ pub(crate) fn plan_requests<T: Copy + Ord>(
                 Resolution::Count(CountResolution {
                     minuend: Some(minuend),
                     subtrahend: None,
-                    sketch_error: count_sketch_error(request.accuracy, 1, n, sketch_bound),
+                    sketch_error: count_sketch_error(request.accuracy, 1, n, sketch),
                     histogram_ok: request.accuracy == Accuracy::HistogramOk,
                     empty: false,
                 })
             }
             QueryKind::CountBetween(bounds) => {
-                plan_count_between(*bounds, request.accuracy, n, sketch_bound, &mut raw_probes)
+                plan_count_between(*bounds, request.accuracy, n, sketch, &mut raw_probes)
             }
         };
         match &res {
@@ -475,24 +498,39 @@ pub(crate) fn plan_requests<T: Copy + Ord>(
 }
 
 /// Resolution of a single-rank kind under its accuracy contract.
-fn rank_resolution(target: u64, accuracy: Accuracy, n: u64, sketch_bound: f64) -> Resolution {
+fn rank_resolution(
+    target: u64,
+    accuracy: Accuracy,
+    n: u64,
+    sketch: Option<SketchErr>,
+) -> Resolution {
     match accuracy {
         Accuracy::Exact => Resolution::Exact(target),
-        Accuracy::WithinRank(t) if t >= sketch_bound => {
-            Resolution::Sketch { target_rank: target, max_rank_error: (t * n as f64).ceil() as u64 }
-        }
-        // Tolerance too tight for the sketches: exact fallback.
-        Accuracy::WithinRank(_) => Resolution::Exact(target),
+        Accuracy::WithinRank(t) => match sketch {
+            Some(s) if s.rank <= rank_budget(t, n) => {
+                Resolution::Sketch { target_rank: target, max_rank_error: s.rank }
+            }
+            // Guarantee too loose for the contract (or sketches disabled):
+            // exact fallback.
+            _ => Resolution::Exact(target),
+        },
         Accuracy::HistogramOk => Resolution::HistRank { target_rank: target },
     }
 }
 
-/// `Some(⌈t·n⌉)` when `probes` sketch estimates, each within the sketch
-/// bound, together stay within the `WithinRank(t)` contract.
-fn count_sketch_error(accuracy: Accuracy, probes: u64, n: u64, sketch_bound: f64) -> Option<u64> {
-    match accuracy {
-        Accuracy::WithinRank(t) if probes as f64 * sketch_bound <= t => {
-            Some((t * n as f64).ceil() as u64)
+/// `Some(guaranteed_error)` when `probes` sketch estimates, each within
+/// the per-probe count guarantee, together stay within the
+/// `WithinRank(t)` contract's `⌈t·n⌉` budget.
+fn count_sketch_error(
+    accuracy: Accuracy,
+    probes: u64,
+    n: u64,
+    sketch: Option<SketchErr>,
+) -> Option<u64> {
+    match (accuracy, sketch) {
+        (Accuracy::WithinRank(t), Some(s)) => {
+            let guaranteed = probes.checked_mul(s.count)?;
+            (guaranteed <= rank_budget(t, n)).then_some(guaranteed)
         }
         _ => None,
     }
@@ -504,7 +542,7 @@ fn plan_count_between<T: Copy + Ord>(
     bounds: Bounds<T>,
     accuracy: Accuracy,
     n: u64,
-    sketch_bound: f64,
+    sketch: Option<SketchErr>,
     raw_probes: &mut Vec<(T, bool)>,
 ) -> Resolution {
     if bounds.is_empty() {
@@ -526,7 +564,7 @@ fn plan_count_between<T: Copy + Ord>(
     Resolution::Count(CountResolution {
         minuend,
         subtrahend,
-        sketch_error: count_sketch_error(accuracy, probes, n, sketch_bound),
+        sketch_error: count_sketch_error(accuracy, probes, n, sketch),
         histogram_ok: accuracy == Accuracy::HistogramOk,
         empty: false,
     })
@@ -591,7 +629,7 @@ mod tests {
         // The satellite fix: TopK(k) must not allocate/sort k individual
         // ranks in the plan — one contiguous run represents them all.
         let k = 100_000u64;
-        let plan = plan_requests(&[Request::<u64>::top_k(k)], 1 << 20, f64::INFINITY).unwrap();
+        let plan = plan_requests(&[Request::<u64>::top_k(k)], 1 << 20, None).unwrap();
         assert_eq!(plan.exact_ranks.len(), k as usize);
         assert_eq!(plan.exact_ranks.num_runs(), 1);
         assert_eq!(plan.exact_ranks.runs().next(), Some((0, k)));
@@ -605,7 +643,7 @@ mod tests {
             Query::TopK(3),
             Query::quantile(1.0), // rank 10
         ];
-        let plan = plan_requests(&v1(&queries), 11, f64::INFINITY).unwrap();
+        let plan = plan_requests(&v1(&queries), 11, None).unwrap();
         assert_eq!(plan.exact_ranks.iter().collect::<Vec<_>>(), vec![0, 1, 2, 5, 10]);
         assert!(plan.sketch_targets.is_empty());
         assert!(plan.probes.is_empty());
@@ -613,53 +651,74 @@ mod tests {
 
     #[test]
     fn tolerant_quantiles_route_to_sketch_only_when_supported() {
+        let guarantee = Some(SketchErr { rank: 10, count: 10 });
         let queries = [Query::quantile_within(0.5, 0.05), Query::quantile_within(0.5, 0.001)];
-        let plan = plan_requests(&v1(&queries), 1000, 0.01).unwrap();
-        // 0.05 >= bound 0.01 -> sketch; 0.001 < bound -> exact fallback.
+        let plan = plan_requests(&v1(&queries), 1000, guarantee).unwrap();
+        // Budget ⌈0.05·1000⌉ = 50 ≥ guarantee 10 -> sketch, reporting the
+        // guarantee (not the looser budget) as the promised error;
+        // ⌈0.001·1000⌉ = 1 < 10 -> exact fallback.
         assert_eq!(plan.sketch_targets, vec![500]);
         assert_eq!(plan.exact_ranks.iter().collect::<Vec<_>>(), vec![500]);
         match plan.resolutions[0] {
-            Resolution::Sketch { target_rank: 500, max_rank_error: 50 } => {}
+            Resolution::Sketch { target_rank: 500, max_rank_error: 10 } => {}
             ref other => panic!("unexpected resolution {other:?}"),
         }
     }
 
     #[test]
+    fn exact_guarantee_routes_even_a_zero_tolerance_to_the_sketch() {
+        // A sketch that never compacted is exact (guarantee 0): even the
+        // tightest contract may ride the zero-collective rung.
+        let plan = plan_requests(
+            &v1(&[Query::quantile_within(0.5, 0.0)]),
+            1000,
+            Some(SketchErr { rank: 0, count: 0 }),
+        )
+        .unwrap();
+        assert!(matches!(
+            plan.resolutions[0],
+            Resolution::Sketch { target_rank: 500, max_rank_error: 0 }
+        ));
+    }
+
+    #[test]
     fn non_finite_tolerances_are_rejected_not_sketch_routed() {
-        // An infinite tolerance must not satisfy `t >= bound` when the
-        // bound is itself infinite (sketches disabled / empty).
+        // A non-finite tolerance has no meaningful ⌈t·n⌉ budget; it must be
+        // rejected whether or not a sketch guarantee is resident.
         for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
-            let queries = [Query::quantile_within(0.5, bad)];
-            assert!(
-                matches!(
-                    plan_requests(&v1(&queries), 100, f64::INFINITY),
-                    Err(crate::EngineError::InvalidTolerance(_))
-                ),
-                "tolerance {bad} must be rejected"
-            );
+            for guarantee in [None, Some(SketchErr { rank: 0, count: 0 })] {
+                let queries = [Query::quantile_within(0.5, bad)];
+                assert!(
+                    matches!(
+                        plan_requests(&v1(&queries), 100, guarantee),
+                        Err(crate::EngineError::InvalidTolerance(_))
+                    ),
+                    "tolerance {bad} must be rejected"
+                );
+            }
         }
     }
 
     #[test]
     fn domain_errors_reject_the_batch() {
         assert!(matches!(
-            plan_requests(&v1(&[Query::Rank(10)]), 10, f64::INFINITY),
+            plan_requests(&v1(&[Query::Rank(10)]), 10, None),
             Err(crate::EngineError::RankOutOfRange { rank: 10, n: 10 })
         ));
         assert!(matches!(
-            plan_requests(&v1(&[Query::quantile(1.5)]), 10, f64::INFINITY),
+            plan_requests(&v1(&[Query::quantile(1.5)]), 10, None),
             Err(crate::EngineError::InvalidQuantile(_))
         ));
         assert!(matches!(
-            plan_requests(&v1(&[Query::TopK(11)]), 10, f64::INFINITY),
+            plan_requests(&v1(&[Query::TopK(11)]), 10, None),
             Err(crate::EngineError::TopKTooLarge { k: 11, n: 10 })
         ));
         assert!(matches!(
-            plan_requests(&v1(&[Query::Median]), 0, f64::INFINITY),
+            plan_requests(&v1(&[Query::Median]), 0, None),
             Err(crate::EngineError::Empty)
         ));
         assert!(matches!(
-            plan_requests(&[Request::<u64>::quantiles([0.5, 2.0])], 10, f64::INFINITY),
+            plan_requests(&[Request::<u64>::quantiles([0.5, 2.0])], 10, None),
             Err(crate::EngineError::InvalidQuantile(_))
         ));
     }
@@ -673,7 +732,7 @@ mod tests {
             Request::count_between(Bounds::below(50)),
             Request::count_between(Bounds::at_least(10)),
         ];
-        let plan = plan_requests(&requests, 1000, f64::INFINITY).unwrap();
+        let plan = plan_requests(&requests, 1000, None).unwrap();
         // RankOf(50) -> (50, lt); closed(10,50) -> (50, le) − (10, lt);
         // below(50) -> (50, lt); at_least(10) -> n − (10, lt):
         // three distinct probes after coalescing.
@@ -699,8 +758,7 @@ mod tests {
     fn empty_interval_counts_zero_without_probes() {
         use crate::request::Bounds;
         let plan =
-            plan_requests(&[Request::count_between(Bounds::open(5u64, 5))], 100, f64::INFINITY)
-                .unwrap();
+            plan_requests(&[Request::count_between(Bounds::open(5u64, 5))], 100, None).unwrap();
         assert!(plan.probes.is_empty());
         assert!(matches!(&plan.resolutions[0], Resolution::Count(c) if c.empty));
     }
@@ -708,19 +766,21 @@ mod tests {
     #[test]
     fn count_sketch_eligibility_scales_with_probe_count() {
         use crate::request::Bounds;
-        // bound 0.01: RankOf (1 probe) eligible at t=0.015, CountBetween
-        // with two endpoints (2 probes) is not; at t=0.02 both are.
+        // Per-probe count guarantee 10: RankOf (1 probe, error 10) fits
+        // the ⌈0.015·1000⌉ = 15 budget, CountBetween with two endpoints
+        // (2 probes, error 20) does not; ⌈0.02·1000⌉ = 20 admits both.
+        // The reported error is the summed guarantee, not the budget.
         let reqs = [
             Request::rank_of(7u64).within_rank(0.015),
             Request::count_between(Bounds::closed(1u64, 9)).within_rank(0.015),
             Request::count_between(Bounds::closed(1u64, 9)).within_rank(0.02),
         ];
-        let plan = plan_requests(&reqs, 1000, 0.01).unwrap();
+        let plan = plan_requests(&reqs, 1000, Some(SketchErr { rank: 10, count: 10 })).unwrap();
         let sketch_err = |i: usize| match &plan.resolutions[i] {
             Resolution::Count(c) => c.sketch_error,
             other => panic!("unexpected resolution {other:?}"),
         };
-        assert_eq!(sketch_err(0), Some(15));
+        assert_eq!(sketch_err(0), Some(10));
         assert_eq!(sketch_err(1), None);
         assert_eq!(sketch_err(2), Some(20));
     }
@@ -729,7 +789,7 @@ mod tests {
     fn histogram_ok_routes_rank_and_count_kinds() {
         let reqs =
             [Request::<u64>::quantile(0.5).histogram_ok(), Request::rank_of(7u64).histogram_ok()];
-        let plan = plan_requests(&reqs, 101, f64::INFINITY).unwrap();
+        let plan = plan_requests(&reqs, 101, None).unwrap();
         assert!(matches!(plan.resolutions[0], Resolution::HistRank { target_rank: 50 }));
         assert!(matches!(&plan.resolutions[1], Resolution::Count(c) if c.histogram_ok));
         // HistRank targets are NOT pre-committed to the exact rank set —
@@ -740,8 +800,7 @@ mod tests {
     #[test]
     fn quantiles_kind_plans_aligned_ranks() {
         let plan =
-            plan_requests(&[Request::<u64>::quantiles([0.0, 0.5, 0.5, 1.0])], 101, f64::INFINITY)
-                .unwrap();
+            plan_requests(&[Request::<u64>::quantiles([0.0, 0.5, 0.5, 1.0])], 101, None).unwrap();
         match &plan.resolutions[0] {
             Resolution::MultiExact(ranks) => assert_eq!(ranks, &vec![0, 50, 50, 100]),
             other => panic!("unexpected resolution {other:?}"),

@@ -8,17 +8,19 @@
 //!
 //! * **[`Request`]** — a [`QueryKind`] plus an explicit [`Accuracy`]
 //!   contract. New kinds cover the *inverse* direction the resident bucket
-//!   index and the per-shard sketches answer near-free:
+//!   index and the host-global ε-sketch answer near-free:
 //!   [`QueryKind::RankOf`] (value → rank, a CDF point) and
 //!   [`QueryKind::CountBetween`] (value interval → population count), plus
 //!   [`QueryKind::Min`] / [`QueryKind::Max`] and the multi-quantile
 //!   [`QueryKind::Quantiles`].
 //! * **[`Accuracy`]** — what the caller will accept: [`Accuracy::Exact`]
 //!   (the default), [`Accuracy::WithinRank`] (a fractional rank-error
-//!   tolerance the sketches may honor), or [`Accuracy::HistogramOk`]
-//!   (bucket-resolution answers straight from the cached histogram, zero
-//!   collectives). Serving *better* than the contract is always allowed —
-//!   an exact answer satisfies every contract.
+//!   tolerance the deterministic ε-sketch serves host-side, with a
+//!   *provable* error guarantee, whenever its resident bound fits
+//!   `⌈t·n⌉`), or [`Accuracy::HistogramOk`] (bucket-resolution answers
+//!   straight from the cached histogram, zero collectives). Serving
+//!   *better* than the contract is always allowed — an exact answer
+//!   satisfies every contract.
 //! * **[`Outcome`]** — the answer ([`Response`]) paired with **provenance**
 //!   ([`Served`]: which subsystem produced it) and a per-query
 //!   collective-op [`CostAttribution`].
@@ -169,9 +171,11 @@ pub enum Accuracy {
     /// The answer must be exact (the default).
     #[default]
     Exact,
-    /// Rank error up to `fraction · n` is acceptable — the sketch fast path
-    /// may serve the query without touching the full data, when the
-    /// resident sketches can honor the tolerance.
+    /// Rank error up to `fraction · n` is acceptable. When the resident
+    /// deterministic ε-sketch's provable bound fits the budget, the query
+    /// is served host-side with **zero collectives**, and the answer
+    /// carries the sketch's guarantee (never larger than `⌈fraction·n⌉`)
+    /// as its reported maximum error; otherwise it falls back to exact.
     WithinRank(f64),
     /// A bucket-resolution answer straight from the cached histogram is
     /// acceptable: zero element scans, zero collectives, with the error
@@ -304,15 +308,17 @@ pub enum Response<T> {
         /// `|count − true count| ≤ max_error`, guaranteed.
         max_error: u64,
     },
-    /// An estimated element whose true rank is within `max_rank_error` of
-    /// `target_rank` (sketch- or histogram-served rank-direction queries
-    /// under a loosened contract).
+    /// An estimated element whose true rank is **guaranteed** to be within
+    /// `max_rank_error` of `target_rank` (sketch- or histogram-served
+    /// rank-direction queries under a loosened contract).
     Approximate {
         /// The estimated element.
         value: T,
         /// The exact query's 0-based target rank.
         target_rank: u64,
-        /// The promised absolute rank-error bound.
+        /// The guaranteed absolute rank-error bound: the ε-sketch's (or
+        /// histogram bracket's) provable error, at most the contract's
+        /// `⌈tolerance·n⌉`.
         max_rank_error: u64,
     },
 }
@@ -385,8 +391,9 @@ pub enum Served {
     /// Resolved from the cached per-bucket histogram alone: zero element
     /// scans, zero collectives.
     Histogram,
-    /// Estimated from the resident per-shard sketches (one gather, no scan
-    /// of the full data).
+    /// Served from the host-global deterministic ε-sketch under a
+    /// `WithinRank` contract: zero collectives, zero scans, with a
+    /// provable rank-error guarantee.
     Sketch,
     /// Resolved through the resident bucket index: localized to candidate
     /// windows, borrowed in place.

@@ -1,310 +1,27 @@
-//! Mergeable per-shard sample sketches for the approximate query path.
+//! Sketches: compact summaries of the resident multiset.
 //!
-//! Every shard maintains a uniform reservoir sample of its resident data
-//! (Vitter's Algorithm R, deterministic in the engine seed). A quantile
-//! query carrying a rank-error tolerance is answered from the union of the
-//! `p` reservoirs — each sample weighted by its shard's population — without
-//! touching the full data. Uniform sampling gives the estimate a standard
-//! rank error of `n·√(q(1−q)/m)` for `m` total samples, which is what the
-//! engine's conservative support bound (see [`support_bound`]) is derived
-//! from.
+//! Two families live here, with different contracts:
+//!
+//! * [`EpsSketch`] (`sketch/eps.rs`) — the serving rung. A **deterministic**
+//!   mergeable ε-sketch (a Munro–Paterson-style compactor hierarchy) that
+//!   answers rank → value and value → rank queries with a *provable*
+//!   absolute rank-error bound it reports itself
+//!   ([`EpsSketch::rank_error_bound`] / [`EpsSketch::count_error_bound`]).
+//!   The engine keeps one host-global `EpsSketch` fed at ingest and
+//!   per-shard sketches that seed index splitters and ride migration
+//!   snapshots; `Accuracy::WithinRank` contracts the bound can honor are
+//!   served host-side at **zero collectives**.
+//! * [`ReservoirSketch`] (`sketch/reservoir.rs`) — a uniform reservoir
+//!   sample (Vitter's Algorithm R), retained for the metrics registry's
+//!   self-served latency percentiles, where a probabilistic estimate is
+//!   the right tool and a deterministic bound is not needed.
+//!
+//! The probabilistic *serving* entry points the reservoir used to provide
+//! (`support_bound`, `estimate_rank_of`, snapshot/restore for migration)
+//! are gone: the deterministic sketch replaced that rung wholesale.
 
-use cgselect_runtime::Key;
-use cgselect_seqsel::KernelRng;
+mod eps;
+mod reservoir;
 
-/// A uniform reservoir sample of one shard's resident elements.
-///
-/// Mergeable across shards: the union of per-shard reservoirs, with each
-/// sample carrying weight `nᵢ/mᵢ`, is an unbiased weighted sample of the
-/// global multiset.
-#[derive(Clone, Debug)]
-pub struct ReservoirSketch<T> {
-    capacity: usize,
-    seen: u64,
-    samples: Vec<T>,
-    rng: KernelRng,
-}
-
-impl<T: Key> ReservoirSketch<T> {
-    /// An empty sketch holding at most `capacity` samples; the RNG stream is
-    /// derived from `seed` (engines derive per-shard seeds, so shards sample
-    /// independently but reproducibly).
-    pub fn new(capacity: usize, seed: u64) -> Self {
-        ReservoirSketch {
-            capacity,
-            seen: 0,
-            samples: Vec::with_capacity(capacity.min(1024)),
-            rng: KernelRng::new(seed ^ 0x5EE7_C4A1_0000_0001),
-        }
-    }
-
-    /// Offers one newly ingested element (Algorithm R).
-    pub fn offer(&mut self, x: T) {
-        self.seen += 1;
-        if self.samples.len() < self.capacity {
-            self.samples.push(x);
-        } else if self.capacity > 0 {
-            let j = self.rng.below(self.seen);
-            if (j as usize) < self.capacity {
-                self.samples[j as usize] = x;
-            }
-        }
-    }
-
-    /// Rebuilds the sketch from the shard's current data — used after
-    /// deletes and rebalances, which invalidate an incremental reservoir.
-    pub fn rebuild(&mut self, data: &[T]) {
-        self.samples.clear();
-        self.seen = 0;
-        for &x in data {
-            self.offer(x);
-        }
-    }
-
-    /// The current samples (unordered).
-    pub fn samples(&self) -> &[T] {
-        &self.samples
-    }
-
-    /// How many elements this sketch has represented (the shard population).
-    pub fn population(&self) -> u64 {
-        self.seen
-    }
-
-    /// True while every offered element is still in the reservoir (the
-    /// sketch is lossless below its capacity).
-    pub fn is_exact(&self) -> bool {
-        self.seen as usize <= self.capacity
-    }
-
-    /// Captures the full sketch state for shard migration:
-    /// `(capacity, seen, samples, rng_state)`. [`ReservoirSketch::restore`]
-    /// on another host continues the exact sample stream, so a migrated
-    /// shard sketches identically to one that never moved.
-    pub fn snapshot(&self) -> (usize, u64, Vec<T>, u64) {
-        (self.capacity, self.seen, self.samples.clone(), self.rng.state())
-    }
-
-    /// Rebuilds a sketch mid-stream from a [`ReservoirSketch::snapshot`].
-    pub fn restore(capacity: usize, seen: u64, samples: Vec<T>, rng_state: u64) -> Self {
-        ReservoirSketch { capacity, seen, samples, rng: KernelRng::from_state(rng_state) }
-    }
-}
-
-/// The smallest fractional rank-error tolerance the merged sketches can
-/// honor, given per-shard `(samples, population)` sizes: `0` when every
-/// shard is below capacity (the union is lossless), otherwise
-/// `2/√m` for `m` total samples — about four standard errors of the
-/// uniform-sampling rank estimate at the median, the worst case.
-pub fn support_bound(shards: &[(usize, u64)]) -> f64 {
-    let lossless = shards.iter().all(|&(m, n)| m as u64 >= n);
-    if lossless {
-        return 0.0;
-    }
-    let m_total: usize = shards.iter().map(|&(m, _)| m).sum();
-    if m_total == 0 {
-        return f64::INFINITY;
-    }
-    2.0 / (m_total as f64).sqrt()
-}
-
-/// Estimates the element of 0-based global rank `target` from per-shard
-/// `(samples, population)` pairs, weighting each sample by `nᵢ/mᵢ`.
-///
-/// # Panics
-/// Panics if every shard is empty.
-pub fn estimate_rank<T: Key>(shards: &[(Vec<T>, u64)], target: u64) -> T {
-    let mut weighted: Vec<(T, f64)> = Vec::new();
-    for (samples, n) in shards {
-        if samples.is_empty() {
-            continue;
-        }
-        let w = *n as f64 / samples.len() as f64;
-        weighted.extend(samples.iter().map(|&x| (x, w)));
-    }
-    assert!(!weighted.is_empty(), "rank estimate over empty sketches");
-    weighted.sort_unstable_by_key(|&(x, _)| x);
-    // The element whose cumulative weight first covers the target rank
-    // (+1: ranks are 0-based, cumulative weights are counts).
-    let target = target as f64 + 1.0;
-    let mut cum = 0.0;
-    for &(x, w) in &weighted {
-        cum += w;
-        if cum >= target {
-            return x;
-        }
-    }
-    weighted.last().expect("nonempty").0
-}
-
-/// Estimates the number of resident elements admitted by the probe
-/// `(value, inclusive)` (`x < value`, or `x ≤ value` when inclusive) from
-/// per-shard `(samples, population)` pairs — the *inverse* direction of
-/// [`estimate_rank`], weighting each admitted sample by `nᵢ/mᵢ`. Exact
-/// whenever every shard's sketch is lossless.
-pub fn estimate_rank_of<T: Key>(shards: &[(Vec<T>, u64)], value: T, inclusive: bool) -> u64 {
-    let mut estimate = 0.0f64;
-    for (samples, n) in shards {
-        if samples.is_empty() {
-            continue;
-        }
-        let weight = *n as f64 / samples.len() as f64;
-        let admitted =
-            samples.iter().filter(|&&x| if inclusive { x <= value } else { x < value }).count();
-        estimate += admitted as f64 * weight;
-    }
-    estimate.round() as u64
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn below_capacity_is_lossless() {
-        let mut s = ReservoirSketch::new(16, 7);
-        for x in 0..10u64 {
-            s.offer(x);
-        }
-        assert!(s.is_exact());
-        assert_eq!(s.population(), 10);
-        let mut got = s.samples().to_vec();
-        got.sort_unstable();
-        assert_eq!(got, (0..10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn above_capacity_keeps_capacity_samples() {
-        let mut s = ReservoirSketch::new(8, 3);
-        for x in 0..1000u64 {
-            s.offer(x);
-        }
-        assert!(!s.is_exact());
-        assert_eq!(s.samples().len(), 8);
-        assert_eq!(s.population(), 1000);
-    }
-
-    #[test]
-    fn reservoir_is_roughly_uniform() {
-        // Offer 0..2000 into a 100-slot reservoir many times; the mean of
-        // the kept samples must approach the stream mean.
-        let mut grand_total = 0.0;
-        let reps = 40;
-        for seed in 0..reps {
-            let mut s = ReservoirSketch::new(100, seed);
-            for x in 0..2000u64 {
-                s.offer(x);
-            }
-            grand_total += s.samples().iter().sum::<u64>() as f64 / s.samples().len() as f64;
-        }
-        let mean = grand_total / reps as f64;
-        assert!((mean - 999.5).abs() < 60.0, "reservoir mean {mean:.1} far from stream mean 999.5");
-    }
-
-    #[test]
-    fn snapshot_restore_continues_the_exact_stream() {
-        // A migrated sketch must be indistinguishable from one that never
-        // moved: same samples after the same continued stream.
-        let mut original = ReservoirSketch::new(32, 99);
-        let mut migrated: Option<ReservoirSketch<u64>> = None;
-        for x in 0..5000u64 {
-            if x == 2500 {
-                let (cap, seen, samples, rng_state) = original.snapshot();
-                migrated = Some(ReservoirSketch::restore(cap, seen, samples, rng_state));
-            }
-            original.offer(x);
-            if let Some(m) = migrated.as_mut() {
-                m.offer(x);
-            }
-        }
-        let migrated = migrated.unwrap();
-        assert_eq!(migrated.population(), original.population());
-        assert_eq!(migrated.samples(), original.samples());
-    }
-
-    #[test]
-    fn estimate_is_exact_on_lossless_sketches() {
-        // Two shards, both below capacity: estimates must equal the oracle.
-        let a: Vec<u64> = (0..50).map(|i| i * 2).collect(); // evens
-        let b: Vec<u64> = (0..50).map(|i| i * 2 + 1).collect(); // odds
-        let shards = vec![(a.clone(), 50u64), (b.clone(), 50u64)];
-        let mut all: Vec<u64> = a.into_iter().chain(b).collect();
-        all.sort_unstable();
-        for target in [0u64, 1, 49, 50, 98, 99] {
-            assert_eq!(estimate_rank(&shards, target), all[target as usize], "rank {target}");
-        }
-    }
-
-    #[test]
-    fn estimate_error_within_bound_on_sampled_shards() {
-        // 4 shards of 50k elements each, 1024 samples per shard.
-        let per = 50_000u64;
-        let shards: Vec<(Vec<u64>, u64)> = (0..4)
-            .map(|r| {
-                let mut s = ReservoirSketch::new(1024, r);
-                for i in 0..per {
-                    s.offer(i * 4 + r); // global multiset = 0..200k
-                }
-                (s.samples().to_vec(), s.population())
-            })
-            .collect();
-        let n = 4 * per;
-        let sizes: Vec<(usize, u64)> = shards.iter().map(|(s, n)| (s.len(), *n)).collect();
-        let bound = support_bound(&sizes);
-        assert!(bound > 0.0 && bound < 0.05, "bound {bound}");
-        for q in [0.1, 0.5, 0.9] {
-            let target = (q * (n - 1) as f64).round() as u64;
-            let est = estimate_rank(&shards, target);
-            // The data is 0..n, so the value IS its rank.
-            let err = est.abs_diff(target) as f64 / n as f64;
-            assert!(
-                err <= bound,
-                "q={q}: estimate {est} vs target {target}, err {err:.5} > bound {bound:.5}"
-            );
-        }
-    }
-
-    #[test]
-    fn rank_of_estimate_is_exact_on_lossless_sketches() {
-        let a: Vec<u64> = (0..50).map(|i| i * 2).collect(); // evens
-        let b: Vec<u64> = (0..50).map(|i| i * 2 + 1).collect(); // odds
-        let shards = vec![(a, 50u64), (b, 50u64)];
-        // 0..100 resident: rank-of(v) strict = v, inclusive = v + 1.
-        for v in [0u64, 1, 37, 99] {
-            assert_eq!(estimate_rank_of(&shards, v, false), v, "strict rank-of {v}");
-            assert_eq!(estimate_rank_of(&shards, v, true), v + 1, "inclusive rank-of {v}");
-        }
-        assert_eq!(estimate_rank_of(&shards, 1000, false), 100);
-    }
-
-    #[test]
-    fn rank_of_estimate_error_within_bound_on_sampled_shards() {
-        let per = 50_000u64;
-        let shards: Vec<(Vec<u64>, u64)> = (0..4)
-            .map(|r| {
-                let mut s = ReservoirSketch::new(1024, r);
-                for i in 0..per {
-                    s.offer(i * 4 + r); // global multiset = 0..200k
-                }
-                (s.samples().to_vec(), s.population())
-            })
-            .collect();
-        let n = 4 * per;
-        let sizes: Vec<(usize, u64)> = shards.iter().map(|(s, n)| (s.len(), *n)).collect();
-        let bound = support_bound(&sizes);
-        for v in [20_000u64, 100_000, 180_000] {
-            // The data is 0..n, so the strict rank of v IS v.
-            let est = estimate_rank_of(&shards, v, false);
-            let err = est.abs_diff(v) as f64 / n as f64;
-            assert!(err <= bound, "v={v}: estimate {est}, err {err:.5} > bound {bound:.5}");
-        }
-    }
-
-    #[test]
-    fn support_bound_semantics() {
-        assert_eq!(support_bound(&[(100, 50), (100, 100)]), 0.0);
-        let b = support_bound(&[(100, 1000), (100, 50)]);
-        assert!((b - 2.0 / (200.0f64).sqrt()).abs() < 1e-12);
-        assert_eq!(support_bound(&[(0, 10)]), f64::INFINITY);
-    }
-}
+pub use eps::EpsSketch;
+pub use reservoir::{estimate_rank, ReservoirSketch};

@@ -1,0 +1,142 @@
+//! Uniform reservoir sampling — retained for the metrics registry's
+//! self-served latency percentiles.
+//!
+//! The serving ladder no longer uses reservoirs (the deterministic
+//! [`super::EpsSketch`] replaced that rung), so this is the minimal
+//! surface [`crate::obs::MetricsRegistry`] needs: a bounded uniform sample
+//! (Vitter's Algorithm R, deterministic in the seed) plus the weighted
+//! rank estimator its percentile queries run through.
+
+use cgselect_runtime::Key;
+use cgselect_seqsel::KernelRng;
+
+/// A uniform reservoir sample of an observed stream.
+#[derive(Clone, Debug)]
+pub struct ReservoirSketch<T> {
+    capacity: usize,
+    seen: u64,
+    samples: Vec<T>,
+    rng: KernelRng,
+}
+
+impl<T: Key> ReservoirSketch<T> {
+    /// An empty sketch holding at most `capacity` samples; the RNG stream
+    /// is derived from `seed`, so equal streams sample reproducibly.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        ReservoirSketch {
+            capacity,
+            seen: 0,
+            samples: Vec::with_capacity(capacity.min(1024)),
+            rng: KernelRng::new(seed ^ 0x5EE7_C4A1_0000_0001),
+        }
+    }
+
+    /// Offers one observed element (Algorithm R).
+    pub fn offer(&mut self, x: T) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+        } else if self.capacity > 0 {
+            let j = self.rng.below(self.seen);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// The current samples (unordered).
+    pub fn samples(&self) -> &[T] {
+        &self.samples
+    }
+
+    /// How many elements this sketch has observed.
+    pub fn population(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Estimates the element of 0-based global rank `target` from
+/// `(samples, population)` pairs, weighting each sample by `nᵢ/mᵢ`.
+///
+/// # Panics
+/// Panics if every sample set is empty.
+pub fn estimate_rank<T: Key>(shards: &[(Vec<T>, u64)], target: u64) -> T {
+    let mut weighted: Vec<(T, f64)> = Vec::new();
+    for (samples, n) in shards {
+        if samples.is_empty() {
+            continue;
+        }
+        let w = *n as f64 / samples.len() as f64;
+        weighted.extend(samples.iter().map(|&x| (x, w)));
+    }
+    assert!(!weighted.is_empty(), "rank estimate over empty sketches");
+    weighted.sort_unstable_by_key(|&(x, _)| x);
+    // The element whose cumulative weight first covers the target rank
+    // (+1: ranks are 0-based, cumulative weights are counts).
+    let target = target as f64 + 1.0;
+    let mut cum = 0.0;
+    for &(x, w) in &weighted {
+        cum += w;
+        if cum >= target {
+            return x;
+        }
+    }
+    weighted.last().expect("nonempty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_capacity_is_lossless() {
+        let mut s = ReservoirSketch::new(16, 7);
+        for x in 0..10u64 {
+            s.offer(x);
+        }
+        assert_eq!(s.population(), 10);
+        let mut got = s.samples().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn above_capacity_keeps_capacity_samples() {
+        let mut s = ReservoirSketch::new(8, 3);
+        for x in 0..1000u64 {
+            s.offer(x);
+        }
+        assert_eq!(s.samples().len(), 8);
+        assert_eq!(s.population(), 1000);
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Offer 0..2000 into a 100-slot reservoir many times; the mean of
+        // the kept samples must approach the stream mean.
+        let mut grand_total = 0.0;
+        let reps = 40;
+        for seed in 0..reps {
+            let mut s = ReservoirSketch::new(100, seed);
+            for x in 0..2000u64 {
+                s.offer(x);
+            }
+            grand_total += s.samples().iter().sum::<u64>() as f64 / s.samples().len() as f64;
+        }
+        let mean = grand_total / reps as f64;
+        assert!((mean - 999.5).abs() < 60.0, "reservoir mean {mean:.1} far from stream mean 999.5");
+    }
+
+    #[test]
+    fn estimate_is_exact_on_lossless_samples() {
+        // Two sample sets, both complete: estimates must equal the oracle.
+        let a: Vec<u64> = (0..50).map(|i| i * 2).collect(); // evens
+        let b: Vec<u64> = (0..50).map(|i| i * 2 + 1).collect(); // odds
+        let shards = vec![(a.clone(), 50u64), (b.clone(), 50u64)];
+        let mut all: Vec<u64> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        for target in [0u64, 1, 49, 50, 98, 99] {
+            assert_eq!(estimate_rank(&shards, target), all[target as usize], "rank {target}");
+        }
+    }
+}

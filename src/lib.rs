@@ -133,11 +133,11 @@ pub use cgselect_core::{
 pub use cgselect_engine::{
     measure_rounds, quantile_rank, Accuracy, Answer, AsyncError, BackendChoice, BackendError,
     BackendKind, BatchReport, BatchSpan, Bounds, ChannelMp, ChannelMpTuning, CostAttribution,
-    Engine, EngineConfig, EngineError, ExecBackend, ExecutionMode, Fault, FrontendConfig,
-    FrontendStats, IndexHealth, LocalSpmd, MetricsRegistry, MetricsSnapshot, MutationReport,
-    MutationTicket, Outcome, OutcomeTicket, Phase, PhaseOps, PhaseSpan, PhaseSummary, Query,
-    QueryKind, QueryTicket, RankSet, RecoveryReport, Request, RequestSpan, Response,
-    RoundsMeasurement, RunReport, Served, SloAccumulator, SloPolicy, SloReport, SocketMp,
+    Engine, EngineConfig, EngineError, EpsSketch, ExecBackend, ExecutionMode, Fault,
+    FrontendConfig, FrontendStats, IndexHealth, LocalSpmd, MetricsRegistry, MetricsSnapshot,
+    MutationReport, MutationTicket, Outcome, OutcomeTicket, Phase, PhaseOps, PhaseSpan,
+    PhaseSummary, Query, QueryKind, QueryTicket, RankSet, RecoveryReport, Request, RequestSpan,
+    Response, RoundsMeasurement, RunReport, Served, SloAccumulator, SloPolicy, SloReport, SocketMp,
     SocketMpTuning, SubmissionQueue, SubmitError, Ticket, TraceId,
 };
 pub use cgselect_runtime::{

@@ -907,6 +907,189 @@ fn socket_mp_join_and_retire_keep_serving_exact_answers() {
     check(&mut engine, &all, "still serving after the refusal");
 }
 
+// ---------------------------------------------------------------------------
+// The ε-sketch rung is part of the conformance surface: a WithinRank-tolerant
+// stream must be served from the host-global deterministic sketch with ZERO
+// collectives, and — because the sketch is RNG-free — with bit-identical
+// answers, guarantees and `Served` routing on every backend, through the
+// full ingest / delete / migrate / rebalance lifecycle.
+// ---------------------------------------------------------------------------
+
+/// What one tolerant-batch step observed — everything that must be
+/// identical across backends for the sketch rung.
+#[derive(Debug, Clone, PartialEq)]
+struct SketchStep {
+    label: String,
+    outcomes: Vec<(cgselect::Served, String)>,
+    collective_ops: u64,
+}
+
+/// Drives a WithinRank-tolerant mixed stream (rank→value quantiles plus
+/// value→rank and range-count probes) through the mutation lifecycle,
+/// asserting at every step that the whole batch rides the sketch rung at
+/// zero collectives and every answer honors its reported guarantee.
+fn run_sketch_lifecycle(backend: BackendChoice, dist: Distribution) -> Vec<SketchStep> {
+    use cgselect::{Bounds, Request, Served};
+    let p = 4;
+    let n = 3000usize;
+    let tol = 0.05;
+    let data: Vec<u64> = cgselect::generate(dist, n, p, 59).into_iter().flatten().collect();
+    let mut engine: Engine<u64> = Engine::new(cfg(p, backend).sketch_capacity(256)).unwrap();
+    let mut all: Vec<u64> = Vec::new();
+    let mut steps: Vec<SketchStep> = Vec::new();
+
+    let check = |engine: &mut Engine<u64>, all: &[u64], label: &str| -> SketchStep {
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        let m = sorted.len();
+        let (lo, hi) = (sorted[m / 4], sorted[(3 * m) / 4]);
+        let fracs = [0.1, 0.5, 0.9];
+        let mut requests: Vec<Request<u64>> =
+            fracs.iter().map(|&q| Request::<u64>::quantile(q).within_rank(tol)).collect();
+        requests.push(Request::rank_of(sorted[m / 2]).within_rank(tol));
+        requests.push(Request::count_between(Bounds::closed(lo, hi)).within_rank(tol));
+        let report = engine.run(&requests).unwrap();
+        let kind = engine.backend_kind();
+
+        // The whole tolerant batch is served host-side: no collectives, no
+        // backend phases, every request routed to the sketch rung.
+        assert_eq!(
+            report.collective_ops, 0,
+            "{kind} {label} ({dist:?}): tolerant batches must be collective-free"
+        );
+        let budget = (tol * m as f64).ceil() as u64;
+        let oracle = |v: u64, incl: bool| {
+            if incl {
+                sorted.partition_point(|&x| x <= v) as u64
+            } else {
+                sorted.partition_point(|&x| x < v) as u64
+            }
+        };
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            // The sketch rung serves every tolerant request unless the
+            // cached histogram can answer it exactly (still host-side, and
+            // step equality pins the routing choice across backends).
+            assert!(
+                matches!(outcome.served, Served::Sketch | Served::Histogram),
+                "{kind} {label} ({dist:?}): request {i} must be served host-side, got {:?}",
+                outcome.served
+            );
+            let max_error = outcome.response.max_error();
+            assert!(
+                max_error <= budget,
+                "{kind} {label} ({dist:?}): request {i} guarantee {max_error} > budget {budget}"
+            );
+            if let Some(&q) = fracs.get(i) {
+                // Rank→value: the answer's true rank interval must be
+                // within the reported guarantee of the target.
+                let target = quantile_rank(q, m as u64);
+                let v = outcome.response.element().expect("value answer");
+                let (lo_r, hi_r) = (oracle(v, false), oracle(v, true) - 1);
+                let dist_to =
+                    if target < lo_r { lo_r - target } else { target.saturating_sub(hi_r) };
+                assert!(
+                    dist_to <= max_error,
+                    "{kind} {label} ({dist:?}): quantile {q} answer {v} off by {dist_to} \
+                     > guarantee {max_error}"
+                );
+            } else {
+                // Value→rank / range count: within the reported guarantee
+                // of the exact count.
+                let truth = if i == 3 {
+                    oracle(sorted[m / 2], false)
+                } else {
+                    oracle(hi, true) - oracle(lo, false)
+                };
+                let count = outcome.response.count().expect("count answer");
+                assert!(
+                    count.abs_diff(truth) <= max_error,
+                    "{kind} {label} ({dist:?}): count {count} vs {truth} \
+                     > guarantee {max_error}"
+                );
+            }
+        }
+        SketchStep {
+            label: label.to_string(),
+            outcomes: report
+                .outcomes
+                .iter()
+                .map(|o| (o.served, format!("{:?}", o.response)))
+                .collect(),
+            collective_ops: report.collective_ops,
+        }
+    };
+
+    // Bulk + delta bursts feed the host sketch incrementally at ingest.
+    let (bulk, tail) = data.split_at(2 * n / 3);
+    all.extend_from_slice(bulk);
+    engine.ingest(bulk.to_vec()).unwrap();
+    steps.push(check(&mut engine, &all, "bulk"));
+    all.extend_from_slice(tail);
+    engine.ingest(tail.to_vec()).unwrap();
+    steps.push(check(&mut engine, &all, "delta"));
+
+    // A delete rebuilds the host sketch by merging the shards' exports
+    // (skipped for the single-value distribution, which it would empty).
+    if all.iter().any(|&x| x != all[0]) {
+        let victims = {
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            vec![sorted[n / 4], sorted[(3 * n) / 4]]
+        };
+        engine.delete(&victims).unwrap();
+        all.retain(|x| !victims.contains(x));
+        steps.push(check(&mut engine, &all, "delete"));
+    }
+
+    // Migration moves a shard — and its sketch, inside the snapshot — to a
+    // fresh process without changing the multiset: the rung must answer
+    // identically before and after (SocketMp only; the in-process backends
+    // have no migration verb).
+    if engine.backend_kind() == BackendKind::SocketMp {
+        let before = steps.last().expect("at least one step recorded").clone();
+        engine.migrate_shard(1).unwrap();
+        let after = check(&mut engine, &all, "migrate");
+        assert_eq!(
+            after.outcomes, before.outcomes,
+            "{dist:?}: migration must be invisible to the sketch rung"
+        );
+    }
+
+    // A hot burst trips the rebalance watermark; the sketch absorbs the
+    // burst at ingest and the shard shuffle leaves it untouched.
+    let hot: Vec<u64> = (0..all.len() as u64).map(|i| i.wrapping_mul(2654435761)).collect();
+    all.extend(&hot);
+    let rep = engine.ingest_pinned(1, hot).unwrap();
+    assert!(rep.rebalanced, "{dist:?}: watermark must trip");
+    steps.push(check(&mut engine, &all, "rebalance"));
+    steps
+}
+
+#[test]
+fn sketch_rung_agrees_across_in_process_backends_all_distributions() {
+    for dist in ALL_DISTRIBUTIONS {
+        let local = run_sketch_lifecycle(BackendChoice::LocalSpmd, dist);
+        let mp = run_sketch_lifecycle(channel_mp(), dist);
+        assert_eq!(
+            local, mp,
+            "{dist:?}: sketch-rung answers, guarantees and routing must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn socket_mp_sketch_rung_matches_in_process_through_migration() {
+    for dist in ALL_DISTRIBUTIONS {
+        let local = run_sketch_lifecycle(BackendChoice::LocalSpmd, dist);
+        let sock = run_sketch_lifecycle(socket_mp(), dist);
+        assert_eq!(
+            local, sock,
+            "{dist:?}: the process boundary (and migration) must be invisible to the \
+             sketch rung"
+        );
+    }
+}
+
 #[test]
 fn socket_mp_self_heal_replaces_killed_worker_and_serves_survivors() {
     use cgselect::{Bounds, Request};

@@ -230,19 +230,24 @@ fn slo_accumulator_folds_runs_into_the_ci_gated_line() {
 
     let line = slo.render_line();
     assert!(line.starts_with("slo queries="), "{line}");
-    for field in ["host_served=", "max_rank_error=", "rounds_per_query="] {
+    for field in ["host_served=", "sketch_served=", "max_rank_error=", "rounds_per_query="] {
         assert!(line.contains(field), "{line}");
     }
 
     // A permissive policy passes; an impossible one names every violation.
     let permissive = SloPolicy {
         min_host_served_fraction: 0.0,
+        min_sketch_served_fraction: 0.0,
         max_rank_error: u64::MAX,
         max_rounds_per_query: f64::INFINITY,
     };
     assert!(permissive.evaluate(&slo).is_empty(), "{slo:?}");
-    let strict =
-        SloPolicy { min_host_served_fraction: 1.1, max_rank_error: 0, max_rounds_per_query: 0.0 };
+    let strict = SloPolicy {
+        min_host_served_fraction: 1.1,
+        min_sketch_served_fraction: 1.1,
+        max_rank_error: 0,
+        max_rounds_per_query: 0.0,
+    };
     let violations = strict.evaluate(&slo);
     assert!(!violations.is_empty(), "an impossible policy must flag violations");
 }

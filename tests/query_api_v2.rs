@@ -271,22 +271,60 @@ fn within_rank_contract_serves_inverse_queries_from_sketches() {
         ])
         .unwrap();
     assert_eq!(report.sketch_answers, 2);
+    // The sketch rung is served from the host-global ε-sketch: the batch
+    // starts zero collectives and attributes zero backend cost.
+    assert_eq!(report.collective_ops, 0, "sketch serving must start no collectives");
+    assert_eq!(report.value_probes, 0, "no probe may reach the backend");
+    let budget = (tol * n as f64).ceil() as u64;
     for (o, truth) in report.outcomes.iter().zip([40_000u64, 20_000]) {
         assert_eq!(o.served, Served::Sketch);
+        assert_eq!(o.cost.collective_ops, 0.0, "no backend phase to attribute");
         let Response::Count { count, max_error } = o.response else {
             panic!("expected a count, got {:?}", o.response)
         };
-        assert_eq!(max_error, (tol * n as f64).ceil() as u64);
+        // The reported error is the sketch's deterministic *guarantee*,
+        // which must honor (and here beats) the ⌈t·n⌉ contract.
+        assert!(max_error <= budget, "guarantee {max_error} exceeds the contract {budget}");
+        assert!(max_error > 0, "a compacted sketch is not exact");
         assert!(
             count.abs_diff(truth) <= max_error,
             "sketch count {count} vs truth {truth} exceeds the promised error {max_error}"
         );
     }
-    // A tolerance tighter than the sketch bound falls back to exact.
+    // A tolerance tighter than the sketch's guarantee falls back to exact.
     let report = engine.run(&[Request::rank_of(40_000).within_rank(1e-9)]).unwrap();
     assert_eq!(report.sketch_answers, 0);
     assert_eq!(report.outcomes[0].response.count(), Some(40_000));
     assert_eq!(report.outcomes[0].response.max_error(), 0);
+}
+
+#[test]
+fn mixed_batches_attribute_zero_cost_to_the_sketch_rung() {
+    // One batch, two rungs: the exact member pays the backend collectives,
+    // the sketch member rides the host-global ε-sketch for free.
+    let mut engine: Engine<u64> =
+        Engine::new(cfg(4, BackendChoice::LocalSpmd).sketch_capacity(1024).index_buckets(0))
+            .unwrap();
+    engine.ingest((0..50_000u64).rev().collect()).unwrap();
+    let report = engine
+        .run(&[
+            Request::<u64>::quantile(0.5).within_rank(0.05),
+            Request::<u64>::quantile(0.9), // exact: must reach the backend
+        ])
+        .unwrap();
+    assert!(report.collective_ops > 0, "the exact member pays collectives");
+    assert_eq!(report.outcomes[0].served, Served::Sketch);
+    assert_eq!(
+        report.outcomes[0].cost.collective_ops, 0.0,
+        "the sketch rung is host-side even when the batch hits the backend"
+    );
+    // value == rank in this dataset, so the exact answer is its own rank.
+    assert_eq!(report.outcomes[1].response.element(), Some(quantile_rank(0.9, 50_000)));
+    let attributed: f64 = report.outcomes.iter().map(|o| o.cost.collective_ops).sum();
+    assert!(
+        (attributed - report.collective_ops as f64).abs() < 1e-6,
+        "attribution must still reproduce the batch total"
+    );
 }
 
 #[test]

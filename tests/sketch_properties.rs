@@ -1,0 +1,217 @@
+//! Property-test wall around the deterministic ε-sketch — the accuracy
+//! contract behind the zero-collective serving rung.
+//!
+//! Three properties, each exercised across **all eight** paper workload
+//! distributions per generated case, so every distribution sees the full
+//! case budget (>= 10^4 cases per distribution across the suite):
+//!
+//! 1. **Accuracy**: for *every* rank `0..n`, `query_rank` returns an
+//!    element whose true rank is within `rank_error_bound()` of the
+//!    target, and `rank_of` estimates are within `count_error_bound()`
+//!    of the sorted oracle — with the bounds exactly `0` while the
+//!    sketch is still lossless (`n < k`, before the first compaction).
+//! 2. **Merge closure**: `merge(a, b)` answers for the union multiset
+//!    within the *merged* sketch's self-reported bound, regardless of
+//!    how the stream was split.
+//! 3. **Wire fidelity**: `to_bytes` → `from_bytes` is bit-identical,
+//!    including mid-stream compactor parities, and the restored sketch
+//!    continues the stream exactly like the original.
+
+use cgselect::{generate, Distribution, EpsSketch};
+use proptest::prelude::*;
+
+const ALL_DISTRIBUTIONS: [Distribution; 8] = [
+    Distribution::Random,
+    Distribution::Sorted,
+    Distribution::ReverseSorted,
+    Distribution::FewDistinct(17),
+    Distribution::Gaussian,
+    Distribution::Zipf,
+    Distribution::OrganPipe,
+    Distribution::AllEqual,
+];
+
+/// One flat stream drawn from the paper's workload generator.
+fn stream(dist: Distribution, n: usize, seed: u64) -> Vec<u64> {
+    generate(dist, n, 4, seed).into_iter().flatten().collect()
+}
+
+fn oracle_rank(sorted: &[u64], v: u64, inclusive: bool) -> u64 {
+    if inclusive {
+        sorted.partition_point(|&x| x <= v) as u64
+    } else {
+        sorted.partition_point(|&x| x < v) as u64
+    }
+}
+
+/// Distance from `target` to the nearest true rank of `v` (an element of
+/// the data): duplicates occupy the rank interval `[lo, hi]`.
+fn rank_distance(sorted: &[u64], v: u64, target: u64) -> u64 {
+    let lo = oracle_rank(sorted, v, false);
+    let hi = oracle_rank(sorted, v, true) - 1;
+    if target < lo {
+        lo - target
+    } else {
+        target.saturating_sub(hi)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4000))]
+
+    /// Property 1: every rank query and every count probe lands within the
+    /// sketch's self-reported bound, on every distribution.
+    #[test]
+    fn every_query_is_within_the_reported_bound(
+        n in 16usize..257,
+        k in 8usize..49,
+        seed in any::<u64>(),
+    ) {
+        for dist in ALL_DISTRIBUTIONS {
+            let data = stream(dist, n, seed);
+            let mut sketch = EpsSketch::from_data(k, &data);
+            prop_assert_eq!(sketch.population(), n as u64);
+
+            let mut sorted = data;
+            sorted.sort_unstable();
+            let bound = sketch.rank_error_bound();
+            if n < k {
+                prop_assert_eq!(bound, 0, "{dist:?}: lossless sketches are exact");
+            }
+            prop_assert!(bound < n as u64, "{dist:?}: bound {bound} is vacuous for n={n}");
+            for target in 0..n as u64 {
+                let v = sketch.query_rank(target);
+                let dist_to_truth = rank_distance(&sorted, v, target);
+                prop_assert!(
+                    dist_to_truth <= bound,
+                    "{dist:?} n={n} k={k}: rank {target} -> {v} off by {dist_to_truth} > {bound}"
+                );
+            }
+
+            // Count probes: resident values, the gaps beside them, and
+            // points outside the value range.
+            let cbound = sketch.count_error_bound();
+            prop_assert!(cbound <= bound, "count bound may not exceed the rank bound");
+            let probes = sorted
+                .iter()
+                .step_by(1 + n / 16)
+                .flat_map(|&v| [v, v.saturating_sub(1), v + 1])
+                .chain([0, u64::MAX]);
+            for v in probes {
+                for inclusive in [false, true] {
+                    let est = sketch.rank_of(v, inclusive);
+                    let truth = oracle_rank(&sorted, v, inclusive);
+                    prop_assert!(
+                        est.abs_diff(truth) <= cbound,
+                        "{dist:?} n={n} k={k}: rank_of({v}, {inclusive}) = {est}, \
+                         truth {truth}, bound {cbound}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4000))]
+
+    /// Property 2: the error bound is closed under merge — a merged sketch
+    /// answers for the union multiset within its own reported bound, for
+    /// any split of the stream.
+    #[test]
+    fn merge_preserves_the_bound_for_any_split(
+        n in 16usize..257,
+        k in 8usize..49,
+        split_num in 0u64..101,
+        seed in any::<u64>(),
+    ) {
+        for dist in ALL_DISTRIBUTIONS {
+            let data = stream(dist, n, seed);
+            let cut = (n * split_num as usize) / 100;
+            let mut a = EpsSketch::from_data(k, &data[..cut]);
+            let b = EpsSketch::from_data(k, &data[cut..]);
+
+            // Merging an empty sketch is the identity on state and bytes.
+            let before = a.to_bytes();
+            a.merge(&EpsSketch::new(k));
+            prop_assert_eq!(a.to_bytes(), before, "merging empty must be identity");
+
+            a.merge(&b);
+            prop_assert_eq!(a.population(), n as u64);
+            prop_assert!(
+                a.count_error_bound() <= a.rank_error_bound(),
+                "merged bounds stay ordered"
+            );
+
+            let mut sorted = data;
+            sorted.sort_unstable();
+            let bound = a.rank_error_bound();
+            prop_assert!(bound < n as u64, "{dist:?}: merged bound {bound} vacuous for n={n}");
+            for target in 0..n as u64 {
+                let v = a.query_rank(target);
+                let dist_to_truth = rank_distance(&sorted, v, target);
+                prop_assert!(
+                    dist_to_truth <= bound,
+                    "{dist:?} n={n} k={k} cut={cut}: merged rank {target} -> {v} \
+                     off by {dist_to_truth} > {bound}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2500))]
+
+    /// Property 3: the wire encoding is a bit-identical snapshot of the
+    /// full compactor state — including mid-stream parities — and the
+    /// decoded sketch continues the stream exactly like the original.
+    #[test]
+    fn byte_roundtrip_is_bit_identical_mid_stream(
+        n in 16usize..257,
+        k in 8usize..49,
+        pause_num in 0u64..101,
+        seed in any::<u64>(),
+    ) {
+        for dist in ALL_DISTRIBUTIONS {
+            let data = stream(dist, n, seed);
+            let pause = (n * pause_num as usize) / 100;
+
+            // Snapshot mid-stream, at an arbitrary pause point.
+            let mut original = EpsSketch::from_data(k, &data[..pause]);
+            let bytes = original.to_bytes();
+            let mut restored: EpsSketch<u64> =
+                EpsSketch::from_bytes(&bytes).expect("canonical bytes must decode");
+            prop_assert_eq!(&restored, &original, "{dist:?}: decoded state must match");
+            prop_assert_eq!(
+                restored.to_bytes(),
+                bytes.clone(),
+                "{dist:?}: re-encoding must be stable"
+            );
+            prop_assert_eq!(restored.capacity(), k);
+            prop_assert_eq!(restored.population(), pause as u64);
+
+            // Both copies finish the stream and stay bit-identical: the
+            // snapshot captured the compaction parities, not just values.
+            for &x in &data[pause..] {
+                original.offer(x);
+                restored.offer(x);
+            }
+            prop_assert_eq!(&restored, &original, "{dist:?}: continuation must not diverge");
+            prop_assert_eq!(
+                restored.to_bytes(),
+                original.to_bytes(),
+                "{dist:?}: continued encodings must match byte for byte"
+            );
+
+            // Truncation anywhere is rejected, not misparsed.
+            if !bytes.is_empty() {
+                let cut = bytes.len() - 1 - (seed as usize % bytes.len());
+                prop_assert!(
+                    EpsSketch::<u64>::from_bytes(&bytes[..cut]).is_none(),
+                    "{dist:?}: truncated encodings must be rejected"
+                );
+            }
+        }
+    }
+}
