@@ -50,6 +50,7 @@ use std::sync::Arc;
 
 use cgselect_core::SelectionConfig;
 use cgselect_runtime::{CommStats, Key, RunError};
+use cgselect_seqsel::SepBound;
 
 use crate::index::{BucketStats, Group};
 use crate::obs::{PhaseSpan, TraceContext};
@@ -274,6 +275,11 @@ pub struct ShardBatchOutcome<T> {
     /// Per-group refreshed bucket summaries after answer refinement,
     /// aligned with [`BatchPlan::groups`].
     pub refines: Vec<BucketStats<T>>,
+    /// Refreshed bucket summaries from probe-driven splitter refinement:
+    /// one entry per [`BatchPlan::value_probes`] probe that actually
+    /// carved a new equality class (already-carved probes are skipped by
+    /// a deterministic test the host replays), in probe order.
+    pub probe_refines: Vec<BucketStats<T>>,
     /// **Global** prefix counts for [`BatchPlan::value_probes`], in order
     /// (already Combined — identical on every rank).
     pub probe_counts: Vec<u64>,
@@ -336,8 +342,14 @@ pub trait ExecBackend<T: Key>: Send {
     fn rebalance(&mut self) -> Result<Vec<u64>, BackendError>;
 
     /// (Re)builds the shared-splitter bucket index with the given target
-    /// bucket count and returns each shard's per-bucket summary.
-    fn build_index(&mut self, buckets: usize) -> Result<Vec<BucketStats<T>>, BackendError>;
+    /// bucket count and returns the shared splitter vector (identical on
+    /// every shard by construction; the host mirrors it) plus each shard's
+    /// per-bucket summary.
+    #[allow(clippy::type_complexity)]
+    fn build_index(
+        &mut self,
+        buckets: usize,
+    ) -> Result<(Vec<SepBound<T>>, Vec<BucketStats<T>>), BackendError>;
 
     /// Folds each shard's delta run into its buckets and returns the
     /// per-shard delta summaries.

@@ -14,7 +14,7 @@ use cgselect_core::{parallel_multi_select_windows, RankedWindow};
 use cgselect_runtime::{Key, Proc};
 use cgselect_seqsel::{
     bucket_of, bucket_search_cmps, count_below_kernel, count_below_reference, partition_by_bounds,
-    scalar_reference_mode, OpCount,
+    scalar_reference_mode, OpCount, SepBound,
 };
 
 use crate::index::{
@@ -143,13 +143,15 @@ pub(crate) fn rebalance_shard<T: Key>(
 
 /// Index (re)build: the shards pool their sample sketches through one
 /// collective, derive the identical splitter vector, partition their data
-/// (delta run included) and report the per-bucket summary for the host's
-/// cached global histogram.
+/// (delta run included) and report the shared splitters plus the
+/// per-bucket summary for the host's cached global histogram (the host
+/// mirrors the splitters so it can classify delta elements and replay
+/// refinement without a collective).
 pub(crate) fn build_index_shard<T: Key>(
     proc: &mut Proc,
     shard: &mut Shard<T>,
     nb: usize,
-) -> BucketStats<T> {
+) -> (Vec<SepBound<T>>, BucketStats<T>) {
     // Sample source: evenly rank-spaced quantile points drawn from the
     // resident ε-sketch (maintained on ingest), so the pooled splitters
     // inherit the sketch's deterministic rank spread; a strided data
@@ -167,10 +169,10 @@ pub(crate) fn build_index_shard<T: Key>(
     proc.charge_ops(m * (1 + m.max(2).ilog2() as u64));
     let bounds = splitters_from_samples(&pool, nb);
     let mut ops = OpCount::new();
-    let (idx, stats) = build_shard_index(&mut shard.data, bounds, &mut ops);
+    let (idx, stats) = build_shard_index(&mut shard.data, bounds.clone(), &mut ops);
     proc.charge_ops(ops.total() + shard.data.len() as u64);
     shard.index = Some(idx);
-    stats
+    (bounds, stats)
 }
 
 /// Delta merge: partitions the delta run by the shared splitters and
@@ -476,6 +478,42 @@ pub(crate) fn execute_shard<T: Key>(
         };
         exact = parallel_multi_select_windows(proc, vec![window], n_exact, &plan.selection);
     }
+
+    // Probe-driven splitter refinement: every resolved value probe carves
+    // its `(v, <)(v, ≤)` equality class into the shared splitters, exactly
+    // like rank answers do — zero collectives, so a repeated (or standing)
+    // CDF probe goes histogram-exact after its first resolution. The skip
+    // test (class already carved) depends only on the shared bounds, so
+    // every shard splices identically and stays in lockstep with the
+    // host's mirrored splitter vector, which replays this loop verbatim.
+    let mut probe_refines: Vec<BucketStats<T>> = Vec::new();
+    if plan.use_index && !plan.value_probes.is_empty() {
+        if let Some(idx) = shard.index.as_mut() {
+            let delta_start = idx.delta_start();
+            let (indexed_part, _) = shard.data.split_at_mut(delta_start);
+            for &(v, _) in plan.value_probes.iter() {
+                let mut ops = OpCount::new();
+                let b = bucket_of(&idx.bounds, &v, &mut ops);
+                let lower = (b > 0).then(|| idx.bounds[b - 1]);
+                let upper = (b < idx.bounds.len()).then(|| idx.bounds[b]);
+                let inserted = refined_bounds(&[], &[v], lower, upper);
+                if inserted.is_empty() {
+                    proc.charge_ops(ops.total());
+                    continue;
+                }
+                let base = idx.offsets[b];
+                let range = &mut indexed_part[base..idx.offsets[b + 1]];
+                let local = partition_by_bounds(range, &inserted, &mut ops);
+                proc.charge_ops(ops.total() + range.len() as u64);
+                probe_refines.push(bucket_stats(range, &local));
+                idx.bounds.splice(b..b, inserted);
+                let internal: Vec<usize> =
+                    local[1..local.len() - 1].iter().map(|&o| base + o).collect();
+                idx.offsets.splice(b + 1..b + 1, internal);
+            }
+        }
+    }
+
     if observe {
         proc.phase_end(Phase::Exact.as_str());
     }
@@ -519,6 +557,7 @@ pub(crate) fn execute_shard<T: Key>(
     ShardBatchOutcome {
         exact,
         refines,
+        probe_refines,
         probe_counts,
         phase_ops: PhaseOps {
             probes: ops_after_probes - base,

@@ -41,8 +41,10 @@ use super::ops::{self, Shard};
 use super::wire::{Reader, WireResult, Writer};
 use super::{BackendError, BatchPlan, PhaseOps, ShardBatchOutcome, ShardDeletion};
 
-/// Protocol revision carried in every frame header.
-pub(crate) const WIRE_VERSION: u8 = 1;
+/// Protocol revision carried in every frame header. Revision 2 added the
+/// splitter bounds to the BUILD_INDEX reply and the probe-refinement stats
+/// to the EXECUTE reply.
+pub(crate) const WIRE_VERSION: u8 = 2;
 
 /// Size of the frame header (`version` byte + `seq` u64).
 pub(crate) const FRAME_HEADER_BYTES: usize = 9;
@@ -268,6 +270,24 @@ pub(crate) fn decode_bucket_stats_reply<T: Key>(
     .map_err(|e| wire_protocol_error(rank, e))
 }
 
+/// BUILD_INDEX replies carry the agreed splitter bounds alongside the
+/// shard's bucket stats so the host can mirror the shared splitter array
+/// without re-deriving it.
+#[allow(clippy::type_complexity)]
+pub(crate) fn decode_index_build_reply<T: Key>(
+    rank: usize,
+    body: &[u8],
+) -> Result<(Vec<cgselect_seqsel::SepBound<T>>, crate::index::BucketStats<T>), BackendError> {
+    (|| {
+        let mut r = Reader::new(body);
+        let bounds = r.sep_bounds::<T>()?;
+        let stats = r.bucket_stats::<T>()?;
+        r.finish()?;
+        Ok((bounds, stats))
+    })()
+    .map_err(|e| wire_protocol_error(rank, e))
+}
+
 /// Serializes one batch plan. Only the per-batch pivot seed crosses the
 /// wire; workers rebuild the full `SelectionConfig` from their deployment
 /// copy. The coalesced rank set rides as runs and the value probes as
@@ -323,6 +343,10 @@ pub(crate) fn encode_outcome<T: Key>(w: &mut Writer, o: &ShardBatchOutcome<T>) {
     for stats in &o.refines {
         w.bucket_stats(stats);
     }
+    w.usize(o.probe_refines.len());
+    for stats in &o.probe_refines {
+        w.bucket_stats(stats);
+    }
     w.u64s(&o.probe_counts);
     w.u64(o.phase_ops.probes);
     w.u64(o.phase_ops.exact);
@@ -342,13 +366,25 @@ pub(crate) fn decode_outcome<T: Key>(
         let exact = (0..exact_len).map(|_| r.opt_key::<T>()).collect::<WireResult<_>>()?;
         let refines_len = r.usize()?;
         let refines = (0..refines_len).map(|_| r.bucket_stats::<T>()).collect::<WireResult<_>>()?;
+        let probe_refines_len = r.usize()?;
+        let probe_refines =
+            (0..probe_refines_len).map(|_| r.bucket_stats::<T>()).collect::<WireResult<_>>()?;
         let probe_counts = r.u64s()?;
         let phase_ops = PhaseOps { probes: r.u64()?, exact: r.u64()?, sketch: r.u64()? };
         let comm = r.comm_stats()?;
         let elapsed = r.f64()?;
         let spans = r.phase_spans()?;
         r.finish()?;
-        Ok(ShardBatchOutcome { exact, refines, probe_counts, phase_ops, comm, elapsed, spans })
+        Ok(ShardBatchOutcome {
+            exact,
+            refines,
+            probe_refines,
+            probe_counts,
+            phase_ops,
+            comm,
+            elapsed,
+            spans,
+        })
     })()
     .map_err(|e| wire_protocol_error(rank, e))
 }
@@ -397,7 +433,9 @@ pub(crate) fn run_command<T: Key>(
         Some(CMD_BUILD_INDEX) => {
             let buckets = r.usize().map_err(wire)?;
             r.finish().map_err(wire)?;
-            w.bucket_stats(&ops::build_index_shard(proc, shard, buckets));
+            let (bounds, stats) = ops::build_index_shard(proc, shard, buckets);
+            w.sep_bounds(&bounds);
+            w.bucket_stats(&stats);
         }
         Some(CMD_MERGE_DELTA) => {
             r.finish().map_err(wire)?;

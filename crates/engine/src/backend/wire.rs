@@ -15,6 +15,7 @@
 //! process that happened to read the frame.
 
 use cgselect_runtime::{CommStats, Key, WireMsgError};
+use cgselect_seqsel::SepBound;
 
 use crate::index::{BucketStats, Group};
 use crate::obs::{Phase, PhaseSpan, TraceContext, TraceId};
@@ -127,6 +128,16 @@ impl Writer {
         self.u64(s.msgs_recv);
         self.u64(s.bytes_recv);
         self.u64(s.collective_ops);
+    }
+
+    /// Separator bounds ride as `(key, inclusive)` pairs — the same shape
+    /// as value probes, kept distinct so the two codecs can diverge.
+    pub(crate) fn sep_bounds<T: Key>(&mut self, bounds: &[SepBound<T>]) {
+        self.usize(bounds.len());
+        for b in bounds {
+            self.key(b.value);
+            self.bool(b.inclusive);
+        }
     }
 
     /// Value probes ride as `(key, inclusive)` pairs.
@@ -296,6 +307,17 @@ impl<'a> Reader<'a> {
             bytes_recv: self.u64()?,
             collective_ops: self.u64()?,
         })
+    }
+
+    pub(crate) fn sep_bounds<T: Key>(&mut self) -> WireResult<Vec<SepBound<T>>> {
+        let len = self.usize()?;
+        (0..len)
+            .map(|_| {
+                let value = self.key()?;
+                let inclusive = self.bool()?;
+                Ok(SepBound { value, inclusive })
+            })
+            .collect()
     }
 
     pub(crate) fn probes<T: Key>(&mut self) -> WireResult<Vec<(T, bool)>> {

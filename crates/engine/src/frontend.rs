@@ -50,7 +50,10 @@ use cgselect_runtime::Key;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
 use crate::obs::{MetricsRegistry, TraceId};
-use crate::{Answer, Engine, EngineError, MutationReport, Outcome, Query, Request};
+use crate::{
+    Answer, Engine, EngineError, MutationReport, Outcome, Query, RefreshPolicy, Request,
+    StandingHandle, SubscriptionId,
+};
 
 /// How long the batcher sleeps between polls while idle or paused, and the
 /// cap on any single in-window wait (so shutdown is observed promptly even
@@ -193,6 +196,10 @@ pub type OutcomeTicket<T> = Ticket<Outcome<T>>;
 /// A [`Ticket`] resolving to an ingest/delete's [`MutationReport`].
 pub type MutationTicket = Ticket<MutationReport>;
 
+/// A [`Ticket`] resolving to a registered standing query's
+/// [`StandingHandle`] (see [`SubmissionQueue::submit_standing`]).
+pub type StandingTicket<T> = Ticket<StandingHandle<T>>;
+
 impl<R> Ticket<R> {
     /// Blocks until the answer is ready.
     pub fn wait(self) -> Result<R, AsyncError> {
@@ -269,6 +276,15 @@ pub struct FrontendStats {
     /// Delta-run occupancy (unindexed fraction of the resident population)
     /// observed at the most recent executed batch.
     pub delta_occupancy: f64,
+    /// Live standing queries registered with the engine, as of the most
+    /// recent batcher activity.
+    pub standing_active: usize,
+    /// Standing-query updates the engine has delivered so far.
+    pub standing_updates: u64,
+    /// How many of [`standing_updates`](Self::standing_updates) were served
+    /// without a single attributed collective op (rebased histogram or
+    /// ε-sketch) — the incremental-refresh win.
+    pub standing_zero_collective: u64,
 }
 
 impl FrontendStats {
@@ -414,12 +430,26 @@ struct PendingMutation<T: Key> {
     submitted_at: Instant,
 }
 
+struct PendingStanding<T: Key> {
+    request: Request<T>,
+    policy: RefreshPolicy,
+    tx: Sender<Result<StandingHandle<T>, AsyncError>>,
+}
+
 enum Submission<T: Key> {
     /// One or more queries admitted together (a [`SubmissionQueue::submit`]
     /// carries one; a [`SubmissionQueue::submit_many`] carries the whole
     /// aligned slice in a single queue slot).
     Queries(Vec<PendingQuery<T>>),
     Mutation(PendingMutation<T>),
+    /// Register a standing query; FIFO with mutations, so the first update
+    /// reflects exactly the mutations submitted before it.
+    Standing(PendingStanding<T>),
+    /// Remove a standing query by id.
+    CancelStanding {
+        id: SubscriptionId,
+        tx: Sender<Result<bool, AsyncError>>,
+    },
 }
 
 struct Shared {
@@ -618,6 +648,46 @@ impl<T: Key> SubmissionQueue<T> {
         Ok(Ticket { rx })
     }
 
+    /// Registers `request` as a **standing query** (see
+    /// [`Engine::subscribe`]): the ticket resolves to a [`StandingHandle`]
+    /// streaming stamped updates whenever the resident data moves under
+    /// `policy`. Standing registrations are FIFO with mutations — the
+    /// handle's first update reflects exactly the mutations submitted
+    /// before this call. The batcher serves [`RefreshPolicy::Deadline`]
+    /// policies from its idle ticks, and every executed batch or mutation
+    /// piggybacks due refreshes at shared-collective cost.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or negative [`RefreshPolicy::OnDelta`]
+    /// fraction (caller-side, before admission).
+    pub fn submit_standing(
+        &self,
+        request: Request<T>,
+        policy: RefreshPolicy,
+    ) -> Result<StandingTicket<T>, SubmitError> {
+        if let RefreshPolicy::OnDelta(frac) = policy {
+            assert!(
+                frac.is_finite() && frac >= 0.0,
+                "OnDelta fraction must be finite and >= 0, got {frac}"
+            );
+        }
+        let (tx, rx) = unbounded();
+        self.admit(
+            Submission::Standing(PendingStanding { request: self.stamp(request), policy, tx }),
+            1,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Cancels the standing query `id`; the ticket resolves to whether it
+    /// was live (a handle dropped earlier may already have unsubscribed
+    /// it). Its [`StandingHandle`]'s stream ends once applied.
+    pub fn cancel_standing(&self, id: SubscriptionId) -> Result<Ticket<bool>, SubmitError> {
+        let (tx, rx) = unbounded();
+        self.admit(Submission::CancelStanding { id, tx }, 1)?;
+        Ok(Ticket { rx })
+    }
+
     /// Stops the batcher from *opening new batches*: further submissions
     /// queue (up to capacity) instead of executing. A batch whose window is
     /// already open when the pause lands still collects and executes to its
@@ -694,8 +764,8 @@ fn batcher_loop<T: Key>(
                         }
                     }
                 }
-                Submission::Mutation(m) => {
-                    execute_mutation(&mut engine, m, &shared);
+                other => {
+                    execute_control(&mut engine, other, &shared);
                     continue 'serve;
                 }
             },
@@ -703,6 +773,11 @@ fn batcher_loop<T: Key>(
                 if shared.closing.load(Ordering::SeqCst) && rx.is_empty() {
                     break 'serve;
                 }
+                // Idle tick: flush standing refreshes that came due without
+                // traffic — this is what serves `RefreshPolicy::Deadline`
+                // (and delivers post-mutation updates promptly when no
+                // query batch follows). Cheap no-op when nothing is due.
+                standing_tick(&mut engine, &shared);
                 continue 'serve;
             }
             Err(RecvTimeoutError::Disconnected) => break 'serve,
@@ -722,14 +797,15 @@ fn batcher_loop<T: Key>(
                             }
                         }
                     }
-                    Ok(Submission::Mutation(m)) => {
-                        // A mutation is a hard boundary: flush queries that
-                        // preceded it, then apply it.
+                    Ok(other) => {
+                        // A mutation (or standing registration/cancel) is a
+                        // hard boundary: flush queries that preceded it,
+                        // then apply it.
                         let batch = acc.flush();
                         if !batch.is_empty() {
                             execute_batch(&mut engine, batch, &shared);
                         }
-                        execute_mutation(&mut engine, m, &shared);
+                        execute_control(&mut engine, other, &shared);
                     }
                     Err(crossbeam::channel::TryRecvError::Empty) => break,
                     Err(crossbeam::channel::TryRecvError::Disconnected) => {
@@ -756,12 +832,12 @@ fn batcher_loop<T: Key>(
                         }
                     }
                 }
-                Ok(Submission::Mutation(m)) => {
+                Ok(other) => {
                     let batch = acc.flush();
                     if !batch.is_empty() {
                         execute_batch(&mut engine, batch, &shared);
                     }
-                    execute_mutation(&mut engine, m, &shared);
+                    execute_control(&mut engine, other, &shared);
                     break 'collect;
                 }
                 Err(RecvTimeoutError::Timeout) => {} // loop re-evaluates rem
@@ -862,6 +938,11 @@ fn execute_batch<T: Key>(engine: &mut Engine<T>, batch: Vec<PendingQuery<T>>, sh
             stats.index_rebuilds = health.rebuilds;
             stats.delta_merges = health.delta_merges;
         }
+        // Standing refreshes ride query batches; mirror the engine's
+        // cumulative counters whenever a batch ran.
+        stats.standing_active = engine.standing_active();
+        stats.standing_updates = engine.standing_refreshes();
+        stats.standing_zero_collective = engine.standing_zero_collective();
     }
 
     for (reply, result) in deliveries {
@@ -869,13 +950,65 @@ fn execute_batch<T: Key>(engine: &mut Engine<T>, batch: Vec<PendingQuery<T>>, sh
     }
 }
 
+/// Dispatches the non-query submissions (anything that is not a
+/// [`Submission::Queries`]): mutations, standing registrations, cancels.
+fn execute_control<T: Key>(engine: &mut Engine<T>, sub: Submission<T>, shared: &Shared) {
+    match sub {
+        Submission::Queries(_) => unreachable!("queries go through the accumulator"),
+        Submission::Mutation(m) => execute_mutation(engine, m, shared),
+        Submission::Standing(s) => {
+            let handle = engine.subscribe(s.request, s.policy);
+            // Serve the inaugural update immediately (when the request is
+            // currently answerable) instead of waiting for traffic: a
+            // dashboard sees its first datapoint at subscribe time.
+            let _ = engine.refresh_standing();
+            sync_standing_stats(engine, shared);
+            let _ = s.tx.send(Ok(handle));
+        }
+        Submission::CancelStanding { id, tx } => {
+            let removed = engine.unsubscribe(id);
+            sync_standing_stats(engine, shared);
+            let _ = tx.send(Ok(removed));
+        }
+    }
+}
+
+/// Flushes due standing refreshes outside any batch (the batcher's idle
+/// tick). Engine failures are left for the next query/mutation to surface —
+/// a subscription has no per-refresh ticket to fail.
+fn standing_tick<T: Key>(engine: &mut Engine<T>, shared: &Shared) {
+    if engine.standing_active() == 0 {
+        return;
+    }
+    match engine.refresh_standing() {
+        Ok(0) => {}
+        _ => sync_standing_stats(engine, shared),
+    }
+}
+
+/// Mirrors the engine's cumulative standing counters into the frontend
+/// stats (the engine is the single source of truth; refreshes ride query
+/// batches too, so the frontend cannot count deliveries itself).
+fn sync_standing_stats<T: Key>(engine: &Engine<T>, shared: &Shared) {
+    let mut stats = shared.batch_stats.lock().expect("frontend stats lock");
+    stats.standing_active = engine.standing_active();
+    stats.standing_updates = engine.standing_refreshes();
+    stats.standing_zero_collective = engine.standing_zero_collective();
+}
+
 /// Applies one mutation, updates the stats, then delivers the report.
+/// Standing subscriptions the mutation made due refresh right here, so an
+/// `EveryBatch` dashboard sees the post-mutation answer without waiting
+/// for a query batch or an idle tick.
 fn execute_mutation<T: Key>(engine: &mut Engine<T>, m: PendingMutation<T>, shared: &Shared) {
     let wait = Instant::now().saturating_duration_since(m.submitted_at);
     let result = match m.op {
         MutationOp::Ingest(items) => engine.ingest(items),
         MutationOp::Delete(values) => engine.delete(&values),
     };
+    if result.is_ok() && engine.standing_active() > 0 {
+        let _ = engine.refresh_standing();
+    }
     {
         let mut stats = shared.batch_stats.lock().expect("frontend stats lock");
         stats.total_wait += wait;
@@ -884,6 +1017,9 @@ fn execute_mutation<T: Key>(engine: &mut Engine<T>, m: PendingMutation<T>, share
             Ok(_) => stats.mutations += 1,
             Err(_) => stats.failures += 1,
         }
+        stats.standing_active = engine.standing_active();
+        stats.standing_updates = engine.standing_refreshes();
+        stats.standing_zero_collective = engine.standing_zero_collective();
     }
     let _ = m.tx.send(result.map_err(AsyncError::Engine));
 }
@@ -1003,6 +1139,36 @@ mod tests {
         // The frontend recovers: ingest then query works.
         queue.submit_ingest(vec![7, 3, 5]).unwrap().wait().unwrap();
         assert_eq!(queue.submit(Query::Median).unwrap().wait(), Ok(Answer::Value(5)));
+    }
+
+    #[test]
+    fn standing_subscription_streams_updates_through_the_frontend() {
+        let mut engine = free_engine(2);
+        engine.ingest((0..100u64).collect()).unwrap();
+        let queue = SubmissionQueue::start(engine, FrontendConfig::new());
+        let handle = queue
+            .submit_standing(Request::median(), RefreshPolicy::EveryBatch)
+            .unwrap()
+            .wait()
+            .unwrap();
+        // The inaugural update arrives at subscribe time.
+        let first = handle.recv().expect("inaugural update");
+        assert_eq!(first.seq, 0);
+        assert_eq!(first.outcome.response.element(), Some(49));
+        assert_eq!(first.outcome.freshness.elements, 100);
+        // A mutation makes the subscription due; the batcher refreshes it
+        // without any query traffic.
+        queue.submit_ingest((100..201u64).collect()).unwrap().wait().unwrap();
+        let second = handle.recv_timeout(Duration::from_secs(5)).expect("post-ingest update");
+        assert_eq!(second.seq, 1);
+        assert_eq!(second.outcome.response.element(), Some(100));
+        assert_eq!(second.outcome.freshness.elements, 201);
+        assert!(second.outcome.freshness.version > first.outcome.freshness.version);
+        // Cancel ends the stream and the stats reflect the lifecycle.
+        assert!(queue.cancel_standing(handle.id()).unwrap().wait().unwrap());
+        let stats = queue.stats();
+        assert_eq!(stats.standing_active, 0);
+        assert!(stats.standing_updates >= 2);
     }
 
     #[test]

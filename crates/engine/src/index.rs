@@ -29,10 +29,15 @@
 //!   answer's exact equality class. The next batch asking the same (or a
 //!   nearby) quantile finds a constant candidate bucket and takes the fast
 //!   path.
-//! * **Delta runs** — ingest appends to an unindexed tail; queries fold the
-//!   (cloned, small) tail into every candidate window and widen windows by
-//!   the global delta count, so answers stay exact between the amortized
-//!   merges that fold the tail into the buckets.
+//! * **Delta runs, rebased host-side** — ingest appends to an unindexed
+//!   tail on the shards *and* into a sorted host mirror
+//!   ([`GlobalIndex::delta_vals`]) that classifies each pending element
+//!   into its value bucket with zero collectives. Localization, the
+//!   histogram fast path and value-probe brackets all read the *merged*
+//!   (indexed + delta) prefix sums, so answers stay exact — and candidate
+//!   windows stay single-bucket tight — between the amortized merges that
+//!   fold the tail into the buckets. This is what lets a standing query
+//!   re-serve from the cache while ingest streams in.
 
 use cgselect_runtime::Key;
 use cgselect_seqsel::{partition_by_bounds, OpCount, SepBound};
@@ -137,32 +142,55 @@ pub(crate) struct Routing<T> {
     pub fast: Vec<(usize, T)>,
 }
 
-/// Host-side cached global histogram of the shared buckets.
+/// Host-side cached global histogram of the shared buckets, plus a sorted
+/// mirror of the pending delta run that *rebases* the histogram after
+/// every ingest/delete: the host classifies each unindexed element into
+/// its value bucket without any collective, so rank localization, the
+/// histogram fast path and value-probe brackets all stay **exact** while
+/// a delta is pending — the mechanism that lets a standing query re-serve
+/// from the cache at zero collectives between merges.
 #[derive(Clone, Debug)]
 pub(crate) struct GlobalIndex<T> {
+    /// The shared splitters, mirrored host-side (identical to every
+    /// shard's by construction) so the host can replay refinement and
+    /// classify delta elements itself.
+    pub bounds: Vec<SepBound<T>>,
     /// Global per-bucket counts of *indexed* elements.
     pub counts: Vec<u64>,
     /// Prefix sums of `counts` (`counts.len() + 1` entries, first 0).
     pub prefix: Vec<u64>,
     /// Global per-bucket `(min, max)` of indexed elements (`None` = empty).
     pub minmax: Vec<Option<(T, T)>>,
-    /// Global number of unindexed delta elements across all shards.
+    /// Sorted multiset of the unindexed delta elements across all shards —
+    /// the host-side mirror fed by ingest and pruned by delete.
+    pub delta_vals: Vec<T>,
+    /// Per-bucket prefix counts of `delta_vals` (`counts.len() + 1`
+    /// entries, first 0): `delta_offsets[b]` delta elements fall in
+    /// buckets `< b`, so bucket `b`'s delta slice is
+    /// `delta_vals[delta_offsets[b]..delta_offsets[b + 1]]`.
+    pub delta_offsets: Vec<u64>,
+    /// Global number of unindexed delta elements across all shards
+    /// (always `delta_vals.len()`).
     pub delta_total: u64,
 }
 
 impl<T: Key> GlobalIndex<T> {
-    /// Assembles the host cache from the per-shard summaries returned by
-    /// the build run.
-    pub fn from_shard_stats(per_shard: &[BucketStats<T>]) -> Self {
+    /// Assembles the host cache from the shared splitters and the
+    /// per-shard summaries returned by the build run.
+    pub fn from_shard_stats(bounds: Vec<SepBound<T>>, per_shard: &[BucketStats<T>]) -> Self {
         let nb = per_shard.first().map_or(0, Vec::len);
+        debug_assert_eq!(nb, bounds.len() + 1, "splitters disagree with the bucket count");
         let mut acc: BucketStats<T> = vec![(0, None); nb];
         for stats in per_shard {
             merge_stats(&mut acc, stats);
         }
         let mut idx = GlobalIndex {
+            bounds,
             counts: acc.iter().map(|&(c, _)| c).collect(),
             prefix: Vec::new(),
             minmax: acc.into_iter().map(|(_, mm)| mm).collect(),
+            delta_vals: Vec::new(),
+            delta_offsets: vec![0; nb + 1],
             delta_total: 0,
         };
         idx.rebuild_prefix();
@@ -184,30 +212,53 @@ impl<T: Key> GlobalIndex<T> {
             .collect();
     }
 
-    /// The contiguous window `[lo, hi]` of buckets that may contain global
-    /// rank `r`: every bucket `b` with `prefix[b] <= r < prefix[b+1] +
-    /// delta_total` (the delta widens the window because unindexed elements
-    /// may fall anywhere).
-    pub fn window(&self, r: u64) -> (usize, usize) {
-        let last = self.counts.len() - 1;
-        let hi = (self.prefix.partition_point(|&x| x <= r) - 1).min(last);
-        let lo = self.prefix[1..].partition_point(|&x| x + self.delta_total <= r).min(last);
-        debug_assert!(lo <= hi, "window inverted for rank {r}");
-        (lo, hi)
+    /// Merged (indexed + pending delta) count of elements in buckets
+    /// `< b` — the rebased prefix sum the localization below searches.
+    fn merged_prefix(&self, b: usize) -> u64 {
+        self.prefix[b] + self.delta_offsets[b]
     }
 
-    /// Histogram-only resolution: `Some(v)` when rank `r`'s window is a
-    /// single bucket holding one repeated value and no delta elements can
-    /// shift it — the answer needs zero element scans.
+    /// Min/max over bucket `b`'s indexed elements *and* its pending delta
+    /// slice (`None` when both are empty). The mirror is sorted, so the
+    /// slice's endpoints are its extrema.
+    fn merged_minmax(&self, b: usize) -> Option<(T, T)> {
+        let d =
+            &self.delta_vals[self.delta_offsets[b] as usize..self.delta_offsets[b + 1] as usize];
+        let dm = (!d.is_empty()).then(|| (d[0], d[d.len() - 1]));
+        merge_minmax(self.minmax[b], dm)
+    }
+
+    /// The single bucket `(b, b)` that contains global rank `r` in the
+    /// merged (indexed + delta) order. Buckets are value-disjoint and the
+    /// host mirror classifies every pending delta element exactly, so a
+    /// pending delta no longer widens the window — localization stays
+    /// single-bucket exact between merges.
+    pub fn window(&self, r: u64) -> (usize, usize) {
+        let last = self.counts.len() - 1;
+        // Largest b with merged_prefix(b) <= r: r then falls strictly
+        // inside bucket b's merged population.
+        let (mut lo, mut hi) = (0usize, self.counts.len());
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if self.merged_prefix(mid) <= r {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let b = lo.min(last);
+        (b, b)
+    }
+
+    /// Histogram-only resolution: `Some(v)` when rank `r`'s bucket holds
+    /// one repeated value across both its indexed elements and its pending
+    /// delta slice — the answer needs zero element scans, delta or not.
     pub fn fast_value(&self, r: u64) -> Option<T> {
-        if self.delta_total != 0 || self.counts.is_empty() {
+        if self.counts.is_empty() {
             return None;
         }
-        let (lo, hi) = self.window(r);
-        if lo != hi {
-            return None;
-        }
-        match self.minmax[lo] {
+        let (b, _) = self.window(r);
+        match self.merged_minmax(b) {
             Some((mn, mx)) if mn == mx => Some(mn),
             _ => None,
         }
@@ -249,26 +300,24 @@ impl<T: Key> GlobalIndex<T> {
     }
 
     /// Histogram-only *rank-direction* resolution under a loosened
-    /// contract: `Some((value, max_rank_error))` when rank `r`'s window is
-    /// a single bucket with known min/max and no delta elements can shift
-    /// it. A constant bucket yields the exact element (`max_rank_error =
-    /// 0`, the [`fast_value`](Self::fast_value) case); otherwise the
-    /// bucket's minimum is returned with the error bounded by the target's
-    /// offset into the bucket — zero element scans either way.
+    /// contract: `Some((value, max_rank_error))` for rank `r`'s merged
+    /// bucket. A constant bucket yields the exact element
+    /// (`max_rank_error = 0`, the [`fast_value`](Self::fast_value) case);
+    /// otherwise the bucket's merged minimum is returned with the error
+    /// bounded by the target's offset into the bucket — zero element
+    /// scans either way, pending delta included (the mirror rebases the
+    /// bucket's base rank and extrema exactly).
     pub fn approx_value(&self, r: u64) -> Option<(T, u64)> {
-        if self.delta_total != 0 || self.counts.is_empty() {
+        if self.counts.is_empty() {
             return None;
         }
-        let (lo, hi) = self.window(r);
-        if lo != hi {
-            return None;
-        }
-        match self.minmax[lo] {
+        let (b, _) = self.window(r);
+        match self.merged_minmax(b) {
             Some((mn, mx)) if mn == mx => Some((mn, 0)),
-            // `mn`'s first occurrence sits at the bucket's base rank, so
-            // its rank distance to `r` is at most the offset into the
-            // bucket.
-            Some((mn, _)) => Some((mn, r - self.prefix[lo])),
+            // `mn`'s first occurrence sits at the bucket's merged base
+            // rank, so its rank distance to `r` is at most the offset
+            // into the bucket.
+            Some((mn, _)) => Some((mn, r - self.merged_prefix(b))),
             None => None,
         }
     }
@@ -280,9 +329,11 @@ impl<T: Key> GlobalIndex<T> {
     /// Buckets are value-disjoint under the shared splitters, so at most
     /// one bucket's contribution is ambiguous, and only when its tracked
     /// `min`/`max` straddle the probe; refined equality-class buckets
-    /// (`min == max`) always resolve exactly. The bracket is exact
-    /// (`lo == hi`) precisely when every bucket resolves and no unindexed
-    /// delta elements are pending — "the splitters bound the answer".
+    /// (`min == max`) always resolve exactly. The pending delta
+    /// contributes **exactly** — the sorted mirror answers the probe with
+    /// one binary search — so the bracket is exact (`lo == hi`) precisely
+    /// when every indexed bucket resolves: "the splitters bound the
+    /// answer", delta or no delta.
     pub fn count_bounds(&self, v: T, inclusive: bool) -> (u64, u64) {
         let mut below = 0u64;
         let mut ambiguous = 0u64;
@@ -296,20 +347,94 @@ impl<T: Key> GlobalIndex<T> {
                 ambiguous += count;
             }
         }
-        (below, below + ambiguous + self.delta_total)
+        let d_below =
+            self.delta_vals.partition_point(|&x| if inclusive { x <= v } else { x < v }) as u64;
+        (below + d_below, below + ambiguous + d_below)
+    }
+
+    /// Records freshly ingested elements into the delta mirror and
+    /// reclassifies — the rebase that keeps localization exact while the
+    /// elements sit in the shards' unindexed delta runs.
+    pub fn note_ingest(&mut self, items: impl IntoIterator<Item = T>) {
+        self.delta_vals.extend(items);
+        self.delta_vals.sort_unstable();
+        self.delta_total = self.delta_vals.len() as u64;
+        self.reclassify_delta();
+    }
+
+    /// Drops every occurrence of the (sorted, deduplicated) deleted values
+    /// from the delta mirror — the twin of the shards' delta-run
+    /// compaction. Call after [`apply_removals`](Self::apply_removals);
+    /// the mirror must land on the same population the shards reported.
+    pub fn note_delete(&mut self, sorted: &[T]) {
+        self.delta_vals.retain(|x| sorted.binary_search(x).is_err());
+        self.reclassify_delta();
+        debug_assert_eq!(
+            self.delta_total,
+            self.delta_vals.len() as u64,
+            "delta mirror out of sync with the shards' removal reports"
+        );
+    }
+
+    /// Recomputes `delta_offsets` after the mirror or the bounds changed:
+    /// one binary search per splitter over the sorted mirror.
+    pub fn reclassify_delta(&mut self) {
+        let mut off = Vec::with_capacity(self.counts.len() + 1);
+        off.push(0u64);
+        for b in &self.bounds {
+            off.push(self.delta_vals.partition_point(|x| b.admits(x)) as u64);
+        }
+        off.push(self.delta_vals.len() as u64);
+        debug_assert_eq!(off.len(), self.counts.len() + 1, "splitters/bucket mismatch");
+        self.delta_offsets = off;
+    }
+
+    /// Host replay of one resolved window's splitter refinement — the
+    /// exact twin of the shard-side refinement in
+    /// `backend::ops::execute_shard`, so the mirrored `bounds` stay
+    /// identical to every shard's stored splitter vector. Splices `bounds`
+    /// only; the caller splices counts/minmax via
+    /// [`splice_window`](Self::splice_window) with the shards' merged
+    /// stats, then calls [`rebuild_prefix`](Self::rebuild_prefix) and
+    /// [`reclassify_delta`](Self::reclassify_delta) once all windows (in
+    /// descending order) are done.
+    pub fn refine_window_bounds(&mut self, lo: usize, hi: usize, answers: &[T]) {
+        let lower = (lo > 0).then(|| self.bounds[lo - 1]);
+        let upper = (hi < self.bounds.len()).then(|| self.bounds[hi]);
+        let new_bounds = refined_bounds(&self.bounds[lo..hi], answers, lower, upper);
+        self.bounds.splice(lo..hi, new_bounds);
+    }
+
+    /// Host replay of one resolved value probe's equality-class
+    /// refinement: carves `(v, <)(v, ≤)` into `v`'s bucket exactly like
+    /// the shards do after their probe Combine. Returns the refined
+    /// bucket's index (for the caller's counts/minmax splice), or `None`
+    /// when the class is already carved — the shards skipped it too, by
+    /// the same deterministic test.
+    pub fn refine_probe_bounds(&mut self, v: T) -> Option<usize> {
+        let b = self.bounds.partition_point(|sb| !sb.admits(&v));
+        let lower = (b > 0).then(|| self.bounds[b - 1]);
+        let upper = (b < self.bounds.len()).then(|| self.bounds[b]);
+        let inserted = refined_bounds(&[], &[v], lower, upper);
+        if inserted.is_empty() {
+            return None;
+        }
+        self.bounds.splice(b..b, inserted);
+        Some(b)
     }
 
     /// Applies one refined window: buckets `lo..=hi` are replaced by the
     /// refreshed per-bucket stats. Call in descending `lo` order so earlier
     /// windows' indices stay valid; call [`rebuild_prefix`](Self::rebuild_prefix)
-    /// once afterwards.
+    /// and [`reclassify_delta`](Self::reclassify_delta) once afterwards.
     pub fn splice_window(&mut self, lo: usize, hi: usize, stats: &BucketStats<T>) {
         self.counts.splice(lo..=hi, stats.iter().map(|&(c, _)| c));
         self.minmax.splice(lo..=hi, stats.iter().map(|&(_, mm)| mm));
     }
 
     /// Folds per-shard delta-merge summaries into the cached histogram
-    /// (delta elements joined their buckets; the delta run is empty again).
+    /// (delta elements joined their buckets; the delta run — and its host
+    /// mirror — is empty again).
     pub fn absorb_delta(&mut self, per_shard: &[BucketStats<T>]) {
         let mut acc: BucketStats<T> =
             self.counts.iter().zip(&self.minmax).map(|(&c, &mm)| (c, mm)).collect();
@@ -319,6 +444,8 @@ impl<T: Key> GlobalIndex<T> {
         self.counts = acc.iter().map(|&(c, _)| c).collect();
         self.minmax = acc.into_iter().map(|(_, mm)| mm).collect();
         self.delta_total = 0;
+        self.delta_vals.clear();
+        self.delta_offsets = vec![0; self.counts.len() + 1];
         self.rebuild_prefix();
     }
 
@@ -386,16 +513,35 @@ mod tests {
     use super::*;
 
     fn idx(counts: &[u64], values: &[u64]) -> GlobalIndex<u64> {
-        // Bucket b holds counts[b] copies of values[b] (min == max).
+        // Bucket b holds counts[b] copies of values[b] (min == max). Tests
+        // that exercise the delta mirror set `delta_vals`/`delta_offsets`
+        // explicitly; tests that exercise refinement replay set `bounds`.
         let minmax = counts
             .iter()
             .zip(values)
             .map(|(&c, &v)| if c == 0 { None } else { Some((v, v)) })
             .collect();
-        let mut g =
-            GlobalIndex { counts: counts.to_vec(), prefix: Vec::new(), minmax, delta_total: 0 };
+        let mut g = GlobalIndex {
+            bounds: Vec::new(),
+            counts: counts.to_vec(),
+            prefix: Vec::new(),
+            minmax,
+            delta_vals: Vec::new(),
+            delta_offsets: vec![0; counts.len() + 1],
+            delta_total: 0,
+        };
         g.rebuild_prefix();
         g
+    }
+
+    /// Installs a pending delta mirror: `vals` sorted, classified by the
+    /// explicit per-bucket `offsets` (tests pick them by hand so the
+    /// helper stays independent of `reclassify_delta`).
+    fn with_delta(g: &mut GlobalIndex<u64>, vals: &[u64], offsets: &[u64]) {
+        assert_eq!(offsets.len(), g.counts.len() + 1);
+        g.delta_vals = vals.to_vec();
+        g.delta_offsets = offsets.to_vec();
+        g.delta_total = vals.len() as u64;
     }
 
     #[test]
@@ -410,15 +556,23 @@ mod tests {
     }
 
     #[test]
-    fn delta_widens_windows() {
+    fn delta_mirror_keeps_windows_single_bucket_exact() {
         let mut g = idx(&[10, 10], &[1, 2]);
-        g.delta_total = 3;
-        // Rank 11 could be in bucket 0 (if ≥2 delta elements precede it) or 1.
-        assert_eq!(g.window(11), (0, 1));
-        // Rank 20..22 sit past every indexed element: last bucket only.
-        assert_eq!(g.window(21), (1, 1));
-        // And the fast path must refuse while a delta is pending.
+        // Pending delta {1, 2, 2}: one element rebases bucket 0, two
+        // rebase bucket 1 — merged populations 11 and 12.
+        with_delta(&mut g, &[1, 2, 2], &[0, 1, 3]);
+        assert_eq!(g.window(10), (0, 0));
+        assert_eq!(g.window(11), (1, 1));
+        assert_eq!(g.window(22), (1, 1));
+        // The fast path serves straight through the pending delta: the
+        // mirror proves each bucket stays a single equality class.
+        assert_eq!(g.fast_value(0), Some(1));
+        assert_eq!(g.fast_value(10), Some(1));
+        assert_eq!(g.fast_value(11), Some(2));
+        // A delta value that breaks a bucket's constancy refuses it.
+        with_delta(&mut g, &[0, 2, 2], &[0, 1, 3]);
         assert_eq!(g.fast_value(0), None);
+        assert_eq!(g.fast_value(12), Some(2));
     }
 
     #[test]
@@ -461,9 +615,13 @@ mod tests {
         assert_eq!(g.count_bounds(5, false), (10, 15));
         assert_eq!(g.count_bounds(6, true), (15, 15)); // mx <= v resolves
         assert_eq!(g.count_bounds(6, false), (10, 15));
-        // A pending delta widens every bracket.
-        g.delta_total = 3;
-        assert_eq!(g.count_bounds(1, true), (10, 13));
+        // A pending delta contributes exactly through the sorted mirror:
+        // brackets shift, they do not widen.
+        with_delta(&mut g, &[0, 1, 7], &[0, 2, 3, 3]);
+        assert_eq!(g.count_bounds(1, true), (12, 12));
+        assert_eq!(g.count_bounds(1, false), (1, 1));
+        assert_eq!(g.count_bounds(9, false), (18, 18));
+        assert_eq!(g.count_bounds(5, false), (12, 17)); // straddle remains
     }
 
     #[test]
@@ -475,10 +633,11 @@ mod tests {
         // Straddling bucket: its min, error = offset into the bucket.
         assert_eq!(g.approx_value(4), Some((9, 0)));
         assert_eq!(g.approx_value(8), Some((9, 4)));
-        // Delta pending: refuse (the window is no longer a single bucket
-        // in general, and counts are uncertain).
-        g.delta_total = 1;
-        assert_eq!(g.approx_value(0), None);
+        // Delta pending: the mirror rebases the bucket's base rank and
+        // extrema, so serving continues with the merged bounds.
+        with_delta(&mut g, &[30], &[0, 0, 1]);
+        assert_eq!(g.approx_value(0), Some((7, 0)));
+        assert_eq!(g.approx_value(10), Some((9, 6)));
     }
 
     #[test]
@@ -487,6 +646,7 @@ mod tests {
         // Refine bucket 1 into three sub-buckets (e.g. around answer 5).
         g.splice_window(1, 1, &vec![(4, Some((4, 4))), (5, Some((5, 5))), (1, Some((6, 6)))]);
         g.rebuild_prefix();
+        g.delta_offsets = vec![0; g.counts.len() + 1]; // reclassified (empty mirror)
         assert_eq!(g.counts, vec![10, 4, 5, 1]);
         assert_eq!(g.prefix, vec![0, 10, 14, 19, 20]);
         assert_eq!(g.fast_value(14), Some(5));
@@ -526,6 +686,75 @@ mod tests {
         assert_eq!(
             b,
             vec![SepBound::lt(7u64), SepBound::le(7), SepBound::lt(10), SepBound::le(10)]
+        );
+    }
+
+    #[test]
+    fn note_ingest_and_delete_keep_the_mirror_classified() {
+        // Buckets: ≤10 | (10, 20] | >20.
+        let mut g = idx(&[3, 3, 3], &[5, 15, 25]);
+        g.bounds = vec![SepBound::le(10u64), SepBound::le(20)];
+        g.note_ingest(vec![25, 10, 11, 5, 20]);
+        assert_eq!(g.delta_vals, vec![5, 10, 11, 20, 25]);
+        assert_eq!(g.delta_offsets, vec![0, 2, 4, 5]);
+        assert_eq!(g.delta_total, 5);
+        assert_eq!(g.window(0), (0, 0));
+        assert_eq!(g.window(4), (0, 0)); // merged bucket 0 holds 5
+        assert_eq!(g.window(5), (1, 1));
+        // Deleting value classes prunes the mirror in place. The shards
+        // would report one removal per deleted delta element, so the
+        // engine's `apply_removals` decrements delta_total first.
+        g.delta_total -= 2;
+        g.note_delete(&[10, 20]);
+        assert_eq!(g.delta_vals, vec![5, 11, 25]);
+        assert_eq!(g.delta_offsets, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn refine_window_bounds_mirrors_the_shard_refinement() {
+        // One window over buckets 1..=2 (internal splitter lt(30)),
+        // refined by answer 25: the host must land on the same splitter
+        // vector the shards compute from the identical inputs.
+        let mut g = idx(&[2, 2, 2, 2], &[10, 20, 30, 40]);
+        g.bounds = vec![SepBound::le(10u64), SepBound::lt(30), SepBound::le(30)];
+        g.refine_window_bounds(1, 2, &[25]);
+        assert_eq!(
+            g.bounds,
+            vec![
+                SepBound::le(10u64),
+                SepBound::lt(25),
+                SepBound::le(25),
+                SepBound::lt(30),
+                SepBound::le(30)
+            ]
+        );
+        // An answer equal to an inclusive outer bound still carves its
+        // exclusive twin (class {10} splits off), but never re-inserts
+        // the outer bound itself.
+        g.refine_window_bounds(0, 0, &[10]);
+        assert_eq!(g.bounds[..2], [SepBound::lt(10u64), SepBound::le(10)]);
+    }
+
+    #[test]
+    fn refine_probe_bounds_carves_once_then_skips() {
+        let mut g = idx(&[4, 4], &[10, 30]);
+        g.bounds = vec![SepBound::le(20u64)];
+        // Probe 15 lands in bucket 0: carve its equality class.
+        assert_eq!(g.refine_probe_bounds(15), Some(0));
+        assert_eq!(g.bounds, vec![SepBound::lt(15u64), SepBound::le(15), SepBound::le(20)]);
+        // Already carved: the deterministic skip the shards also take.
+        assert_eq!(g.refine_probe_bounds(15), None);
+        // A probe in the last bucket carves there.
+        assert_eq!(g.refine_probe_bounds(30), Some(3));
+        assert_eq!(
+            g.bounds,
+            vec![
+                SepBound::lt(15u64),
+                SepBound::le(15),
+                SepBound::le(20),
+                SepBound::lt(30),
+                SepBound::le(30)
+            ]
         );
     }
 

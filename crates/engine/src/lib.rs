@@ -100,6 +100,7 @@ pub mod obs;
 mod query;
 mod request;
 pub mod sketch;
+mod standing;
 
 pub use backend::{
     BackendChoice, BackendError, BackendKind, BatchPlan, ChannelMp, ChannelMpTuning, ExecBackend,
@@ -108,7 +109,7 @@ pub use backend::{
 };
 pub use frontend::{
     AsyncError, FrontendConfig, FrontendStats, MutationTicket, OutcomeTicket, QueryTicket,
-    SubmissionQueue, SubmitError, Ticket,
+    StandingTicket, SubmissionQueue, SubmitError, Ticket,
 };
 pub use index::{BucketStats, Group};
 pub use measure::{measure_rounds, ExecutionMode, RoundsMeasurement};
@@ -118,9 +119,11 @@ pub use obs::{
 };
 pub use query::{quantile_rank, Answer, Query, RankSet};
 pub use request::{
-    Accuracy, Bounds, CostAttribution, Outcome, QueryKind, Request, Response, RunReport, Served,
+    Accuracy, Bounds, CostAttribution, Freshness, Outcome, QueryKind, Request, Response, RunReport,
+    Served,
 };
 pub use sketch::{EpsSketch, ReservoirSketch};
+pub use standing::{RefreshPolicy, StandingHandle, StandingUpdate, SubscriptionId};
 
 use std::sync::Arc;
 
@@ -463,6 +466,18 @@ pub struct Engine<T: Key> {
     /// Live only when `cfg.observe` is set: the metrics registry every
     /// batch reports into, shared with the frontend's batcher thread.
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Registered standing queries (see [`Engine::subscribe`]); due
+    /// subscriptions ride every [`Engine::run`] batch.
+    standing: standing::StandingRegistry<T>,
+    /// Mutation version: increments on every ingest/delete that changed
+    /// the multiset, and on recovery (which loses data). Two outcomes with
+    /// equal versions were computed against identical resident data.
+    version: u64,
+    /// Cumulative elements mutated (ingested + deleted) — the churn meter
+    /// behind [`RefreshPolicy::OnDelta`].
+    mutated: u64,
+    standing_refreshes: u64,
+    standing_zero_collective: u64,
 }
 
 /// An [`Engine`] is `Send` no matter the backend: the async frontend hands
@@ -501,6 +516,11 @@ impl<T: Key> Engine<T> {
             histogram_hits: 0,
             metrics: cfg.observe.then(|| Arc::new(MetricsRegistry::new())),
             sketch: EpsSketch::new(cfg.sketch_capacity),
+            standing: standing::StandingRegistry::default(),
+            version: 0,
+            mutated: 0,
+            standing_refreshes: 0,
+            standing_zero_collective: 0,
             backend,
             cfg,
         })
@@ -621,12 +641,23 @@ impl<T: Key> Engine<T> {
                 self.sketch.offer(x);
             }
         }
+        // The host's delta mirror sees the same elements: the index keeps
+        // serving exactly through the pending delta without a collective.
+        let delta_note: Vec<T> = if self.index.is_some() {
+            chunks.iter().flatten().copied().collect()
+        } else {
+            Vec::new()
+        };
         // Appends land past the indexed prefix, so they *are* the delta
         // run; no index restructuring happens here.
         let sizes = self.backend.ingest(chunks)?;
         self.set_sizes(sizes);
         if let Some(gidx) = &mut self.index {
-            gidx.delta_total += added;
+            gidx.note_ingest(delta_note);
+        }
+        if added > 0 {
+            self.version += 1;
+            self.mutated += added;
         }
         let rebalanced = self.maybe_rebalance()?;
         if !rebalanced {
@@ -649,16 +680,19 @@ impl<T: Key> Engine<T> {
         // One compacting pass per shard; every comparison of the
         // per-element binary search and every element move is counted,
         // matching how the selection kernels charge their measured work.
-        let results = self.backend.delete(sorted)?;
+        let results = self.backend.delete(sorted.clone())?;
         let before = self.total;
         let (sizes, removed): (Vec<u64>, Vec<Vec<u64>>) =
             results.into_iter().map(|d| (d.remaining, d.removed)).unzip();
         self.set_sizes(sizes);
         if let Some(gidx) = &mut self.index {
             gidx.apply_removals(&removed);
+            gidx.note_delete(&sorted);
         }
         let removed_total = before - self.total;
         if removed_total > 0 {
+            self.version += 1;
+            self.mutated += removed_total;
             self.refresh_sketch()?;
         }
         let rebalanced = self.maybe_rebalance()?;
@@ -686,6 +720,98 @@ impl<T: Key> Engine<T> {
     /// Shorthand for [`SubmissionQueue::start`].
     pub fn into_frontend(self, cfg: FrontendConfig) -> SubmissionQueue<T> {
         SubmissionQueue::start(self, cfg)
+    }
+
+    // --- Standing queries (see [`standing`](crate::StandingHandle)) ----
+
+    /// Registers `request` as a **standing query**: it re-evaluates under
+    /// `policy` whenever the resident data moves, streaming stamped
+    /// [`StandingUpdate`]s to the returned [`StandingHandle`]. Refreshes
+    /// ride ordinary [`Engine::run`] batches (or an explicit
+    /// [`Engine::refresh_standing`]), sharing their collective rounds; a
+    /// refresh whose candidate window did not move is re-served from the
+    /// delta-rebased histogram or the ε-sketch at **zero collectives**.
+    ///
+    /// The request is *not* validated against the current population — a
+    /// dashboard may subscribe before any data arrives; refreshes are
+    /// simply skipped while the request is invalid (e.g. an empty engine),
+    /// without burning sequence numbers.
+    ///
+    /// ```
+    /// use cgselect_engine::{Engine, EngineConfig, RefreshPolicy, Request};
+    ///
+    /// let mut engine: Engine<u64> = Engine::new(EngineConfig::new(2)).unwrap();
+    /// let handle = engine.subscribe(Request::quantile(0.99), RefreshPolicy::EveryBatch);
+    /// engine.ingest((0..1000u64).collect()).unwrap();
+    /// let delivered = engine.refresh_standing().unwrap();
+    /// assert_eq!(delivered, 1);
+    /// let update = handle.recv().unwrap();
+    /// assert_eq!(update.seq, 0);
+    /// assert_eq!(update.outcome.freshness.elements, 1000);
+    /// ```
+    pub fn subscribe(&mut self, request: Request<T>, policy: RefreshPolicy) -> StandingHandle<T> {
+        if let RefreshPolicy::OnDelta(frac) = policy {
+            assert!(
+                frac.is_finite() && frac >= 0.0,
+                "OnDelta fraction must be finite and >= 0, got {frac}"
+            );
+        }
+        let handle = self.standing.subscribe(request, policy);
+        if let Some(m) = &self.metrics {
+            m.gauge_set("standing_active", self.standing.len() as f64);
+        }
+        handle
+    }
+
+    /// Removes the standing query `id`; its handle's stream ends. Returns
+    /// `false` if the id was unknown (or already auto-unsubscribed by a
+    /// dropped handle).
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let removed = self.standing.unsubscribe(id);
+        if let Some(m) = &self.metrics {
+            m.gauge_set("standing_active", self.standing.len() as f64);
+        }
+        removed
+    }
+
+    /// Number of live standing queries.
+    pub fn standing_active(&self) -> usize {
+        self.standing.len()
+    }
+
+    /// Flushes due standing queries without a foreground batch (an empty
+    /// [`Engine::run`]), returning how many updates were delivered. Cheap
+    /// when nothing is due: returns immediately without planning a batch,
+    /// so idle pollers (the frontend's batcher serving
+    /// [`RefreshPolicy::Deadline`]) can call it every tick.
+    pub fn refresh_standing(&mut self) -> Result<u64, EngineError> {
+        let any_serviceable = self
+            .standing
+            .due_requests(self.version, self.mutated, self.total)
+            .iter()
+            .any(|(_, r)| query::validate_request(r, self.total).is_ok());
+        if !any_serviceable {
+            return Ok(0);
+        }
+        let before = self.standing_refreshes;
+        self.run(&[])?;
+        Ok(self.standing_refreshes - before)
+    }
+
+    /// Cumulative standing-query updates delivered.
+    pub fn standing_refreshes(&self) -> u64 {
+        self.standing_refreshes
+    }
+
+    /// How many of [`Engine::standing_refreshes`] were served without a
+    /// single attributed collective op (rebased histogram / ε-sketch).
+    pub fn standing_zero_collective(&self) -> u64 {
+        self.standing_zero_collective
+    }
+
+    /// The engine's current mutation version (see [`Freshness::version`]).
+    pub fn mutation_version(&self) -> u64 {
+        self.version
     }
 
     /// Executes one batch of v1 [`Query`]s against the resident data —
@@ -793,6 +919,26 @@ impl<T: Key> Engine<T> {
     /// One batch attempt (the whole pipeline documented on
     /// [`Engine::run`], without the self-healing retry).
     fn run_once(&mut self, requests: &[Request<T>]) -> Result<RunReport<T>, EngineError> {
+        // -- Standing admission: subscriptions due under the current
+        // mutation state append their requests to the caller's batch, so a
+        // refresh shares the batch's probe Combine, multi-select pass and
+        // splitter refinement instead of paying its own rounds. A
+        // subscription whose request is invalid *right now* (e.g. a rank
+        // beyond a shrunk population) is skipped, never failing the batch.
+        let user_len = requests.len();
+        let due: Vec<(SubscriptionId, Request<T>)> = self
+            .standing
+            .due_requests(self.version, self.mutated, self.total)
+            .into_iter()
+            .filter(|(_, r)| query::validate_request(r, self.total).is_ok())
+            .collect();
+        let combined: Vec<Request<T>>;
+        let requests: &[Request<T>] = if due.is_empty() {
+            requests
+        } else {
+            combined = requests.iter().cloned().chain(due.iter().map(|(_, r)| r.clone())).collect();
+            &combined
+        };
         let plan = query::plan_requests(requests, self.total, self.sketch_guarantee())?;
         // Fail fast on a poisoned backend even when the batch could be
         // served from the host-side histogram alone: the poisoning
@@ -871,6 +1017,7 @@ impl<T: Key> Engine<T> {
             count_routes[i] = Some(route);
         }
         let (value_probes, probe_backend_pos) = sublist(&plan.probes, &probe_backend);
+        let value_probes = Arc::new(value_probes);
         let (sketch_probes, probe_sketch_pos) = sublist(&plan.probes, &probe_sketch);
 
         // -- ε-sketch serving, entirely host-side: rank targets and probe
@@ -922,7 +1069,7 @@ impl<T: Key> Engine<T> {
             let batch_plan = BatchPlan {
                 groups: groups.clone(),
                 exact_ranks: residual.clone(),
-                value_probes: Arc::new(value_probes),
+                value_probes: value_probes.clone(),
                 selection: sel_cfg,
                 use_index,
                 full_total: n,
@@ -941,17 +1088,48 @@ impl<T: Key> Engine<T> {
             makespan = makespan.max(o.elapsed);
         }
 
-        // Fold the refinement back into the cached histogram.
-        if use_index && !groups.is_empty() {
+        // Fold the refinement back into the cached histogram, replaying
+        // the shards' bound splices in lockstep so the host mirror of the
+        // shared splitter array stays bit-identical to every shard's:
+        // group refines first (descending), then the probe carves in plan
+        // order — exactly the order `execute_shard` applied them.
+        if use_index && !outcomes.is_empty() {
             let gidx = self.index.as_mut().expect("index cached");
             for (g, group) in groups.iter().enumerate().rev() {
+                let answers: Vec<T> = group
+                    .out
+                    .iter()
+                    .map(|&slot| outcomes[0].exact[slot].expect("group ranks resolved"))
+                    .collect();
+                gidx.refine_window_bounds(group.lo, group.hi, &answers);
                 let mut merged = outcomes[0].refines[g].clone();
                 for o in &outcomes[1..] {
                     merge_stats(&mut merged, &o.refines[g]);
                 }
                 gidx.splice_window(group.lo, group.hi, &merged);
             }
+            // Probe-driven refinement: a resolved probe carves its
+            // `(v,<)(v,≤)` equality-class pair host-side iff the shards
+            // carved it (the skip test depends only on the shared bounds,
+            // so both sides agree without any extra communication).
+            let mut carved = 0usize;
+            for &(v, _) in value_probes.iter() {
+                if let Some(b) = gidx.refine_probe_bounds(v) {
+                    let mut merged = outcomes[0].probe_refines[carved].clone();
+                    for o in &outcomes[1..] {
+                        merge_stats(&mut merged, &o.probe_refines[carved]);
+                    }
+                    gidx.splice_window(b, b, &merged);
+                    carved += 1;
+                }
+            }
+            debug_assert_eq!(
+                carved,
+                outcomes[0].probe_refines.len(),
+                "host probe replay must carve exactly the buckets the shards did"
+            );
             gidx.rebuild_prefix();
+            gidx.reclassify_delta();
             if gidx.num_buckets() > self.cfg.bucket_cap() {
                 self.index_dirty = true;
             }
@@ -988,6 +1166,7 @@ impl<T: Key> Engine<T> {
                 sketch_values: &sketch_values,
                 sketch_ranks: &sketch_ranks,
                 rank0: outcomes.first(),
+                freshness: Freshness { version: self.version, elements: n },
             },
         );
         let histogram_answers = fast.len()
@@ -1057,8 +1236,38 @@ impl<T: Key> Engine<T> {
             }
         }
 
+        // -- Standing delivery: the batch's tail outcomes belong to the due
+        // subscriptions, in admission order. Each update carries the next
+        // gap-free sequence number and this batch's freshness stamp; a
+        // dropped handle auto-unsubscribes here. Refreshes whose outcome
+        // cost zero attributed collective ops (histogram / sketch served)
+        // are counted separately — the incremental-refresh win.
+        let mut outcomes = assembled.outcomes;
+        let standing_outcomes = outcomes.split_off(user_len);
+        let mut delivered = 0u64;
+        let mut zero_collective = 0u64;
+        for ((id, _), outcome) in due.iter().zip(standing_outcomes) {
+            let zero = outcome.cost.collective_ops == 0.0;
+            if self.standing.deliver(*id, outcome, self.version, self.mutated) {
+                delivered += 1;
+                zero_collective += u64::from(zero);
+            }
+        }
+        self.standing_refreshes += delivered;
+        self.standing_zero_collective += zero_collective;
+        if let Some(m) = &self.metrics {
+            m.gauge_set("standing_active", self.standing.len() as f64);
+            if delivered > 0 {
+                m.counter_add("standing_refresh", delivered);
+                m.counter_add("standing_zero_collective", zero_collective);
+                if let Some(t0) = wall_start {
+                    m.latency_observe("refresh_wall", t0.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+
         Ok(RunReport {
-            outcomes: assembled.outcomes,
+            outcomes,
             comm,
             collective_ops,
             makespan,
@@ -1082,8 +1291,8 @@ impl<T: Key> Engine<T> {
             return Ok(());
         }
         debug_assert!(self.total > 0, "index builds only over resident data");
-        let stats = self.backend.build_index(self.cfg.index_buckets)?;
-        self.index = Some(GlobalIndex::from_shard_stats(&stats));
+        let (bounds, stats) = self.backend.build_index(self.cfg.index_buckets)?;
+        self.index = Some(GlobalIndex::from_shard_stats(bounds, &stats));
         self.index_dirty = false;
         self.index_rebuilds += 1;
         Ok(())
@@ -1133,6 +1342,9 @@ impl<T: Key> Engine<T> {
     pub fn migrate_shard(&mut self, rank: usize) -> Result<(), EngineError> {
         let sizes = self.backend.replace_worker(rank)?;
         self.set_sizes(sizes);
+        // Membership moved: standing queries must fully re-resolve rather
+        // than trust any cached candidate window.
+        self.standing.invalidate_all();
         if let Some(m) = &self.metrics {
             m.counter_add("migrations_total", 1);
         }
@@ -1148,6 +1360,7 @@ impl<T: Key> Engine<T> {
         self.set_sizes(sizes);
         self.index = None;
         self.index_dirty = false;
+        self.standing.invalidate_all();
         self.ingest_cursor %= self.cfg.nprocs;
         Ok(self.cfg.nprocs)
     }
@@ -1161,6 +1374,7 @@ impl<T: Key> Engine<T> {
         self.set_sizes(sizes);
         self.index = None;
         self.index_dirty = false;
+        self.standing.invalidate_all();
         self.ingest_cursor %= self.cfg.nprocs;
         Ok(self.cfg.nprocs)
     }
@@ -1176,6 +1390,10 @@ impl<T: Key> Engine<T> {
         self.set_sizes(report.sizes.clone());
         self.index = None;
         self.index_dirty = false;
+        // Recovery changes the multiset (dead shards' data is gone), so it
+        // is a mutation: the version moves and every subscription refreshes.
+        self.version += 1;
+        self.standing.invalidate_all();
         // The dead shards' elements left the multiset, so the host-global
         // ε-sketch is re-derived from the survivors' exports. Membership
         // moves (migrate/join/retire) never touch it: they permute the
@@ -1260,6 +1478,8 @@ struct AssemblyContext<'a, T: Key> {
     sketch_values: &'a [T],
     sketch_ranks: &'a [u64],
     rank0: Option<&'a ShardBatchOutcome<T>>,
+    /// The mutation state every outcome of this batch reflects.
+    freshness: Freshness,
 }
 
 struct Assembled<T> {
@@ -1392,6 +1612,7 @@ fn assemble_outcomes<T: Key>(
                 response: d.response,
                 served: d.served,
                 cost: CostAttribution { collective_ops },
+                freshness: cx.freshness,
             }
         })
         .collect();

@@ -19,6 +19,9 @@
 //!   histograms and latency tracks; latency percentiles are computed by the
 //!   engine's *own* sketch/quantile machinery — the registry dogfoods the
 //!   same reservoir + rank-estimation code that answers quantile queries.
+//!   The standing-query subsystem reports through the same registry: a
+//!   `standing_active` gauge, `standing_refresh` / `standing_zero_collective`
+//!   counters, and a `refresh_wall` latency track alongside `batch_wall`.
 //! * **SLO** — [`SloAccumulator`] folds [`crate::RunReport`]s into the
 //!   ROADMAP's service-level line (host-served fraction, max rank error,
 //!   rounds per query), which [`SloPolicy`] turns into pass/fail for the

@@ -184,6 +184,7 @@ mod tests {
             response: Response::Count { count: 1, max_error },
             served,
             cost: CostAttribution::default(),
+            freshness: crate::Freshness::default(),
         }
     }
 

@@ -436,8 +436,37 @@ pub struct CostAttribution {
     pub collective_ops: f64,
 }
 
-/// One request's result: the answer, its provenance, and its attributed
-/// cost.
+/// Which state of the resident multiset an answer reflects — the freshness
+/// stamp every [`Outcome`] carries.
+///
+/// `version` is the engine's mutation version: it increments on every
+/// ingest/delete (and on membership changes that alter the multiset), so
+/// two outcomes with equal versions were computed against the identical
+/// resident data. Standing-query updates (see [`crate::StandingUpdate`])
+/// lean on this: a subscriber can tell a genuinely new answer from a
+/// re-delivery, and correlate updates across independent subscriptions.
+///
+/// ```
+/// use cgselect_engine::{Engine, EngineConfig, Request};
+///
+/// let mut engine: Engine<u64> = Engine::new(EngineConfig::new(2)).unwrap();
+/// engine.ingest((0..100u64).collect()).unwrap();
+/// let a = engine.run(&[Request::median()]).unwrap().outcomes.remove(0);
+/// engine.ingest(vec![7u64]).unwrap();
+/// let b = engine.run(&[Request::median()]).unwrap().outcomes.remove(0);
+/// assert!(b.freshness.version > a.freshness.version);
+/// assert_eq!(b.freshness.elements, 101);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Freshness {
+    /// The engine's mutation version when the answer was computed.
+    pub version: u64,
+    /// The resident population the answer reflects.
+    pub elements: u64,
+}
+
+/// One request's result: the answer, its provenance, its attributed cost,
+/// and the freshness stamp tying it to a resident-data version.
 ///
 /// ```
 /// use cgselect_engine::{Engine, EngineConfig, Request, Served};
@@ -448,6 +477,7 @@ pub struct CostAttribution {
 /// assert_eq!(outcome.response.count(), Some(40));
 /// assert!(outcome.served <= Served::Scan);
 /// assert!(outcome.cost.collective_ops >= 0.0);
+/// assert_eq!(outcome.freshness.elements, 100);
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Outcome<T> {
@@ -457,6 +487,8 @@ pub struct Outcome<T> {
     pub served: Served,
     /// This query's share of the batch's measured collective work.
     pub cost: CostAttribution,
+    /// Which resident-data state the answer reflects.
+    pub freshness: Freshness,
 }
 
 /// What one [`crate::Engine::run`] batch did and cost.

@@ -217,16 +217,24 @@ fn probe_batch_costs_one_combine_round_regardless_of_size() {
     let data: Vec<u64> = (0..30_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
     let mut per_backend: Vec<(u64, u64, Vec<Option<u64>>)> = Vec::new();
     for backend in backends() {
-        let mut engine: Engine<u64> = Engine::new(cfg(4, backend)).unwrap();
+        // Two identically-built engines: a resolved probe refines the
+        // splitters (its equality pair is carved into the index), so
+        // running the big batch after the single probe on one engine
+        // would let the carve serve some probes from the histogram —
+        // fresh engines keep all 16 on the backend path.
+        let mut engine: Engine<u64> = Engine::new(cfg(4, backend.clone())).unwrap();
         engine.ingest(data.clone()).unwrap();
         engine.run(&[Request::median()]).unwrap(); // builds the index
+        let mut engine_many: Engine<u64> = Engine::new(cfg(4, backend)).unwrap();
+        engine_many.ingest(data.clone()).unwrap();
+        engine_many.run(&[Request::median()]).unwrap();
 
         // Fresh probe values strictly inside buckets: the histogram
         // brackets but cannot bound them, so they go to the backend.
         let one = engine.run(&[Request::rank_of(123_457)]).unwrap();
         let many: Vec<Request<u64>> =
             (0..16u64).map(|i| Request::rank_of(123_461 + i * 53_077)).collect();
-        let many_report = engine.run(&many).unwrap();
+        let many_report = engine_many.run(&many).unwrap();
         assert!(one.value_probes >= 1);
         assert_eq!(many_report.value_probes, 16, "all 16 probes must reach the backend");
         assert_eq!(
